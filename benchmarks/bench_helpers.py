@@ -1,0 +1,25 @@
+"""Helpers shared by the pytest-benchmark wrappers."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover - trivial import guard
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def run_once(benchmark, experiment, config):
+    """Run an experiment module exactly once under pytest-benchmark.
+
+    The experiments are aggregate sweeps (many kernels, many datasets), so
+    statistical repetition happens inside them rather than around them; the
+    rendered paper-style table is echoed so a benchmark run doubles as a
+    reproduction report.
+    """
+    result = benchmark.pedantic(experiment.run_experiment, args=(config,), rounds=1, iterations=1)
+    print()
+    print(experiment.format_result(result))
+    return result

@@ -1,0 +1,40 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each benchmark wraps one experiment module from
+:mod:`repro.bench.experiments` (one per table/figure of the paper).  The
+experiment configurations below scale the paper's sweeps down to the
+synthetic scale-model graphs so the full benchmark suite completes in a few
+minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+try:  # pragma: no cover - trivial import guard
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.config import ExperimentConfig  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> ExperimentConfig:
+    """The standard quick configuration used by most benchmarks."""
+    return ExperimentConfig(num_queries=96, walk_length=10, datasets=("YT", "CP", "OK", "EU"))
+
+
+@pytest.fixture(scope="session")
+def small_config() -> ExperimentConfig:
+    """A lighter configuration for the widest sweeps (Table 2, Fig. 10)."""
+    return ExperimentConfig(num_queries=64, walk_length=8, datasets=("YT", "CP", "OK", "EU"))
+
+
+@pytest.fixture(scope="session")
+def large_graph_config() -> ExperimentConfig:
+    """Configuration that includes the larger scale models (EU/AB/TW/SK/FS)."""
+    return ExperimentConfig(num_queries=96, walk_length=8, datasets=("EU", "AB", "TW", "SK", "FS"))

@@ -1,0 +1,21 @@
+"""Benchmark: Fig. 3 — base sampling-method comparison on (un)weighted Node2Vec."""
+
+from __future__ import annotations
+
+from bench_helpers import run_once
+
+from repro.bench.experiments import fig03_sampling_comparison as experiment
+
+
+def test_fig03_sampling_comparison(benchmark, quick_config):
+    result = run_once(benchmark, experiment, quick_config)
+    weighted = result["normalized"]["weighted"]
+    unweighted = result["normalized"]["unweighted"]
+    # Paper shape: table-building methods (ITS/ALS) never win; reservoir wins
+    # the weighted panel, rejection wins the unweighted panel on the larger
+    # (web-scale-model) datasets.
+    for dataset, times in weighted.items():
+        assert times["RVS (FlowWalker)"] <= times["ALS (Skywalker)"]
+        assert times["RVS (FlowWalker)"] <= 1.0  # normalised to ITS
+    assert unweighted["EU"]["RJS (NextDoor)"] < unweighted["EU"]["RVS (FlowWalker)"]
+    assert weighted["EU"]["RJS (NextDoor)"] > weighted["EU"]["RVS (FlowWalker)"]

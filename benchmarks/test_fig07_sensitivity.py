@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 7 — kernel skew sensitivity and runtime weight variation."""
+
+from __future__ import annotations
+
+from bench_helpers import run_once
+
+from repro.bench.experiments import fig07_sensitivity as experiment
+
+
+def test_fig07_sensitivity(benchmark, quick_config):
+    result = run_once(benchmark, experiment, quick_config)
+    rows = {r["alpha"]: r for r in result["skew_sensitivity"]}
+    # eRVS is flat across the skew sweep; eRJS degrades as alpha falls.
+    ervs_spread = max(r["eRVS_ms"] for r in rows.values()) / min(r["eRVS_ms"] for r in rows.values())
+    assert ervs_spread < 2.0
+    assert rows[1.0]["eRJS_ms"] > rows[4.0]["eRJS_ms"]
+    # A meaningful fraction of nodes show runtime weight variation (Fig. 7b).
+    counts = result["cv_histogram"]["counts"]
+    assert sum(counts[1:]) > 0

@@ -1,0 +1,26 @@
+"""Benchmark: Fig. 12 — per-kernel optimisation ablations (eRVS and eRJS)."""
+
+from __future__ import annotations
+
+from bench_helpers import run_once
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.experiments import fig12_kernel_ablation as experiment
+
+
+def test_fig12_kernel_ablation(benchmark):
+    config = ExperimentConfig(num_queries=80, walk_length=8, datasets=("YT", "EU"))
+    result = run_once(benchmark, experiment, config)
+
+    # Panel (a): +EXP speeds up the baseline reservoir kernel; +JUMP never
+    # gives that gain back (paper: 1.30-1.60x and 1.44-1.82x).
+    for row in result["reservoir"]:
+        assert row["+EXP_speedup"] > 1.0
+        assert row["+JUMP_speedup"] >= row["+EXP_speedup"] * 0.98
+
+    # Panel (b): the estimated bound beats the per-step max reduction, with a
+    # much larger margin under uniform weights than under heavy skew.
+    rejection = {(r["dataset"], r["weights"]): r["+EstMax_speedup"] for r in result["rejection"]}
+    for speedup in rejection.values():
+        assert speedup > 1.0
+    assert rejection[("EU", "uniform")] > rejection[("EU", "alpha=1")]

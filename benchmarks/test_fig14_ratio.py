@@ -1,0 +1,21 @@
+"""Benchmark: Fig. 14 — ratio of the chosen sampling method across weight skews."""
+
+from __future__ import annotations
+
+from bench_helpers import run_once
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.experiments import fig14_ratio as experiment
+
+
+def test_fig14_ratio(benchmark):
+    config = ExperimentConfig(num_queries=64, walk_length=8, datasets=("YT", "EU", "SK"))
+    result = run_once(benchmark, experiment, config)
+    # Rejection sampling is selected less as the distribution becomes more
+    # skewed: the eRJS fraction at alpha=1 is below the fraction at alpha=4
+    # for every dataset.
+    by_dataset: dict[str, dict[float, float]] = {}
+    for row in result["rows"]:
+        by_dataset.setdefault(row["dataset"], {})[row["alpha"]] = row["eRJS_fraction"]
+    for dataset, fractions in by_dataset.items():
+        assert fractions[1.0] <= fractions[4.0], dataset

@@ -1,0 +1,17 @@
+"""Benchmark: Fig. 15 — multi-GPU scalability."""
+
+from __future__ import annotations
+
+from bench_helpers import run_once
+
+from repro.bench.experiments import fig15_multigpu as experiment
+
+
+def test_fig15_multigpu(benchmark, large_graph_config):
+    result = run_once(benchmark, experiment, large_graph_config)
+    for row in result["rows"]:
+        # Speedup grows with the GPU count and reaches a clear multi-GPU gain
+        # at four devices (paper geomean: 3.23x).
+        assert row["hash_x1"] == 1.0
+        assert row["hash_x4"] >= row["hash_x2"] >= 0.95
+        assert row["hash_x4"] > 1.8

@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 16 — energy efficiency comparison."""
+
+from __future__ import annotations
+
+from bench_helpers import run_once
+
+from repro.bench.experiments import fig16_energy as experiment
+
+
+def test_fig16_energy(benchmark, large_graph_config):
+    result = run_once(benchmark, experiment, large_graph_config)
+    for row in result["rows"]:
+        # FlexiWalker is the most energy-efficient system per query even
+        # though the GPU draws more power than the CPU baselines.
+        assert row["FlexiWalker_j_per_query"] < row["KnightKing_j_per_query"]
+        assert row["FlexiWalker_j_per_query"] < row["ThunderRW_j_per_query"]
+        assert row["FlexiWalker_j_per_query"] <= row["FlowWalker_j_per_query"]
+        assert row["FlexiWalker_max_watts"] > row["ThunderRW_max_watts"]

@@ -1,0 +1,17 @@
+"""Benchmark: Section 7.2 — INT8 property-weight extension."""
+
+from __future__ import annotations
+
+from bench_helpers import run_once
+
+from repro.bench.experiments import int8_extension as experiment
+
+
+def test_int8_extension(benchmark, quick_config):
+    result = run_once(benchmark, experiment, quick_config)
+    assert result["summary"]["geomean_int8_speedup_over_flowwalker"] > 1.0
+    for row in result["rows"]:
+        # Narrower weights reduce simulated memory time for both systems, and
+        # FlexiWalker keeps its advantage (paper: 27.59x geomean).
+        assert row["FlexiWalker_int8_ms"] < row["FlexiWalker_fp64_ms"]
+        assert row["speedup_int8"] > 1.0

@@ -1,0 +1,16 @@
+"""Benchmark: Section 5.3 ablation — dynamic query scheduling vs static ranges."""
+
+from __future__ import annotations
+
+from bench_helpers import run_once
+
+from repro.bench.experiments import scheduling_ablation as experiment
+
+
+def test_scheduling_ablation(benchmark, quick_config):
+    result = run_once(benchmark, experiment, quick_config)
+    for row in result["rows"]:
+        # The dynamic queue never loses to static ranges and keeps the lanes
+        # better balanced.
+        assert row["speedup"] >= 0.99
+        assert row["dynamic_imbalance"] <= row["static_imbalance"] * 1.01

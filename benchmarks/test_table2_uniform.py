@@ -1,0 +1,17 @@
+"""Benchmark: Table 2 — all systems, five workloads, uniform property weights."""
+
+from __future__ import annotations
+
+from bench_helpers import run_once
+
+from repro.bench.experiments import table2_uniform as experiment
+
+
+def test_table2_uniform(benchmark, small_config):
+    result = run_once(benchmark, experiment, small_config)
+    summary = result["summary"]
+    # Paper headline: FlexiWalker beats the best CPU baselines by a much
+    # larger factor than the best GPU baselines, and both geomeans exceed 1.
+    assert summary["geomean_speedup_over_best_gpu"] > 1.0
+    assert summary["geomean_speedup_over_best_cpu"] > 5.0
+    assert summary["geomean_speedup_over_best_cpu"] > summary["geomean_speedup_over_best_gpu"]

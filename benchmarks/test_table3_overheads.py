@@ -1,0 +1,17 @@
+"""Benchmark: Table 3 — profiling and preprocessing overhead of FlexiWalker."""
+
+from __future__ import annotations
+
+from bench_helpers import run_once
+
+from repro.bench.experiments import table3_overheads as experiment
+
+
+def test_table3_overheads(benchmark, quick_config):
+    result = run_once(benchmark, experiment, quick_config)
+    for row in result["rows"]:
+        assert row["profile_ms"] > 0
+        assert row["preprocess_ms"] > 0
+        # At the paper's per-node, 80-step setting the overheads amount to a
+        # few percent of the walk time (paper: 0.46%-3.98%).
+        assert row["overhead_pct_extrapolated"] < 10.0

@@ -1,0 +1,18 @@
+"""Repository-level pytest configuration.
+
+Makes the test and benchmark suites runnable even when the package has not
+been installed (e.g. on a machine without network access where
+``pip install -e .`` cannot resolve its isolated build environment): if
+``repro`` is not importable, the ``src/`` layout directory is added to
+``sys.path`` directly.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover - trivial import guard
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover - only hit on uninstalled trees
+    sys.path.insert(0, str(Path(__file__).resolve().parent / "src"))

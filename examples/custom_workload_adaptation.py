@@ -1,0 +1,85 @@
+"""Define a brand-new dynamic walk workload and watch the runtime adapt.
+
+FlexiWalker's extensibility claim is that a user only writes the
+gather-move-update logic (``init`` / ``get_weight`` / ``update``) and the
+framework does the rest: Flexi-Compiler analyses the code and generates the
+bound-estimation helpers, Flexi-Runtime picks eRJS or eRVS per node per step,
+and the optimised kernels execute it.
+
+The custom workload here is a *repulsive* walk: edges leading back to any
+recently visited node are down-weighted by a user hyperparameter, so the walk
+is pushed away from where it has been (useful for coverage-oriented sampling,
+e.g. crawling or landmark selection).  The example
+
+1. shows what Flexi-Compiler inferred about the workload,
+2. runs it under three weight distributions of increasing skew, and
+3. prints how the kernel-selection ratio shifts from rejection sampling
+   toward reservoir sampling as the skew grows — the behaviour behind the
+   paper's Fig. 14.
+"""
+
+from __future__ import annotations
+
+from repro import FlexiWalker, FlexiWalkerConfig, WalkSpec, load_dataset
+from repro.graph.csr import CSRGraph
+from repro.walks.state import WalkerState
+
+
+class RepulsiveWalkSpec(WalkSpec):
+    """Down-weights edges that return to recently visited nodes."""
+
+    name = "repulsive"
+    is_dynamic = True
+    default_walk_length = 40
+
+    def __init__(self, repulsion: float = 4.0, memory: int = 4) -> None:
+        self.repulsion = float(repulsion)
+        self.memory = int(memory)
+        super().__init__()
+
+    # --- user code analysed by Flexi-Compiler ---------------------------
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        h_e = graph.weights[edge]
+        post = graph.indices[edge]
+        if post in state.params.get("recent", ()):
+            return h_e / self.repulsion
+        return h_e
+
+    def update(self, graph: CSRGraph, state: WalkerState, next_node: int) -> None:
+        recent = list(state.params.get("recent", ()))
+        recent.append(state.current_node)
+        state.params["recent"] = tuple(recent[-self.memory:])
+
+
+def run_for(weights: str, alpha: float = 2.0) -> None:
+    graph = load_dataset("EU", weights=weights, alpha=alpha)
+    walker = FlexiWalker(graph, RepulsiveWalkSpec(), FlexiWalkerConfig())
+    info = walker.describe()
+    result = walker.run(walk_length=20, num_queries=300)
+    label = weights if weights != "powerlaw" else f"powerlaw(alpha={alpha:g})"
+    revisit = sum(len(p) - len(set(p)) for p in result.paths) / max(sum(len(p) for p in result.paths), 1)
+    print(f"{label:22s}  time {result.time_ms:8.4f} ms   selection {result.selection_ratio()}   "
+          f"revisit fraction {revisit:.3f}")
+    return info
+
+
+def main() -> None:
+    graph = load_dataset("EU", weights="uniform")
+    walker = FlexiWalker(graph, RepulsiveWalkSpec(), FlexiWalkerConfig())
+    info = walker.describe()
+    print("Flexi-Compiler analysis of the custom workload:")
+    print(f"  supported: {info['compiler_supported']}, bound granularity: {info['granularity']}, "
+          f"warnings: {info['compiler_warnings']}")
+    print(f"  profiled EdgeCost ratio: {info['edge_cost_ratio']:.2f}")
+    print()
+    print("Runtime adaptation across property-weight skew:")
+    run_for("uniform")
+    run_for("powerlaw", alpha=2.0)
+    run_for("powerlaw", alpha=1.0)
+    print()
+    print("As the weights get heavier-tailed, Flexi-Runtime dispatches fewer steps "
+          "to rejection sampling — the same trend as Fig. 14 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""MetaPath walks on a heterogeneous (edge-labelled) graph.
+
+Heterogeneous information networks — bibliographic graphs
+(author → paper → venue), e-commerce graphs (user → item → category) —
+constrain which edge types a walk may follow, via a *schema*.  MetaPath2Vec
+walks such graphs schema-step by schema-step; because the admissible edge set
+changes at every step, the transition weights are inherently dynamic and the
+precomputation tricks of static-walk systems do not apply.
+
+This example builds a synthetic three-layer "user → item → tag" graph with
+typed edges, runs MetaPath walks under the schema (user-buys-item,
+item-has-tag, tag-labels-item, item-bought-by-user) and mines simple
+co-purchase statistics from the resulting paths.  It also shows the dead-end
+behaviour: walks stop early when a node has no edge matching the schema.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro import FlexiWalker, FlexiWalkerConfig, MetaPathSpec
+from repro.graph.builders import from_edge_list
+from repro.walks.state import make_queries
+
+# Edge-type labels of the synthetic heterogeneous graph.
+USER_BUYS_ITEM = 0
+ITEM_HAS_TAG = 1
+TAG_LABELS_ITEM = 2
+ITEM_BOUGHT_BY_USER = 3
+
+NUM_USERS = 150
+NUM_ITEMS = 80
+NUM_TAGS = 12
+
+
+def build_hetero_graph(seed: int = 0):
+    """A user/item/tag graph with typed, weighted edges."""
+    rng = np.random.default_rng(seed)
+    users = np.arange(NUM_USERS)
+    items = NUM_USERS + np.arange(NUM_ITEMS)
+    tags = NUM_USERS + NUM_ITEMS + np.arange(NUM_TAGS)
+
+    edges, weights, labels = [], [], []
+
+    # Users buy a handful of items each; purchase counts become edge weights.
+    for user in users:
+        for item in rng.choice(items, size=rng.integers(2, 8), replace=False):
+            count = float(rng.integers(1, 5))
+            edges.append((int(user), int(item))); weights.append(count); labels.append(USER_BUYS_ITEM)
+            edges.append((int(item), int(user))); weights.append(count); labels.append(ITEM_BOUGHT_BY_USER)
+
+    # Items carry one to three tags.
+    for item in items:
+        for tag in rng.choice(tags, size=rng.integers(1, 4), replace=False):
+            edges.append((int(item), int(tag))); weights.append(1.0); labels.append(ITEM_HAS_TAG)
+            edges.append((int(tag), int(item))); weights.append(1.0); labels.append(TAG_LABELS_ITEM)
+
+    total = NUM_USERS + NUM_ITEMS + NUM_TAGS
+    return from_edge_list(edges, num_nodes=total, weights=weights, labels=labels, name="user-item-tag")
+
+
+def main() -> None:
+    graph = build_hetero_graph()
+    print(f"heterogeneous graph: {graph}")
+
+    # The schema says: follow a purchase, then a tag, then back to an item
+    # carrying that tag, then back to a user who bought it.
+    schema = (USER_BUYS_ITEM, ITEM_HAS_TAG, TAG_LABELS_ITEM, ITEM_BOUGHT_BY_USER)
+    spec = MetaPathSpec(schema=schema)
+
+    walker = FlexiWalker(graph, spec, FlexiWalkerConfig())
+    print("pipeline:", walker.describe())
+
+    # Walks start from every user node.
+    queries = make_queries(graph.num_nodes, walk_length=len(schema), start_nodes=np.arange(NUM_USERS))
+    result = walker.run_queries(queries)
+
+    completed = [p for p in result.paths if len(p) - 1 == len(schema)]
+    print(f"{len(result.paths)} walks launched, {len(completed)} completed the full schema, "
+          f"{result.time_ms:.4f} ms simulated")
+
+    # "Users related through a shared tag" — the last node of a completed
+    # schema walk is another user reachable through tag space.
+    related = Counter((path[0], path[-1]) for path in completed if path[0] != path[-1])
+    print("sample related-user pairs via tags:", related.most_common(5))
+
+    # Dead ends are expected: a user whose items carry no outgoing tag edge of
+    # the right type terminates early, exactly like the CUDA implementation.
+    early = len(result.paths) - len(completed)
+    print(f"{early} walks stopped early at a schema dead end")
+
+
+if __name__ == "__main__":
+    main()

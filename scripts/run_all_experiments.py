@@ -1,0 +1,62 @@
+"""Run every paper experiment once and print a consolidated report.
+
+Usage::
+
+    python scripts/run_all_experiments.py            # quick configuration
+    python scripts/run_all_experiments.py --full     # every dataset (slow)
+
+The output of this script (one paper-style table per experiment) is what
+EXPERIMENTS.md summarises.  Each experiment can also be run individually with
+``python -m repro.bench.experiments.<name>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.config import ExperimentConfig  # noqa: E402
+from repro.bench.experiments import EXPERIMENT_MODULES  # noqa: E402
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="run the full dataset sweep (slow)")
+    parser.add_argument("--queries", type=int, default=96, help="walk queries per dataset")
+    parser.add_argument("--walk-length", type=int, default=10, help="steps per walk")
+    args = parser.parse_args()
+
+    if args.full:
+        config = ExperimentConfig.full(num_queries=args.queries, walk_length=args.walk_length)
+    else:
+        config = ExperimentConfig(
+            num_queries=args.queries,
+            walk_length=args.walk_length,
+            datasets=("YT", "CP", "OK", "EU", "SK"),
+        )
+
+    print(f"# FlexiWalker reproduction — experiment report")
+    print(f"# config: {config}")
+    total_start = time.time()
+    for name in EXPERIMENT_MODULES:
+        module = importlib.import_module(f"repro.bench.experiments.{name}")
+        start = time.time()
+        result = module.run_experiment(config)
+        elapsed = time.time() - start
+        print()
+        print("=" * 100)
+        print(f"## {name}  ({elapsed:.1f}s wall clock)")
+        print(f"## {result.get('paper_reference', '')}")
+        print("=" * 100)
+        print(module.format_result(result))
+    print()
+    print(f"# total wall clock: {time.time() - total_start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment this reproduction targets has an older setuptools without the
+``wheel`` package, so PEP 660 editable installs (which need ``bdist_wheel``)
+fail.  Keeping a ``setup.py`` lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` path, which works offline.  All project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""FlexiWalker reproduction.
+
+A pure-Python reproduction of *FlexiWalker: Extensible GPU Framework for
+Efficient Dynamic Random Walks with Runtime Adaptation* (EUROSYS '26).  The
+GPU hardware is replaced by a cost-accounting execution simulator
+(:mod:`repro.gpusim`); everything else — the optimised eRJS/eRVS kernels, the
+first-order cost model, the compile-time specialisation and the baseline
+systems — is implemented faithfully.
+
+Quick start::
+
+    from repro import FlexiWalker, Node2VecSpec, load_dataset
+
+    graph = load_dataset("YT", weights="uniform")
+    walker = FlexiWalker(graph, Node2VecSpec())
+    result = walker.run(walk_length=20)
+    print(result.time_ms, result.selection_ratio())
+"""
+
+from repro.core.config import FlexiWalkerConfig
+from repro.core.flexiwalker import FlexiWalker
+from repro.core.results import summarize_run
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import load_dataset, dataset_names
+from repro.walks.deepwalk import DeepWalkSpec
+from repro.walks.metapath import MetaPathSpec
+from repro.walks.node2vec import Node2VecSpec, UnweightedNode2VecSpec
+from repro.walks.second_order_pr import SecondOrderPRSpec
+from repro.walks.spec import WalkSpec
+from repro.walks.state import WalkQuery, make_queries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlexiWalker",
+    "FlexiWalkerConfig",
+    "summarize_run",
+    "CSRGraph",
+    "load_dataset",
+    "dataset_names",
+    "WalkSpec",
+    "Node2VecSpec",
+    "UnweightedNode2VecSpec",
+    "MetaPathSpec",
+    "SecondOrderPRSpec",
+    "DeepWalkSpec",
+    "WalkQuery",
+    "make_queries",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Baseline random-walk systems (Section 6.1).
+
+The paper compares FlexiWalker against six published systems — two CPU-based
+(ThunderRW, SOWalker) and four GPU-based (C-SAW, NextDoor, Skywalker,
+FlowWalker) — plus KnightKing in the energy study.  Each baseline here is a
+model of that system: its published sampling strategy running on the shared
+walk engine, its platform's device preset, its framework-specific per-step
+overheads, and its device-memory footprint model (which is what reproduces
+the OOM outcomes on the paper-scale graphs).
+"""
+
+from repro.baselines.base import BaselineSystem
+from repro.baselines.registry import (
+    BASELINES,
+    CPU_BASELINES,
+    GPU_BASELINES,
+    make_baseline,
+    baseline_names,
+)
+
+__all__ = [
+    "BaselineSystem",
+    "BASELINES",
+    "CPU_BASELINES",
+    "GPU_BASELINES",
+    "make_baseline",
+    "baseline_names",
+]

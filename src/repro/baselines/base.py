@@ -1,0 +1,133 @@
+"""The shared baseline-system model.
+
+A baseline system is described by:
+
+* the **sampling strategy** it publishes (a factory that may inspect the
+  workload — e.g. NextDoor only avoids the max reduction when the bound is a
+  compile-time constant, ThunderRW switches between RJS and ITS);
+* the **platform** it runs on (GPU or CPU device preset);
+* its **per-step framework overhead** (e.g. NextDoor's transit-parallel
+  regrouping, the out-of-core systems' block reloads);
+* its **memory-footprint model**, evaluated against the *paper-scale* graph
+  sizes so the OOM outcomes of Table 2 / Fig. 10 are reproduced even though
+  the walks themselves run on the scale-model graphs.
+
+The walks are executed by the same :class:`~repro.runtime.engine.WalkEngine`
+FlexiWalker uses, with a fixed selector — the differences between systems are
+exactly the differences the paper attributes to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.compiler.analyzer import analyze_get_weight
+from repro.compiler.flags import BoundGranularity
+from repro.compiler.generator import CompiledWorkload, compile_workload
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DatasetSpec
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.memory import MemoryModel
+from repro.runtime.engine import StepOverhead, WalkEngine, WalkRunResult
+from repro.runtime.selector import FixedSelector
+from repro.sampling.base import Sampler
+from repro.sampling.erjs import EnhancedRejectionSampler
+from repro.sampling.rejection import RejectionSampler
+from repro.walks.spec import WalkSpec
+from repro.walks.state import WalkQuery
+
+#: A sampler factory receives the workload and returns the kernel the system
+#: would use for it (some systems switch strategies by workload).
+SamplerFactory = Callable[[WalkSpec], Sampler]
+
+
+@dataclass
+class BaselineSystem:
+    """Model of one published random-walk system."""
+
+    name: str
+    platform: str
+    device: DeviceSpec
+    sampler_factory: SamplerFactory
+    description: str = ""
+    memory_model: MemoryModel = field(default_factory=MemoryModel)
+    step_overhead: StepOverhead | None = None
+    scheduling: str = "dynamic"
+    uses_static_bound: bool = False
+
+    # ------------------------------------------------------------------ #
+    def build_engine(self, graph: CSRGraph, spec: WalkSpec, seed: int = 0, weight_bytes: int = 8) -> WalkEngine:
+        """Assemble the walk engine that models this system for one workload."""
+        sampler = self.sampler_factory(spec)
+        compiled: CompiledWorkload | None = None
+        if self.uses_static_bound:
+            # Systems like NextDoor pre-compute the proposal bound only when
+            # it is a compile-time constant (unweighted Node2Vec); otherwise
+            # they fall back to per-step max reductions, which is what the
+            # plain rejection kernel does when no hint is available.
+            analysis = analyze_get_weight(spec)
+            if analysis.supported and analysis.granularity is BoundGranularity.PER_KERNEL:
+                compiled = compile_workload(spec, graph, device=self.device)
+                if isinstance(sampler, RejectionSampler):
+                    # A rejection kernel that knows its constant bound never
+                    # scans the weight list: that behaviour is exactly the
+                    # bound-hint rejection kernel.
+                    sampler = EnhancedRejectionSampler()
+        return WalkEngine(
+            graph=graph,
+            spec=spec,
+            device=self.device,
+            selector=FixedSelector(sampler),
+            compiled=compiled,
+            seed=seed,
+            weight_bytes=weight_bytes,
+            scheduling=self.scheduling,
+            selection_overhead=False,
+            warp_switch_overhead=False,
+            step_overhead=self.step_overhead,
+        )
+
+    def run(
+        self,
+        graph: CSRGraph,
+        spec: WalkSpec,
+        queries: list[WalkQuery],
+        seed: int = 0,
+        weight_bytes: int = 8,
+    ) -> WalkRunResult:
+        """Execute a batch of walk queries under this system's model."""
+        engine = self.build_engine(graph, spec, seed=seed, weight_bytes=weight_bytes)
+        return engine.run(queries)
+
+    # ------------------------------------------------------------------ #
+    def required_memory_bytes(
+        self,
+        dataset: DatasetSpec,
+        num_queries: int | None = None,
+        weight_bytes: int = 4,
+    ) -> int:
+        """Device memory this system would need on the *paper-scale* graph."""
+        queries = dataset.paper_nodes if num_queries is None else num_queries
+        return self.memory_model.required_bytes(
+            dataset.paper_nodes, dataset.paper_edges, queries, weight_bytes
+        )
+
+    def fits_in_memory(
+        self,
+        dataset: DatasetSpec,
+        num_queries: int | None = None,
+        weight_bytes: int = 4,
+    ) -> bool:
+        """Whether the paper-scale run fits on this system's device (OOM model)."""
+        return (
+            self.required_memory_bytes(dataset, num_queries, weight_bytes)
+            <= self.device.memory_bytes
+        )
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.platform == "gpu"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BaselineSystem({self.name!r}, {self.platform})"

@@ -1,0 +1,36 @@
+"""FlowWalker (Mei et al., VLDB 2024): the state-of-the-art GPU dynamic-walk system.
+
+FlowWalker executes every walk step with warp-parallel weighted **reservoir
+sampling** over prefix sums.  It keeps no per-node auxiliary structures, which
+is why it is the strongest prior GPU system for dynamic walks and the
+reference baseline of the paper's ablations.  Its remaining costs — the
+prefix-sum pass and one random number per neighbour — are exactly what eRVS
+removes.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineSystem
+from repro.gpusim.device import A6000
+from repro.gpusim.memory import MemoryModel
+from repro.sampling.reservoir import ReservoirSampler
+from repro.walks.spec import WalkSpec
+
+
+def _sampler(spec: WalkSpec) -> ReservoirSampler:
+    return ReservoirSampler()
+
+
+def make_flowwalker() -> BaselineSystem:
+    """Build the FlowWalker baseline model."""
+    return BaselineSystem(
+        name="FlowWalker",
+        platform="gpu",
+        device=A6000,
+        sampler_factory=_sampler,
+        description="GPU dynamic-walk framework with parallel weighted reservoir sampling",
+        # Graph in CSR plus a per-query walker/result slot; no auxiliary
+        # per-edge structures, so it fits everywhere the graph itself fits.
+        memory_model=MemoryModel(graph_overhead=1.0, per_query_bytes=96),
+        scheduling="dynamic",
+    )

@@ -1,0 +1,41 @@
+"""KnightKing (Yang et al., SOSP 2019): distributed CPU walk engine.
+
+KnightKing distributes walkers across machines with load balancing and uses
+alias sampling for static walks and rejection sampling (with exact bounds)
+for dynamic ones.  In this reproduction it appears in the energy-efficiency
+comparison (Fig. 16), where its low per-node power draw makes it the most
+frugal CPU baseline even though it is far slower than the GPU systems.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineSystem
+from repro.gpusim.device import EPYC_9124P
+from repro.gpusim.memory import MemoryModel
+from repro.sampling.base import Sampler, StepContext
+from repro.sampling.rejection import RejectionSampler
+from repro.walks.spec import WalkSpec
+
+
+def _sampler(spec: WalkSpec) -> Sampler:
+    return RejectionSampler()
+
+
+def _message_overhead(ctx: StepContext, sampler: Sampler) -> None:
+    """Walker-forwarding messages between partitions (modelled per step)."""
+    ctx.counters.random_accesses += 2
+    ctx.counters.atomic_ops += 1
+
+
+def make_knightking() -> BaselineSystem:
+    """Build the KnightKing baseline model."""
+    return BaselineSystem(
+        name="KnightKing",
+        platform="cpu",
+        device=EPYC_9124P,
+        sampler_factory=_sampler,
+        description="Distributed CPU walk engine with rejection sampling for dynamic walks",
+        memory_model=MemoryModel(graph_overhead=1.2, per_query_bytes=192),
+        step_overhead=_message_overhead,
+        scheduling="dynamic",
+    )

@@ -1,0 +1,59 @@
+"""NextDoor (Jangda et al., EuroSys 2021): transit-parallel GPU graph sampling.
+
+NextDoor samples with **rejection sampling** and organises work by *transit
+parallelism*: at every step all walkers sitting on the same node are grouped
+together (by sorting) so their neighbour accesses coalesce.  Two consequences
+matter for the reproduction:
+
+* for workloads whose proposal bound is a compile-time constant (unweighted
+  Node2Vec) it skips the max reduction entirely and is extremely fast —
+  the best baseline in Fig. 3a;
+* for weighted workloads it must compute every transition weight per step to
+  find the bound, and its per-step regrouping sort costs additional memory
+  traffic and atomics — which is why it collapses in Fig. 3b / Fig. 12b and
+  why its sorting buffers push it out of memory on the largest graphs
+  (Fig. 10, SK).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineSystem
+from repro.gpusim.device import A6000
+from repro.gpusim.memory import MemoryModel
+from repro.sampling.base import Sampler, StepContext
+from repro.sampling.rejection import RejectionSampler
+from repro.walks.spec import WalkSpec
+
+
+def _sampler(spec: WalkSpec) -> RejectionSampler:
+    return RejectionSampler()
+
+
+def _transit_grouping_overhead(ctx: StepContext, sampler: Sampler) -> None:
+    """Per-step cost of regrouping walkers by their transit (current) node.
+
+    Between every step NextDoor regroups the active walker records by transit
+    node so the next kernel's accesses coalesce; per walker that is a handful
+    of uncoalesced scatter accesses plus the atomics that maintain the
+    per-transit bucket sizes.
+    """
+    ctx.counters.random_accesses += 4
+    ctx.counters.atomic_ops += 2
+
+
+def make_nextdoor() -> BaselineSystem:
+    """Build the NextDoor baseline model."""
+    return BaselineSystem(
+        name="NextDoor",
+        platform="gpu",
+        device=A6000,
+        sampler_factory=_sampler,
+        description="Transit-parallel GPU rejection sampling (static bound only for unweighted Node2Vec)",
+        # Transit grouping sorts all walker positions every step: the sort
+        # buffers add per-edge and per-query auxiliary memory, which is what
+        # runs out first on the billion-edge graphs.
+        memory_model=MemoryModel(graph_overhead=1.0, per_query_bytes=256, auxiliary_per_edge_bytes=12.0),
+        step_overhead=_transit_grouping_overhead,
+        scheduling="static",
+        uses_static_bound=True,
+    )

@@ -1,0 +1,49 @@
+"""Registry of baseline systems, keyed by the names used in the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.base import BaselineSystem
+from repro.baselines.csaw import make_csaw
+from repro.baselines.flowwalker import make_flowwalker
+from repro.baselines.knightking import make_knightking
+from repro.baselines.nextdoor import make_nextdoor
+from repro.baselines.skywalker import make_skywalker
+from repro.baselines.sowalker import make_sowalker
+from repro.baselines.thunderrw import make_thunderrw
+from repro.errors import BenchmarkError
+
+#: All baseline factories in the order the paper lists them (Section 6.1).
+BASELINES: dict[str, Callable[[], BaselineSystem]] = {
+    "SOWalker": make_sowalker,
+    "ThunderRW": make_thunderrw,
+    "C-SAW": make_csaw,
+    "NextDoor": make_nextdoor,
+    "Skywalker": make_skywalker,
+    "FlowWalker": make_flowwalker,
+    "KnightKing": make_knightking,
+}
+
+#: The CPU and GPU groups used when computing "best CPU/GPU baseline" speedups.
+CPU_BASELINES = ("SOWalker", "ThunderRW")
+GPU_BASELINES = ("C-SAW", "NextDoor", "Skywalker", "FlowWalker")
+
+
+def baseline_names(platform: str | None = None) -> list[str]:
+    """Baseline names, optionally filtered to ``"cpu"`` or ``"gpu"`` systems."""
+    if platform is None:
+        return list(BASELINES.keys())
+    if platform == "cpu":
+        return list(CPU_BASELINES)
+    if platform == "gpu":
+        return list(GPU_BASELINES)
+    raise BenchmarkError(f"unknown platform filter {platform!r}")
+
+
+def make_baseline(name: str) -> BaselineSystem:
+    """Instantiate a baseline system model by its paper name."""
+    factory = BASELINES.get(name)
+    if factory is None:
+        raise BenchmarkError(f"unknown baseline {name!r}; known: {', '.join(BASELINES)}")
+    return factory()

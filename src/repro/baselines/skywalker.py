@@ -1,0 +1,41 @@
+"""Skywalker (Wang et al., PACT 2021): alias-method GPU sampling and walks.
+
+Skywalker accelerates weighted sampling by building **alias tables**.  For
+static walks the tables are built once; for dynamic walks (the paper's
+dynamic-extended configuration) a fresh table must be constructed for every
+step, in shared/global memory, which dominates its runtime and explains its
+position in Fig. 3 and Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineSystem
+from repro.gpusim.device import A6000
+from repro.gpusim.memory import MemoryModel
+from repro.sampling.alias import AliasSampler
+from repro.sampling.base import Sampler, StepContext
+from repro.walks.spec import WalkSpec
+
+
+def _sampler(spec: WalkSpec) -> AliasSampler:
+    return AliasSampler()
+
+
+def _alias_buffer_overhead(ctx: StepContext, sampler: Sampler) -> None:
+    """Spilling the per-step alias table to global memory when it exceeds shared memory."""
+    if ctx.degree > 1024:
+        ctx.counters.coalesced_accesses += ctx.degree
+
+
+def make_skywalker() -> BaselineSystem:
+    """Build the Skywalker baseline model (dynamic-extended alias sampling)."""
+    return BaselineSystem(
+        name="Skywalker",
+        platform="gpu",
+        device=A6000,
+        sampler_factory=_sampler,
+        description="Alias-method GPU sampling; per-step alias-table reconstruction",
+        memory_model=MemoryModel(graph_overhead=1.0, per_query_bytes=160, auxiliary_per_edge_bytes=10.0),
+        step_overhead=_alias_buffer_overhead,
+        scheduling="dynamic",
+    )

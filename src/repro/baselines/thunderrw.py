@@ -1,0 +1,43 @@
+"""ThunderRW (Sun et al., VLDB 2021): the state-of-the-art in-memory CPU engine.
+
+ThunderRW interleaves many walkers per CPU core to hide memory latency and
+supports several sampling strategies; for dynamic walks the paper's
+configuration uses rejection sampling when the proposal bound is static
+(unweighted Node2Vec) and inverse-transform sampling otherwise.  It runs on
+the host CPU preset, which is what produces the order-of-magnitude gap to the
+GPU systems in Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineSystem
+from repro.compiler.analyzer import analyze_get_weight
+from repro.compiler.flags import BoundGranularity
+from repro.gpusim.device import EPYC_9124P
+from repro.gpusim.memory import MemoryModel
+from repro.sampling.base import Sampler
+from repro.sampling.its import InverseTransformSampler
+from repro.sampling.rejection import RejectionSampler
+from repro.walks.spec import WalkSpec
+
+
+def _sampler(spec: WalkSpec) -> Sampler:
+    """RJS when the bound is a compile-time constant, ITS otherwise (paper setup)."""
+    analysis = analyze_get_weight(spec)
+    if analysis.supported and analysis.granularity is BoundGranularity.PER_KERNEL:
+        return RejectionSampler()
+    return InverseTransformSampler()
+
+
+def make_thunderrw() -> BaselineSystem:
+    """Build the ThunderRW baseline model."""
+    return BaselineSystem(
+        name="ThunderRW",
+        platform="cpu",
+        device=EPYC_9124P,
+        sampler_factory=_sampler,
+        description="In-memory CPU walk engine (RJS for static bounds, ITS for dynamic walks)",
+        memory_model=MemoryModel(graph_overhead=1.0, per_query_bytes=128),
+        scheduling="dynamic",
+        uses_static_bound=True,
+    )

@@ -1,0 +1,32 @@
+"""Benchmark harness.
+
+One experiment module per table/figure of the paper's evaluation section
+lives in :mod:`repro.bench.experiments`; the shared machinery — scaled device
+presets, system runners, result tables — lives here.  The ``benchmarks/``
+directory at the repository root wraps each experiment in a pytest-benchmark
+target, and every experiment module is also directly runnable
+(``python -m repro.bench.experiments.table2_uniform``).
+"""
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.runner import (
+    SystemRun,
+    scaled_device_for,
+    prepare_graph,
+    prepare_queries,
+    run_baseline,
+    run_flexiwalker,
+)
+from repro.bench.tables import format_table, format_mapping
+
+__all__ = [
+    "ExperimentConfig",
+    "SystemRun",
+    "scaled_device_for",
+    "prepare_graph",
+    "prepare_queries",
+    "run_baseline",
+    "run_flexiwalker",
+    "format_table",
+    "format_mapping",
+]

@@ -1,0 +1,73 @@
+"""Experiment configuration shared by every benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BenchmarkError
+from repro.graph.datasets import dataset_names
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs that scale an experiment between "quick" and "full" runs.
+
+    The paper launches one 80-step query per node of billion-edge graphs;
+    the reproduction keeps the same *structure* but scales query counts and
+    walk lengths so each experiment completes in seconds on a laptop.  All
+    scale factors live here so every experiment is consistent.
+
+    Attributes
+    ----------
+    num_queries:
+        Walk queries per dataset (subsampled start nodes).
+    walk_length:
+        Steps per walk for the long workloads (MetaPath always uses its
+        schema depth).
+    datasets:
+        Dataset tags included in the experiment.
+    waves:
+        How many queries each simulated processing lane should receive on the
+        GPU — the device presets are scaled down to
+        ``num_queries / waves`` lanes so the scale-model runs are as
+        oversubscribed as the paper-scale runs.
+    oot_limit_ms:
+        Simulated-time limit after which a run is reported as OOT
+        (``None`` disables the limit).
+    seed:
+        Base seed for graphs, queries and kernels.
+    """
+
+    num_queries: int = 96
+    walk_length: int = 10
+    datasets: tuple[str, ...] = ("YT", "CP", "OK", "EU")
+    waves: int = 12
+    oot_limit_ms: float | None = None
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 1:
+            raise BenchmarkError("num_queries must be at least 1")
+        if self.walk_length < 1:
+            raise BenchmarkError("walk_length must be at least 1")
+        if self.waves < 1:
+            raise BenchmarkError("waves must be at least 1")
+        unknown = [d for d in self.datasets if d.upper() not in dataset_names()]
+        if unknown:
+            raise BenchmarkError(f"unknown datasets in config: {unknown}")
+
+    @classmethod
+    def quick(cls, **overrides) -> "ExperimentConfig":
+        """The default configuration used by the pytest benchmarks."""
+        return cls(**overrides)
+
+    @classmethod
+    def full(cls, **overrides) -> "ExperimentConfig":
+        """A larger configuration covering every dataset (slower)."""
+        defaults = dict(
+            num_queries=256,
+            walk_length=20,
+            datasets=tuple(dataset_names()),
+        )
+        defaults.update(overrides)
+        return cls(**defaults)

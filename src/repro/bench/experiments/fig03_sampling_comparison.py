@@ -1,0 +1,85 @@
+"""Fig. 3 — design-space study: which base sampling method suits dynamic walks.
+
+Runs (un)weighted Node2Vec with the four base sampling methods as embodied by
+their host systems — ITS (C-SAW), ALS (Skywalker), RVS (FlowWalker) and RJS
+(NextDoor) — on the YT/CP/OK/EU scale models and reports execution times
+normalised to ITS, exactly as the figure plots them.
+
+Expected shape (paper): ITS and ALS pay for per-step auxiliary-structure
+construction and lose everywhere; RJS wins the unweighted case (its proposal
+bound is a compile-time constant there); RVS wins the weighted case where RJS
+must max-reduce every step.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.runner import prepare_graph, prepare_queries, run_baseline
+from repro.bench.tables import format_table
+from repro.stats.summary import normalize_to
+
+#: sampling-method tag -> the baseline system that embodies it.
+METHOD_SYSTEMS = {
+    "ITS (C-SAW)": "C-SAW",
+    "ALS (Skywalker)": "Skywalker",
+    "RVS (FlowWalker)": "FlowWalker",
+    "RJS (NextDoor)": "NextDoor",
+}
+
+WORKLOAD_VARIANTS = {
+    "unweighted": "node2vec_unweighted",
+    "weighted": "node2vec",
+}
+
+
+def run_experiment(config: ExperimentConfig | None = None) -> dict:
+    """Execute the Fig. 3 comparison and return normalised execution times."""
+    config = config or ExperimentConfig.quick()
+    results: dict[str, dict[str, dict[str, float]]] = {}
+    raw: dict[str, dict[str, dict[str, float]]] = {}
+
+    for variant, workload in WORKLOAD_VARIANTS.items():
+        results[variant] = {}
+        raw[variant] = {}
+        for dataset in config.datasets:
+            graph = prepare_graph(dataset, workload)
+            queries = prepare_queries(graph, workload, config)
+            times: dict[str, float] = {}
+            for method, system in METHOD_SYSTEMS.items():
+                run = run_baseline(
+                    system, dataset, workload, config,
+                    graph=graph, queries=queries, check_memory=False,
+                )
+                times[method] = run.time_ms if run.ok else float("nan")
+            raw[variant][dataset] = times
+            results[variant][dataset] = normalize_to(times, "ITS (C-SAW)")
+
+    return {
+        "normalized": results,
+        "raw_ms": raw,
+        "config": config,
+        "paper_reference": "Figure 3: execution time normalised to ITS (C-SAW)",
+    }
+
+
+def format_result(result: dict) -> str:
+    """Render both panels (unweighted / weighted) as normalised tables."""
+    blocks = []
+    for variant, per_dataset in result["normalized"].items():
+        headers = ["dataset"] + list(METHOD_SYSTEMS.keys())
+        rows = [
+            [dataset] + [per_dataset[dataset][m] for m in METHOD_SYSTEMS]
+            for dataset in per_dataset
+        ]
+        blocks.append(
+            format_table(headers, rows, title=f"Fig. 3 ({variant} Node2Vec), normalised to ITS")
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_result(run_experiment()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

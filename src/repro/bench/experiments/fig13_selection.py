@@ -1,0 +1,85 @@
+"""Fig. 13 — sensitivity to the sampling-strategy selection policy.
+
+Weighted Node2Vec with uniform weights on every configured dataset, comparing
+three ways of choosing between eRJS and eRVS per step: uniformly at random,
+by a degree threshold, and by FlexiWalker's cost model.  Speedups are
+reported relative to the degree-based policy, as in the figure.
+
+Expected shape (paper): the cost model wins everywhere — geomean 15.9x over
+random and 2.66x over degree-based selection.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.runner import prepare_graph, prepare_queries, run_flexiwalker
+from repro.bench.tables import format_table
+from repro.stats.summary import geometric_mean
+
+WORKLOAD = "node2vec"
+POLICIES = ("random", "degree", "cost_model")
+
+
+def run_experiment(config: ExperimentConfig | None = None) -> dict:
+    """Execute the selection-strategy sensitivity study."""
+    config = config or ExperimentConfig.quick()
+    rows: list[dict] = []
+    speedup_vs_random: list[float] = []
+    speedup_vs_degree: list[float] = []
+
+    for dataset in config.datasets:
+        graph = prepare_graph(dataset, WORKLOAD, weights="uniform")
+        queries = prepare_queries(graph, WORKLOAD, config)
+        times: dict[str, float] = {}
+        for policy in POLICIES:
+            run = run_flexiwalker(
+                dataset, WORKLOAD, config, graph=graph, queries=queries,
+                selection=policy, check_memory=False,
+            )
+            times[policy] = run.time_ms
+        rows.append(
+            {
+                "dataset": dataset,
+                "random_ms": times["random"],
+                "degree_ms": times["degree"],
+                "cost_model_ms": times["cost_model"],
+                "speedup_vs_random": times["random"] / times["cost_model"],
+                "speedup_vs_degree": times["degree"] / times["cost_model"],
+            }
+        )
+        speedup_vs_random.append(times["random"] / times["cost_model"])
+        speedup_vs_degree.append(times["degree"] / times["cost_model"])
+
+    summary = {
+        "geomean_speedup_vs_random": geometric_mean(speedup_vs_random),
+        "geomean_speedup_vs_degree": geometric_mean(speedup_vs_degree),
+    }
+    return {
+        "rows": rows,
+        "summary": summary,
+        "config": config,
+        "paper_reference": "Figure 13: selection strategies; paper geomeans 15.86x (random), 2.66x (degree-based)",
+    }
+
+
+def format_result(result: dict) -> str:
+    headers = ["dataset", "random_ms", "degree_ms", "cost_model_ms", "speedup_vs_random", "speedup_vs_degree"]
+    table = format_table(headers, [[row[h] for h in headers] for row in result["rows"]],
+                         title="Fig. 13 — sampling-selection strategy sensitivity")
+    summary = result["summary"]
+    return "\n".join(
+        [
+            table,
+            "",
+            f"Geomean speedup over random selection:       {summary['geomean_speedup_vs_random']:.2f}x",
+            f"Geomean speedup over degree-based selection: {summary['geomean_speedup_vs_degree']:.2f}x",
+        ]
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_result(run_experiment()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,68 @@
+"""Fig. 14 — which kernel the runtime actually selects, as weight skew varies.
+
+Weighted Node2Vec on YT / EU / SK with Pareto property weights of shape
+``alpha`` from 1 to 4; for each setting the experiment reports the fraction of
+sampling steps Flexi-Runtime dispatched to eRJS vs. eRVS.
+
+Expected shape (paper): rejection sampling is selected progressively less as
+the distribution becomes more skewed (smaller ``alpha``), because a heavy
+tail inflates ``max(w̃)`` relative to ``Σ w̃`` in Eq. 11.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.runner import prepare_graph, prepare_queries, run_flexiwalker
+from repro.bench.tables import format_table
+
+ALPHAS = (1.0, 1.5, 2.0, 2.5, 3.0, 4.0)
+DATASETS = ("YT", "EU", "SK")
+WORKLOAD = "node2vec"
+
+
+def run_experiment(config: ExperimentConfig | None = None) -> dict:
+    """Measure the eRJS/eRVS selection ratio across the skew sweep."""
+    config = config or ExperimentConfig.quick()
+    datasets = [d for d in DATASETS if d in config.datasets] or list(DATASETS[:2])
+    rows: list[dict] = []
+
+    for dataset in datasets:
+        for alpha in ALPHAS:
+            graph = prepare_graph(dataset, WORKLOAD, weights="powerlaw", alpha=alpha)
+            queries = prepare_queries(graph, WORKLOAD, config)
+            run = run_flexiwalker(
+                dataset, WORKLOAD, config, graph=graph, queries=queries,
+                weights="powerlaw", alpha=alpha, check_memory=False,
+            )
+            ratio = run.result.selection_ratio() if run.result else {}
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "alpha": alpha,
+                    "eRJS_fraction": ratio.get("eRJS", 0.0),
+                    "eRVS_fraction": ratio.get("eRVS", 0.0),
+                }
+            )
+
+    return {
+        "rows": rows,
+        "config": config,
+        "paper_reference": "Figure 14: ratio of chosen sampling method across power-law skews",
+    }
+
+
+def format_result(result: dict) -> str:
+    headers = ["dataset", "alpha", "eRJS_fraction", "eRVS_fraction"]
+    return format_table(
+        headers,
+        [[row[h] for h in headers] for row in result["rows"]],
+        title="Fig. 14 — kernel selection ratio (fraction of steps)",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_result(run_experiment()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,74 @@
+"""Fig. 15 — multi-GPU scalability.
+
+The paper replicates the graph on 1–4 A6000s and partitions the walk queries
+across them with hash-based start-node mapping (range-based mapping scaled
+worse).  This experiment reuses the per-query simulated times from a single
+FlexiWalker run and replays them through the multi-GPU executor for both
+partitioning policies, reporting the speedup over the single-GPU makespan.
+
+Expected shape (paper): near-linear scaling (geomean 3.23x on 4 GPUs), with
+hash mapping ahead of range mapping and the gap to ideal explained by load
+imbalance (worst on AB).
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.runner import prepare_graph, prepare_queries, run_flexiwalker, scaled_device_for
+from repro.bench.tables import format_table
+from repro.gpusim.multigpu import MultiGPUExecutor
+
+WORKLOAD = "node2vec"
+DATASETS = ("FS", "EU", "AB", "TW", "SK")
+GPU_COUNTS = (1, 2, 3, 4)
+
+
+def run_experiment(config: ExperimentConfig | None = None) -> dict:
+    """Measure simulated multi-GPU speedups for hash and range query mapping."""
+    config = config or ExperimentConfig.quick()
+    datasets = [d for d in DATASETS if d in config.datasets] or list(DATASETS[:2])
+    rows: list[dict] = []
+
+    for dataset in datasets:
+        graph = prepare_graph(dataset, WORKLOAD, weights="uniform")
+        queries = prepare_queries(graph, WORKLOAD, config)
+        run = run_flexiwalker(dataset, WORKLOAD, config, graph=graph, queries=queries, check_memory=False)
+        per_query_ns = run.result.per_query_ns
+        start_nodes = run.result.start_nodes
+        device = scaled_device_for("gpu", len(queries), config.waves)
+
+        single = MultiGPUExecutor(device, 1).execute(per_query_ns, start_nodes, policy="hash")
+        row: dict[str, object] = {"dataset": dataset}
+        for gpus in GPU_COUNTS:
+            hash_result = MultiGPUExecutor(device, gpus).execute(per_query_ns, start_nodes, policy="hash")
+            range_result = MultiGPUExecutor(device, gpus).execute(per_query_ns, start_nodes, policy="range")
+            row[f"hash_x{gpus}"] = hash_result.speedup_over(single.time_ns)
+            row[f"range_x{gpus}"] = range_result.speedup_over(single.time_ns)
+        row["imbalance_x4"] = MultiGPUExecutor(device, 4).execute(
+            per_query_ns, start_nodes, policy="hash"
+        ).load_imbalance
+        rows.append(row)
+
+    return {
+        "rows": rows,
+        "config": config,
+        "paper_reference": "Figure 15: multi-GPU scalability (paper geomean 3.23x at 4 GPUs, hash mapping)",
+    }
+
+
+def format_result(result: dict) -> str:
+    headers = ["dataset"] + [f"hash_x{g}" for g in GPU_COUNTS] + [f"range_x{g}" for g in GPU_COUNTS] + ["imbalance_x4"]
+    return format_table(
+        headers,
+        [[row[h] for h in headers] for row in result["rows"]],
+        title="Fig. 15 — multi-GPU speedup over a single GPU",
+        float_format="{:.2f}",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_result(run_experiment()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

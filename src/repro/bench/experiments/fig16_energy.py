@@ -1,0 +1,81 @@
+"""Fig. 16 — energy efficiency.
+
+Weighted Node2Vec on the configured large datasets, comparing KnightKing and
+ThunderRW (CPU), FlowWalker (GPU) and FlexiWalker.  For each system the
+experiment reports joules per query and the maximum power draw, derived from
+the simulated execution time and the device power envelopes.
+
+Expected shape (paper): the GPU systems draw more watts but finish so much
+sooner that FlexiWalker is the most energy-efficient overall (up to 10.15x
+fewer joules/query than KnightKing) while drawing 1.18x less peak power than
+FlowWalker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.baselines.registry import make_baseline
+from repro.bench.config import ExperimentConfig
+from repro.bench.runner import prepare_graph, prepare_queries, run_flexiwalker, scaled_device_for
+from repro.bench.tables import format_table
+from repro.gpusim.energy import EnergyModel
+from repro.walks.registry import make_workload
+
+WORKLOAD = "node2vec"
+DATASETS = ("FS", "AB", "UK", "TW", "SK")
+SYSTEMS = ("KnightKing", "ThunderRW", "FlowWalker")
+
+
+def run_experiment(config: ExperimentConfig | None = None) -> dict:
+    """Measure joules/query and max watts for the energy comparison."""
+    config = config or ExperimentConfig.quick()
+    datasets = [d for d in DATASETS if d in config.datasets] or list(config.datasets[:2])
+    rows: list[dict] = []
+
+    for dataset in datasets:
+        graph = prepare_graph(dataset, WORKLOAD, weights="uniform")
+        queries = prepare_queries(graph, WORKLOAD, config)
+        row: dict[str, object] = {"dataset": dataset}
+
+        for name in SYSTEMS:
+            system = make_baseline(name)
+            device = scaled_device_for(system.platform, len(queries), config.waves)
+            system = dataclasses.replace(system, device=device)
+            result = system.run(graph, make_workload(WORKLOAD), queries, seed=config.seed)
+            report = EnergyModel(device).report(result.kernel)
+            row[f"{name}_j_per_query"] = report.joules_per_query
+            row[f"{name}_max_watts"] = report.max_watts
+
+        flexi = run_flexiwalker(dataset, WORKLOAD, config, graph=graph, queries=queries, check_memory=False)
+        device = scaled_device_for("gpu", len(queries), config.waves)
+        report = EnergyModel(device).report(flexi.result.kernel)
+        row["FlexiWalker_j_per_query"] = report.joules_per_query
+        row["FlexiWalker_max_watts"] = report.max_watts
+        rows.append(row)
+
+    return {
+        "rows": rows,
+        "config": config,
+        "paper_reference": "Figure 16: energy efficiency (joules/query and max watts)",
+    }
+
+
+def format_result(result: dict) -> str:
+    headers = ["dataset"]
+    for name in (*SYSTEMS, "FlexiWalker"):
+        headers += [f"{name}_j_per_query", f"{name}_max_watts"]
+    return format_table(
+        headers,
+        [[row[h] for h in headers] for row in result["rows"]],
+        title="Fig. 16 — energy efficiency (simulated)",
+        float_format="{:.3e}",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_result(run_experiment()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,98 @@
+"""Table 2 — execution time of every system with uniform property weights.
+
+Runs the five evaluated workloads — (un)weighted Node2Vec, (un)weighted
+MetaPath and 2nd-order PageRank — across the configured dataset scale models
+for all six baselines plus FlexiWalker, with property weights drawn uniformly
+from ``[1, 5)``.  Reports per-cell execution times (or OOM) and the
+geometric-mean speedup of FlexiWalker over the best CPU and best GPU baseline
+per cell — the paper's headline 73.44x / 5.91x numbers.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.registry import CPU_BASELINES, GPU_BASELINES
+from repro.bench.config import ExperimentConfig
+from repro.bench.runner import prepare_graph, prepare_queries, run_baseline, run_flexiwalker
+from repro.bench.tables import format_table
+from repro.stats.summary import geometric_mean
+
+WORKLOADS = (
+    "node2vec_unweighted",
+    "node2vec",
+    "metapath_unweighted",
+    "metapath",
+    "2nd_pr",
+)
+
+SYSTEMS = ("SOWalker", "ThunderRW", "C-SAW", "NextDoor", "Skywalker", "FlowWalker")
+
+
+def run_experiment(config: ExperimentConfig | None = None) -> dict:
+    """Execute the Table 2 sweep and compute the headline speedups."""
+    config = config or ExperimentConfig.quick()
+    cells: list[dict] = []
+    cpu_speedups: list[float] = []
+    gpu_speedups: list[float] = []
+
+    for workload in WORKLOADS:
+        for dataset in config.datasets:
+            graph = prepare_graph(dataset, workload, weights="uniform")
+            queries = prepare_queries(graph, workload, config)
+            row: dict[str, object] = {"workload": workload, "dataset": dataset}
+
+            baseline_runs = {}
+            for system in SYSTEMS:
+                run = run_baseline(
+                    system, dataset, workload, config, graph=graph, queries=queries
+                )
+                baseline_runs[system] = run
+                row[system] = run.cell()
+
+            flexi = run_flexiwalker(dataset, workload, config, graph=graph, queries=queries)
+            row["FlexiWalker"] = flexi.cell()
+            cells.append(row)
+
+            if flexi.ok:
+                cpu_times = [baseline_runs[s].time_ms for s in CPU_BASELINES if baseline_runs[s].ok]
+                gpu_times = [baseline_runs[s].time_ms for s in GPU_BASELINES if s in baseline_runs and baseline_runs[s].ok]
+                if cpu_times:
+                    cpu_speedups.append(min(cpu_times) / flexi.time_ms)
+                if gpu_times:
+                    gpu_speedups.append(min(gpu_times) / flexi.time_ms)
+
+    summary = {
+        "geomean_speedup_over_best_cpu": geometric_mean(cpu_speedups) if cpu_speedups else float("nan"),
+        "geomean_speedup_over_best_gpu": geometric_mean(gpu_speedups) if gpu_speedups else float("nan"),
+        "max_speedup_over_best_cpu": max(cpu_speedups) if cpu_speedups else float("nan"),
+        "max_speedup_over_best_gpu": max(gpu_speedups) if gpu_speedups else float("nan"),
+    }
+    return {
+        "cells": cells,
+        "summary": summary,
+        "config": config,
+        "paper_reference": "Table 2: uniform property weights; paper geomeans 73.44x (CPU) / 5.91x (GPU)",
+    }
+
+
+def format_result(result: dict) -> str:
+    headers = ["workload", "dataset", *SYSTEMS, "FlexiWalker"]
+    rows = [[cell[h] for h in headers] for cell in result["cells"]]
+    table = format_table(headers, rows, title="Table 2 — execution time (ms, simulated), uniform weights")
+    summary = result["summary"]
+    lines = [
+        table,
+        "",
+        f"Geomean speedup over best CPU baseline: {summary['geomean_speedup_over_best_cpu']:.2f}x",
+        f"Geomean speedup over best GPU baseline: {summary['geomean_speedup_over_best_gpu']:.2f}x",
+        f"Max speedup over best CPU baseline:     {summary['max_speedup_over_best_cpu']:.2f}x",
+        f"Max speedup over best GPU baseline:     {summary['max_speedup_over_best_gpu']:.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_result(run_experiment()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment prints its result in the same row/column structure as the
+corresponding paper table or figure, so a run of the benchmark suite can be
+compared against the paper side by side (EXPERIMENTS.md records one such
+comparison).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    str_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_mapping(values: Mapping[str, object], title: str | None = None) -> str:
+    """Render a flat name → value mapping as a two-column table."""
+    rows = [[key, value] for key, value in values.items()]
+    return format_table(["metric", "value"], rows, title=title)

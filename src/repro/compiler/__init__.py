@@ -1,0 +1,38 @@
+"""Flexi-Compiler: compile-time analysis and specialisation of walk logic.
+
+The CUDA FlexiWalker analyses the user's ``get_weight`` implementation with
+Clang/LLVM to discover which expressions determine the transition weight,
+allocates a bound-estimation granularity flag (PER_KERNEL / PER_STEP), and
+generates ``preprocess`` / ``get_weight_max`` / ``get_weight_sum`` helper code
+(Section 4.2).  This package performs the same pipeline on Python walk
+specifications using the :mod:`ast` module:
+
+* :mod:`repro.compiler.analyzer` — dependency checker + flag allocator over
+  the ``get_weight`` syntax tree;
+* :mod:`repro.compiler.preprocess` — per-node MAX/SUM aggregation of the
+  indexed edge arrays (the generated ``preprocess()`` of Fig. 9d);
+* :mod:`repro.compiler.generator` — builds the runtime helper callables and
+  bundles everything into a :class:`CompiledWorkload`.
+
+When the analyser meets constructs it cannot reason about (loops with
+data-dependent exits, recursion, warp intrinsics, nested functions) it does
+not fail: it flags the workload for the eRVS-only fallback, mirroring
+Section 7.1.
+"""
+
+from repro.compiler.flags import BoundGranularity
+from repro.compiler.analyzer import AnalysisResult, EdgeIndexedVariable, analyze_get_weight
+from repro.compiler.preprocess import PreprocessResult, preprocess_graph
+from repro.compiler.generator import CompiledWorkload, GeneratedHelpers, compile_workload
+
+__all__ = [
+    "BoundGranularity",
+    "AnalysisResult",
+    "EdgeIndexedVariable",
+    "analyze_get_weight",
+    "PreprocessResult",
+    "preprocess_graph",
+    "CompiledWorkload",
+    "GeneratedHelpers",
+    "compile_workload",
+]

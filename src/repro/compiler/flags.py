@@ -1,0 +1,28 @@
+"""Bound-estimation granularity flags allocated by the code analyser.
+
+The flag records how often the maximum-weight upper bound used by eRJS must
+be re-estimated at runtime (Section 4.2):
+
+* ``PER_KERNEL`` — the bound is a constant for the whole kernel launch, e.g.
+  unweighted Node2Vec where every return value is built from hyperparameters
+  only (``max(1, 1/a, 1/b)``).
+* ``PER_STEP`` — the bound depends on per-node indexed data (the property
+  weights), so it must be re-estimated before every sampling step from the
+  preprocessed per-node aggregates.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BoundGranularity(enum.Enum):
+    """How often the eRJS weight upper bound must be re-estimated."""
+
+    PER_KERNEL = "per_kernel"
+    PER_STEP = "per_step"
+
+    @property
+    def is_constant(self) -> bool:
+        """True when the bound can be computed once per kernel launch."""
+        return self is BoundGranularity.PER_KERNEL

@@ -1,0 +1,247 @@
+"""Code generator: builds the runtime helper functions from the analysis table.
+
+Mirrors Fig. 9d of the paper.  Given the analysis result for a workload's
+``get_weight``:
+
+* ``preprocess``       — per-node MAX/SUM aggregates of every edge-indexed
+  array the return values depend on (delegated to
+  :mod:`repro.compiler.preprocess`);
+* ``get_weight_max``   — estimates an upper bound on the maximum transition
+  weight of the current node by replaying the kept assignment statements with
+  edge-indexed variables bound to their per-node MAX aggregate and taking the
+  max over every return expression;
+* ``get_weight_sum``   — estimates the transition-weight sum by binding
+  edge-indexed variables to their per-node SUM aggregate, averaging the
+  return expressions (and multiplying by the degree in the PER_KERNEL case
+  where no per-edge data is involved), following Eq. (12).
+
+The helpers are ordinary Python callables built from compiled AST fragments
+of the user's own code, which is the Python analogue of the C++ snippets the
+CUDA implementation splices into its kernels.
+"""
+
+from __future__ import annotations
+
+import ast
+import warnings
+from dataclasses import dataclass, field
+from types import CodeType
+
+from repro.errors import CompilerWarning
+from repro.compiler.analyzer import AnalysisResult, analyze_get_weight
+from repro.compiler.flags import BoundGranularity
+from repro.compiler.preprocess import PreprocessResult, preprocess_graph
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import DeviceSpec
+from repro.walks.spec import WalkSpec
+from repro.walks.state import WalkerState
+
+
+def _compile_expr(expr: ast.expr) -> CodeType:
+    """Compile one expression AST node into an evaluable code object."""
+    wrapper = ast.Expression(body=expr)
+    ast.fix_missing_locations(wrapper)
+    return compile(wrapper, filename="<flexi-compiler>", mode="eval")
+
+
+@dataclass
+class GeneratedHelpers:
+    """The compiled helper machinery for one workload.
+
+    The raw compiled fragments are kept private; users interact through
+    :meth:`estimate_max` and :meth:`estimate_sum`, which correspond to the
+    generated ``get_weight_max()`` / ``get_weight_sum()`` functions.
+    """
+
+    spec: WalkSpec
+    analysis: AnalysisResult
+    _assignment_code: list[tuple[str, CodeType]] = field(default_factory=list)
+    _return_code: list[CodeType] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._assignment_code = [
+            (name, _compile_expr(expr)) for name, expr in self.analysis.assignments
+        ]
+        self._return_code = [_compile_expr(expr) for expr in self.analysis.return_expressions]
+        self._globals = getattr(self.spec.get_weight, "__globals__", {})
+        args = self.analysis.argument_names
+        self._self_arg = args[0] if len(args) > 0 else "self"
+        self._graph_arg = args[1] if len(args) > 1 else "graph"
+        self._state_arg = args[2] if len(args) > 2 else "state"
+        self._edge_arg = args[3] if len(args) > 3 else "edge"
+
+    # ------------------------------------------------------------------ #
+    def _evaluate_returns(
+        self,
+        graph: CSRGraph,
+        state: WalkerState,
+        substitutions: dict[str, float],
+    ) -> list[float]:
+        """Replay assignments and evaluate every reachable return expression.
+
+        Assignments whose evaluation fails (e.g. they need the previous node
+        before the first step) simply leave their variable unbound; any
+        return expression that then fails to evaluate is skipped — exactly
+        the graceful behaviour needed so the surviving branches still yield a
+        valid estimate.
+        """
+        env: dict[str, object] = {
+            self._self_arg: self.spec,
+            self._graph_arg: graph,
+            self._state_arg: state,
+            self._edge_arg: None,
+        }
+        for name, code in self._assignment_code:
+            if name in substitutions:
+                env[name] = substitutions[name]
+                continue
+            try:
+                env[name] = eval(code, self._globals, env)  # noqa: S307 - user walk code
+            except Exception:
+                env.pop(name, None)
+        values: list[float] = []
+        for code in self._return_code:
+            try:
+                values.append(float(eval(code, self._globals, env)))  # noqa: S307
+            except Exception:
+                continue
+        return values
+
+    def _substitutions(self, pre: PreprocessResult | None, node: int, kind: str) -> dict[str, float]:
+        """Bind edge-indexed variables to the node's preprocessed aggregate."""
+        if pre is None:
+            return {}
+        mapping: dict[str, float] = {}
+        for var in self.analysis.edge_indexed:
+            if pre.has_array(var.source_array):
+                if kind == "max":
+                    mapping[var.name] = pre.node_max(var.source_array, node)
+                else:
+                    mapping[var.name] = pre.node_sum(var.source_array, node)
+        return mapping
+
+    # ------------------------------------------------------------------ #
+    def estimate_max(
+        self,
+        graph: CSRGraph,
+        state: WalkerState,
+        pre: PreprocessResult | None,
+    ) -> float | None:
+        """``get_weight_max()``: upper bound on the node's max transition weight."""
+        subs = self._substitutions(pre, state.current_node, kind="max")
+        values = self._evaluate_returns(graph, state, subs)
+        if not values:
+            return None
+        return max(values)
+
+    def estimate_sum(
+        self,
+        graph: CSRGraph,
+        state: WalkerState,
+        pre: PreprocessResult | None,
+    ) -> float | None:
+        """``get_weight_sum()``: estimate of the node's transition-weight sum."""
+        subs = self._substitutions(pre, state.current_node, kind="sum")
+        values = self._evaluate_returns(graph, state, subs)
+        if not values:
+            return None
+        estimate = sum(values) / len(values)
+        if self.analysis.granularity is BoundGranularity.PER_KERNEL:
+            # No per-edge data was involved, so the averaged branch value is a
+            # per-edge weight; emulate the sum by multiplying by the degree.
+            estimate *= graph.degree(state.current_node)
+        return estimate
+
+
+@dataclass
+class CompiledWorkload:
+    """A workload bundled with its compiled helpers and preprocessed data.
+
+    This is the artefact Flexi-Runtime consumes: it exposes per-step
+    ``bound_hint`` / ``sum_hint`` estimates and remembers whether the compiler
+    had to fall back to eRVS-only mode.
+    """
+
+    spec: WalkSpec
+    analysis: AnalysisResult
+    helpers: GeneratedHelpers | None
+    preprocessed: PreprocessResult | None
+    _static_bound: float | None = None
+    _static_bound_known: bool = False
+
+    @property
+    def supported(self) -> bool:
+        """False when the analyser flagged unsupported constructs (Section 7.1)."""
+        return self.analysis.supported and self.helpers is not None
+
+    @property
+    def granularity(self) -> BoundGranularity:
+        return self.analysis.granularity
+
+    @property
+    def preprocessing_time_ns(self) -> float:
+        return self.preprocessed.simulated_time_ns if self.preprocessed else 0.0
+
+    # ------------------------------------------------------------------ #
+    def bound_hint(self, graph: CSRGraph, state: WalkerState) -> float | None:
+        """Estimated max-weight upper bound for the walker's current node."""
+        if not self.supported:
+            return None
+        if self.granularity is BoundGranularity.PER_KERNEL:
+            if not self._static_bound_known:
+                self._static_bound = self.helpers.estimate_max(graph, state, self.preprocessed)
+                self._static_bound_known = True
+            return self._static_bound
+        return self.helpers.estimate_max(graph, state, self.preprocessed)
+
+    def sum_hint(self, graph: CSRGraph, state: WalkerState) -> float | None:
+        """Estimated transition-weight sum for the walker's current node."""
+        if not self.supported:
+            return None
+        return self.helpers.estimate_sum(graph, state, self.preprocessed)
+
+
+def compile_workload(
+    spec: WalkSpec,
+    graph: CSRGraph,
+    device: DeviceSpec | None = None,
+) -> CompiledWorkload:
+    """Run the full Flexi-Compiler pipeline for one workload on one graph.
+
+    On success the returned bundle carries helper callables and preprocessed
+    per-node aggregates; when the analysis finds unsupported constructs a
+    :class:`CompilerWarning` is emitted and the bundle reports
+    ``supported = False`` so the runtime uses eRVS exclusively.
+    """
+    analysis = analyze_get_weight(spec)
+    if not analysis.supported:
+        warnings.warn(
+            "Flexi-Compiler could not specialise "
+            f"{type(spec).__name__}.get_weight ({'; '.join(analysis.warnings)}); "
+            "falling back to eRVS-only execution",
+            CompilerWarning,
+            stacklevel=2,
+        )
+        return CompiledWorkload(spec=spec, analysis=analysis, helpers=None, preprocessed=None)
+
+    needed_arrays = tuple(
+        dict.fromkeys(
+            var.source_array
+            for var, deps in (
+                (v, d)
+                for v in analysis.edge_indexed
+                for d in analysis.return_dependencies
+                if v.name in d
+            )
+        )
+    )
+    preprocessed = (
+        preprocess_graph(graph, arrays=needed_arrays, device=device) if needed_arrays else None
+    )
+    helpers = GeneratedHelpers(spec=spec, analysis=analysis)
+    return CompiledWorkload(
+        spec=spec,
+        analysis=analysis,
+        helpers=helpers,
+        preprocessed=preprocessed,
+    )

@@ -1,0 +1,67 @@
+"""Configuration of the FlexiWalker facade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.gpusim.device import A6000, DeviceSpec
+
+#: Valid values of :attr:`FlexiWalkerConfig.selection`.
+SELECTION_POLICIES = ("cost_model", "ervs_only", "erjs_only", "random", "degree")
+
+
+@dataclass(frozen=True)
+class FlexiWalkerConfig:
+    """Tunable knobs of the FlexiWalker pipeline.
+
+    Attributes
+    ----------
+    device:
+        Simulated execution device (defaults to the A6000 preset).
+    selection:
+        Sampling-strategy selection policy: ``"cost_model"`` (the paper's
+        adaptive runtime, default), ``"ervs_only"`` / ``"erjs_only"`` (the
+        Fig. 11 ablations), ``"random"`` or ``"degree"`` (the Fig. 13
+        baselines).
+    degree_threshold:
+        Threshold of the degree-based policy (1 000 in the paper).
+    run_profiling:
+        Run the start-up profiling kernels that calibrate the cost-model
+        ratio; when off, the device's nominal random/coalesced ratio is used.
+    selection_overhead / warp_switch_overhead:
+        Account the per-step cost of runtime selection and of the concurrent
+        RJS/RVS warp switching (Section 5.2).  On by default — they are part
+        of the honest end-to-end cost.
+    weight_bytes:
+        Stored property-weight width: 8 (float64) or 1 (INT8, Section 7.2).
+    warp_width:
+        Cooperative width of warp kernels.
+    scheduling:
+        ``"dynamic"`` (global query queue, Section 5.3) or ``"static"``.
+    seed:
+        Seed for every random stream the run derives.
+    """
+
+    device: DeviceSpec = A6000
+    selection: str = "cost_model"
+    degree_threshold: int = 1000
+    run_profiling: bool = True
+    selection_overhead: bool = True
+    warp_switch_overhead: bool = True
+    weight_bytes: int = 8
+    warp_width: int = 32
+    scheduling: str = "dynamic"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.selection not in SELECTION_POLICIES:
+            raise ReproError(
+                f"unknown selection policy {self.selection!r}; valid: {SELECTION_POLICIES}"
+            )
+        if self.weight_bytes not in (1, 2, 4, 8):
+            raise ReproError("weight_bytes must be one of 1, 2, 4, 8")
+        if self.warp_width < 1:
+            raise ReproError("warp_width must be at least 1")
+        if self.degree_threshold < 1:
+            raise ReproError("degree_threshold must be at least 1")

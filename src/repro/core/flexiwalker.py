@@ -1,0 +1,162 @@
+"""The FlexiWalker facade: compile → profile → select → walk (Fig. 6).
+
+Typical use::
+
+    from repro.core import FlexiWalker
+    from repro.graph import load_dataset
+    from repro.walks import Node2VecSpec
+
+    graph = load_dataset("YT", weights="uniform")
+    walker = FlexiWalker(graph, Node2VecSpec())
+    result = walker.run(walk_length=80)
+    print(result.time_ms, result.selection_ratio())
+
+The facade performs the full pipeline of the paper's Fig. 6:
+
+1. **Compile time** — Flexi-Compiler analyses the workload's ``get_weight``
+   and generates the max/sum estimation helpers plus the per-node
+   preprocessing (falling back to eRVS-only when the code is too complex).
+2. **Profiling** — two lightweight kernels measure the device's
+   rejection-vs-reservoir per-edge cost ratio (Section 5.1).
+3. **Runtime** — walk queries are pulled from a dynamic queue, the cost model
+   picks eRJS or eRVS per node per step, and the optimised kernels execute on
+   the simulated device.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.generator import CompiledWorkload, compile_workload
+from repro.core.config import FlexiWalkerConfig
+from repro.errors import ReproError
+from repro.graph.csr import CSRGraph
+from repro.runtime.cost_model import CostModel
+from repro.runtime.engine import WalkEngine, WalkRunResult
+from repro.runtime.profiler import ProfileResult, profile_edge_costs
+from repro.runtime.selector import (
+    CostModelSelector,
+    DegreeBasedSelector,
+    FixedSelector,
+    RandomSelector,
+    SamplerSelector,
+)
+from repro.sampling.erjs import EnhancedRejectionSampler
+from repro.sampling.ervs import EnhancedReservoirSampler
+from repro.walks.spec import WalkSpec
+from repro.walks.state import WalkQuery, make_queries
+
+
+class FlexiWalker:
+    """End-to-end dynamic random walk framework on the simulated GPU.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (CSR).
+    spec:
+        The workload's gather-move-update logic.
+    config:
+        Pipeline configuration; defaults reproduce the paper's setup
+        (cost-model selection, profiling on, overheads accounted).
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        spec: WalkSpec,
+        config: FlexiWalkerConfig | None = None,
+    ) -> None:
+        self.graph = graph
+        self.spec = spec
+        self.config = config or FlexiWalkerConfig()
+
+        # -- Compile time -------------------------------------------------
+        self.compiled: CompiledWorkload = compile_workload(spec, graph, device=self.config.device)
+
+        # -- Profiling ----------------------------------------------------
+        self.profile: ProfileResult | None = None
+        if self.config.run_profiling:
+            self.profile = profile_edge_costs(
+                graph, spec, self.config.device, seed=self.config.seed
+            )
+            ratio = self.profile.edge_cost_ratio
+        else:
+            ratio = self.config.device.random_to_coalesced_ratio
+        self.cost_model = CostModel(edge_cost_ratio=max(ratio, 1e-6))
+
+        # -- Runtime ------------------------------------------------------
+        self.selector = self._build_selector()
+        # An unsupported workload (compiler fallback, Section 7.1) must not
+        # run eRJS, whatever the configured policy says.
+        if not self.compiled.supported and self.config.selection in ("cost_model", "erjs_only", "degree", "random"):
+            self.selector = FixedSelector(EnhancedReservoirSampler())
+        self.engine = WalkEngine(
+            graph=graph,
+            spec=spec,
+            device=self.config.device,
+            selector=self.selector,
+            compiled=self.compiled,
+            seed=self.config.seed,
+            warp_width=self.config.warp_width,
+            weight_bytes=self.config.weight_bytes,
+            scheduling=self.config.scheduling,
+            selection_overhead=self.config.selection_overhead and self.config.selection == "cost_model",
+            warp_switch_overhead=self.config.warp_switch_overhead,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _build_selector(self) -> SamplerSelector:
+        policy = self.config.selection
+        if policy == "cost_model":
+            return CostModelSelector(self.cost_model)
+        if policy == "ervs_only":
+            return FixedSelector(EnhancedReservoirSampler())
+        if policy == "erjs_only":
+            return FixedSelector(EnhancedRejectionSampler())
+        if policy == "random":
+            return RandomSelector(seed=self.config.seed)
+        if policy == "degree":
+            return DegreeBasedSelector(threshold=self.config.degree_threshold)
+        raise ReproError(f"unknown selection policy {policy!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        walk_length: int | None = None,
+        num_queries: int | None = None,
+        start_nodes: np.ndarray | None = None,
+    ) -> WalkRunResult:
+        """Create one query per node (or per requested start) and execute them.
+
+        ``walk_length`` defaults to the workload's paper setting (80 steps,
+        or the schema depth for MetaPath).
+        """
+        length = self.spec.walk_length(walk_length)
+        queries = make_queries(
+            self.graph.num_nodes,
+            walk_length=length,
+            num_queries=num_queries,
+            start_nodes=start_nodes,
+            seed=self.config.seed,
+        )
+        return self.run_queries(queries)
+
+    def run_queries(self, queries: list[WalkQuery]) -> WalkRunResult:
+        """Execute an explicit batch of walk queries."""
+        if not queries:
+            raise ReproError("no walk queries to execute")
+        return self.engine.run(queries, profile=self.profile)
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict[str, object]:
+        """Summary of the compiled/pipelined state (used by examples/docs)."""
+        return {
+            "workload": self.spec.describe(),
+            "granularity": self.compiled.granularity.name,
+            "compiler_supported": self.compiled.supported,
+            "compiler_warnings": list(self.compiled.analysis.warnings),
+            "edge_cost_ratio": self.cost_model.edge_cost_ratio,
+            "selector": self.selector.name,
+            "device": self.config.device.name,
+        }

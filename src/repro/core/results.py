@@ -1,0 +1,33 @@
+"""Result summarisation helpers for walk runs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.engine import WalkRunResult
+
+
+def summarize_run(result: WalkRunResult) -> dict[str, object]:
+    """Condense a walk run into the quantities reported in the paper's tables.
+
+    Returns a plain dictionary (easy to print, compare or serialise) with the
+    simulated execution time, the profiling/preprocessing overhead, walk
+    statistics and the kernel-selection ratio.
+    """
+    lengths = np.array([len(path) - 1 for path in result.paths], dtype=np.int64)
+    return {
+        "num_queries": len(result.paths),
+        "total_steps": result.total_steps,
+        "avg_walk_length": float(lengths.mean()) if lengths.size else 0.0,
+        "min_walk_length": int(lengths.min()) if lengths.size else 0,
+        "max_walk_length": int(lengths.max()) if lengths.size else 0,
+        "time_ms": result.time_ms,
+        "overhead_ms": result.overhead_ms,
+        "total_time_ms": result.total_time_ms,
+        "utilization": result.kernel.utilization,
+        "load_imbalance": result.kernel.load_imbalance,
+        "selection_ratio": result.selection_ratio(),
+        "memory_accesses": result.counters.total_memory_accesses,
+        "rng_draws": result.counters.rng_draws,
+        "rejection_trials": result.counters.rejection_trials,
+    }

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the FlexiWalker reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch a single exception type at API boundaries while still being
+able to distinguish the failure category when needed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is malformed or an operation on it is invalid."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing an on-disk graph representation fails."""
+
+
+class SamplingError(ReproError):
+    """Raised when a sampling kernel is invoked on an invalid context."""
+
+
+class WalkSpecError(ReproError):
+    """Raised when a user-supplied walk specification is invalid."""
+
+
+class CompilerError(ReproError):
+    """Raised when Flexi-Compiler cannot analyse user walk logic.
+
+    Note that many analysis failures are *not* errors: when the analyser
+    detects unsupported constructs it falls back to eRVS-only mode (see
+    Section 7.1 of the paper) and emits a :class:`CompilerWarning` instead.
+    """
+
+
+class CompilerWarning(UserWarning):
+    """Warning emitted when Flexi-Compiler falls back to a safe mode."""
+
+
+class RuntimeSelectionError(ReproError):
+    """Raised when Flexi-Runtime cannot select a sampling strategy."""
+
+
+class SimulationError(ReproError):
+    """Raised when the GPU execution simulator is configured inconsistently."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness on invalid experiment configuration."""
+
+
+class OutOfMemoryError(SimulationError):
+    """Simulated GPU out-of-memory condition (reported as OOM in tables)."""
+
+
+class OutOfTimeError(SimulationError):
+    """Simulated out-of-time condition (reported as OOT in tables)."""

@@ -1,0 +1,101 @@
+"""Cost counters recorded by sampling kernels.
+
+Every quantity the paper's first-order performance arguments rest on is an
+explicit counter here.  Kernels *add* to a counter object while they execute;
+the device model later prices each counter.  Counters are also the mechanism
+behind the reproduction's ablation studies: e.g. the eRVS jump optimisation
+shows up directly as a drop in ``rng_draws`` and ``flops``, and the eRJS bound
+estimation as the disappearance of ``reduction_elements``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class CostCounters:
+    """Accumulated operation counts for one kernel (or one query, or one step).
+
+    Attributes
+    ----------
+    coalesced_accesses:
+        Words read through warp-coalesced (sequential) global-memory
+        transactions — e.g. a reservoir scan over a neighbour list.
+    random_accesses:
+        Words read through uncoalesced single-lane transactions — e.g. the
+        probe of one candidate edge in rejection sampling.
+    weight_computations:
+        Evaluations of the user ``get_weight`` function (the dynamic part of
+        the transition weight).
+    rng_draws:
+        Random variates generated (cuRAND calls on the real hardware).
+    reduction_elements:
+        Elements that participated in warp/block reductions (max/sum/argmax).
+    prefix_sum_elements:
+        Elements that participated in prefix-sum computations (ITS, baseline
+        RVS).
+    rejection_trials:
+        Accepted + rejected trials performed by rejection-sampling kernels.
+    warp_syncs:
+        Warp-synchronisation intrinsics executed (``__ballot_sync``,
+        ``__shfl_sync``) by the concurrent RJS/RVS kernel of Section 5.2.
+    atomic_ops:
+        Atomic operations (the dynamic query queue's global counter).
+    table_builds:
+        Elements written while building auxiliary structures (alias tables,
+        CDF arrays) — the cost that makes ALS/ITS unattractive for dynamic
+        walks.
+    bytes_per_weight:
+        Size of one stored property weight (8 for float64, 1 for the INT8
+        extension); used by the memory model to convert accesses to bytes.
+    """
+
+    coalesced_accesses: int = 0
+    random_accesses: int = 0
+    weight_computations: int = 0
+    rng_draws: int = 0
+    reduction_elements: int = 0
+    prefix_sum_elements: int = 0
+    rejection_trials: int = 0
+    warp_syncs: int = 0
+    atomic_ops: int = 0
+    table_builds: int = 0
+    bytes_per_weight: int = field(default=8)
+
+    _COUNT_FIELDS = (
+        "coalesced_accesses",
+        "random_accesses",
+        "weight_computations",
+        "rng_draws",
+        "reduction_elements",
+        "prefix_sum_elements",
+        "rejection_trials",
+        "warp_syncs",
+        "atomic_ops",
+        "table_builds",
+    )
+
+    def merge(self, other: "CostCounters") -> "CostCounters":
+        """Add ``other``'s counts into this object (in place) and return self."""
+        for name in self._COUNT_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def copy(self) -> "CostCounters":
+        return CostCounters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def reset(self) -> None:
+        for name in self._COUNT_FIELDS:
+            setattr(self, name, 0)
+
+    @property
+    def total_memory_accesses(self) -> int:
+        """All global-memory word accesses regardless of coalescing."""
+        return self.coalesced_accesses + self.random_accesses
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self._COUNT_FIELDS}
+
+    def __add__(self, other: "CostCounters") -> "CostCounters":
+        return self.copy().merge(other)

@@ -1,0 +1,157 @@
+"""Device models: per-operation costs, capacity, and power envelopes.
+
+The paper's testbed is up to four NVIDIA A6000 GPUs on an AMD EPYC 9124P host
+(Section 6.1).  ``A6000`` and ``EPYC_9124P`` are the corresponding presets.
+All per-operation costs are expressed in nanoseconds of device-occupancy per
+*warp-wide lane of work*; only their ratios matter for the reproduction (the
+random-to-coalesced access ratio is what the Flexi-Runtime cost model profiles
+at startup), but the absolute values are chosen so simulated times land in a
+plausible millisecond range for the scale-model datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import SimulationError
+from repro.gpusim.counters import CostCounters
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Cost/capacity/power model of one execution device.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    parallel_lanes:
+        Number of concurrently executing hardware lanes (SMs x resident
+        warps x warp size for a GPU; cores x threads for a CPU).  Kernel
+        time is per-lane work divided across these lanes by the executor.
+    coalesced_access_ns / random_access_ns:
+        Cost of one word read through a coalesced / uncoalesced transaction.
+    weight_compute_ns:
+        Cost of one ``get_weight`` evaluation (a handful of FLOPs + a branch).
+    rng_ns:
+        Cost of one random variate (cuRAND Philox draw, or a CPU PRNG call).
+    reduction_ns / prefix_sum_ns:
+        Per-element cost of warp/block reductions and prefix sums.
+    warp_sync_ns:
+        Cost of one warp-synchronisation intrinsic.
+    atomic_ns:
+        Cost of one global atomic (query-queue counter bump).
+    table_build_ns:
+        Per-element cost of building auxiliary structures (alias/CDF tables).
+    memory_bytes:
+        Device memory capacity (used for the simulated OOM checks).
+    idle_watts / peak_watts:
+        Power envelope for the energy model (Fig. 16).
+    """
+
+    name: str
+    parallel_lanes: int
+    coalesced_access_ns: float
+    random_access_ns: float
+    weight_compute_ns: float
+    rng_ns: float
+    reduction_ns: float
+    prefix_sum_ns: float
+    warp_sync_ns: float
+    atomic_ns: float
+    table_build_ns: float
+    memory_bytes: int
+    idle_watts: float
+    peak_watts: float
+
+    def __post_init__(self) -> None:
+        if self.parallel_lanes < 1:
+            raise SimulationError("a device needs at least one parallel lane")
+        if min(
+            self.coalesced_access_ns,
+            self.random_access_ns,
+            self.weight_compute_ns,
+            self.rng_ns,
+            self.reduction_ns,
+            self.prefix_sum_ns,
+            self.warp_sync_ns,
+            self.atomic_ns,
+            self.table_build_ns,
+        ) < 0:
+            raise SimulationError("per-operation costs must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    def lane_time_ns(self, counters: CostCounters) -> float:
+        """Price a counter bundle: nanoseconds of work for a single lane.
+
+        The INT8 extension (Section 7.2) reduces memory time proportionally
+        to the stored weight width, which is modelled through
+        ``counters.bytes_per_weight``.
+        """
+        width_scale = counters.bytes_per_weight / 8.0
+        memory_ns = (
+            counters.coalesced_accesses * self.coalesced_access_ns
+            + counters.random_accesses * self.random_access_ns
+        ) * width_scale
+        compute_ns = (
+            counters.weight_computations * self.weight_compute_ns
+            + counters.rng_draws * self.rng_ns
+            + counters.reduction_elements * self.reduction_ns
+            + counters.prefix_sum_elements * self.prefix_sum_ns
+            + counters.warp_syncs * self.warp_sync_ns
+            + counters.atomic_ops * self.atomic_ns
+            + counters.table_builds * self.table_build_ns
+        )
+        return memory_ns + compute_ns
+
+    @property
+    def random_to_coalesced_ratio(self) -> float:
+        """The EdgeCost_RJS / EdgeCost_RVS ratio of Eq. (11), from the spec."""
+        if self.coalesced_access_ns == 0:
+            return float("inf")
+        return self.random_access_ns / self.coalesced_access_ns
+
+    def scaled(self, factor: float, name: str | None = None) -> "DeviceSpec":
+        """Return a device with ``factor``x the parallel lanes (multi-GPU)."""
+        return replace(
+            self,
+            name=name if name is not None else f"{self.name} x{factor:g}",
+            parallel_lanes=max(1, int(self.parallel_lanes * factor)),
+        )
+
+
+#: NVIDIA RTX A6000 preset (84 SMs, 48 GB, 300 W TDP).
+A6000 = DeviceSpec(
+    name="NVIDIA A6000",
+    parallel_lanes=84 * 48,           # SMs x resident warps
+    coalesced_access_ns=0.55,
+    random_access_ns=4.4,
+    weight_compute_ns=0.12,
+    rng_ns=0.9,
+    reduction_ns=0.35,
+    prefix_sum_ns=0.45,
+    warp_sync_ns=1.5,
+    atomic_ns=12.0,
+    table_build_ns=1.6,
+    memory_bytes=48 * 1024**3,
+    idle_watts=70.0,
+    peak_watts=300.0,
+)
+
+#: AMD EPYC 9124P preset (16 cores / 32 threads, 512 GB host memory, 200 W).
+EPYC_9124P = DeviceSpec(
+    name="AMD EPYC 9124P",
+    parallel_lanes=32,
+    coalesced_access_ns=1.2,
+    random_access_ns=18.0,
+    weight_compute_ns=0.9,
+    rng_ns=4.5,
+    reduction_ns=1.0,
+    prefix_sum_ns=1.1,
+    warp_sync_ns=0.0,
+    atomic_ns=25.0,
+    table_build_ns=3.0,
+    memory_bytes=512 * 1024**3,
+    idle_watts=90.0,
+    peak_watts=200.0,
+)

@@ -1,0 +1,61 @@
+"""Energy model (Fig. 16).
+
+The paper reports joules-per-query and maximum watts per framework.  Energy
+in this reproduction is derived from the simulated kernel time and the
+device's power envelope: average draw is interpolated between idle and peak
+power by the kernel's lane utilisation, and max watts is the peak draw scaled
+by how much of the device the kernel actually occupies.  The absolute values
+are synthetic, but the ranking — GPU frameworks draw more power yet win on
+joules/query because they finish far sooner — is reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.executor import KernelResult
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy outcome of one workload run."""
+
+    total_joules: float
+    joules_per_query: float
+    max_watts: float
+    average_watts: float
+    time_s: float
+
+
+class EnergyModel:
+    """Converts simulated kernel results into energy figures."""
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    def report(self, result: KernelResult, num_queries: int | None = None) -> EnergyReport:
+        """Compute the energy report for one kernel result."""
+        queries = result.num_queries if num_queries is None else int(num_queries)
+        if queries < 0:
+            raise SimulationError("query count must be non-negative")
+        utilization = result.utilization
+        avg_watts = self.device.idle_watts + utilization * (
+            self.device.peak_watts - self.device.idle_watts
+        )
+        # A kernel that only fills part of the device does not push the
+        # package to its TDP; scale the reported max draw by occupancy.
+        occupancy = min(1.0, result.lane_times_ns.size / max(self.device.parallel_lanes, 1))
+        max_watts = self.device.idle_watts + occupancy * (
+            self.device.peak_watts - self.device.idle_watts
+        )
+        total_joules = avg_watts * result.time_s
+        per_query = total_joules / queries if queries else 0.0
+        return EnergyReport(
+            total_joules=total_joules,
+            joules_per_query=per_query,
+            max_watts=max_watts,
+            average_watts=avg_watts,
+            time_s=result.time_s,
+        )

@@ -1,0 +1,86 @@
+"""Memory footprint and out-of-memory modelling.
+
+Several baselines in the paper fail with GPU out-of-memory on the largest
+graphs (e.g. NextDoor on SK in Fig. 10, because it sorts queries by transit
+node and the sort needs auxiliary buffers).  This module estimates the device
+memory each framework would need on the *original* graph sizes — not the
+scale models — so those OOM outcomes can be reproduced faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OutOfMemoryError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Per-framework device-memory footprint model.
+
+    Attributes
+    ----------
+    graph_overhead:
+        Multiplier on the raw CSR footprint (index + weight arrays).
+    per_query_bytes:
+        Working-state bytes per concurrent walk query (walker state, RNG
+        state, output buffer slot).
+    auxiliary_per_edge_bytes:
+        Bytes of auxiliary structures proportional to the edge count — alias
+        tables for Skywalker, CDF buffers for C-SAW, the transit-sorting
+        buffers of NextDoor.
+    """
+
+    graph_overhead: float = 1.0
+    per_query_bytes: int = 64
+    auxiliary_per_edge_bytes: float = 0.0
+    index_bytes: int = 4
+
+    def required_bytes(
+        self,
+        num_nodes: int,
+        num_edges: int,
+        num_queries: int,
+        weight_bytes: int = 4,
+    ) -> int:
+        """Device bytes needed for a graph of the given (paper-scale) size.
+
+        GPU frameworks store CSR indices and property weights in 32-bit form
+        by default (the paper-scale graphs would not fit otherwise); the
+        INT8 extension drops ``weight_bytes`` to 1.
+        """
+        csr_bytes = (
+            (num_nodes + 1) * 8
+            + num_edges * self.index_bytes
+            + num_edges * weight_bytes
+        )
+        return int(
+            csr_bytes * self.graph_overhead
+            + num_queries * self.per_query_bytes
+            + num_edges * self.auxiliary_per_edge_bytes
+        )
+
+    def check_fits(
+        self,
+        device: DeviceSpec,
+        num_nodes: int,
+        num_edges: int,
+        num_queries: int,
+        weight_bytes: int = 4,
+        label: str = "",
+    ) -> int:
+        """Return required bytes, raising :class:`OutOfMemoryError` on overflow."""
+        needed = self.required_bytes(num_nodes, num_edges, num_queries, weight_bytes)
+        if needed > device.memory_bytes:
+            raise OutOfMemoryError(
+                f"{label or 'kernel'} needs {needed / 1024**3:.1f} GiB but "
+                f"{device.name} has {device.memory_bytes / 1024**3:.1f} GiB"
+            )
+        return needed
+
+    @classmethod
+    def for_graph(cls, graph: CSRGraph, **kwargs) -> int:
+        """Convenience: raw footprint of an in-memory scale-model graph."""
+        return graph.memory_footprint_bytes(**kwargs)

@@ -1,0 +1,99 @@
+"""Warp-level execution primitives.
+
+Real GPU kernels cooperate at warp granularity: 32 threads execute in
+lock-step and exchange values through register shuffles (``__shfl_sync``),
+vote with ``__ballot_sync`` and reduce with shuffle trees.  The paper's
+concurrent RJS/RVS kernel (Section 5.2) leans on exactly these primitives, so
+the simulator exposes a :class:`WarpModel` whose methods perform the same
+collective operations on numpy vectors *and* account their cost into the
+shared counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.counters import CostCounters
+
+#: Number of threads per warp on every NVIDIA architecture.
+WARP_SIZE = 32
+
+
+class WarpModel:
+    """Collective operations of one warp, with cost accounting.
+
+    Parameters
+    ----------
+    counters:
+        Shared cost counters; every collective adds its element count.
+    width:
+        Logical warp width (defaults to :data:`WARP_SIZE`).
+    """
+
+    def __init__(self, counters: CostCounters, width: int = WARP_SIZE) -> None:
+        self.counters = counters
+        self.width = int(width)
+
+    # ------------------------------------------------------------------ #
+    # Reductions and scans
+    # ------------------------------------------------------------------ #
+    def reduce_max(self, values: np.ndarray) -> float:
+        """Warp-tree max reduction (log-depth shuffle tree on hardware)."""
+        values = np.asarray(values)
+        self.counters.reduction_elements += int(values.size)
+        return float(values.max()) if values.size else float("-inf")
+
+    def reduce_sum(self, values: np.ndarray) -> float:
+        """Warp-tree sum reduction."""
+        values = np.asarray(values)
+        self.counters.reduction_elements += int(values.size)
+        return float(values.sum()) if values.size else 0.0
+
+    def reduce_argmax(self, values: np.ndarray) -> int:
+        """Warp argmax (value + index shuffle tree), used by reservoir kernels."""
+        values = np.asarray(values)
+        self.counters.reduction_elements += int(values.size)
+        if values.size == 0:
+            return -1
+        return int(np.argmax(values))
+
+    def prefix_sum(self, values: np.ndarray) -> np.ndarray:
+        """Inclusive prefix sum (Hillis–Steele scan on hardware)."""
+        values = np.asarray(values, dtype=np.float64)
+        self.counters.prefix_sum_elements += int(values.size)
+        return np.cumsum(values)
+
+    # ------------------------------------------------------------------ #
+    # Votes and shuffles
+    # ------------------------------------------------------------------ #
+    def ballot(self, predicate: np.ndarray) -> int:
+        """``__ballot_sync``: bitmask of lanes whose predicate is true."""
+        predicate = np.asarray(predicate, dtype=bool)
+        self.counters.warp_syncs += 1
+        mask = 0
+        for lane, flag in enumerate(predicate[: self.width]):
+            if flag:
+                mask |= 1 << lane
+        return mask
+
+    def any_sync(self, predicate: np.ndarray) -> bool:
+        """``__any_sync``: true when any lane's predicate holds."""
+        return self.ballot(predicate) != 0
+
+    def shfl(self, values: np.ndarray, src_lane: int) -> float:
+        """``__shfl_sync``: broadcast lane ``src_lane``'s value to the warp."""
+        values = np.asarray(values)
+        self.counters.warp_syncs += 1
+        if not 0 <= src_lane < values.size:
+            raise IndexError(f"source lane {src_lane} outside warp of {values.size}")
+        return float(values[src_lane])
+
+    # ------------------------------------------------------------------ #
+    def chunks(self, length: int) -> list[np.ndarray]:
+        """Strided per-lane index assignment over ``length`` elements.
+
+        Lane ``l`` owns indices ``l, l + width, l + 2*width, ...`` — the
+        coalesced access pattern warp-parallel reservoir scans use.
+        """
+        all_indices = np.arange(length)
+        return [all_indices[lane::self.width] for lane in range(min(self.width, max(length, 1)))]

@@ -1,0 +1,58 @@
+"""Graph substrate: CSR storage, builders, generators, weights, datasets.
+
+All walk kernels in this library operate on :class:`~repro.graph.csr.CSRGraph`,
+the same compressed-sparse-row layout GPU random-walk frameworks use
+(row-pointer + column-index arrays, with parallel arrays for edge property
+weights and edge labels).
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builders import from_edge_list, from_adjacency, to_undirected
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    rmat_graph,
+    star_graph,
+    cycle_graph,
+    complete_graph,
+)
+from repro.graph.weights import (
+    uniform_weights,
+    powerlaw_weights,
+    degree_based_weights,
+    constant_weights,
+    quantize_weights_int8,
+    dequantize_weights_int8,
+)
+from repro.graph.labels import random_edge_labels, schema_reachable_fraction
+from repro.graph.datasets import DatasetSpec, DATASETS, load_dataset, dataset_names
+from repro.graph.io import read_edge_list, write_edge_list, save_csr_npz, load_csr_npz
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_list",
+    "from_adjacency",
+    "to_undirected",
+    "barabasi_albert_graph",
+    "erdos_renyi_graph",
+    "rmat_graph",
+    "star_graph",
+    "cycle_graph",
+    "complete_graph",
+    "uniform_weights",
+    "powerlaw_weights",
+    "degree_based_weights",
+    "constant_weights",
+    "quantize_weights_int8",
+    "dequantize_weights_int8",
+    "random_edge_labels",
+    "schema_reachable_fraction",
+    "DatasetSpec",
+    "DATASETS",
+    "load_dataset",
+    "dataset_names",
+    "read_edge_list",
+    "write_edge_list",
+    "save_csr_npz",
+    "load_csr_npz",
+]

@@ -1,0 +1,117 @@
+"""Builders that turn edge lists / adjacency structures into CSR graphs."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+
+def from_edge_list(
+    edges: Iterable[tuple[int, int]] | np.ndarray,
+    num_nodes: int | None = None,
+    weights: Sequence[float] | np.ndarray | None = None,
+    labels: Sequence[int] | np.ndarray | None = None,
+    name: str = "",
+    deduplicate: bool = False,
+) -> CSRGraph:
+    """Build a directed CSR graph from an iterable of ``(src, dst)`` pairs.
+
+    Neighbour lists are sorted by destination id so that
+    :meth:`CSRGraph.has_edge` can use binary search.  Per-edge ``weights`` and
+    ``labels`` follow their edge through the sort.
+    """
+    edge_arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.int64)
+    if edge_arr.size == 0:
+        edge_arr = edge_arr.reshape(0, 2)
+    if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+        raise GraphError("edges must be an iterable of (src, dst) pairs")
+
+    src = edge_arr[:, 0]
+    dst = edge_arr[:, 1]
+    if edge_arr.shape[0] and (src.min() < 0 or dst.min() < 0):
+        raise GraphError("node ids must be non-negative")
+
+    inferred = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+    n = inferred if num_nodes is None else int(num_nodes)
+    if n < inferred:
+        raise GraphError(f"num_nodes={n} is smaller than the largest node id + 1 ({inferred})")
+
+    weight_arr = None if weights is None else np.asarray(weights, dtype=np.float64)
+    label_arr = None if labels is None else np.asarray(labels, dtype=np.int64)
+    if weight_arr is not None and weight_arr.shape[0] != edge_arr.shape[0]:
+        raise GraphError("weights must have one entry per edge")
+    if label_arr is not None and label_arr.shape[0] != edge_arr.shape[0]:
+        raise GraphError("labels must have one entry per edge")
+
+    # Sort edges by (src, dst) to produce contiguous, sorted neighbour lists.
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    if weight_arr is not None:
+        weight_arr = weight_arr[order]
+    if label_arr is not None:
+        label_arr = label_arr[order]
+
+    if deduplicate and src.size:
+        keep = np.ones(src.size, dtype=bool)
+        keep[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+        src, dst = src[keep], dst[keep]
+        if weight_arr is not None:
+            weight_arr = weight_arr[keep]
+        if label_arr is not None:
+            label_arr = label_arr[keep]
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, src + 1, 1)
+    np.cumsum(indptr, out=indptr)
+
+    return CSRGraph(indptr=indptr, indices=dst, weights=weight_arr, labels=label_arr, name=name)
+
+
+def from_adjacency(
+    adjacency: Sequence[Sequence[int]],
+    weights: Sequence[Sequence[float]] | None = None,
+    name: str = "",
+) -> CSRGraph:
+    """Build a CSR graph from an adjacency-list representation.
+
+    ``adjacency[v]`` is the list of out-neighbours of ``v``; ``weights`` when
+    given must be parallel to it.
+    """
+    edges: list[tuple[int, int]] = []
+    flat_weights: list[float] | None = [] if weights is not None else None
+    for v, nbrs in enumerate(adjacency):
+        nbr_weights = None if weights is None else weights[v]
+        if nbr_weights is not None and len(nbr_weights) != len(nbrs):
+            raise GraphError(f"weights for node {v} must be parallel to its adjacency list")
+        for i, u in enumerate(nbrs):
+            edges.append((v, int(u)))
+            if flat_weights is not None and nbr_weights is not None:
+                flat_weights.append(float(nbr_weights[i]))
+    return from_edge_list(edges, num_nodes=len(adjacency), weights=flat_weights, name=name)
+
+
+def to_undirected(graph: CSRGraph) -> CSRGraph:
+    """Return the symmetric closure of ``graph`` (each edge mirrored).
+
+    Property weights are copied onto the mirrored edges; duplicate edges are
+    removed.  Edge labels are likewise mirrored when present.
+    """
+    src = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), graph.degrees())
+    dst = graph.indices
+    both_src = np.concatenate([src, dst])
+    both_dst = np.concatenate([dst, src])
+    both_w = np.concatenate([graph.weights, graph.weights])
+    both_l = None if graph.labels is None else np.concatenate([graph.labels, graph.labels])
+    edges = np.stack([both_src, both_dst], axis=1)
+    return from_edge_list(
+        edges,
+        num_nodes=graph.num_nodes,
+        weights=both_w,
+        labels=both_l,
+        name=graph.name,
+        deduplicate=True,
+    )

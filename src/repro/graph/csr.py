@@ -1,0 +1,207 @@
+"""Compressed-sparse-row (CSR) graph representation.
+
+The CSR layout is the storage format used by every GPU random-walk framework
+the paper compares against (FlowWalker, NextDoor, C-SAW, Skywalker): a
+row-pointer array ``indptr`` of length ``num_nodes + 1`` and a column-index
+array ``indices`` of length ``num_edges``, with parallel per-edge arrays for
+the intrinsic edge property weights ``h(v, u)`` and optional edge labels
+(MetaPath).  Neighbour lists of a node are contiguous slices, which is what
+makes warp-coalesced scans (reservoir sampling) and strided random probes
+(rejection sampling) meaningfully different in memory cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+@dataclass
+class CSRGraph:
+    """A directed graph in CSR form with per-edge property weights.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of length ``num_nodes + 1``; neighbours of node ``v``
+        occupy ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        ``int64`` array of destination node ids, length ``num_edges``.
+    weights:
+        ``float64`` array of intrinsic edge property weights ``h``, parallel
+        to ``indices``.  Defaults to all-ones (unweighted graph).
+    labels:
+        Optional ``int64`` array of edge labels, parallel to ``indices``
+        (used by MetaPath).
+    name:
+        Optional human-readable name (dataset tag).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray | None = None
+    labels: np.ndarray | None = None
+    name: str = ""
+    _in_degree_cache: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indices.ndim != 1:
+            raise GraphError("indptr and indices must be one-dimensional arrays")
+        if self.indptr.size == 0:
+            raise GraphError("indptr must have at least one entry")
+        if self.indptr[0] != 0:
+            raise GraphError("indptr must start at 0")
+        if self.indptr[-1] != self.indices.size:
+            raise GraphError(
+                f"indptr[-1] ({int(self.indptr[-1])}) must equal the number of edges "
+                f"({self.indices.size})"
+            )
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= self.num_nodes):
+            raise GraphError("edge destination out of range")
+        if self.weights is None:
+            self.weights = np.ones(self.indices.size, dtype=np.float64)
+        else:
+            self.weights = np.asarray(self.weights, dtype=np.float64)
+            if self.weights.shape != self.indices.shape:
+                raise GraphError("weights must be parallel to indices")
+            if np.any(self.weights < 0):
+                raise GraphError("edge property weights must be non-negative")
+        if self.labels is not None:
+            self.labels = np.asarray(self.labels, dtype=np.int64)
+            if self.labels.shape != self.indices.shape:
+                raise GraphError("labels must be parallel to indices")
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return int(self.indptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def has_labels(self) -> bool:
+        return self.labels is not None
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when the property weights are not uniformly 1."""
+        return bool(self.weights is not None and not np.all(self.weights == 1.0))
+
+    def degree(self, node: int) -> int:
+        """Out-degree of ``node``."""
+        self._check_node(node)
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every node as an ``int64`` array."""
+        return np.diff(self.indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every node (cached after the first call)."""
+        if self._in_degree_cache is None:
+            self._in_degree_cache = np.bincount(self.indices, minlength=self.num_nodes).astype(np.int64)
+        return self._in_degree_cache
+
+    def max_degree(self) -> int:
+        degs = self.degrees()
+        return int(degs.max()) if degs.size else 0
+
+    # ------------------------------------------------------------------ #
+    # Neighbour access
+    # ------------------------------------------------------------------ #
+    def neighbors(self, node: int) -> np.ndarray:
+        """Destination ids of the out-edges of ``node`` (a CSR slice view)."""
+        self._check_node(node)
+        return self.indices[self.indptr[node]:self.indptr[node + 1]]
+
+    def edge_weights(self, node: int) -> np.ndarray:
+        """Property weights ``h(node, ·)`` of the out-edges of ``node``."""
+        self._check_node(node)
+        return self.weights[self.indptr[node]:self.indptr[node + 1]]
+
+    def edge_labels(self, node: int) -> np.ndarray:
+        """Edge labels of the out-edges of ``node`` (requires labels)."""
+        if self.labels is None:
+            raise GraphError("graph has no edge labels")
+        self._check_node(node)
+        return self.labels[self.indptr[node]:self.indptr[node + 1]]
+
+    def edge_slice(self, node: int) -> tuple[int, int]:
+        """``(start, stop)`` positions of ``node``'s edges in the edge arrays."""
+        self._check_node(node)
+        return int(self.indptr[node]), int(self.indptr[node + 1])
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """True when the directed edge ``src -> dst`` exists.
+
+        Neighbour lists are kept sorted by the builders, so this is a binary
+        search; it mirrors the ``dist(v', u) == 1`` check Node2Vec and
+        2nd-order PageRank perform per candidate neighbour.
+        """
+        nbrs = self.neighbors(src)
+        if nbrs.size == 0:
+            return False
+        pos = np.searchsorted(nbrs, dst)
+        return bool(pos < nbrs.size and nbrs[pos] == dst)
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def with_weights(self, weights: np.ndarray, name: str | None = None) -> "CSRGraph":
+        """Return a copy of this graph with replaced property weights."""
+        return CSRGraph(
+            indptr=self.indptr,
+            indices=self.indices,
+            weights=np.asarray(weights, dtype=np.float64),
+            labels=self.labels,
+            name=self.name if name is None else name,
+        )
+
+    def with_labels(self, labels: np.ndarray) -> "CSRGraph":
+        """Return a copy of this graph with edge labels attached."""
+        return CSRGraph(
+            indptr=self.indptr,
+            indices=self.indices,
+            weights=self.weights,
+            labels=np.asarray(labels, dtype=np.int64),
+            name=self.name,
+        )
+
+    def memory_footprint_bytes(self, weight_bytes: int = 8) -> int:
+        """Approximate device memory needed to hold the graph.
+
+        ``weight_bytes`` is 8 for float64, 4 for float32 and 1 for the INT8
+        low-precision extension of Section 7.2.
+        """
+        return int(
+            self.indptr.size * 8
+            + self.indices.size * 8
+            + self.indices.size * weight_bytes
+            + (self.indices.size * 8 if self.labels is not None else 0)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise GraphError(f"node {node} out of range [0, {self.num_nodes})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"CSRGraph({self.num_nodes} nodes, {self.num_edges} edges"
+            f"{', labeled' if self.has_labels else ''}"
+            f"{', weighted' if self.is_weighted else ''}{tag})"
+        )

@@ -1,0 +1,169 @@
+"""Synthetic scale-models of the paper's evaluation datasets (Table 1).
+
+The paper evaluates on ten real graphs: five from SNAP (YT, CP, LJ, OK, FS)
+and five web crawls from LAW (EU, AB, UK, TW, SK), ranging from 6 M to 3.6 B
+edges.  Shipping or downloading those graphs is impossible here, so each
+dataset name maps to a *scale model*: a synthetic graph whose generator and
+skew parameters mimic the original's family (social network vs. web crawl),
+scaled to run in seconds.  The relative ordering between datasets — average
+degree, degree skew, size — is preserved, which is what the sampling-strategy
+trade-offs in the paper depend on.
+
+``load_dataset(name)`` returns a fully initialised :class:`CSRGraph` with
+property weights and edge labels attached according to the requested weight
+scheme.  Results are cached per configuration because the benchmarks reuse
+the same graph across many experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import barabasi_albert_graph, rmat_graph
+from repro.graph.labels import random_edge_labels
+from repro.graph.weights import (
+    constant_weights,
+    degree_based_weights,
+    powerlaw_weights,
+    uniform_weights,
+)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Configuration of one synthetic dataset scale-model.
+
+    Attributes
+    ----------
+    name:
+        Short tag used throughout the paper (``"YT"``, ``"EU"``, ...).
+    full_name:
+        The real-world graph the scale model stands in for.
+    kind:
+        ``"social"`` (Barabási–Albert generator) or ``"web"`` (RMAT).
+    num_nodes / num_edges:
+        Target size of the scale model (the RMAT edge count is approximate
+        because duplicates and self loops are removed).
+    paper_nodes / paper_edges:
+        Size of the original graph, kept for documentation and for the OOM
+        model (frameworks whose memory footprint scales super-linearly hit
+        simulated OOM on the large graphs, as in the paper).
+    """
+
+    name: str
+    full_name: str
+    kind: str
+    num_nodes: int
+    num_edges: int
+    paper_nodes: int
+    paper_edges: int
+    seed: int
+
+    @property
+    def avg_degree(self) -> float:
+        return self.num_edges / max(self.num_nodes, 1)
+
+
+def _spec(name, full_name, kind, nodes, edges, paper_nodes, paper_edges, seed) -> DatasetSpec:
+    return DatasetSpec(name, full_name, kind, nodes, edges, paper_nodes, paper_edges, seed)
+
+
+#: Registry of scale models, ordered exactly as Table 1 of the paper.
+DATASETS: dict[str, DatasetSpec] = {
+    "YT": _spec("YT", "com-youtube", "social", 1100, 6_000, 1_100_000, 6_000_000, 11),
+    "CP": _spec("CP", "cit-patents", "social", 1900, 16_000, 3_800_000, 33_000_000, 12),
+    "LJ": _spec("LJ", "LiveJournal", "social", 2400, 43_000, 4_800_000, 86_000_000, 13),
+    "OK": _spec("OK", "Orkut", "social", 1550, 117_000, 3_100_000, 234_000_000, 14),
+    "EU": _spec("EU", "EU-2015", "web", 2750, 130_000, 11_000_000, 522_000_000, 15),
+    "AB": _spec("AB", "Arabic-2005", "web", 3300, 157_000, 23_000_000, 1_100_000_000, 16),
+    "UK": _spec("UK", "UK-2005", "web", 3900, 160_000, 39_000_000, 1_600_000_000, 17),
+    "TW": _spec("TW", "Twitter", "social", 4200, 240_000, 42_000_000, 2_400_000_000, 18),
+    "SK": _spec("SK", "SK-2005", "web", 5100, 360_000, 51_000_000, 3_600_000_000, 19),
+    "FS": _spec("FS", "Friendster", "social", 6600, 360_000, 66_000_000, 3_600_000_000, 20),
+}
+
+#: Weight schemes accepted by :func:`load_dataset`.
+WEIGHT_SCHEMES = ("unweighted", "uniform", "powerlaw", "degree")
+
+
+def dataset_names() -> list[str]:
+    """Dataset tags in Table 1 order."""
+    return list(DATASETS.keys())
+
+
+@lru_cache(maxsize=None)
+def _base_topology(name: str) -> CSRGraph:
+    """Generate (and cache) the unweighted topology of a scale model."""
+    spec = DATASETS[name]
+    if spec.kind == "social":
+        edges_per_node = max(1, round(spec.num_edges / (2 * spec.num_nodes)))
+        graph = barabasi_albert_graph(
+            spec.num_nodes, edges_per_node, seed=spec.seed, name=spec.name
+        )
+    else:
+        graph = rmat_graph(
+            spec.num_nodes, spec.num_edges, seed=spec.seed, name=spec.name
+        )
+    return graph
+
+
+@lru_cache(maxsize=None)
+def load_dataset(
+    name: str,
+    weights: str = "uniform",
+    alpha: float = 2.0,
+    with_labels: bool = True,
+    num_labels: int = 5,
+    seed: int = 0,
+) -> CSRGraph:
+    """Load a dataset scale-model with the requested weight initialisation.
+
+    Parameters
+    ----------
+    name:
+        One of the Table 1 tags (``"YT"`` ... ``"FS"``), case-insensitive.
+    weights:
+        ``"unweighted"`` (h = 1), ``"uniform"`` (reals in [1, 5)),
+        ``"powerlaw"`` (Pareto with shape ``alpha``) or ``"degree"``
+        (destination-degree based) — the four schemes of Section 6.2.
+    alpha:
+        Pareto shape for the power-law scheme (1.0 = most skewed).
+    with_labels:
+        Attach random edge labels in ``[0, num_labels)`` for MetaPath.
+    """
+    key = name.upper()
+    if key not in DATASETS:
+        raise GraphError(f"unknown dataset {name!r}; known: {', '.join(DATASETS)}")
+    if weights not in WEIGHT_SCHEMES:
+        raise GraphError(f"unknown weight scheme {weights!r}; known: {WEIGHT_SCHEMES}")
+
+    graph = _base_topology(key)
+    if weights == "unweighted":
+        w = constant_weights(graph)
+    elif weights == "uniform":
+        w = uniform_weights(graph, seed=DATASETS[key].seed + seed)
+    elif weights == "powerlaw":
+        w = powerlaw_weights(graph, alpha=alpha, seed=DATASETS[key].seed + seed)
+    else:
+        w = degree_based_weights(graph)
+    graph = graph.with_weights(w)
+    if with_labels:
+        graph = graph.with_labels(random_edge_labels(graph, num_labels=num_labels, seed=DATASETS[key].seed))
+    return graph
+
+
+def scale_factor(name: str) -> float:
+    """Edge-count ratio between the real graph and its scale model.
+
+    The GPU simulator uses this to extrapolate simulated memory footprints so
+    the OOM behaviour of baselines on the billion-edge graphs (Table 2,
+    Fig. 10) can be reproduced without materialising them.
+    """
+    spec = DATASETS[name.upper()]
+    model_edges = _base_topology(name.upper()).num_edges
+    return spec.paper_edges / max(model_edges, 1)

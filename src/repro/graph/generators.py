@@ -1,0 +1,152 @@
+"""Synthetic graph generators.
+
+The paper evaluates on ten real-world graphs (Table 1) ranging from 6 M to
+3.6 B edges.  Those datasets are not shippable here, so the dataset registry
+(:mod:`repro.graph.datasets`) builds *scale models* of each graph from the
+generators in this module: Barabási–Albert preferential attachment and an
+RMAT-style recursive-matrix generator, both of which reproduce the heavy-
+tailed degree distributions that drive the sampling-strategy trade-offs the
+paper studies (high-degree nodes favour rejection sampling, skewed weights
+favour reservoir sampling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builders import from_edge_list
+from repro.graph.csr import CSRGraph
+
+
+def barabasi_albert_graph(
+    num_nodes: int,
+    edges_per_node: int,
+    seed: int = 0,
+    name: str = "",
+) -> CSRGraph:
+    """Barabási–Albert preferential-attachment graph (directed, symmetrised).
+
+    Each new node attaches to ``edges_per_node`` existing nodes with
+    probability proportional to their current degree, producing a power-law
+    degree distribution similar to social networks (YT, LJ, OK, FS).
+    Both edge directions are kept so every node has out-edges to walk along.
+    """
+    if num_nodes <= edges_per_node:
+        raise GraphError("num_nodes must exceed edges_per_node")
+    if edges_per_node < 1:
+        raise GraphError("edges_per_node must be at least 1")
+    rng = np.random.default_rng(seed)
+
+    # repeated_nodes holds one entry per edge endpoint: sampling uniformly
+    # from it is sampling proportionally to degree.  It is kept as a plain
+    # list and indexed by random positions so each attachment step stays O(m).
+    repeated_nodes: list[int] = list(range(edges_per_node))
+    edges: list[tuple[int, int]] = []
+    for new_node in range(edges_per_node, num_nodes):
+        pool_size = len(repeated_nodes)
+        targets: set[int] = set()
+        while len(targets) < edges_per_node:
+            positions = rng.integers(0, pool_size, size=edges_per_node - len(targets))
+            targets.update(repeated_nodes[int(p)] for p in positions)
+        for t in targets:
+            edges.append((new_node, t))
+            edges.append((t, new_node))
+            repeated_nodes.append(t)
+            repeated_nodes.append(new_node)
+    return from_edge_list(edges, num_nodes=num_nodes, name=name, deduplicate=True)
+
+
+def rmat_graph(
+    num_nodes: int,
+    num_edges: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    name: str = "",
+) -> CSRGraph:
+    """RMAT (recursive matrix) graph, the generator behind Graph500.
+
+    The probabilities ``(a, b, c, d)`` with ``d = 1 - a - b - c`` control the
+    skew; the defaults produce web-graph-like skew (EU, UK, SK, AB, TW scale
+    models use this generator).  The number of nodes is rounded up internally
+    to a power of two and truncated back, so isolated trailing nodes may have
+    zero out-degree — exactly like the real web crawls.
+    """
+    d = 1.0 - a - b - c
+    if d < -1e-9 or min(a, b, c) < 0:
+        raise GraphError("RMAT probabilities must be non-negative and sum to at most 1")
+    if num_nodes < 2 or num_edges < 1:
+        raise GraphError("RMAT graph needs at least 2 nodes and 1 edge")
+    rng = np.random.default_rng(seed)
+
+    scale = int(np.ceil(np.log2(num_nodes)))
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    # Each level of the recursion picks one quadrant per edge.
+    thresholds = np.array([a, a + b, a + b + c])
+    for level in range(scale):
+        bit = np.int64(1) << np.int64(scale - 1 - level)
+        u = rng.random(num_edges)
+        quadrant = np.searchsorted(thresholds, u)
+        src_bit = (quadrant >= 2).astype(np.int64)
+        dst_bit = (quadrant % 2).astype(np.int64)
+        src |= src_bit * bit
+        dst |= dst_bit * bit
+    src %= num_nodes
+    dst %= num_nodes
+    keep = src != dst
+    edges = np.stack([src[keep], dst[keep]], axis=1)
+    return from_edge_list(edges, num_nodes=num_nodes, name=name, deduplicate=True)
+
+
+def erdos_renyi_graph(num_nodes: int, edge_probability: float, seed: int = 0, name: str = "") -> CSRGraph:
+    """Erdős–Rényi G(n, p) directed graph (useful for uniform-degree tests)."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GraphError("edge_probability must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    # Sample the number of edges per source row to avoid materialising n^2 bits
+    # for large n; for the small graphs used in tests this is exact enough.
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    for v in range(num_nodes):
+        mask = rng.random(num_nodes) < edge_probability
+        mask[v] = False
+        nbrs = np.nonzero(mask)[0]
+        srcs.append(np.full(nbrs.size, v, dtype=np.int64))
+        dsts.append(nbrs.astype(np.int64))
+    if srcs:
+        edges = np.stack([np.concatenate(srcs), np.concatenate(dsts)], axis=1)
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+    return from_edge_list(edges, num_nodes=num_nodes, name=name)
+
+
+def star_graph(num_leaves: int, name: str = "star") -> CSRGraph:
+    """A hub node 0 connected bidirectionally to ``num_leaves`` leaves.
+
+    The canonical high-degree-node stress test: the hub strongly favours
+    rejection sampling in the paper's cost model.
+    """
+    if num_leaves < 1:
+        raise GraphError("star graph needs at least one leaf")
+    hub_out = [(0, leaf) for leaf in range(1, num_leaves + 1)]
+    leaf_out = [(leaf, 0) for leaf in range(1, num_leaves + 1)]
+    return from_edge_list(hub_out + leaf_out, num_nodes=num_leaves + 1, name=name)
+
+
+def cycle_graph(num_nodes: int, name: str = "cycle") -> CSRGraph:
+    """A directed cycle 0 -> 1 -> ... -> n-1 -> 0 (degree-1 everywhere)."""
+    if num_nodes < 2:
+        raise GraphError("cycle graph needs at least two nodes")
+    edges = [(v, (v + 1) % num_nodes) for v in range(num_nodes)]
+    return from_edge_list(edges, num_nodes=num_nodes, name=name)
+
+
+def complete_graph(num_nodes: int, name: str = "complete") -> CSRGraph:
+    """A complete directed graph without self loops."""
+    if num_nodes < 2:
+        raise GraphError("complete graph needs at least two nodes")
+    edges = [(v, u) for v in range(num_nodes) for u in range(num_nodes) if u != v]
+    return from_edge_list(edges, num_nodes=num_nodes, name=name)

@@ -1,0 +1,108 @@
+"""Graph I/O: plain edge-list text files and binary CSR caches.
+
+The real FlexiWalker loads SNAP/LAW edge lists and caches a preprocessed CSR
+binary.  The same two paths exist here: a whitespace-separated edge-list
+reader/writer (optionally with a weight and a label column) and an ``.npz``
+CSR cache for fast reload in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builders import from_edge_list
+from repro.graph.csr import CSRGraph
+
+
+def read_edge_list(
+    path: str | Path,
+    weighted: bool = False,
+    labeled: bool = False,
+    comment: str = "#",
+    num_nodes: int | None = None,
+    name: str | None = None,
+) -> CSRGraph:
+    """Read a whitespace-separated edge-list file into a CSR graph.
+
+    Each non-comment line contains ``src dst [weight] [label]``; the optional
+    columns are parsed when ``weighted`` / ``labeled`` are set.
+    """
+    path = Path(path)
+    edges: list[tuple[int, int]] = []
+    weights: list[float] = []
+    labels: list[int] = []
+    expected_cols = 2 + int(weighted) + int(labeled)
+    with path.open() as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < expected_cols:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected at least {expected_cols} columns, got {len(parts)}"
+                )
+            try:
+                src, dst = int(parts[0]), int(parts[1])
+                edges.append((src, dst))
+                col = 2
+                if weighted:
+                    weights.append(float(parts[col]))
+                    col += 1
+                if labeled:
+                    labels.append(int(parts[col]))
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: could not parse {line!r}") from exc
+    return from_edge_list(
+        edges,
+        num_nodes=num_nodes,
+        weights=weights if weighted else None,
+        labels=labels if labeled else None,
+        name=name if name is not None else path.stem,
+    )
+
+
+def write_edge_list(graph: CSRGraph, path: str | Path, include_weights: bool = True) -> None:
+    """Write a graph to a plain edge-list file (one edge per line)."""
+    path = Path(path)
+    src = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), graph.degrees())
+    with path.open("w") as handle:
+        handle.write(f"# {graph.name or 'graph'}: {graph.num_nodes} nodes, {graph.num_edges} edges\n")
+        for i in range(graph.num_edges):
+            if include_weights:
+                handle.write(f"{src[i]} {graph.indices[i]} {graph.weights[i]:.6g}\n")
+            else:
+                handle.write(f"{src[i]} {graph.indices[i]}\n")
+
+
+def save_csr_npz(graph: CSRGraph, path: str | Path) -> None:
+    """Save the CSR arrays to a compressed ``.npz`` cache file."""
+    path = Path(path)
+    arrays = {
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+        "weights": graph.weights,
+        "name": np.array(graph.name),
+    }
+    if graph.labels is not None:
+        arrays["labels"] = graph.labels
+    np.savez_compressed(path, **arrays)
+
+
+def load_csr_npz(path: str | Path) -> CSRGraph:
+    """Load a graph previously stored with :func:`save_csr_npz`."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            return CSRGraph(
+                indptr=data["indptr"],
+                indices=data["indices"],
+                weights=data["weights"],
+                labels=data["labels"] if "labels" in data else None,
+                name=str(data["name"]) if "name" in data else "",
+            )
+    except (OSError, KeyError, ValueError) as exc:
+        raise GraphFormatError(f"could not load CSR cache from {path}") from exc

@@ -1,0 +1,19 @@
+"""Random number generation substrate.
+
+The CUDA implementation of FlexiWalker relies on cuRAND for per-thread random
+streams.  This package provides the pure-Python/numpy substitute: a
+counter-based (Philox-style) generator with cheap stream splitting so that
+every simulated GPU thread can own an independent, reproducible stream, plus
+an accounting wrapper that counts how many random numbers each kernel drew
+(one of the costs the eRVS jump optimisation is designed to reduce).
+"""
+
+from repro.rng.philox import PhiloxEngine, philox_uniform
+from repro.rng.streams import CountingStream, StreamPool
+
+__all__ = [
+    "PhiloxEngine",
+    "philox_uniform",
+    "CountingStream",
+    "StreamPool",
+]

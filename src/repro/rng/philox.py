@@ -1,0 +1,122 @@
+"""Counter-based (Philox-style) random number generation.
+
+cuRAND's default generator on the GPU is Philox4x32-10: a counter-based
+generator whose output depends only on ``(key, counter)``.  That property is
+what makes per-thread streams cheap — each thread derives a unique key and
+never needs to share state.  We reproduce the same contract here with a
+simplified two-round Philox-like bijection implemented with numpy's uint64
+arithmetic.  The generator is *statistically adequate* for random-walk
+sampling (it passes uniformity and independence smoke tests in the test
+suite) and, more importantly for the reproduction, it is deterministic,
+splittable, and cheap to vectorise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Multipliers/Weyl constants borrowed from the Philox/SplitMix literature.
+_PHILOX_M0 = np.uint64(0xD2B74407B1CE6E93)
+_GOLDEN_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+
+# 2**-53 — converts the top 53 bits of a uint64 into a double in [0, 1).
+_U64_TO_UNIT = float(2.0**-53)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer: a high-quality 64-bit bijection."""
+    with np.errstate(over="ignore"):
+        x = (x ^ (x >> np.uint64(30))) * _MIX_1
+        x = (x ^ (x >> np.uint64(27))) * _MIX_2
+        x = x ^ (x >> np.uint64(31))
+    return x
+
+
+def _philox_round(counter: np.ndarray, key: np.ndarray) -> np.ndarray:
+    """One multiply-mix round keyed by ``key`` (counter-based bijection)."""
+    with np.errstate(over="ignore"):
+        x = counter * _PHILOX_M0
+        x ^= key
+    return _mix64(x)
+
+
+def philox_uniform(key: int | np.ndarray, counter: int | np.ndarray) -> np.ndarray:
+    """Return uniform(0, 1) doubles for the given key/counter pairs.
+
+    Both arguments broadcast against each other, so a single key with a
+    vector of counters produces one independent stream, and a vector of keys
+    with a scalar counter produces one draw per stream.
+    """
+    key_arr = np.asarray(key, dtype=np.uint64)
+    counter_arr = np.asarray(counter, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        keyed = _philox_round(counter_arr + _GOLDEN_GAMMA, _mix64(key_arr))
+    return (keyed >> np.uint64(11)).astype(np.float64) * _U64_TO_UNIT
+
+
+class PhiloxEngine:
+    """A counter-based generator with an explicit key and running counter.
+
+    Parameters
+    ----------
+    seed:
+        Base seed.  Two engines created with the same seed generate the same
+        sequence of draws.
+    stream:
+        Stream index.  Engines with the same seed but different streams are
+        statistically independent (the stream participates in the key).
+    """
+
+    __slots__ = ("_key", "_counter")
+
+    def __init__(self, seed: int, stream: int = 0) -> None:
+        with np.errstate(over="ignore"):
+            key = _mix64(np.uint64(seed & 0xFFFFFFFFFFFFFFFF)) + np.uint64(stream) * _GOLDEN_GAMMA
+        self._key = np.uint64(key)
+        self._counter = np.uint64(0)
+
+    @property
+    def counter(self) -> int:
+        """Number of 64-bit outputs consumed so far."""
+        return int(self._counter)
+
+    def split(self, index: int) -> "PhiloxEngine":
+        """Derive an independent child engine (cheap stream splitting)."""
+        child = PhiloxEngine.__new__(PhiloxEngine)
+        with np.errstate(over="ignore"):
+            child._key = _mix64(self._key + np.uint64(index + 1) * _GOLDEN_GAMMA)
+        child._counter = np.uint64(0)
+        return child
+
+    def uniform(self, size: int | tuple[int, ...] | None = None) -> np.ndarray | float:
+        """Draw uniform(0, 1) doubles, advancing the counter."""
+        if size is None:
+            value = philox_uniform(self._key, self._counter)
+            with np.errstate(over="ignore"):
+                self._counter += np.uint64(1)
+            return float(value)
+        n = int(np.prod(size))
+        counters = self._counter + np.arange(n, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            self._counter += np.uint64(n)
+        values = philox_uniform(self._key, counters)
+        return values.reshape(size)
+
+    def integers(self, low: int, high: int, size: int | None = None) -> np.ndarray | int:
+        """Draw integers uniformly from ``[low, high)``."""
+        if high <= low:
+            raise ValueError(f"empty integer range [{low}, {high})")
+        span = high - low
+        u = self.uniform(size)
+        if size is None:
+            return low + int(u * span)
+        return (low + np.floor(np.asarray(u) * span)).astype(np.int64)
+
+    def exponential(self, size: int | None = None) -> np.ndarray | float:
+        """Draw standard exponential variates (used by the eRVS jump)."""
+        u = self.uniform(size)
+        if size is None:
+            return -float(np.log1p(-u))
+        return -np.log1p(-np.asarray(u))

@@ -1,0 +1,82 @@
+"""Counting RNG streams and per-thread stream pools.
+
+The number of random numbers generated is one of the explicit cost terms in
+the paper (Section 3.2: the baseline reservoir kernel draws one uniform per
+neighbour, eRVS's jump technique draws far fewer).  ``CountingStream`` wraps a
+:class:`~repro.rng.philox.PhiloxEngine` and records every draw so kernels can
+report exact RNG counts to the GPU simulator's cost counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng.philox import PhiloxEngine
+
+
+class CountingStream:
+    """RNG stream that counts how many variates have been drawn.
+
+    The count is the number of *variates*, not the number of calls, because a
+    vectorised call drawing ``n`` uniforms corresponds to ``n`` cuRAND calls
+    on the GPU.
+    """
+
+    __slots__ = ("_engine", "draws")
+
+    def __init__(self, engine: PhiloxEngine) -> None:
+        self._engine = engine
+        self.draws = 0
+
+    @classmethod
+    def from_seed(cls, seed: int, stream: int = 0) -> "CountingStream":
+        return cls(PhiloxEngine(seed, stream))
+
+    def reset_count(self) -> None:
+        self.draws = 0
+
+    def uniform(self, size: int | tuple[int, ...] | None = None) -> np.ndarray | float:
+        self.draws += 1 if size is None else int(np.prod(size))
+        return self._engine.uniform(size)
+
+    def integers(self, low: int, high: int, size: int | None = None) -> np.ndarray | int:
+        self.draws += 1 if size is None else int(size)
+        return self._engine.integers(low, high, size)
+
+    def exponential(self, size: int | None = None) -> np.ndarray | float:
+        self.draws += 1 if size is None else int(size)
+        return self._engine.exponential(size)
+
+    def split(self, index: int) -> "CountingStream":
+        """Derive an independent child stream with its own counter."""
+        return CountingStream(self._engine.split(index))
+
+
+class StreamPool:
+    """A pool of independent streams, one per simulated GPU thread.
+
+    GPU kernels assign one cuRAND state per thread.  The pool mirrors this by
+    deriving one child stream per thread index on demand and caching it, so a
+    thread that processes many walk queries keeps advancing its own stream.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._root = PhiloxEngine(seed)
+        self._streams: dict[int, CountingStream] = {}
+
+    def stream(self, thread_index: int) -> CountingStream:
+        """Return the (cached) stream owned by ``thread_index``."""
+        existing = self._streams.get(thread_index)
+        if existing is None:
+            existing = CountingStream(self._root.split(thread_index))
+            self._streams[thread_index] = existing
+        return existing
+
+    @property
+    def total_draws(self) -> int:
+        """Total variates drawn across every stream in the pool."""
+        return sum(stream.draws for stream in self._streams.values())
+
+    def reset_counts(self) -> None:
+        for stream in self._streams.values():
+            stream.reset_count()

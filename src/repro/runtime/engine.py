@@ -1,0 +1,237 @@
+"""The walk engine: executes a batch of walk queries on the simulated GPU.
+
+One engine instance binds together a graph, a workload specification, a
+device model, a sampling-strategy selector and (optionally) the
+compiler-generated estimation helpers.  Running a batch of queries produces
+the walks themselves *and* the simulated execution profile: per-query lane
+times, aggregated operation counters, the kernel makespan from the executor,
+and the per-kernel selection statistics behind Fig. 14.
+
+The same engine class also powers the baseline framework models
+(:mod:`repro.baselines`): a baseline is simply an engine with a fixed
+selector, its own device preset and a per-step framework-overhead hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.compiler.generator import CompiledWorkload
+from repro.graph.csr import CSRGraph
+from repro.gpusim.counters import CostCounters
+from repro.gpusim.device import A6000, DeviceSpec
+from repro.gpusim.executor import KernelExecutor, KernelResult
+from repro.rng.streams import StreamPool
+from repro.runtime.profiler import ProfileResult
+from repro.runtime.scheduler import DynamicQueryQueue, validate_queries
+from repro.runtime.selector import FixedSelector, SamplerSelector
+from repro.sampling.base import Sampler, StepContext
+from repro.sampling.ervs import EnhancedReservoirSampler
+from repro.walks.spec import WalkSpec
+from repro.walks.state import WalkerState, WalkQuery
+
+#: Signature of the per-step framework-overhead hook used by baseline models:
+#: it receives the step context and the kernel that ran, and may add counts.
+StepOverhead = Callable[[StepContext, Sampler], None]
+
+
+@dataclass
+class WalkRunResult:
+    """Everything produced by one simulated walk-kernel run."""
+
+    paths: list[list[int]]
+    per_query_ns: np.ndarray
+    counters: CostCounters
+    kernel: KernelResult
+    sampler_usage: dict[str, int] = field(default_factory=dict)
+    total_steps: int = 0
+    profile: ProfileResult | None = None
+    preprocess_time_ns: float = 0.0
+
+    @property
+    def time_ms(self) -> float:
+        """Simulated main walk execution time (excludes profiling/preprocessing)."""
+        return self.kernel.time_ms
+
+    @property
+    def overhead_ms(self) -> float:
+        """Simulated profiling + preprocessing time (Table 3)."""
+        profile_ns = self.profile.simulated_time_ns if self.profile else 0.0
+        return (profile_ns + self.preprocess_time_ns) / 1e6
+
+    @property
+    def total_time_ms(self) -> float:
+        return self.time_ms + self.overhead_ms
+
+    @property
+    def start_nodes(self) -> np.ndarray:
+        return np.array([path[0] for path in self.paths], dtype=np.int64)
+
+    def selection_ratio(self) -> dict[str, float]:
+        """Fraction of steps handled by each kernel (the Fig. 14 metric)."""
+        total = sum(self.sampler_usage.values())
+        if total == 0:
+            return {}
+        return {name: count / total for name, count in sorted(self.sampler_usage.items())}
+
+    def average_walk_length(self) -> float:
+        if not self.paths:
+            return 0.0
+        return float(np.mean([len(p) - 1 for p in self.paths]))
+
+
+class WalkEngine:
+    """Simulated execution of dynamic random walks on one device.
+
+    Parameters
+    ----------
+    graph / spec:
+        The graph and the workload logic.
+    device:
+        Device cost model (defaults to the A6000 preset).
+    selector:
+        Sampling-strategy selection policy; defaults to eRVS-only, which is
+        also the automatic fallback when no compiled workload is supplied.
+    compiled:
+        Output of :func:`repro.compiler.compile_workload`; provides the
+        max/sum estimation helpers.  When absent (or unsupported) the engine
+        runs without bound hints, exactly like the paper's fallback mode.
+    warp_width:
+        Cooperative width for warp kernels (32 on NVIDIA hardware).
+    weight_bytes:
+        Stored width of property weights (8 = float64; 1 models the INT8
+        extension of Section 7.2).
+    scheduling:
+        Query-to-lane scheduling policy, ``"dynamic"`` (global queue) or
+        ``"static"``.
+    selection_overhead:
+        Charge the per-step cost of evaluating the selection rule (disabled
+        for baseline models, which have no runtime selection).
+    warp_switch_overhead:
+        Charge the ballot/shuffle cost of the concurrent RJS/RVS kernel
+        (Section 5.2) whenever a warp-cooperative kernel runs.
+    step_overhead:
+        Optional per-step hook for baseline framework overheads.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        spec: WalkSpec,
+        device: DeviceSpec = A6000,
+        selector: SamplerSelector | None = None,
+        compiled: CompiledWorkload | None = None,
+        seed: int = 0,
+        warp_width: int = 32,
+        weight_bytes: int = 8,
+        scheduling: str = "dynamic",
+        selection_overhead: bool = False,
+        warp_switch_overhead: bool = False,
+        step_overhead: StepOverhead | None = None,
+    ) -> None:
+        self.graph = graph
+        self.spec = spec
+        self.device = device
+        self.selector = selector or FixedSelector(EnhancedReservoirSampler())
+        self.compiled = compiled
+        self.seed = seed
+        self.warp_width = int(warp_width)
+        self.weight_bytes = int(weight_bytes)
+        self.scheduling = scheduling
+        self.selection_overhead = bool(selection_overhead)
+        self.warp_switch_overhead = bool(warp_switch_overhead)
+        self.step_overhead = step_overhead
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        queries: list[WalkQuery],
+        profile: ProfileResult | None = None,
+    ) -> WalkRunResult:
+        """Execute every query and return walks plus the simulated profile."""
+        validate_queries(queries, self.graph.num_nodes)
+        pool = StreamPool(self.seed)
+        queue = DynamicQueryQueue(queries)
+
+        paths: list[list[int]] = []
+        per_query_ns = np.zeros(len(queries), dtype=np.float64)
+        aggregate = CostCounters(bytes_per_weight=self.weight_bytes)
+        usage: dict[str, int] = {}
+        total_steps = 0
+
+        hints_available = self.compiled is not None and self.compiled.supported
+
+        while True:
+            fetch_counters = CostCounters(bytes_per_weight=self.weight_bytes)
+            query = queue.fetch(fetch_counters)
+            if query is None:
+                break
+            state = WalkerState.start(query)
+            stream = pool.stream(query.query_id)
+            query_ns = self.device.lane_time_ns(fetch_counters)
+            aggregate.merge(fetch_counters)
+
+            while not state.finished:
+                if self.graph.degree(state.current_node) == 0:
+                    break
+                counters = CostCounters(bytes_per_weight=self.weight_bytes)
+                ctx = StepContext(
+                    graph=self.graph,
+                    state=state,
+                    spec=self.spec,
+                    rng=stream,
+                    counters=counters,
+                    warp_width=self.warp_width,
+                )
+                if hints_available:
+                    ctx.bound_hint = self.compiled.bound_hint(self.graph, state)
+                    ctx.sum_hint = self.compiled.sum_hint(self.graph, state)
+                    if self.selection_overhead:
+                        # Reading the two preprocessed aggregates feeding the
+                        # estimation helpers, plus their arithmetic.
+                        counters.coalesced_accesses += 2
+                        counters.weight_computations += 2
+
+                sampler = self.selector.select(ctx)
+                if self.warp_switch_overhead and sampler.processing_unit == "warp":
+                    # The concurrent kernel votes (__ballot_sync) and shares
+                    # the query parameters (__shfl_sync) before the warp
+                    # switches into the cooperative mode.
+                    counters.warp_syncs += 1
+
+                next_node = sampler.sample(ctx)
+                if self.step_overhead is not None:
+                    self.step_overhead(ctx, sampler)
+
+                usage[sampler.name] = usage.get(sampler.name, 0) + 1
+                total_steps += 1
+                query_ns += self.device.lane_time_ns(counters)
+                aggregate.merge(counters)
+
+                if next_node is None:
+                    break
+                self.spec.update(self.graph, state, next_node)
+                state.advance(next_node)
+
+            # Queries are fetched in submission order, so the position in the
+            # result arrays is simply how many walks have finished so far.
+            per_query_ns[len(paths)] = query_ns
+            paths.append(state.path)
+
+        executor = KernelExecutor(self.device)
+        kernel = executor.execute(per_query_ns, counters=aggregate, scheduling=self.scheduling)
+        return WalkRunResult(
+            paths=paths,
+            per_query_ns=per_query_ns,
+            counters=aggregate,
+            kernel=kernel,
+            sampler_usage=usage,
+            total_steps=total_steps,
+            profile=profile,
+            preprocess_time_ns=(
+                self.compiled.preprocessing_time_ns if self.compiled is not None else 0.0
+            ),
+        )

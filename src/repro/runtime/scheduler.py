@@ -1,0 +1,77 @@
+"""Dynamic query scheduling (Section 5.3).
+
+FlexiWalker keeps all pending walk queries behind a single global counter:
+whenever a processing unit finishes a query it atomically increments the
+counter and uses the old value to index the array of start nodes.  The same
+mechanism is reproduced here; the executor prices each fetch as one global
+atomic operation, and the timing consequences of dynamic vs. static
+assignment are modelled by :class:`~repro.gpusim.executor.KernelExecutor`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.gpusim.counters import CostCounters
+from repro.walks.state import WalkQuery
+
+
+class DynamicQueryQueue:
+    """Global-counter work queue over a fixed batch of walk queries."""
+
+    def __init__(self, queries: list[WalkQuery]) -> None:
+        self._queries = list(queries)
+        self._counter = 0
+        self.atomic_ops = 0
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    @property
+    def remaining(self) -> int:
+        return max(0, len(self._queries) - self._counter)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._counter >= len(self._queries)
+
+    def fetch(self, counters: CostCounters | None = None) -> WalkQuery | None:
+        """Atomically claim the next query, or ``None`` when the queue is empty.
+
+        Each successful or failed claim costs one atomic increment, charged to
+        ``counters`` when provided (and always tallied on the queue itself).
+        """
+        self.atomic_ops += 1
+        if counters is not None:
+            counters.atomic_ops += 1
+        if self._counter >= len(self._queries):
+            return None
+        query = self._queries[self._counter]
+        self._counter += 1
+        return query
+
+    def reset(self) -> None:
+        """Rewind the queue (used when re-running the same batch)."""
+        self._counter = 0
+        self.atomic_ops = 0
+
+    def drain(self) -> list[WalkQuery]:
+        """Fetch every remaining query (convenience for tests)."""
+        out: list[WalkQuery] = []
+        while True:
+            query = self.fetch()
+            if query is None:
+                return out
+            out.append(query)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DynamicQueryQueue({self.remaining}/{len(self._queries)} remaining)"
+
+
+def validate_queries(queries: list[WalkQuery], num_nodes: int) -> None:
+    """Sanity-check a query batch against the target graph."""
+    for query in queries:
+        if not 0 <= query.start_node < num_nodes:
+            raise SimulationError(
+                f"query {query.query_id} starts at node {query.start_node}, "
+                f"which is outside the graph (num_nodes={num_nodes})"
+            )

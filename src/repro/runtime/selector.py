@@ -1,0 +1,106 @@
+"""Sampling-strategy selection policies (Section 4.1, Fig. 13).
+
+The production policy is :class:`CostModelSelector`, which evaluates Eq. 11
+per node per step using the compiler-generated max/sum estimates and the
+profiled cost ratio.  The alternatives the paper compares against in its
+sensitivity study — random selection and degree-threshold selection — are
+implemented alongside, plus a fixed selector for the eRJS-only / eRVS-only
+ablations of Fig. 11.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import RuntimeSelectionError
+from repro.runtime.cost_model import CostModel
+from repro.sampling.base import Sampler, StepContext
+from repro.sampling.erjs import EnhancedRejectionSampler
+from repro.sampling.ervs import EnhancedReservoirSampler
+
+
+class SamplerSelector(ABC):
+    """Chooses the sampling kernel for one walk step."""
+
+    name: str = "selector"
+
+    @abstractmethod
+    def select(self, ctx: StepContext) -> Sampler:
+        """Return the kernel to use for the step described by ``ctx``."""
+
+
+class CostModelSelector(SamplerSelector):
+    """Per-node selection by the first-order cost model (the paper's policy).
+
+    The selection itself costs two uncoalesced reads (the preprocessed
+    ``h_MAX`` / ``h_SUM`` entries feeding the estimation helpers) plus a few
+    arithmetic operations, which are charged to the step's counters — the
+    overhead that makes FlexiWalker marginally slower than a fixed kernel on
+    tiny MetaPath runs (Table 2 discussion).
+    """
+
+    name = "cost_model"
+
+    def __init__(self, cost_model: CostModel | None = None) -> None:
+        self.cost_model = cost_model or CostModel()
+        self._erjs = EnhancedRejectionSampler()
+        self._ervs = EnhancedReservoirSampler()
+
+    def select(self, ctx: StepContext) -> Sampler:
+        # The h_MAX / h_SUM entries are small per-node arrays that stay cache
+        # resident, so the reads behave like coalesced accesses.
+        ctx.counters.coalesced_accesses += 2
+        ctx.counters.weight_computations += 2
+        if self.cost_model.prefer_rjs(ctx.bound_hint, ctx.sum_hint):
+            return self._erjs
+        return self._ervs
+
+
+class FixedSelector(SamplerSelector):
+    """Always run the same kernel (the eRJS-only / eRVS-only ablations)."""
+
+    def __init__(self, sampler: Sampler) -> None:
+        self.sampler = sampler
+        self.name = f"fixed_{sampler.name.lower()}"
+
+    def select(self, ctx: StepContext) -> Sampler:
+        return self.sampler
+
+
+class RandomSelector(SamplerSelector):
+    """Pick eRJS or eRVS uniformly at random (Fig. 13 baseline)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._erjs = EnhancedRejectionSampler()
+        self._ervs = EnhancedReservoirSampler()
+
+    def select(self, ctx: StepContext) -> Sampler:
+        return self._erjs if self._rng.random() < 0.5 else self._ervs
+
+
+class DegreeBasedSelector(SamplerSelector):
+    """Reservoir below a degree threshold, rejection above it (Fig. 13 baseline).
+
+    The paper's threshold is 1 000 neighbours; the benchmark harness passes a
+    scaled-down threshold matching the scale-model graphs.
+    """
+
+    name = "degree_based"
+
+    def __init__(self, threshold: int = 1000) -> None:
+        if threshold < 1:
+            raise RuntimeSelectionError("degree threshold must be at least 1")
+        self.threshold = int(threshold)
+        self._erjs = EnhancedRejectionSampler()
+        self._ervs = EnhancedReservoirSampler()
+
+    def select(self, ctx: StepContext) -> Sampler:
+        ctx.counters.random_accesses += 1
+        if ctx.degree >= self.threshold:
+            return self._erjs
+        return self._ervs

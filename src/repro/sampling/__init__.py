@@ -1,0 +1,41 @@
+"""Sampling kernels.
+
+Four *base* sampling methods appear in prior GPU walk frameworks (Section 2.2):
+alias sampling (Skywalker), inverse-transform sampling (C-SAW), rejection
+sampling (NextDoor) and reservoir sampling (FlowWalker).  FlexiWalker's first
+contribution is a pair of optimised kernels — **eRJS** (rejection sampling
+with an estimated upper bound instead of a max reduction) and **eRVS**
+(reservoir sampling with exponential keys instead of prefix sums, plus the
+jump technique for random-number generation) — implemented here alongside
+faithful reproductions of the four baselines.
+
+Every kernel draws the next node from the *exact* target distribution
+``p(u) = w̃(v, u) / Σ w̃(v, ·)`` (verified by chi-square tests in the test
+suite) and records its operation counts into the step's
+:class:`~repro.gpusim.counters.CostCounters` so the GPU simulator can price
+it.
+"""
+
+from repro.sampling.base import Sampler, StepContext, gather_transition_weights
+from repro.sampling.alias import AliasSampler
+from repro.sampling.its import InverseTransformSampler
+from repro.sampling.rejection import RejectionSampler
+from repro.sampling.reservoir import ReservoirSampler
+from repro.sampling.erjs import EnhancedRejectionSampler
+from repro.sampling.ervs import EnhancedReservoirSampler
+from repro.sampling.registry import SAMPLERS, make_sampler, sampler_names
+
+__all__ = [
+    "Sampler",
+    "StepContext",
+    "gather_transition_weights",
+    "AliasSampler",
+    "InverseTransformSampler",
+    "RejectionSampler",
+    "ReservoirSampler",
+    "EnhancedRejectionSampler",
+    "EnhancedReservoirSampler",
+    "SAMPLERS",
+    "make_sampler",
+    "sampler_names",
+]

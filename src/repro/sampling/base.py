@@ -1,0 +1,134 @@
+"""Shared sampling-kernel infrastructure: step contexts and the Sampler ABC."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.counters import CostCounters
+from repro.gpusim.warp import WARP_SIZE, WarpModel
+from repro.rng.streams import CountingStream
+from repro.walks.spec import WalkSpec
+from repro.walks.state import WalkerState
+
+
+@dataclass
+class StepContext:
+    """Everything a sampling kernel needs to take one walk step.
+
+    Attributes
+    ----------
+    graph / state / spec:
+        The graph, the walker's state, and the workload logic.
+    rng:
+        The simulated thread's random stream.
+    counters:
+        Cost counters the kernel must add its operation counts to.
+    bound_hint:
+        Estimated upper bound on the maximum transition weight of the current
+        node, produced by the compiler-generated ``get_weight_max`` helper.
+        ``None`` means no bound is available (eRJS then falls back to a max
+        reduction, like the baseline).
+    sum_hint:
+        Estimated sum of transition weights (``get_weight_sum`` helper),
+        consumed by the runtime cost model rather than the kernels.
+    warp_width:
+        Number of cooperating lanes for warp-parallel kernels.
+    """
+
+    graph: CSRGraph
+    state: WalkerState
+    spec: WalkSpec
+    rng: CountingStream
+    counters: CostCounters = field(default_factory=CostCounters)
+    bound_hint: float | None = None
+    sum_hint: float | None = None
+    warp_width: int = WARP_SIZE
+
+    def warp(self) -> WarpModel:
+        """A warp model bound to this step's counters."""
+        return WarpModel(self.counters, width=self.warp_width)
+
+    @property
+    def degree(self) -> int:
+        return self.graph.degree(self.state.current_node)
+
+    def neighbors(self) -> np.ndarray:
+        return self.graph.neighbors(self.state.current_node)
+
+
+def gather_transition_weights(
+    ctx: StepContext,
+    passes: int = 1,
+    coalesced: bool = True,
+) -> np.ndarray:
+    """Compute the transition weights of the current node and account the cost.
+
+    Parameters
+    ----------
+    passes:
+        How many full passes over the weight list the kernel makes; the
+        baseline reservoir kernel reads the weights twice (once for the
+        prefix sum, once while sampling) whereas eRVS reads them once.
+    coalesced:
+        Whether the accesses are warp-coalesced (sequential scans) or
+        uncoalesced (per-lane random probes).
+    """
+    if passes < 1:
+        raise SamplingError("passes must be at least 1")
+    weights = ctx.spec.transition_weights(ctx.graph, ctx.state)
+    degree = int(weights.size)
+    if coalesced:
+        ctx.counters.coalesced_accesses += degree * passes
+    else:
+        ctx.counters.random_accesses += degree * passes
+    ctx.counters.weight_computations += degree
+    # Workload-specific side data needed to evaluate the weights (e.g. the
+    # previous node's adjacency list for the dist(v', u) checks, or the edge
+    # labels for MetaPath) is read once per scan via a coalesced merge join.
+    ctx.counters.coalesced_accesses += ctx.spec.scan_cost_words(ctx.graph, ctx.state)
+    return weights
+
+
+def probe_overhead_words(ctx: StepContext) -> int:
+    """Uncoalesced words one rejection trial needs beyond the probed weight."""
+    return ctx.spec.probe_cost_words(ctx.graph, ctx.state)
+
+
+class Sampler(ABC):
+    """Base class for next-node sampling kernels.
+
+    A sampler receives a :class:`StepContext` and returns the *node id* of
+    the chosen neighbour, or ``None`` when the walk cannot continue (the
+    current node has no out-edges or every transition weight is zero, e.g. a
+    MetaPath dead end).
+
+    Attributes
+    ----------
+    name:
+        Short kernel tag used in tables and the selection-ratio experiment.
+    processing_unit:
+        ``"thread"`` for one-lane kernels (rejection sampling) or ``"warp"``
+        for warp-cooperative kernels (reservoir, alias, ITS) — this drives
+        the concurrent-kernel switching model of Section 5.2.
+    """
+
+    name: str = "sampler"
+    processing_unit: str = "warp"
+
+    @abstractmethod
+    def sample(self, ctx: StepContext) -> int | None:
+        """Choose the next node for the walker in ``ctx``."""
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_nonempty(ctx: StepContext) -> bool:
+        """True when the current node has at least one out-edge."""
+        return ctx.degree > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,47 @@
+"""Inverse transform sampling (ITS), the strategy of C-SAW.
+
+ITS builds the normalised cumulative distribution of the transition weights
+with a prefix sum, then inverts one uniform random number through a binary
+search (Fig. 2c).  As with alias sampling, the auxiliary structure (the CDF)
+must be rebuilt at every step of a dynamic walk, which is the overhead the
+paper's design-space study rules out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import Sampler, StepContext, gather_transition_weights
+
+
+class InverseTransformSampler(Sampler):
+    """Per-step CDF construction + binary-search inversion (C-SAW, Fig. 2c)."""
+
+    name = "ITS"
+    processing_unit = "warp"
+
+    def sample(self, ctx: StepContext) -> int | None:
+        if not self._check_nonempty(ctx):
+            return None
+        weights = gather_transition_weights(ctx)
+        degree = weights.size
+        total = float(weights.sum())
+        if total <= 0.0:
+            return None
+
+        warp = ctx.warp()
+        cdf = warp.prefix_sum(weights)
+        # Storing the normalised prefix sums is an extra write per element.
+        ctx.counters.table_builds += degree
+
+        u = ctx.rng.uniform()
+        ctx.counters.rng_draws += 1
+        target = u * total
+        # First index whose cumulative weight strictly exceeds the target;
+        # "right" side guarantees zero-weight slots (flat CDF segments) are
+        # never selected.
+        choice = int(np.searchsorted(cdf, target, side="right"))
+        choice = min(choice, degree - 1)
+        # Binary search over the stored CDF: ~log2(degree) probes.
+        ctx.counters.random_accesses += max(1, int(np.ceil(np.log2(max(degree, 2)))))
+        return int(ctx.neighbors()[choice])

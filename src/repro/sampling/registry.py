@@ -1,0 +1,40 @@
+"""Sampler registry: name → kernel factory.
+
+Used by the benchmark harness and the baseline framework models to
+instantiate kernels by their paper tags (ALS, ITS, RJS, RVS, eRJS, eRVS).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SamplingError
+from repro.sampling.alias import AliasSampler
+from repro.sampling.base import Sampler
+from repro.sampling.erjs import EnhancedRejectionSampler
+from repro.sampling.ervs import EnhancedReservoirSampler
+from repro.sampling.its import InverseTransformSampler
+from repro.sampling.rejection import RejectionSampler
+from repro.sampling.reservoir import ReservoirSampler
+
+SAMPLERS: dict[str, Callable[[], Sampler]] = {
+    "ALS": AliasSampler,
+    "ITS": InverseTransformSampler,
+    "RJS": RejectionSampler,
+    "RVS": ReservoirSampler,
+    "eRJS": EnhancedRejectionSampler,
+    "eRVS": EnhancedReservoirSampler,
+}
+
+
+def sampler_names() -> list[str]:
+    """All registered kernel tags."""
+    return list(SAMPLERS.keys())
+
+
+def make_sampler(name: str, **kwargs) -> Sampler:
+    """Instantiate a sampling kernel by its tag (case-sensitive, as in the paper)."""
+    factory = SAMPLERS.get(name)
+    if factory is None:
+        raise SamplingError(f"unknown sampler {name!r}; known: {', '.join(SAMPLERS)}")
+    return factory(**kwargs)

@@ -1,0 +1,65 @@
+"""Baseline reservoir sampling (RVS), the strategy of FlowWalker.
+
+Sequential weighted reservoir sampling visits neighbours in order and
+replaces the current candidate ``c`` by neighbour ``i`` with probability
+``w̃_i / Σ_{k<=i} w̃_k``.  FlowWalker parallelises this by precomputing the
+prefix sums ``W_i`` so every comparison becomes independent, then a max
+reduction over the surviving indices yields the final candidate (Fig. 2e).
+
+The costs this kernel pays — and which eRVS removes — are:
+
+* a full prefix sum over the transition weights (an extra pass over the
+  weight list and inter-thread communication), and
+* **one random number per neighbour**.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import Sampler, StepContext, gather_transition_weights
+
+
+def parallel_reservoir_choice(weights: np.ndarray, uniforms: np.ndarray, prefix: np.ndarray) -> int | None:
+    """FlowWalker's parallel formulation of sequential reservoir sampling.
+
+    Neighbour ``i`` *would replace* the running candidate iff
+    ``u_i * W_i < w̃_i``; because replacements are ordered, the final
+    candidate is simply the largest such ``i``.  Returns ``None`` when no
+    neighbour qualifies (only possible if every weight is zero).
+    """
+    qualified = np.nonzero(uniforms * prefix < weights)[0]
+    if qualified.size == 0:
+        return None
+    return int(qualified[-1])
+
+
+class ReservoirSampler(Sampler):
+    """Prefix-sum weighted reservoir sampling (FlowWalker's kernel, Fig. 2e)."""
+
+    name = "RVS"
+    processing_unit = "warp"
+
+    def sample(self, ctx: StepContext) -> int | None:
+        if not self._check_nonempty(ctx):
+            return None
+        # The baseline reads the weight list twice: once to build the prefix
+        # sums and once while evaluating the replacement conditions.
+        weights = gather_transition_weights(ctx, passes=2)
+        degree = weights.size
+        if float(weights.sum()) <= 0.0:
+            return None
+
+        warp = ctx.warp()
+        prefix = warp.prefix_sum(weights)
+
+        # One uniform per neighbour — the RNG cost eRVS's jump removes.
+        uniforms = np.asarray(ctx.rng.uniform(degree))
+        ctx.counters.rng_draws += degree
+
+        choice = parallel_reservoir_choice(weights, uniforms, prefix)
+        # Selecting the surviving candidate across lanes is a max reduction.
+        warp.reduce_max(np.arange(min(degree, ctx.warp_width), dtype=np.float64))
+        if choice is None:
+            return None
+        return int(ctx.neighbors()[choice])

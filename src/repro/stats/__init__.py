@@ -1,0 +1,21 @@
+"""Statistics utilities used by tests, experiments and the benchmark harness."""
+
+from repro.stats.distributions import (
+    chi_square_statistic,
+    chi_square_matches,
+    coefficient_of_variation,
+    empirical_transition_distribution,
+    weight_sum_cv_histogram,
+)
+from repro.stats.summary import geometric_mean, speedup, normalize_to
+
+__all__ = [
+    "chi_square_statistic",
+    "chi_square_matches",
+    "coefficient_of_variation",
+    "empirical_transition_distribution",
+    "weight_sum_cv_histogram",
+    "geometric_mean",
+    "speedup",
+    "normalize_to",
+]

@@ -1,0 +1,152 @@
+"""Distribution checks and the runtime weight-variation metric of Fig. 7b.
+
+Two kinds of statistics live here:
+
+* **Sampling correctness** — a chi-square goodness-of-fit test that the test
+  suite uses to verify every kernel draws from the exact target transition
+  distribution, plus a helper that estimates the empirical distribution by
+  repeatedly sampling one step.
+* **Runtime weight variation** — the coefficient-of-variation histogram of
+  per-node transition-weight sums across steps, which is the evidence the
+  paper uses (Fig. 7b) that the optimal kernel changes during a walk.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.gpusim.counters import CostCounters
+from repro.graph.csr import CSRGraph
+from repro.rng.streams import CountingStream
+from repro.sampling.base import Sampler, StepContext
+from repro.walks.spec import WalkSpec
+from repro.walks.state import WalkerState, WalkQuery
+
+
+def chi_square_statistic(observed: np.ndarray, expected: np.ndarray) -> float:
+    """Pearson chi-square statistic, ignoring zero-expectation bins."""
+    observed = np.asarray(observed, dtype=np.float64)
+    expected = np.asarray(expected, dtype=np.float64)
+    if observed.shape != expected.shape:
+        raise SamplingError("observed and expected must have the same shape")
+    mask = expected > 0
+    diff = observed[mask] - expected[mask]
+    return float(np.sum(diff * diff / expected[mask]))
+
+
+def chi_square_matches(
+    counts: np.ndarray,
+    probabilities: np.ndarray,
+    significance_factor: float = 4.0,
+) -> bool:
+    """Loose goodness-of-fit check used by the property tests.
+
+    Accepts when the chi-square statistic is below ``significance_factor``
+    times the degrees of freedom — far outside any plausible false-negative
+    region for correct kernels, while still catching systematically wrong
+    distributions (e.g. a missing weight term) immediately.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        raise SamplingError("no samples to test")
+    expected = probabilities / probabilities.sum() * total
+    dof = max(1, int(np.count_nonzero(probabilities > 0)) - 1)
+    return chi_square_statistic(counts, expected) <= significance_factor * dof
+
+
+def empirical_transition_distribution(
+    graph: CSRGraph,
+    spec: WalkSpec,
+    sampler: Sampler,
+    state: WalkerState,
+    num_samples: int = 4000,
+    seed: int = 0,
+    bound_hint: float | None = None,
+    sum_hint: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample one step repeatedly; return (empirical counts, target probabilities).
+
+    Both arrays are parallel to ``graph.neighbors(state.current_node)``.
+    """
+    stream = CountingStream.from_seed(seed)
+    neighbors = graph.neighbors(state.current_node)
+    counts = Counter()
+    for _ in range(num_samples):
+        ctx = StepContext(
+            graph=graph,
+            state=state,
+            spec=spec,
+            rng=stream,
+            counters=CostCounters(),
+            bound_hint=bound_hint,
+            sum_hint=sum_hint,
+        )
+        chosen = sampler.sample(ctx)
+        if chosen is not None:
+            counts[int(chosen)] += 1
+    weights = spec.transition_weights(graph, state)
+    total = weights.sum()
+    probabilities = weights / total if total > 0 else np.zeros_like(weights)
+    observed = np.array([counts[int(n)] for n in neighbors], dtype=np.float64)
+    return observed, probabilities
+
+
+def coefficient_of_variation(values: np.ndarray) -> float:
+    """``std / mean * 100`` (the paper's CV definition); 0 for constant input."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    mean = values.mean()
+    if mean == 0:
+        return 0.0
+    return float(values.std() / mean * 100.0)
+
+
+def weight_sum_cv_histogram(
+    graph: CSRGraph,
+    spec: WalkSpec,
+    num_nodes: int = 200,
+    steps_per_node: int = 16,
+    bins: tuple[float, ...] = (5, 10, 20, 40, 80, 160, 320, 640),
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reproduce the Fig. 7b analysis: CV of per-node weight sums across steps.
+
+    For each sampled node, the transition-weight *sum* is evaluated under
+    several different walker histories (random previous nodes), the CV of
+    those sums is computed, and the CVs across nodes are binned into the
+    histogram the figure plots.  Returns ``(bin_upper_bounds, counts)``.
+    """
+    rng = np.random.default_rng(seed)
+    degrees = graph.degrees()
+    candidates = np.nonzero(degrees > 0)[0]
+    if candidates.size == 0:
+        return np.asarray(bins, dtype=np.float64), np.zeros(len(bins) + 1, dtype=np.int64)
+    chosen = rng.choice(candidates, size=min(num_nodes, candidates.size), replace=False)
+
+    cvs = []
+    for node in chosen:
+        sums = []
+        in_neighbors = graph.neighbors(int(node))
+        for step in range(steps_per_node):
+            query = WalkQuery(query_id=int(node), start_node=int(node), max_length=2)
+            state = WalkerState.start(query)
+            if step > 0 and in_neighbors.size:
+                # Emulate a walker arriving from a random predecessor.
+                prev = int(rng.choice(in_neighbors))
+                state.prev_node = prev
+                state.step = 1 + int(rng.integers(0, 5))
+            weights = spec.transition_weights(graph, state)
+            sums.append(float(weights.sum()))
+        cvs.append(coefficient_of_variation(np.asarray(sums)))
+
+    edges = np.asarray(bins, dtype=np.float64)
+    counts = np.zeros(edges.size + 1, dtype=np.int64)
+    for cv in cvs:
+        counts[int(np.searchsorted(edges, cv, side="left"))] += 1
+    return edges, counts

@@ -1,0 +1,35 @@
+"""Aggregate statistics used when reporting experiment results."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.errors import BenchmarkError
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the paper's headline aggregation)."""
+    values = [float(v) for v in values]
+    if not values:
+        raise BenchmarkError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise BenchmarkError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(baseline_time: float, new_time: float) -> float:
+    """``baseline / new`` — how many times faster the new system is."""
+    if new_time <= 0:
+        raise BenchmarkError("cannot compute a speedup over a non-positive time")
+    return baseline_time / new_time
+
+
+def normalize_to(values: dict[str, float], reference: str) -> dict[str, float]:
+    """Normalise a name → time mapping to one entry (Fig. 3-style plots)."""
+    if reference not in values:
+        raise BenchmarkError(f"reference {reference!r} missing from results")
+    ref = values[reference]
+    if ref <= 0:
+        raise BenchmarkError("reference time must be positive")
+    return {name: value / ref for name, value in values.items()}

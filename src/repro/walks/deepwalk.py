@@ -1,0 +1,32 @@
+"""DeepWalk: the static-walk reference workload.
+
+DeepWalk (Perozzi et al., 2014) chooses every next node purely from the edge
+property weights — ``w(v, u) = 1`` — so its transition distribution per node
+never changes.  It is not one of the paper's evaluated dynamic workloads, but
+it is the natural correctness/throughput reference: static frameworks
+precompute per-node tables for it, and every dynamic kernel must reproduce its
+distribution exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.walks.spec import WalkSpec
+from repro.walks.state import WalkerState
+
+
+class DeepWalkSpec(WalkSpec):
+    """Static uniform-over-property-weights walk."""
+
+    name = "deepwalk"
+    is_dynamic = False
+    default_walk_length = 80
+
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        h_e = graph.weights[edge]
+        return h_e
+
+    def transition_weights(self, graph: CSRGraph, state: WalkerState) -> np.ndarray:
+        return graph.edge_weights(state.current_node).astype(np.float64)

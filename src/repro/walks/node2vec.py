@@ -1,0 +1,131 @@
+"""Node2Vec: the canonical second-order (dynamic) random walk.
+
+Node2Vec (Grover & Leskovec, 2016) biases each step by the distance between
+the candidate neighbour ``u`` and the previously visited node ``v'``
+(Eq. 2 of the paper):
+
+* ``dist(v', u) == 0`` (returning to ``v'``):      ``w = 1/a``
+* ``dist(v', u) == 1`` (``u`` is a neighbour of ``v'``): ``w = 1``
+* ``dist(v', u) == 2`` (otherwise):                 ``w = 1/b``
+
+The paper evaluates with ``a = 2.0`` and ``b = 0.5``.  The *unweighted*
+variant uses ``h = 1`` for every edge, which makes the maximum transition
+weight a compile-time constant (``max(1, 1/a, 1/b)``) — the PER_KERNEL case of
+Flexi-Compiler; the *weighted* variant multiplies by the property weight and
+needs a PER_STEP bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WalkSpecError
+from repro.graph.csr import CSRGraph
+from repro.walks.spec import WalkSpec
+from repro.walks.state import WalkerState
+
+
+class Node2VecSpec(WalkSpec):
+    """Node2Vec walk specification with return parameter ``a`` and in-out ``b``."""
+
+    name = "node2vec"
+    is_dynamic = True
+    default_walk_length = 80
+
+    def __init__(self, a: float = 2.0, b: float = 0.5) -> None:
+        if a <= 0 or b <= 0:
+            raise WalkSpecError("Node2Vec parameters a and b must be positive")
+        self.a = float(a)
+        self.b = float(b)
+        super().__init__()
+
+    # ------------------------------------------------------------------ #
+    # User code analysed by Flexi-Compiler (paper Fig. 9a)
+    # ------------------------------------------------------------------ #
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        h_e = graph.weights[edge]
+        post = graph.indices[edge]
+        if state.prev_node < 0:
+            return h_e
+        if post == state.prev_node:
+            return h_e / self.a
+        if not graph.has_edge(state.prev_node, post):
+            return h_e / self.b
+        return h_e
+
+    # ------------------------------------------------------------------ #
+    def transition_weights(self, graph: CSRGraph, state: WalkerState) -> np.ndarray:
+        """Vectorised Eq. 2: classify every neighbour against ``prev_node``."""
+        h = graph.edge_weights(state.current_node).astype(np.float64)
+        if state.prev_node < 0:
+            return h.copy()
+        neighbors = graph.neighbors(state.current_node)
+        prev_neighbors = graph.neighbors(state.prev_node)
+        w = np.full(neighbors.size, 1.0 / self.b, dtype=np.float64)
+        if prev_neighbors.size:
+            # Neighbour lists are sorted, so membership is a binary search.
+            pos = np.searchsorted(prev_neighbors, neighbors)
+            pos = np.clip(pos, 0, prev_neighbors.size - 1)
+            linked = prev_neighbors[pos] == neighbors
+            w[linked] = 1.0
+        w[neighbors == state.prev_node] = 1.0 / self.a
+        return w * h
+
+    # ------------------------------------------------------------------ #
+    # Simulator cost hooks: the dist(v', u) check is a membership probe.
+    # ------------------------------------------------------------------ #
+    def probe_cost_words(self, graph: CSRGraph, state: WalkerState) -> int:
+        if state.prev_node < 0:
+            return 0
+        d_prev = graph.degree(state.prev_node)
+        return int(np.ceil(np.log2(d_prev + 2)))
+
+    def scan_cost_words(self, graph: CSRGraph, state: WalkerState) -> int:
+        if state.prev_node < 0:
+            return 0
+        return graph.degree(state.prev_node)
+
+    def describe(self) -> dict[str, object]:
+        info = super().describe()
+        info.update({"a": self.a, "b": self.b})
+        return info
+
+
+class UnweightedNode2VecSpec(Node2VecSpec):
+    """Node2Vec with the property weights ignored (``h = 1`` for every edge).
+
+    This is the paper's *unweighted Node2Vec* configuration: because no
+    edge-indexed data reaches the return value, the maximum transition weight
+    is the compile-time constant ``max(1, 1/a, 1/b)`` — the PER_KERNEL case of
+    Flexi-Compiler, and the only dynamic configuration NextDoor supports
+    natively.
+    """
+
+    name = "node2vec_unweighted"
+
+    # ------------------------------------------------------------------ #
+    # User code analysed by Flexi-Compiler: note no graph.weights[edge] read.
+    # ------------------------------------------------------------------ #
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        post = graph.indices[edge]
+        if state.prev_node < 0:
+            return 1.0
+        if post == state.prev_node:
+            return 1.0 / self.a
+        if not graph.has_edge(state.prev_node, post):
+            return 1.0 / self.b
+        return 1.0
+
+    def transition_weights(self, graph: CSRGraph, state: WalkerState) -> np.ndarray:
+        neighbors = graph.neighbors(state.current_node)
+        if state.prev_node < 0:
+            return np.ones(neighbors.size, dtype=np.float64)
+        prev_neighbors = graph.neighbors(state.prev_node)
+        w = np.full(neighbors.size, 1.0 / self.b, dtype=np.float64)
+        if prev_neighbors.size:
+            pos = np.searchsorted(prev_neighbors, neighbors)
+            pos = np.clip(pos, 0, prev_neighbors.size - 1)
+            linked = prev_neighbors[pos] == neighbors
+            w[linked] = 1.0
+        w[neighbors == state.prev_node] = 1.0 / self.a
+        return w

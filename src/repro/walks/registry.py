@@ -1,0 +1,78 @@
+"""Workload registry used by the benchmark harness.
+
+The paper's evaluation covers five dynamic-walk configurations (Table 2):
+(un)weighted Node2Vec, (un)weighted MetaPath and 2nd-order PageRank.  Each
+entry here is a factory producing a fresh spec with the paper's
+hyperparameters (``a = 2.0``, ``b = 0.5``, schema ``(0..4)``, ``gamma = 0.2``)
+plus the weight scheme that should be applied to the input graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import WalkSpecError
+from repro.walks.deepwalk import DeepWalkSpec
+from repro.walks.metapath import MetaPathSpec
+from repro.walks.node2vec import Node2VecSpec, UnweightedNode2VecSpec
+from repro.walks.second_order_pr import SecondOrderPRSpec
+from repro.walks.spec import WalkSpec
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One named workload configuration."""
+
+    name: str
+    factory: Callable[[], WalkSpec]
+    weighted: bool
+    description: str
+
+    def make(self) -> WalkSpec:
+        return self.factory()
+
+
+#: The five evaluated workloads of Table 2, plus DeepWalk as a static reference.
+WORKLOADS: dict[str, WorkloadEntry] = {
+    "node2vec": WorkloadEntry(
+        "node2vec", lambda: Node2VecSpec(a=2.0, b=0.5), True,
+        "Weighted Node2Vec (a=2.0, b=0.5), the paper's main workload",
+    ),
+    "node2vec_unweighted": WorkloadEntry(
+        "node2vec_unweighted", lambda: UnweightedNode2VecSpec(a=2.0, b=0.5), False,
+        "Unweighted Node2Vec (h = 1), the PER_KERNEL bound case",
+    ),
+    "metapath": WorkloadEntry(
+        "metapath", lambda: MetaPathSpec(schema=(0, 1, 2, 3, 4)), True,
+        "Weighted MetaPath with schema (0,1,2,3,4), depth 5",
+    ),
+    "metapath_unweighted": WorkloadEntry(
+        "metapath_unweighted", lambda: MetaPathSpec(schema=(0, 1, 2, 3, 4)), False,
+        "Unweighted MetaPath with schema (0,1,2,3,4), depth 5",
+    ),
+    "2nd_pr": WorkloadEntry(
+        "2nd_pr", lambda: SecondOrderPRSpec(gamma=0.2), True,
+        "Second-order PageRank (gamma = 0.2)",
+    ),
+    "deepwalk": WorkloadEntry(
+        "deepwalk", lambda: DeepWalkSpec(), True,
+        "DeepWalk static reference walk",
+    ),
+}
+
+
+def workload_names(dynamic_only: bool = False) -> list[str]:
+    """Names of the registered workloads (paper order)."""
+    names = list(WORKLOADS.keys())
+    if dynamic_only:
+        names = [n for n in names if WORKLOADS[n].make().is_dynamic]
+    return names
+
+
+def make_workload(name: str) -> WalkSpec:
+    """Instantiate a registered workload by name."""
+    entry = WORKLOADS.get(name)
+    if entry is None:
+        raise WalkSpecError(f"unknown workload {name!r}; known: {', '.join(WORKLOADS)}")
+    return entry.make()

@@ -1,0 +1,139 @@
+"""The gather-move-update walk specification interface.
+
+Users of FlexiWalker implement three functions (Section 4.2):
+
+* ``init``        — set workload-specific hyperparameters,
+* ``get_weight``  — compute the transition weight of one edge,
+* ``update``      — update query-specific parameters after each step.
+
+``get_weight`` receives the graph, the walker state and the *global edge
+index* of the candidate edge, and returns the full transition weight
+``w̃(v, u) = w(v, u) · h(v, u)`` — exactly the contract of the CUDA API in
+Fig. 9a.  Flexi-Compiler statically analyses the Python source of this method
+to generate the max/sum estimation helpers used by eRJS and the runtime cost
+model.
+
+For execution speed, a spec may also override ``transition_weights`` with a
+vectorised implementation that returns the weights of every out-edge of the
+current node at once; the default implementation simply loops over
+``get_weight``.  Both paths must agree — the test suite checks this for every
+built-in workload.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import WalkSpecError
+from repro.graph.csr import CSRGraph
+from repro.walks.state import WalkerState
+
+
+class WalkSpec(ABC):
+    """Base class for dynamic random walk workloads.
+
+    Attributes
+    ----------
+    name:
+        Workload tag used in result tables.
+    is_dynamic:
+        True when the transition weights depend on walker state (everything
+        except DeepWalk here).
+    default_walk_length:
+        The walk length the paper uses for this workload (80, or the schema
+        depth for MetaPath).
+    """
+
+    name: str = "walk"
+    is_dynamic: bool = True
+    default_walk_length: int = 80
+
+    def __init__(self) -> None:
+        self.init()
+
+    # ------------------------------------------------------------------ #
+    # The user-facing gather-move-update API
+    # ------------------------------------------------------------------ #
+    def init(self) -> None:
+        """Initialise workload-specific hyperparameters (optional override)."""
+
+    @abstractmethod
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        """Transition weight of the edge at global edge index ``edge``."""
+
+    def update(self, graph: CSRGraph, state: WalkerState, next_node: int) -> None:
+        """Update query-specific parameters after a step (optional override)."""
+
+    # ------------------------------------------------------------------ #
+    # Framework-facing helpers
+    # ------------------------------------------------------------------ #
+    def transition_weights(self, graph: CSRGraph, state: WalkerState) -> np.ndarray:
+        """Weights of every out-edge of the current node (vectorised hook).
+
+        The default implementation loops over :meth:`get_weight`; built-in
+        workloads override it with numpy code.  Either way the result is
+        parallel to ``graph.neighbors(state.current_node)``.
+        """
+        start, stop = graph.edge_slice(state.current_node)
+        return np.array(
+            [self.get_weight(graph, state, e) for e in range(start, stop)],
+            dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cost hooks consumed by the GPU simulator
+    # ------------------------------------------------------------------ #
+    def probe_cost_words(self, graph: CSRGraph, state: WalkerState) -> int:
+        """Extra uncoalesced words read to evaluate ``get_weight`` for ONE edge.
+
+        Rejection-style kernels evaluate the dynamic weight of a single probed
+        candidate, which for second-order workloads involves a membership
+        check against the previous node's adjacency list (a binary search).
+        Static workloads cost nothing beyond the property-weight read.
+        """
+        return 0
+
+    def scan_cost_words(self, graph: CSRGraph, state: WalkerState) -> int:
+        """Extra coalesced words read to evaluate the weights of ALL out-edges.
+
+        Scan-style kernels (reservoir, alias, ITS) evaluate every neighbour's
+        weight in one pass; second-order workloads can amortise the
+        membership checks with a merge join over the previous node's sorted
+        adjacency list, so the extra traffic is that list — read once per
+        step, not once per neighbour.
+        """
+        return 0
+
+    def walk_length(self, requested: int | None = None) -> int:
+        """Resolve the walk length (requested value or the workload default)."""
+        length = self.default_walk_length if requested is None else int(requested)
+        if length < 1:
+            raise WalkSpecError("walk length must be at least 1")
+        return length
+
+    def describe(self) -> dict[str, object]:
+        """Human-readable hyperparameter dump (used in experiment logs)."""
+        return {"name": self.name, "dynamic": self.is_dynamic}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class UniformWalkSpec(WalkSpec):
+    """A trivially static walk: every edge has weight ``h`` (w = 1).
+
+    Useful as a correctness reference — every sampler must reproduce the
+    property-weight distribution exactly on this spec.
+    """
+
+    name = "uniform"
+    is_dynamic = False
+
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        h_e = graph.weights[edge]
+        return h_e
+
+    def transition_weights(self, graph: CSRGraph, state: WalkerState) -> np.ndarray:
+        return graph.edge_weights(state.current_node).astype(np.float64)

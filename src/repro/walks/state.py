@@ -1,0 +1,118 @@
+"""Walker and query state.
+
+A *query* is one requested random walk (start node + maximum length); a
+*walker state* is the evolving position of that walk: current node, previous
+node, step counter, the path so far and a small dict of workload-specific
+fields (e.g. the MetaPath schema position).  Dynamic random walks are dynamic
+precisely because ``get_weight`` reads this state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WalkSpecError
+
+
+@dataclass(frozen=True)
+class WalkQuery:
+    """One requested random walk."""
+
+    query_id: int
+    start_node: int
+    max_length: int
+
+    def __post_init__(self) -> None:
+        if self.max_length < 1:
+            raise WalkSpecError("walk length must be at least 1 step")
+        if self.start_node < 0:
+            raise WalkSpecError("start node must be non-negative")
+
+
+@dataclass
+class WalkerState:
+    """Mutable per-walker state consulted by ``get_weight`` at every step.
+
+    Attributes
+    ----------
+    query:
+        The originating query.
+    current_node:
+        Node the walker currently sits on.
+    prev_node:
+        Node visited in the previous step, or ``-1`` before the first step.
+        Node2Vec and 2nd-order PageRank read this to bias the next step.
+    step:
+        Zero-based index of the step about to be taken.
+    path:
+        Nodes visited so far (starts with the start node).
+    params:
+        Workload-specific mutable fields, e.g. ``{"schema_pos": 2}``.
+    """
+
+    query: WalkQuery
+    current_node: int
+    prev_node: int = -1
+    step: int = 0
+    path: list[int] = field(default_factory=list)
+    params: dict[str, float | int] = field(default_factory=dict)
+
+    @classmethod
+    def start(cls, query: WalkQuery) -> "WalkerState":
+        """Fresh walker positioned on the query's start node."""
+        return cls(query=query, current_node=query.start_node, path=[query.start_node])
+
+    def advance(self, next_node: int) -> None:
+        """Move the walker to ``next_node`` (called after the workload update)."""
+        self.prev_node = self.current_node
+        self.current_node = int(next_node)
+        self.path.append(int(next_node))
+        self.step += 1
+
+    @property
+    def finished(self) -> bool:
+        return self.step >= self.query.max_length
+
+    @property
+    def walk_length(self) -> int:
+        """Number of steps taken so far."""
+        return len(self.path) - 1
+
+
+def make_queries(
+    num_nodes: int,
+    walk_length: int,
+    num_queries: int | None = None,
+    start_nodes: np.ndarray | None = None,
+    seed: int = 0,
+) -> list[WalkQuery]:
+    """Create walk queries, one per node by default (the paper's setting).
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes in the graph.
+    walk_length:
+        Maximum number of steps per walk (80 in the paper, 5 for MetaPath).
+    num_queries:
+        When smaller than ``num_nodes``, a deterministic subsample of start
+        nodes is used (the benchmark harness uses this to keep the
+        scale-model runs short).
+    start_nodes:
+        Explicit start nodes; overrides ``num_queries``.
+    """
+    if num_nodes < 1:
+        raise WalkSpecError("graph must have at least one node")
+    if start_nodes is not None:
+        starts = np.asarray(start_nodes, dtype=np.int64)
+    elif num_queries is None or num_queries >= num_nodes:
+        starts = np.arange(num_nodes, dtype=np.int64)
+    else:
+        rng = np.random.default_rng(seed)
+        starts = rng.choice(num_nodes, size=num_queries, replace=False).astype(np.int64)
+        starts.sort()
+    if starts.size and (starts.min() < 0 or starts.max() >= num_nodes):
+        raise WalkSpecError("start nodes must be valid node ids")
+    return [WalkQuery(query_id=i, start_node=int(s), max_length=walk_length) for i, s in enumerate(starts)]

@@ -1,0 +1,139 @@
+"""Tests for the baseline system models."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.base import BaselineSystem
+from repro.baselines.registry import (
+    BASELINES,
+    CPU_BASELINES,
+    GPU_BASELINES,
+    baseline_names,
+    make_baseline,
+)
+from repro.errors import BenchmarkError
+from repro.graph.datasets import DATASETS
+from repro.gpusim.device import A6000
+from repro.sampling.alias import AliasSampler
+from repro.sampling.its import InverseTransformSampler
+from repro.sampling.rejection import RejectionSampler
+from repro.sampling.reservoir import ReservoirSampler
+from repro.walks.metapath import MetaPathSpec
+from repro.walks.node2vec import Node2VecSpec, UnweightedNode2VecSpec
+from repro.walks.state import make_queries
+
+SMALL_GPU = A6000.scaled(8 / A6000.parallel_lanes)
+
+
+def scaled(system: BaselineSystem) -> BaselineSystem:
+    if system.is_gpu:
+        return dataclasses.replace(system, device=SMALL_GPU)
+    return dataclasses.replace(system, device=system.device.scaled(0.25))
+
+
+class TestRegistry:
+    def test_all_paper_baselines_registered(self):
+        assert set(BASELINES) == {
+            "SOWalker", "ThunderRW", "C-SAW", "NextDoor", "Skywalker", "FlowWalker", "KnightKing",
+        }
+
+    def test_platform_filters(self):
+        assert set(baseline_names("cpu")) == set(CPU_BASELINES)
+        assert set(baseline_names("gpu")) == set(GPU_BASELINES)
+        with pytest.raises(BenchmarkError):
+            baseline_names("tpu")
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(BenchmarkError):
+            make_baseline("GraphWalker")
+
+    def test_platforms_match_paper(self):
+        for name in ("SOWalker", "ThunderRW", "KnightKing"):
+            assert make_baseline(name).platform == "cpu"
+        for name in ("C-SAW", "NextDoor", "Skywalker", "FlowWalker"):
+            assert make_baseline(name).platform == "gpu"
+
+
+class TestSamplingStrategies:
+    def test_flowwalker_uses_reservoir(self):
+        assert isinstance(make_baseline("FlowWalker").sampler_factory(Node2VecSpec()), ReservoirSampler)
+
+    def test_csaw_uses_its(self):
+        assert isinstance(make_baseline("C-SAW").sampler_factory(Node2VecSpec()), InverseTransformSampler)
+
+    def test_skywalker_uses_alias(self):
+        assert isinstance(make_baseline("Skywalker").sampler_factory(Node2VecSpec()), AliasSampler)
+
+    def test_nextdoor_uses_rejection(self):
+        assert isinstance(make_baseline("NextDoor").sampler_factory(Node2VecSpec()), RejectionSampler)
+
+    def test_thunderrw_switches_by_workload(self):
+        system = make_baseline("ThunderRW")
+        assert isinstance(system.sampler_factory(UnweightedNode2VecSpec()), RejectionSampler)
+        assert isinstance(system.sampler_factory(Node2VecSpec()), InverseTransformSampler)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", sorted(BASELINES))
+    def test_every_baseline_runs_node2vec(self, small_graph, name):
+        system = scaled(make_baseline(name))
+        queries = make_queries(small_graph.num_nodes, walk_length=3, num_queries=6)
+        result = system.run(small_graph, Node2VecSpec(), queries, seed=1)
+        assert len(result.paths) == 6
+        assert result.time_ms > 0
+
+    def test_cpu_baselines_much_slower_than_gpu(self, small_graph):
+        queries = make_queries(small_graph.num_nodes, walk_length=4, num_queries=8)
+        gpu_time = scaled(make_baseline("FlowWalker")).run(small_graph, Node2VecSpec(), queries).time_ms
+        cpu_time = scaled(make_baseline("ThunderRW")).run(small_graph, Node2VecSpec(), queries).time_ms
+        assert cpu_time > 3 * gpu_time
+
+    def test_nextdoor_skips_max_reduce_for_static_bound_workload(self, small_graph):
+        system = scaled(make_baseline("NextDoor"))
+        queries = make_queries(small_graph.num_nodes, walk_length=4, num_queries=6)
+        weighted = system.run(small_graph, Node2VecSpec(), queries)
+        unweighted = system.run(small_graph, UnweightedNode2VecSpec(), queries)
+        # The unweighted run avoids the per-step weight scan, so it touches
+        # far fewer coalesced words per step.
+        assert (
+            unweighted.counters.coalesced_accesses
+            < 0.5 * weighted.counters.coalesced_accesses
+        )
+
+    def test_sowalker_pays_block_io_amplification(self, small_graph):
+        queries = make_queries(small_graph.num_nodes, walk_length=3, num_queries=6)
+        sow = scaled(make_baseline("SOWalker")).run(small_graph, MetaPathSpec(), queries)
+        thunder = scaled(make_baseline("ThunderRW")).run(small_graph, MetaPathSpec(), queries)
+        assert sow.counters.coalesced_accesses > thunder.counters.coalesced_accesses
+
+    def test_nextdoor_transit_grouping_charged(self, small_graph):
+        queries = make_queries(small_graph.num_nodes, walk_length=3, num_queries=6)
+        result = scaled(make_baseline("NextDoor")).run(small_graph, Node2VecSpec(), queries)
+        assert result.counters.atomic_ops >= 2 * result.total_steps
+
+
+class TestMemoryModel:
+    def test_flowwalker_fits_sk_at_paper_scale(self):
+        assert make_baseline("FlowWalker").fits_in_memory(DATASETS["SK"])
+
+    def test_nextdoor_ooms_on_sk_at_paper_scale(self):
+        assert not make_baseline("NextDoor").fits_in_memory(DATASETS["SK"])
+
+    def test_csaw_ooms_on_largest_graphs(self):
+        csaw = make_baseline("C-SAW")
+        assert not csaw.fits_in_memory(DATASETS["SK"])
+        assert csaw.fits_in_memory(DATASETS["YT"])
+
+    def test_everyone_fits_on_small_graphs(self):
+        for name in GPU_BASELINES:
+            assert make_baseline(name).fits_in_memory(DATASETS["YT"]), name
+
+    def test_cpu_systems_have_host_memory(self):
+        assert make_baseline("ThunderRW").fits_in_memory(DATASETS["SK"])
+
+    def test_required_memory_grows_with_graph(self):
+        system = make_baseline("FlowWalker")
+        assert system.required_memory_bytes(DATASETS["SK"]) > system.required_memory_bytes(DATASETS["YT"])

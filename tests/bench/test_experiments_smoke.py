@@ -1,0 +1,52 @@
+"""Smoke tests: every paper experiment runs end-to-end on a tiny configuration.
+
+These tests are about wiring, not numbers: each experiment module must
+execute, produce its structured result, and render its paper-style table.
+The shape assertions that matter (who wins, trends) are covered in the
+integration tests; the full-size runs live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.experiments import EXPERIMENT_MODULES
+
+TINY = ExperimentConfig(num_queries=10, walk_length=3, datasets=("YT",))
+
+
+@pytest.mark.parametrize("module_name", EXPERIMENT_MODULES)
+def test_experiment_runs_and_formats(module_name):
+    module = importlib.import_module(f"repro.bench.experiments.{module_name}")
+    result = module.run_experiment(TINY)
+    assert isinstance(result, dict)
+    assert "paper_reference" in result
+    text = module.format_result(result)
+    assert isinstance(text, str)
+    assert len(text.splitlines()) >= 2
+
+
+def test_experiment_registry_lists_every_module():
+    assert len(EXPERIMENT_MODULES) == 13
+    for name in EXPERIMENT_MODULES:
+        assert importlib.import_module(f"repro.bench.experiments.{name}")
+
+
+def test_table2_reports_speedup_summary():
+    from repro.bench.experiments import table2_uniform
+
+    result = table2_uniform.run_experiment(TINY)
+    summary = result["summary"]
+    assert summary["geomean_speedup_over_best_gpu"] > 0
+    assert summary["geomean_speedup_over_best_cpu"] > summary["geomean_speedup_over_best_gpu"]
+
+
+def test_fig14_ratio_fractions_sum_to_one():
+    from repro.bench.experiments import fig14_ratio
+
+    result = fig14_ratio.run_experiment(TINY)
+    for row in result["rows"]:
+        assert row["eRJS_fraction"] + row["eRVS_fraction"] == pytest.approx(1.0)

@@ -1,0 +1,127 @@
+"""Tests for the benchmark harness (config, runner, tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.runner import (
+    prepare_graph,
+    prepare_queries,
+    run_baseline,
+    run_fixed_sampler,
+    run_flexiwalker,
+    scaled_device_for,
+)
+from repro.bench.tables import format_mapping, format_table
+from repro.errors import BenchmarkError
+from repro.sampling.ervs import EnhancedReservoirSampler
+
+TINY = ExperimentConfig(num_queries=12, walk_length=3, datasets=("YT",))
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        config = ExperimentConfig.quick()
+        assert config.num_queries > 0
+        assert all(d in ("YT", "CP", "OK", "EU") for d in config.datasets)
+
+    def test_full_covers_all_datasets(self):
+        assert len(ExperimentConfig.full().datasets) == 10
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(BenchmarkError):
+            ExperimentConfig(num_queries=0)
+        with pytest.raises(BenchmarkError):
+            ExperimentConfig(walk_length=0)
+        with pytest.raises(BenchmarkError):
+            ExperimentConfig(datasets=("NOPE",))
+
+
+class TestDeviceScaling:
+    def test_gpu_lanes_track_query_count(self):
+        small = scaled_device_for("gpu", 40, waves=4)
+        large = scaled_device_for("gpu", 400, waves=4)
+        assert small.parallel_lanes == 10
+        assert large.parallel_lanes == 100
+
+    def test_cpu_scaled_by_same_factor(self):
+        gpu = scaled_device_for("gpu", 400, waves=4)
+        cpu = scaled_device_for("cpu", 400, waves=4)
+        assert cpu.parallel_lanes < gpu.parallel_lanes
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(BenchmarkError):
+            scaled_device_for("fpga", 10)
+
+
+class TestGraphAndQueryPreparation:
+    def test_unweighted_workload_gets_unit_weights(self):
+        graph = prepare_graph("YT", "node2vec_unweighted", weights="powerlaw")
+        assert not graph.is_weighted
+
+    def test_weighted_workload_keeps_scheme(self):
+        graph = prepare_graph("YT", "node2vec", weights="powerlaw", alpha=1.5)
+        assert graph.is_weighted
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(BenchmarkError):
+            prepare_graph("YT", "random-walk-9000")
+
+    def test_metapath_queries_use_schema_depth(self):
+        graph = prepare_graph("YT", "metapath")
+        queries = prepare_queries(graph, "metapath", TINY)
+        assert queries[0].max_length == 5
+
+    def test_query_count_respects_config(self):
+        graph = prepare_graph("YT", "node2vec")
+        assert len(prepare_queries(graph, "node2vec", TINY)) == 12
+
+
+class TestSystemRunners:
+    def test_run_baseline_ok(self):
+        run = run_baseline("FlowWalker", "YT", "node2vec", TINY)
+        assert run.ok
+        assert run.time_ms > 0
+        assert run.cell() == f"{run.time_ms:.4f}"
+
+    def test_run_flexiwalker_ok(self):
+        run = run_flexiwalker("YT", "node2vec", TINY)
+        assert run.ok
+        assert run.system == "FlexiWalker"
+
+    def test_run_flexiwalker_ablation_label(self):
+        run = run_flexiwalker("YT", "node2vec", TINY, selection="ervs_only", check_memory=False)
+        assert run.system == "FlexiWalker[ervs_only]"
+
+    def test_oom_reported_for_nextdoor_on_sk(self):
+        config = ExperimentConfig(num_queries=12, walk_length=3, datasets=("SK",))
+        run = run_baseline("NextDoor", "SK", "node2vec", config)
+        assert run.status == "OOM"
+        assert run.cell() == "OOM"
+
+    def test_oot_reported_when_over_limit(self):
+        config = ExperimentConfig(num_queries=12, walk_length=3, datasets=("YT",), oot_limit_ms=1e-9)
+        run = run_baseline("FlowWalker", "YT", "node2vec", config)
+        assert run.status == "OOT"
+
+    def test_run_fixed_sampler(self):
+        run = run_fixed_sampler("YT", "node2vec", TINY, EnhancedReservoirSampler(), label="eRVS-only")
+        assert run.ok
+        assert run.system == "eRVS-only"
+
+
+class TestTables:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+    def test_format_table_with_title(self):
+        assert format_table(["x"], [[1]], title="T").startswith("T\n")
+
+    def test_format_mapping(self):
+        text = format_mapping({"metric": 3.0}, title="M")
+        assert "metric" in text
+        assert "3.0" in text

@@ -1,0 +1,139 @@
+"""Tests for the Flexi-Compiler code analyser (dependency checker + flag allocator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.analyzer import analyze_get_weight
+from repro.compiler.flags import BoundGranularity
+from repro.graph.csr import CSRGraph
+from repro.walks.metapath import MetaPathSpec
+from repro.walks.node2vec import Node2VecSpec, UnweightedNode2VecSpec
+from repro.walks.second_order_pr import SecondOrderPRSpec
+from repro.walks.spec import UniformWalkSpec, WalkSpec
+from repro.walks.state import WalkerState
+
+
+class TestBuiltinWorkloads:
+    def test_weighted_node2vec_is_per_step(self):
+        analysis = analyze_get_weight(Node2VecSpec())
+        assert analysis.supported
+        assert analysis.granularity is BoundGranularity.PER_STEP
+        assert "h_e" in analysis.edge_indexed_names
+        assert analysis.source_array_for("h_e") == "weights"
+
+    def test_unweighted_node2vec_is_per_kernel(self):
+        analysis = analyze_get_weight(UnweightedNode2VecSpec())
+        assert analysis.supported
+        assert analysis.granularity is BoundGranularity.PER_KERNEL
+
+    def test_metapath_reads_weights_and_labels(self):
+        analysis = analyze_get_weight(MetaPathSpec())
+        assert analysis.supported
+        sources = {v.source_array for v in analysis.edge_indexed}
+        assert "weights" in sources
+        assert "labels" in sources
+
+    def test_second_order_pr_is_per_step(self):
+        analysis = analyze_get_weight(SecondOrderPRSpec())
+        assert analysis.supported
+        assert analysis.granularity is BoundGranularity.PER_STEP
+
+    def test_return_expressions_collected_in_source_order(self):
+        analysis = analyze_get_weight(Node2VecSpec())
+        # Four return branches: first-step, return-to-prev, unlinked, linked.
+        assert len(analysis.return_expressions) == 4
+        assert len(analysis.return_dependencies) == 4
+
+    def test_condition_only_variables_do_not_force_fallback(self):
+        # `post = graph.indices[edge]` only appears in conditions; the
+        # analyser must keep the workload supported.
+        analysis = analyze_get_weight(Node2VecSpec())
+        assert analysis.supported
+
+    def test_argument_names_recorded(self):
+        analysis = analyze_get_weight(Node2VecSpec())
+        assert analysis.argument_names == ("self", "graph", "state", "edge")
+
+
+class _LoopSpec(WalkSpec):
+    """Unsupported: a data-dependent loop inside get_weight."""
+
+    name = "loop"
+
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        h_e = graph.weights[edge]
+        total = 0.0
+        while total < h_e:
+            total += 1.0
+        return total
+
+
+class _RecursiveSpec(WalkSpec):
+    """Unsupported: recursion."""
+
+    name = "recursive"
+
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        if edge == 0:
+            return 1.0
+        return self.get_weight(graph, state, edge - 1)
+
+
+class _WarpIntrinsicSpec(WalkSpec):
+    """Unsupported: inter-thread communication in user code (Section 5.2)."""
+
+    name = "warpy"
+
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        h_e = graph.weights[edge]
+        self.ballot_sync(h_e)
+        return h_e
+
+    def ballot_sync(self, value: float) -> float:  # pragma: no cover - helper
+        return value
+
+
+class _IndexReturnSpec(WalkSpec):
+    """Unsupported bound: the return value is the neighbour id itself."""
+
+    name = "index_return"
+
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        post = graph.indices[edge]
+        return float(post)
+
+
+class _NoReturnValueSpec(WalkSpec):
+    """Degenerate user code with no return expression."""
+
+    name = "no_return"
+
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        h_e = graph.weights[edge]
+        return None  # type: ignore[return-value]
+
+
+class TestUnsupportedConstructs:
+    def test_loop_triggers_fallback(self):
+        analysis = analyze_get_weight(_LoopSpec())
+        assert not analysis.supported
+        assert any("loop" in w for w in analysis.warnings)
+
+    def test_recursion_triggers_fallback(self):
+        analysis = analyze_get_weight(_RecursiveSpec())
+        assert not analysis.supported
+        assert any("recursive" in w for w in analysis.warnings)
+
+    def test_warp_intrinsics_trigger_fallback(self):
+        analysis = analyze_get_weight(_WarpIntrinsicSpec())
+        assert not analysis.supported
+        assert any("intrinsic" in w for w in analysis.warnings)
+
+    def test_index_based_return_triggers_fallback(self):
+        analysis = analyze_get_weight(_IndexReturnSpec())
+        assert not analysis.supported
+        assert any("non-aggregatable" in w for w in analysis.warnings)
+
+    def test_supported_workloads_have_no_warnings(self):
+        assert analyze_get_weight(UniformWalkSpec()).warnings == []

@@ -1,0 +1,129 @@
+"""Tests for the code generator (get_weight_max / get_weight_sum helpers)."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.compiler.flags import BoundGranularity
+from repro.compiler.generator import compile_workload
+from repro.errors import CompilerWarning
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import A6000
+from repro.walks.metapath import MetaPathSpec
+from repro.walks.node2vec import Node2VecSpec, UnweightedNode2VecSpec
+from repro.walks.second_order_pr import SecondOrderPRSpec
+from repro.walks.spec import WalkSpec
+from repro.walks.state import WalkerState
+
+from tests.conftest import make_state
+
+PER_STEP_SPECS = [Node2VecSpec(), MetaPathSpec(), SecondOrderPRSpec()]
+
+
+class TestBoundSoundness:
+    """The generated bound must never fall below the true maximum weight."""
+
+    @pytest.mark.parametrize("spec", PER_STEP_SPECS, ids=lambda s: s.name)
+    def test_bound_upper_bounds_true_max_everywhere(self, spec, small_graph):
+        compiled = compile_workload(spec, small_graph)
+        assert compiled.supported
+        for node in range(0, small_graph.num_nodes, 3):
+            if small_graph.degree(node) == 0:
+                continue
+            prev_candidates = small_graph.neighbors(node)
+            prev = int(prev_candidates[0]) if prev_candidates.size else None
+            state = make_state(small_graph, node=node, prev=prev, step=1)
+            bound = compiled.bound_hint(small_graph, state)
+            true_max = spec.transition_weights(small_graph, state).max()
+            assert bound is not None
+            assert bound >= true_max - 1e-9
+
+    def test_unweighted_node2vec_bound_is_constant_two(self, small_graph):
+        compiled = compile_workload(UnweightedNode2VecSpec(a=2.0, b=0.5), small_graph)
+        state = make_state(small_graph, node=0)
+        assert compiled.granularity is BoundGranularity.PER_KERNEL
+        assert compiled.bound_hint(small_graph, state) == pytest.approx(2.0)
+
+    def test_per_kernel_bound_cached(self, small_graph):
+        compiled = compile_workload(UnweightedNode2VecSpec(), small_graph)
+        state = make_state(small_graph, node=0)
+        first = compiled.bound_hint(small_graph, state)
+        second = compiled.bound_hint(small_graph, make_state(small_graph, node=1))
+        assert first == second
+
+
+class TestSumEstimate:
+    @pytest.mark.parametrize("spec", PER_STEP_SPECS, ids=lambda s: s.name)
+    def test_sum_estimate_positive_and_finite(self, spec, small_graph):
+        compiled = compile_workload(spec, small_graph)
+        prev = int(small_graph.neighbors(0)[0])
+        state = make_state(small_graph, node=0, prev=prev, step=1)
+        estimate = compiled.sum_hint(small_graph, state)
+        assert estimate is not None
+        assert np.isfinite(estimate)
+        assert estimate > 0
+
+    def test_sum_estimate_within_factor_of_truth_for_node2vec(self, small_graph):
+        spec = Node2VecSpec(a=2.0, b=0.5)
+        compiled = compile_workload(spec, small_graph)
+        prev = int(small_graph.neighbors(0)[0])
+        state = make_state(small_graph, node=0, prev=prev, step=1)
+        estimate = compiled.sum_hint(small_graph, state)
+        truth = spec.transition_weights(small_graph, state).sum()
+        assert truth / 5 <= estimate <= truth * 5
+
+    def test_per_kernel_sum_scales_with_degree(self, small_graph):
+        compiled = compile_workload(UnweightedNode2VecSpec(), small_graph)
+        degrees = small_graph.degrees()
+        hi = int(np.argmax(degrees))
+        lo = int(np.argmin(degrees[degrees > 0])) if np.any(degrees > 0) else hi
+        hi_est = compiled.sum_hint(small_graph, make_state(small_graph, node=hi))
+        lo_node = int(np.nonzero(degrees == degrees[degrees > 0].min())[0][0])
+        lo_est = compiled.sum_hint(small_graph, make_state(small_graph, node=lo_node))
+        assert hi_est >= lo_est
+
+
+class TestPreprocessingIntegration:
+    def test_per_step_workloads_get_preprocessed_aggregates(self, small_graph):
+        compiled = compile_workload(Node2VecSpec(), small_graph)
+        assert compiled.preprocessed is not None
+        assert compiled.preprocessed.has_array("weights")
+
+    def test_per_kernel_workloads_skip_preprocessing(self, small_graph):
+        compiled = compile_workload(UnweightedNode2VecSpec(), small_graph)
+        assert compiled.preprocessed is None
+        assert compiled.preprocessing_time_ns == 0.0
+
+    def test_preprocessing_time_reported_with_device(self, small_graph):
+        compiled = compile_workload(Node2VecSpec(), small_graph, device=A6000)
+        assert compiled.preprocessing_time_ns > 0
+
+
+class _LoopSpec(WalkSpec):
+    name = "loop"
+
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        h_e = graph.weights[edge]
+        total = 0.0
+        for _ in range(3):
+            total += h_e
+        return total
+
+
+class TestFallback:
+    def test_unsupported_workload_warns_and_disables_helpers(self, small_graph):
+        with pytest.warns(CompilerWarning):
+            compiled = compile_workload(_LoopSpec(), small_graph)
+        assert not compiled.supported
+        state = make_state(small_graph, node=0)
+        assert compiled.bound_hint(small_graph, state) is None
+        assert compiled.sum_hint(small_graph, state) is None
+
+    def test_supported_workload_does_not_warn(self, small_graph):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CompilerWarning)
+            compiled = compile_workload(Node2VecSpec(), small_graph)
+        assert compiled.supported

@@ -1,0 +1,105 @@
+"""Shared fixtures for the test suite.
+
+Most tests operate on tiny, hand-checkable graphs so distribution and cost
+assertions stay exact; a couple of fixtures expose small generated graphs for
+integration-level checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.labels import random_edge_labels
+from repro.graph.weights import uniform_weights
+from repro.gpusim.counters import CostCounters
+from repro.rng.streams import CountingStream
+from repro.sampling.base import StepContext
+from repro.walks.node2vec import Node2VecSpec
+from repro.walks.spec import UniformWalkSpec
+from repro.walks.state import WalkerState, WalkQuery
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """The example graph of Fig. 2a: node 0 with neighbours 1-4, weights 3,2,4,1.
+
+    Extra edges give every node an out-edge so walks never dead-end, and give
+    node 0 a previous-node candidate for second-order workloads.
+    """
+    edges = [
+        (0, 1), (0, 2), (0, 3), (0, 4),
+        (1, 0), (2, 0), (3, 0), (4, 0),
+        (1, 2), (2, 3), (3, 4), (4, 1),
+    ]
+    weights = [3.0, 2.0, 4.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]
+    labels = [0, 1, 2, 3, 0, 1, 2, 3, 4, 0, 1, 2]
+    return from_edge_list(edges, num_nodes=5, weights=weights, labels=labels, name="fig2a")
+
+
+@pytest.fixture
+def small_graph() -> CSRGraph:
+    """A small but non-trivial scale-free graph with uniform [1, 5) weights."""
+    graph = barabasi_albert_graph(60, 3, seed=3, name="small")
+    graph = graph.with_weights(uniform_weights(graph, seed=3))
+    return graph.with_labels(random_edge_labels(graph, num_labels=5, seed=3))
+
+
+@pytest.fixture
+def rng_stream() -> CountingStream:
+    return CountingStream.from_seed(1234)
+
+
+@pytest.fixture
+def uniform_spec() -> UniformWalkSpec:
+    return UniformWalkSpec()
+
+
+@pytest.fixture
+def node2vec_spec() -> Node2VecSpec:
+    return Node2VecSpec(a=2.0, b=0.5)
+
+
+def make_state(graph: CSRGraph, node: int, prev: int | None = None, step: int = 0) -> WalkerState:
+    """Build a walker state sitting on ``node`` with an optional previous node."""
+    query = WalkQuery(query_id=0, start_node=node, max_length=10)
+    state = WalkerState.start(query)
+    if prev is not None:
+        state.prev_node = prev
+        state.step = step if step else 1
+    return state
+
+
+def make_ctx(
+    graph: CSRGraph,
+    spec,
+    node: int,
+    prev: int | None = None,
+    seed: int = 0,
+    bound_hint: float | None = None,
+    sum_hint: float | None = None,
+) -> StepContext:
+    """Build a ready-to-sample step context for tests."""
+    return StepContext(
+        graph=graph,
+        state=make_state(graph, node, prev),
+        spec=spec,
+        rng=CountingStream.from_seed(seed),
+        counters=CostCounters(),
+        bound_hint=bound_hint,
+        sum_hint=sum_hint,
+    )
+
+
+@pytest.fixture
+def ctx_factory():
+    """Expose the context builder to tests as a fixture."""
+    return make_ctx
+
+
+@pytest.fixture
+def state_factory():
+    return make_state

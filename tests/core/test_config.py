@@ -1,0 +1,49 @@
+"""Tests for FlexiWalker configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SELECTION_POLICIES, FlexiWalkerConfig
+from repro.errors import ReproError
+from repro.gpusim.device import EPYC_9124P
+
+
+class TestFlexiWalkerConfig:
+    def test_defaults_reproduce_paper_setup(self):
+        config = FlexiWalkerConfig()
+        assert config.selection == "cost_model"
+        assert config.run_profiling
+        assert config.weight_bytes == 8
+        assert config.warp_width == 32
+
+    def test_all_selection_policies_accepted(self):
+        for policy in SELECTION_POLICIES:
+            assert FlexiWalkerConfig(selection=policy).selection == policy
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ReproError):
+            FlexiWalkerConfig(selection="oracle")
+
+    def test_invalid_weight_bytes_rejected(self):
+        with pytest.raises(ReproError):
+            FlexiWalkerConfig(weight_bytes=3)
+
+    def test_int8_weight_bytes_accepted(self):
+        assert FlexiWalkerConfig(weight_bytes=1).weight_bytes == 1
+
+    def test_invalid_warp_width_rejected(self):
+        with pytest.raises(ReproError):
+            FlexiWalkerConfig(warp_width=0)
+
+    def test_invalid_degree_threshold_rejected(self):
+        with pytest.raises(ReproError):
+            FlexiWalkerConfig(degree_threshold=0)
+
+    def test_custom_device(self):
+        assert FlexiWalkerConfig(device=EPYC_9124P).device.name.startswith("AMD")
+
+    def test_config_is_immutable(self):
+        config = FlexiWalkerConfig()
+        with pytest.raises(Exception):
+            config.selection = "random"  # type: ignore[misc]

@@ -1,0 +1,57 @@
+"""Tests for cost counters."""
+
+from __future__ import annotations
+
+from repro.gpusim.counters import CostCounters
+
+
+class TestCostCounters:
+    def test_starts_at_zero(self):
+        c = CostCounters()
+        assert all(v == 0 for v in c.as_dict().values())
+
+    def test_merge_adds_counts(self):
+        a = CostCounters(coalesced_accesses=3, rng_draws=2)
+        b = CostCounters(coalesced_accesses=1, random_accesses=5)
+        a.merge(b)
+        assert a.coalesced_accesses == 4
+        assert a.random_accesses == 5
+        assert a.rng_draws == 2
+
+    def test_merge_returns_self(self):
+        a = CostCounters()
+        assert a.merge(CostCounters()) is a
+
+    def test_add_operator_does_not_mutate_operands(self):
+        a = CostCounters(rng_draws=1)
+        b = CostCounters(rng_draws=2)
+        c = a + b
+        assert c.rng_draws == 3
+        assert a.rng_draws == 1
+        assert b.rng_draws == 2
+
+    def test_copy_is_independent(self):
+        a = CostCounters(warp_syncs=4)
+        b = a.copy()
+        b.warp_syncs += 1
+        assert a.warp_syncs == 4
+
+    def test_reset_clears_counts_but_not_weight_width(self):
+        c = CostCounters(coalesced_accesses=7, bytes_per_weight=1)
+        c.reset()
+        assert c.coalesced_accesses == 0
+        assert c.bytes_per_weight == 1
+
+    def test_total_memory_accesses(self):
+        c = CostCounters(coalesced_accesses=3, random_accesses=4)
+        assert c.total_memory_accesses == 7
+
+    def test_merge_does_not_touch_bytes_per_weight(self):
+        a = CostCounters(bytes_per_weight=1)
+        a.merge(CostCounters(bytes_per_weight=8))
+        assert a.bytes_per_weight == 1
+
+    def test_as_dict_lists_all_count_fields(self):
+        d = CostCounters().as_dict()
+        assert "coalesced_accesses" in d
+        assert "bytes_per_weight" not in d

@@ -1,0 +1,83 @@
+"""Tests for device cost models."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.counters import CostCounters
+from repro.gpusim.device import A6000, EPYC_9124P, DeviceSpec
+
+
+class TestPresets:
+    def test_gpu_has_far_more_lanes_than_cpu(self):
+        assert A6000.parallel_lanes > 50 * EPYC_9124P.parallel_lanes
+
+    def test_random_access_costs_more_than_coalesced(self):
+        for device in (A6000, EPYC_9124P):
+            assert device.random_access_ns > device.coalesced_access_ns
+
+    def test_ratio_matches_costs(self):
+        assert A6000.random_to_coalesced_ratio == pytest.approx(
+            A6000.random_access_ns / A6000.coalesced_access_ns
+        )
+
+    def test_gpu_memory_smaller_than_host(self):
+        assert A6000.memory_bytes < EPYC_9124P.memory_bytes
+
+    def test_gpu_peak_watts_higher_than_cpu(self):
+        assert A6000.peak_watts > EPYC_9124P.peak_watts
+
+
+class TestLaneTime:
+    def test_zero_counters_cost_nothing(self):
+        assert A6000.lane_time_ns(CostCounters()) == 0.0
+
+    def test_each_counter_contributes(self):
+        base = A6000.lane_time_ns(CostCounters(coalesced_accesses=10))
+        more = A6000.lane_time_ns(CostCounters(coalesced_accesses=10, rng_draws=5))
+        assert more > base
+
+    def test_random_accesses_cost_more_than_coalesced(self):
+        coalesced = A6000.lane_time_ns(CostCounters(coalesced_accesses=100))
+        random = A6000.lane_time_ns(CostCounters(random_accesses=100))
+        assert random > 4 * coalesced
+
+    def test_int8_weights_reduce_memory_time(self):
+        full = A6000.lane_time_ns(CostCounters(coalesced_accesses=1000, bytes_per_weight=8))
+        narrow = A6000.lane_time_ns(CostCounters(coalesced_accesses=1000, bytes_per_weight=1))
+        assert narrow == pytest.approx(full / 8)
+
+    def test_int8_does_not_change_compute_time(self):
+        full = A6000.lane_time_ns(CostCounters(rng_draws=100, bytes_per_weight=8))
+        narrow = A6000.lane_time_ns(CostCounters(rng_draws=100, bytes_per_weight=1))
+        assert full == pytest.approx(narrow)
+
+
+class TestValidationAndScaling:
+    def test_scaled_reduces_lanes(self):
+        scaled = A6000.scaled(0.01)
+        assert scaled.parallel_lanes == int(A6000.parallel_lanes * 0.01)
+        assert scaled.coalesced_access_ns == A6000.coalesced_access_ns
+
+    def test_scaled_never_drops_below_one_lane(self):
+        assert A6000.scaled(1e-9).parallel_lanes == 1
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(SimulationError):
+            dataclasses.replace(A6000, parallel_lanes=0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(SimulationError):
+            dataclasses.replace(A6000, rng_ns=-1.0)
+
+    def test_custom_device_spec(self):
+        device = DeviceSpec(
+            name="toy", parallel_lanes=4, coalesced_access_ns=1.0, random_access_ns=2.0,
+            weight_compute_ns=0.0, rng_ns=0.0, reduction_ns=0.0, prefix_sum_ns=0.0,
+            warp_sync_ns=0.0, atomic_ns=0.0, table_build_ns=0.0,
+            memory_bytes=1024, idle_watts=1.0, peak_watts=2.0,
+        )
+        assert device.lane_time_ns(CostCounters(coalesced_accesses=2, random_accesses=1)) == 4.0

@@ -1,0 +1,57 @@
+"""Tests for the energy model."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import A6000, EPYC_9124P
+from repro.gpusim.energy import EnergyModel
+from repro.gpusim.executor import KernelExecutor
+
+
+def run_kernel(device, per_query):
+    return KernelExecutor(device).execute(np.asarray(per_query, dtype=np.float64), queue_atomic_ns=0.0)
+
+
+class TestEnergyModel:
+    def test_energy_proportional_to_time(self):
+        device = dataclasses.replace(A6000, parallel_lanes=4)
+        short = EnergyModel(device).report(run_kernel(device, np.full(4, 1e6)))
+        long = EnergyModel(device).report(run_kernel(device, np.full(4, 2e6)))
+        assert long.total_joules == pytest.approx(2 * short.total_joules, rel=1e-6)
+
+    def test_joules_per_query_divides_by_queries(self):
+        device = dataclasses.replace(A6000, parallel_lanes=4)
+        report = EnergyModel(device).report(run_kernel(device, np.full(8, 1e6)))
+        assert report.joules_per_query == pytest.approx(report.total_joules / 8)
+
+    def test_average_watts_between_idle_and_peak(self):
+        device = dataclasses.replace(A6000, parallel_lanes=4)
+        report = EnergyModel(device).report(run_kernel(device, np.full(4, 1e6)))
+        assert device.idle_watts <= report.average_watts <= device.peak_watts
+
+    def test_max_watts_scales_with_occupancy(self):
+        # Filling only a sliver of the device keeps the package well below TDP.
+        report_small = EnergyModel(A6000).report(run_kernel(A6000, np.full(4, 1e6)))
+        small_device = dataclasses.replace(A6000, parallel_lanes=4)
+        report_full = EnergyModel(small_device).report(run_kernel(small_device, np.full(4, 1e6)))
+        assert report_small.max_watts < report_full.max_watts
+
+    def test_gpu_wins_joules_per_query_when_much_faster(self):
+        # Same number of queries; the CPU takes 50x longer per query, as in
+        # the paper's CPU-vs-GPU gap.  The GPU draws more power but far less
+        # energy per query.
+        gpu = dataclasses.replace(A6000, parallel_lanes=8)
+        cpu = dataclasses.replace(EPYC_9124P, parallel_lanes=8)
+        gpu_report = EnergyModel(gpu).report(run_kernel(gpu, np.full(64, 1e6)))
+        cpu_report = EnergyModel(cpu).report(run_kernel(cpu, np.full(64, 5e7)))
+        assert gpu_report.joules_per_query < cpu_report.joules_per_query
+        assert gpu_report.max_watts > cpu_report.max_watts
+
+    def test_zero_queries(self):
+        device = dataclasses.replace(A6000, parallel_lanes=2)
+        report = EnergyModel(device).report(run_kernel(device, np.array([])), num_queries=0)
+        assert report.joules_per_query == 0.0

@@ -1,0 +1,60 @@
+"""Tests for the memory footprint / OOM model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.graph.datasets import DATASETS
+from repro.graph.generators import cycle_graph
+from repro.gpusim.device import A6000
+from repro.gpusim.memory import MemoryModel
+
+
+class TestRequiredBytes:
+    def test_grows_with_every_term(self):
+        m = MemoryModel(per_query_bytes=100, auxiliary_per_edge_bytes=4.0)
+        base = m.required_bytes(10, 100, 10)
+        assert m.required_bytes(10, 200, 10) > base
+        assert m.required_bytes(10, 100, 20) > base
+
+    def test_graph_overhead_multiplier(self):
+        small = MemoryModel(graph_overhead=1.0).required_bytes(1000, 10_000, 0)
+        big = MemoryModel(graph_overhead=2.0).required_bytes(1000, 10_000, 0)
+        assert big > 1.9 * small
+
+    def test_int8_weights_shrink_footprint(self):
+        m = MemoryModel()
+        assert m.required_bytes(1000, 10_000, 0, weight_bytes=1) < m.required_bytes(1000, 10_000, 0, weight_bytes=4)
+
+    def test_check_fits_raises_oom(self):
+        m = MemoryModel(auxiliary_per_edge_bytes=64.0)
+        with pytest.raises(OutOfMemoryError):
+            m.check_fits(A6000, 10**9, 5 * 10**9, 10**6, label="huge")
+
+    def test_check_fits_returns_bytes_when_ok(self):
+        m = MemoryModel()
+        assert m.check_fits(A6000, 1000, 10_000, 100) > 0
+
+    def test_for_graph_matches_csr_footprint(self):
+        g = cycle_graph(10)
+        assert MemoryModel.for_graph(g) == g.memory_footprint_bytes()
+
+
+class TestPaperScaleOutcomes:
+    """The footprint model must reproduce the paper's OOM pattern on SK."""
+
+    def test_plain_csr_sk_fits_on_a6000(self):
+        sk = DATASETS["SK"]
+        m = MemoryModel(per_query_bytes=96)
+        assert m.required_bytes(sk.paper_nodes, sk.paper_edges, sk.paper_nodes) <= A6000.memory_bytes
+
+    def test_sorting_buffers_push_sk_out_of_memory(self):
+        sk = DATASETS["SK"]
+        m = MemoryModel(per_query_bytes=256, auxiliary_per_edge_bytes=12.0)
+        assert m.required_bytes(sk.paper_nodes, sk.paper_edges, sk.paper_nodes) > A6000.memory_bytes
+
+    def test_small_graphs_fit_for_everyone(self):
+        yt = DATASETS["YT"]
+        m = MemoryModel(per_query_bytes=256, auxiliary_per_edge_bytes=12.0)
+        assert m.required_bytes(yt.paper_nodes, yt.paper_edges, yt.paper_nodes) <= A6000.memory_bytes

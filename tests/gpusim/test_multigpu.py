@@ -1,0 +1,86 @@
+"""Tests for multi-GPU partitioning and execution."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.device import A6000
+from repro.gpusim.multigpu import MultiGPUExecutor, partition_queries
+
+
+@pytest.fixture
+def device():
+    return dataclasses.replace(A6000, parallel_lanes=8, atomic_ns=0.0)
+
+
+class TestPartitioning:
+    def test_partitions_cover_all_queries(self):
+        starts = np.arange(100)
+        parts = partition_queries(starts, 4, policy="hash")
+        combined = np.sort(np.concatenate(parts))
+        assert np.array_equal(combined, np.arange(100))
+
+    def test_range_policy_contiguous_and_balanced(self):
+        parts = partition_queries(np.arange(100), 4, policy="range")
+        sizes = [p.size for p in parts]
+        assert sizes == [25, 25, 25, 25]
+        assert np.array_equal(parts[0], np.arange(25))
+
+    def test_hash_policy_roughly_balanced(self):
+        parts = partition_queries(np.arange(4000), 4, policy="hash")
+        sizes = np.array([p.size for p in parts])
+        assert sizes.min() > 800
+
+    def test_hash_deterministic(self):
+        a = partition_queries(np.arange(50), 3, policy="hash")
+        b = partition_queries(np.arange(50), 3, policy="hash")
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_single_gpu_gets_everything(self):
+        parts = partition_queries(np.arange(10), 1)
+        assert parts[0].size == 10
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            partition_queries(np.arange(10), 2, policy="round-robin")
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(SimulationError):
+            partition_queries(np.arange(10), 0)
+
+
+class TestMultiGPUExecutor:
+    def test_more_gpus_never_slower(self, device):
+        per_query = np.random.default_rng(0).uniform(5, 15, size=200)
+        starts = np.arange(200)
+        times = []
+        for gpus in (1, 2, 4):
+            result = MultiGPUExecutor(device, gpus).execute(per_query, starts)
+            times.append(result.time_ns)
+        assert times[1] <= times[0]
+        assert times[2] <= times[1]
+
+    def test_speedup_roughly_linear_for_uniform_work(self, device):
+        per_query = np.full(512, 10.0)
+        starts = np.arange(512)
+        single = MultiGPUExecutor(device, 1).execute(per_query, starts)
+        quad = MultiGPUExecutor(device, 4).execute(per_query, starts)
+        assert quad.speedup_over(single.time_ns) > 2.5
+
+    def test_mismatched_arrays_rejected(self, device):
+        with pytest.raises(SimulationError):
+            MultiGPUExecutor(device, 2).execute(np.ones(5), np.arange(4))
+
+    def test_per_gpu_results_exposed(self, device):
+        result = MultiGPUExecutor(device, 3).execute(np.ones(30), np.arange(30))
+        assert len(result.per_gpu) == 3
+
+    def test_load_imbalance_reported(self, device):
+        per_query = np.ones(64)
+        result = MultiGPUExecutor(device, 4).execute(per_query, np.arange(64))
+        assert result.load_imbalance >= 1.0

@@ -1,0 +1,81 @@
+"""Tests for warp-level collective primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.counters import CostCounters
+from repro.gpusim.warp import WARP_SIZE, WarpModel
+
+
+@pytest.fixture
+def warp():
+    return WarpModel(CostCounters())
+
+
+class TestReductions:
+    def test_reduce_max(self, warp):
+        assert warp.reduce_max(np.array([1.0, 5.0, 3.0])) == 5.0
+
+    def test_reduce_max_empty(self, warp):
+        assert warp.reduce_max(np.array([])) == float("-inf")
+
+    def test_reduce_sum(self, warp):
+        assert warp.reduce_sum(np.array([1.0, 2.0, 3.0])) == 6.0
+
+    def test_reduce_argmax(self, warp):
+        assert warp.reduce_argmax(np.array([1.0, 9.0, 3.0])) == 1
+
+    def test_reduce_argmax_empty(self, warp):
+        assert warp.reduce_argmax(np.array([])) == -1
+
+    def test_prefix_sum_inclusive(self, warp):
+        assert np.array_equal(warp.prefix_sum(np.array([1.0, 2.0, 3.0])), [1.0, 3.0, 6.0])
+
+    def test_reductions_account_elements(self):
+        counters = CostCounters()
+        warp = WarpModel(counters)
+        warp.reduce_max(np.arange(10.0))
+        warp.prefix_sum(np.arange(5.0))
+        assert counters.reduction_elements == 10
+        assert counters.prefix_sum_elements == 5
+
+
+class TestVotesAndShuffles:
+    def test_ballot_mask(self, warp):
+        mask = warp.ballot(np.array([True, False, True, True]))
+        assert mask == 0b1101
+
+    def test_ballot_counts_sync(self):
+        counters = CostCounters()
+        warp = WarpModel(counters)
+        warp.ballot(np.array([False]))
+        assert counters.warp_syncs == 1
+
+    def test_any_sync(self, warp):
+        assert warp.any_sync(np.array([False, True]))
+        assert not warp.any_sync(np.array([False, False]))
+
+    def test_shfl_broadcast(self, warp):
+        assert warp.shfl(np.array([10.0, 20.0, 30.0]), 1) == 20.0
+
+    def test_shfl_out_of_range(self, warp):
+        with pytest.raises(IndexError):
+            warp.shfl(np.array([1.0]), 5)
+
+
+class TestLaneChunks:
+    def test_strided_assignment_covers_all_indices(self, warp):
+        chunks = warp.chunks(100)
+        combined = np.sort(np.concatenate(chunks))
+        assert np.array_equal(combined, np.arange(100))
+
+    def test_lane_count_capped_by_warp_size(self, warp):
+        assert len(warp.chunks(1000)) == WARP_SIZE
+        assert len(warp.chunks(5)) == 5
+
+    def test_strided_pattern(self, warp):
+        chunks = warp.chunks(64)
+        assert np.array_equal(chunks[0], [0, 32])
+        assert np.array_equal(chunks[1], [1, 33])

@@ -1,0 +1,125 @@
+"""Tests for the CSR graph representation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+
+def simple_graph() -> CSRGraph:
+    # 0 -> {1, 2}, 1 -> {2}, 2 -> {}
+    return CSRGraph(
+        indptr=np.array([0, 2, 3, 3]),
+        indices=np.array([1, 2, 2]),
+        weights=np.array([1.0, 2.0, 3.0]),
+    )
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = simple_graph()
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+
+    def test_default_weights_are_ones(self):
+        g = CSRGraph(indptr=np.array([0, 1]), indices=np.array([0]))
+        assert np.array_equal(g.weights, [1.0])
+        assert not g.is_weighted
+
+    def test_is_weighted_detects_non_uniform_weights(self):
+        assert simple_graph().is_weighted
+
+    def test_rejects_indptr_not_starting_at_zero(self):
+        with pytest.raises(GraphError):
+            CSRGraph(indptr=np.array([1, 2]), indices=np.array([0]))
+
+    def test_rejects_indptr_edge_count_mismatch(self):
+        with pytest.raises(GraphError):
+            CSRGraph(indptr=np.array([0, 2]), indices=np.array([0]))
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(GraphError):
+            CSRGraph(indptr=np.array([0, 2, 1, 3]), indices=np.array([0, 1, 2]))
+
+    def test_rejects_out_of_range_destination(self):
+        with pytest.raises(GraphError):
+            CSRGraph(indptr=np.array([0, 1]), indices=np.array([5]))
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(GraphError):
+            CSRGraph(indptr=np.array([0, 1]), indices=np.array([0]), weights=np.array([-1.0]))
+
+    def test_rejects_mismatched_weight_length(self):
+        with pytest.raises(GraphError):
+            CSRGraph(indptr=np.array([0, 1]), indices=np.array([0]), weights=np.array([1.0, 2.0]))
+
+    def test_rejects_mismatched_label_length(self):
+        with pytest.raises(GraphError):
+            CSRGraph(indptr=np.array([0, 1]), indices=np.array([0]), labels=np.array([1, 2]))
+
+
+class TestAccessors:
+    def test_degrees(self):
+        g = simple_graph()
+        assert np.array_equal(g.degrees(), [2, 1, 0])
+        assert g.degree(0) == 2
+        assert g.degree(2) == 0
+        assert g.max_degree() == 2
+
+    def test_in_degrees(self):
+        g = simple_graph()
+        assert np.array_equal(g.in_degrees(), [0, 1, 2])
+
+    def test_neighbors_and_weights(self):
+        g = simple_graph()
+        assert np.array_equal(g.neighbors(0), [1, 2])
+        assert np.array_equal(g.edge_weights(0), [1.0, 2.0])
+        assert g.neighbors(2).size == 0
+
+    def test_edge_slice(self):
+        g = simple_graph()
+        assert g.edge_slice(0) == (0, 2)
+        assert g.edge_slice(1) == (2, 3)
+
+    def test_has_edge(self):
+        g = simple_graph()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(0, 0)
+        assert not g.has_edge(2, 0)
+
+    def test_node_out_of_range_raises(self):
+        g = simple_graph()
+        with pytest.raises(GraphError):
+            g.neighbors(3)
+        with pytest.raises(GraphError):
+            g.degree(-1)
+
+    def test_edge_labels_require_labels(self):
+        g = simple_graph()
+        with pytest.raises(GraphError):
+            g.edge_labels(0)
+
+
+class TestDerivedGraphs:
+    def test_with_weights_replaces_weights_only(self):
+        g = simple_graph()
+        g2 = g.with_weights(np.array([5.0, 5.0, 5.0]))
+        assert np.array_equal(g2.weights, [5.0, 5.0, 5.0])
+        assert np.array_equal(g2.indices, g.indices)
+        assert np.array_equal(g.weights, [1.0, 2.0, 3.0])
+
+    def test_with_labels_attaches_labels(self):
+        g = simple_graph().with_labels(np.array([1, 2, 3]))
+        assert g.has_labels
+        assert np.array_equal(g.edge_labels(0), [1, 2])
+
+    def test_memory_footprint_scales_with_weight_bytes(self):
+        g = simple_graph()
+        assert g.memory_footprint_bytes(weight_bytes=8) > g.memory_footprint_bytes(weight_bytes=1)
+
+    def test_repr_mentions_counts(self):
+        assert "3 nodes" in repr(simple_graph())

@@ -1,0 +1,78 @@
+"""Tests for the synthetic dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.datasets import DATASETS, dataset_names, load_dataset, scale_factor
+
+
+class TestRegistry:
+    def test_all_ten_paper_datasets_present(self):
+        assert dataset_names() == ["YT", "CP", "LJ", "OK", "EU", "AB", "UK", "TW", "SK", "FS"]
+
+    def test_paper_sizes_recorded(self):
+        assert DATASETS["SK"].paper_edges == 3_600_000_000
+        assert DATASETS["YT"].paper_nodes == 1_100_000
+
+    def test_scale_models_preserve_size_ordering(self):
+        yt = load_dataset("YT")
+        sk = load_dataset("SK")
+        assert sk.num_edges > yt.num_edges
+
+    def test_average_degree_tracks_paper_ordering(self):
+        # OK has a far denser structure than CP in the paper; the scale models
+        # must preserve that relation because it drives kernel selection.
+        ok = load_dataset("OK")
+        cp = load_dataset("CP")
+        assert ok.num_edges / ok.num_nodes > cp.num_edges / cp.num_nodes
+
+    def test_scale_factor_is_large(self):
+        assert scale_factor("YT") > 100
+
+
+class TestLoadDataset:
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(GraphError):
+            load_dataset("NOPE")
+
+    def test_unknown_weight_scheme_rejected(self):
+        with pytest.raises(GraphError):
+            load_dataset("YT", weights="gaussian")
+
+    def test_case_insensitive_names(self):
+        assert load_dataset("yt").num_nodes == load_dataset("YT").num_nodes
+
+    def test_unweighted_scheme_gives_unit_weights(self):
+        g = load_dataset("YT", weights="unweighted")
+        assert np.all(g.weights == 1.0)
+
+    def test_uniform_scheme_range(self):
+        g = load_dataset("YT", weights="uniform")
+        assert g.weights.min() >= 1.0
+        assert g.weights.max() < 5.0
+
+    def test_powerlaw_scheme_alpha_controls_skew(self):
+        heavy = load_dataset("CP", weights="powerlaw", alpha=1.0)
+        light = load_dataset("CP", weights="powerlaw", alpha=4.0)
+        assert heavy.weights.max() / heavy.weights.mean() > light.weights.max() / light.weights.mean()
+
+    def test_degree_scheme(self):
+        g = load_dataset("YT", weights="degree")
+        assert np.allclose(g.weights, g.degrees()[g.indices] + 1.0)
+
+    def test_labels_attached_by_default(self):
+        assert load_dataset("YT").has_labels
+
+    def test_labels_can_be_disabled(self):
+        assert not load_dataset("YT", with_labels=False).has_labels
+
+    def test_results_cached(self):
+        assert load_dataset("YT") is load_dataset("YT")
+
+    def test_same_topology_across_weight_schemes(self):
+        a = load_dataset("CP", weights="uniform")
+        b = load_dataset("CP", weights="powerlaw")
+        assert np.array_equal(a.indices, b.indices)

@@ -1,0 +1,105 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    rmat_graph,
+    star_graph,
+)
+
+
+class TestBarabasiAlbert:
+    def test_node_count_and_connectivity(self):
+        g = barabasi_albert_graph(100, 3, seed=1)
+        assert g.num_nodes == 100
+        assert np.all(g.degrees()[3:] >= 3)
+
+    def test_symmetric_edges(self):
+        g = barabasi_albert_graph(50, 2, seed=2)
+        for v in range(g.num_nodes):
+            for u in g.neighbors(v):
+                assert g.has_edge(int(u), v)
+
+    def test_heavy_tailed_degrees(self):
+        g = barabasi_albert_graph(400, 3, seed=3)
+        degrees = g.degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_deterministic_by_seed(self):
+        a = barabasi_albert_graph(80, 2, seed=5)
+        b = barabasi_albert_graph(80, 2, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(3, 5)
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(10, 0)
+
+
+class TestRMAT:
+    def test_size_close_to_requested(self):
+        g = rmat_graph(256, 2000, seed=1)
+        assert g.num_nodes == 256
+        # Duplicates and self loops are removed, so slightly fewer edges.
+        assert 0.5 * 2000 <= g.num_edges <= 2000
+
+    def test_skewed_out_degrees(self):
+        g = rmat_graph(512, 6000, seed=2)
+        degrees = g.degrees()
+        assert degrees.max() > 5 * max(degrees.mean(), 1)
+
+    def test_no_self_loops(self):
+        g = rmat_graph(128, 1000, seed=3)
+        src = np.repeat(np.arange(g.num_nodes), g.degrees())
+        assert np.all(src != g.indices)
+
+    def test_deterministic_by_seed(self):
+        a = rmat_graph(128, 800, seed=9)
+        b = rmat_graph(128, 800, seed=9)
+        assert np.array_equal(a.indptr, b.indptr)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(GraphError):
+            rmat_graph(64, 100, a=0.9, b=0.3, c=0.3)
+
+
+class TestSimpleGenerators:
+    def test_star_graph_hub_degree(self):
+        g = star_graph(10)
+        assert g.degree(0) == 10
+        assert all(g.degree(v) == 1 for v in range(1, 11))
+
+    def test_cycle_graph_degree_one_everywhere(self):
+        g = cycle_graph(7)
+        assert np.all(g.degrees() == 1)
+        assert g.has_edge(6, 0)
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_edges == 20
+        assert np.all(g.degrees() == 4)
+
+    def test_erdos_renyi_probability_extremes(self):
+        assert erdos_renyi_graph(10, 0.0).num_edges == 0
+        assert erdos_renyi_graph(10, 1.0).num_edges == 90
+
+    def test_erdos_renyi_invalid_probability(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_small_size_validation(self):
+        with pytest.raises(GraphError):
+            star_graph(0)
+        with pytest.raises(GraphError):
+            cycle_graph(1)
+        with pytest.raises(GraphError):
+            complete_graph(1)

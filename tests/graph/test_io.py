@@ -1,0 +1,87 @@
+"""Tests for edge-list and npz graph I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builders import from_edge_list
+from repro.graph.io import load_csr_npz, read_edge_list, save_csr_npz, write_edge_list
+
+
+@pytest.fixture
+def graph():
+    return from_edge_list(
+        [(0, 1), (0, 2), (1, 2), (2, 0)],
+        weights=[1.0, 2.0, 3.0, 4.0],
+        labels=[0, 1, 2, 3],
+        name="io-test",
+    )
+
+
+class TestEdgeListIO:
+    def test_write_then_read_round_trip(self, graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path, weighted=True)
+        assert loaded.num_nodes == graph.num_nodes
+        assert np.array_equal(loaded.indices, graph.indices)
+        assert np.allclose(loaded.weights, graph.weights)
+
+    def test_read_unweighted(self, graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path, include_weights=False)
+        loaded = read_edge_list(path)
+        assert np.all(loaded.weights == 1.0)
+
+    def test_read_with_labels(self, tmp_path):
+        path = tmp_path / "labelled.txt"
+        path.write_text("0 1 2.0 3\n1 0 1.5 1\n")
+        loaded = read_edge_list(path, weighted=True, labeled=True)
+        assert loaded.has_labels
+        assert loaded.edge_labels(0)[0] == 3
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "comments.txt"
+        path.write_text("# header\n\n0 1\n# another\n1 0\n")
+        assert read_edge_list(path).num_edges == 2
+
+    def test_missing_columns_raise(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path, weighted=True)
+
+    def test_non_numeric_raises(self, tmp_path):
+        path = tmp_path / "bad2.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1\n")
+        assert read_edge_list(path).name == "mygraph"
+
+
+class TestNpzIO:
+    def test_round_trip_preserves_everything(self, graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_csr_npz(graph, path)
+        loaded = load_csr_npz(path)
+        assert np.array_equal(loaded.indptr, graph.indptr)
+        assert np.array_equal(loaded.indices, graph.indices)
+        assert np.allclose(loaded.weights, graph.weights)
+        assert np.array_equal(loaded.labels, graph.labels)
+        assert loaded.name == "io-test"
+
+    def test_round_trip_without_labels(self, tmp_path):
+        g = from_edge_list([(0, 1)], num_nodes=2)
+        path = tmp_path / "nolabel.npz"
+        save_csr_npz(g, path)
+        assert load_csr_npz(path).labels is None
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            load_csr_npz(tmp_path / "does-not-exist.npz")

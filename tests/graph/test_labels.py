@@ -1,0 +1,57 @@
+"""Tests for edge labels and schema reachability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.labels import random_edge_labels, schema_reachable_fraction
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(60, 3, seed=2)
+
+
+class TestRandomEdgeLabels:
+    def test_shape_and_range(self, graph):
+        labels = random_edge_labels(graph, num_labels=5, seed=1)
+        assert labels.shape == (graph.num_edges,)
+        assert labels.min() >= 0
+        assert labels.max() < 5
+
+    def test_all_labels_appear(self, graph):
+        labels = random_edge_labels(graph, num_labels=5, seed=1)
+        assert set(np.unique(labels)) == {0, 1, 2, 3, 4}
+
+    def test_deterministic(self, graph):
+        assert np.array_equal(
+            random_edge_labels(graph, seed=7), random_edge_labels(graph, seed=7)
+        )
+
+    def test_invalid_label_count(self, graph):
+        with pytest.raises(GraphError):
+            random_edge_labels(graph, num_labels=0)
+
+
+class TestSchemaReachability:
+    def test_requires_labels(self, graph):
+        with pytest.raises(GraphError):
+            schema_reachable_fraction(graph, (0,))
+
+    def test_fraction_between_zero_and_one(self, graph):
+        labelled = graph.with_labels(random_edge_labels(graph, num_labels=5, seed=3))
+        frac = schema_reachable_fraction(labelled, (0, 1, 2))
+        assert 0.0 <= frac <= 1.0
+
+    def test_single_label_schema_on_uniform_labels(self, graph):
+        labelled = graph.with_labels(np.zeros(graph.num_edges, dtype=np.int64))
+        assert schema_reachable_fraction(labelled, (0,)) == pytest.approx(1.0)
+        assert schema_reachable_fraction(labelled, (1,)) == pytest.approx(0.0)
+
+    def test_empty_schema_rejected(self, graph):
+        labelled = graph.with_labels(random_edge_labels(graph, seed=1))
+        with pytest.raises(GraphError):
+            schema_reachable_fraction(labelled, ())

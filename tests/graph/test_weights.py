@@ -1,0 +1,93 @@
+"""Tests for edge property-weight initialisers and INT8 quantisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.weights import (
+    constant_weights,
+    degree_based_weights,
+    dequantize_weights_int8,
+    powerlaw_weights,
+    quantize_weights_int8,
+    uniform_weights,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(80, 3, seed=4)
+
+
+class TestWeightSchemes:
+    def test_constant_weights(self, graph):
+        w = constant_weights(graph, 2.5)
+        assert w.shape == (graph.num_edges,)
+        assert np.all(w == 2.5)
+
+    def test_constant_weights_must_be_positive(self, graph):
+        with pytest.raises(GraphError):
+            constant_weights(graph, 0.0)
+
+    def test_uniform_weights_range(self, graph):
+        w = uniform_weights(graph, low=1.0, high=5.0, seed=1)
+        assert w.min() >= 1.0
+        assert w.max() < 5.0
+
+    def test_uniform_weights_invalid_range(self, graph):
+        with pytest.raises(GraphError):
+            uniform_weights(graph, low=5.0, high=1.0)
+
+    def test_uniform_weights_deterministic(self, graph):
+        assert np.array_equal(uniform_weights(graph, seed=3), uniform_weights(graph, seed=3))
+
+    def test_powerlaw_lower_alpha_is_more_skewed(self, graph):
+        heavy = powerlaw_weights(graph, alpha=1.0, seed=2)
+        light = powerlaw_weights(graph, alpha=4.0, seed=2)
+        assert heavy.max() / heavy.mean() > light.max() / light.mean()
+
+    def test_powerlaw_positive(self, graph):
+        assert np.all(powerlaw_weights(graph, alpha=2.0) >= 1.0)
+
+    def test_powerlaw_invalid_alpha(self, graph):
+        with pytest.raises(GraphError):
+            powerlaw_weights(graph, alpha=0.0)
+
+    def test_degree_based_weights_track_destination_degree(self, graph):
+        w = degree_based_weights(graph)
+        degrees = graph.degrees()
+        assert np.allclose(w, degrees[graph.indices] + 1.0)
+
+    def test_degree_based_scale_must_be_positive(self, graph):
+        with pytest.raises(GraphError):
+            degree_based_weights(graph, scale=0.0)
+
+
+class TestInt8Quantisation:
+    def test_round_trip_error_bounded(self, graph):
+        w = uniform_weights(graph, seed=5)
+        codes, scale = quantize_weights_int8(w)
+        recovered = dequantize_weights_int8(codes, scale)
+        assert np.max(np.abs(recovered - w)) <= scale / 2 + 1e-12
+
+    def test_codes_within_int8_range(self, graph):
+        codes, _ = quantize_weights_int8(powerlaw_weights(graph, alpha=1.0, seed=6))
+        assert codes.dtype == np.int8
+        assert codes.min() >= 0
+        assert codes.max() <= 127
+
+    def test_empty_input(self):
+        codes, scale = quantize_weights_int8(np.array([]))
+        assert codes.size == 0
+        assert scale == 1.0
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(GraphError):
+            quantize_weights_int8(np.array([-1.0, 2.0]))
+
+    def test_all_zero_weights(self):
+        codes, scale = quantize_weights_int8(np.zeros(5))
+        assert np.all(dequantize_weights_int8(codes, scale) == 0.0)

@@ -1,0 +1,73 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builders import from_edge_list, to_undirected
+from repro.graph.weights import dequantize_weights_int8, quantize_weights_int8
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_lists)
+def test_csr_preserves_edge_multiset(edges):
+    graph = from_edge_list(edges, num_nodes=16)
+    rebuilt = []
+    for v in range(graph.num_nodes):
+        rebuilt.extend((v, int(u)) for u in graph.neighbors(v))
+    assert sorted(rebuilt) == sorted(edges)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_lists)
+def test_degrees_sum_to_edge_count(edges):
+    graph = from_edge_list(edges, num_nodes=16)
+    assert int(graph.degrees().sum()) == graph.num_edges
+    assert int(graph.in_degrees().sum()) == graph.num_edges
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_lists)
+def test_neighbor_lists_are_sorted(edges):
+    graph = from_edge_list(edges, num_nodes=16)
+    for v in range(graph.num_nodes):
+        nbrs = graph.neighbors(v)
+        assert np.all(np.diff(nbrs) >= 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_lists)
+def test_has_edge_agrees_with_neighbor_lists(edges):
+    graph = from_edge_list(edges, num_nodes=16, deduplicate=True)
+    present = {(v, int(u)) for v in range(graph.num_nodes) for u in graph.neighbors(v)}
+    for v in range(graph.num_nodes):
+        for u in range(graph.num_nodes):
+            assert graph.has_edge(v, u) == ((v, u) in present)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges=edge_lists)
+def test_to_undirected_is_symmetric(edges):
+    graph = to_undirected(from_edge_list(edges, num_nodes=16, deduplicate=True))
+    for v in range(graph.num_nodes):
+        for u in graph.neighbors(v):
+            assert graph.has_edge(int(u), v)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    weights=st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=100)
+)
+def test_int8_quantisation_error_bounded_by_half_step(weights):
+    w = np.asarray(weights)
+    codes, scale = quantize_weights_int8(w)
+    recovered = dequantize_weights_int8(codes, scale)
+    assert np.all(np.abs(recovered - w) <= scale / 2 + 1e-9)

@@ -1,0 +1,42 @@
+"""Property-based tests for the RNG substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng.philox import PhiloxEngine, philox_uniform
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 2**62), counter=st.integers(0, 2**62))
+def test_uniform_always_in_unit_interval(seed, counter):
+    value = float(philox_uniform(seed, counter))
+    assert 0.0 <= value < 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**32), n=st.integers(1, 200))
+def test_engine_reproducible_for_any_seed(seed, n):
+    assert np.array_equal(PhiloxEngine(seed).uniform(n), PhiloxEngine(seed).uniform(n))
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**32), idx_a=st.integers(0, 1000), idx_b=st.integers(0, 1000))
+def test_distinct_splits_are_distinct_streams(seed, idx_a, idx_b):
+    root = PhiloxEngine(seed)
+    a = root.split(idx_a).uniform(8)
+    b = root.split(idx_b).uniform(8)
+    if idx_a == idx_b:
+        assert np.array_equal(a, b)
+    else:
+        assert not np.array_equal(a, b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**32), low=st.integers(-100, 100), span=st.integers(1, 200), n=st.integers(1, 100))
+def test_integers_always_within_requested_range(seed, low, span, n):
+    values = PhiloxEngine(seed).integers(low, low + span, size=n)
+    assert values.min() >= low
+    assert values.max() < low + span

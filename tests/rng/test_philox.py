@@ -1,0 +1,94 @@
+"""Tests for the counter-based RNG engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng.philox import PhiloxEngine, philox_uniform
+
+
+class TestPhiloxUniform:
+    def test_outputs_in_unit_interval(self):
+        values = philox_uniform(42, np.arange(10_000, dtype=np.uint64))
+        assert np.all(values >= 0.0)
+        assert np.all(values < 1.0)
+
+    def test_deterministic_for_same_key_and_counter(self):
+        assert philox_uniform(7, 123) == philox_uniform(7, 123)
+
+    def test_different_counters_give_different_values(self):
+        values = philox_uniform(7, np.arange(1000, dtype=np.uint64))
+        assert np.unique(values).size > 990
+
+    def test_different_keys_give_different_streams(self):
+        a = philox_uniform(1, np.arange(100, dtype=np.uint64))
+        b = philox_uniform(2, np.arange(100, dtype=np.uint64))
+        assert not np.allclose(a, b)
+
+    def test_mean_and_variance_close_to_uniform(self):
+        values = philox_uniform(99, np.arange(200_000, dtype=np.uint64))
+        assert abs(values.mean() - 0.5) < 0.01
+        assert abs(values.var() - 1.0 / 12.0) < 0.01
+
+
+class TestPhiloxEngine:
+    def test_same_seed_reproduces_sequence(self):
+        a = PhiloxEngine(5).uniform(100)
+        b = PhiloxEngine(5).uniform(100)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(PhiloxEngine(1).uniform(50), PhiloxEngine(2).uniform(50))
+
+    def test_scalar_uniform_advances_counter(self):
+        engine = PhiloxEngine(3)
+        first = engine.uniform()
+        second = engine.uniform()
+        assert first != second
+        assert engine.counter == 2
+
+    def test_vector_then_scalar_continues_stream(self):
+        a = PhiloxEngine(3)
+        b = PhiloxEngine(3)
+        combined = list(a.uniform(5)) + [a.uniform()]
+        expected = list(b.uniform(6))
+        assert combined == pytest.approx(expected)
+
+    def test_split_streams_are_independent_and_reproducible(self):
+        root = PhiloxEngine(11)
+        child_a = root.split(0)
+        child_b = root.split(1)
+        again = PhiloxEngine(11).split(0)
+        assert np.array_equal(child_a.uniform(20), again.uniform(20))
+        assert not np.allclose(PhiloxEngine(11).split(0).uniform(20), child_b.uniform(20))
+
+    def test_split_does_not_disturb_parent(self):
+        root = PhiloxEngine(11)
+        before = root.counter
+        root.split(3)
+        assert root.counter == before
+
+    def test_integers_within_range(self):
+        engine = PhiloxEngine(8)
+        values = engine.integers(2, 9, size=1000)
+        assert values.min() >= 2
+        assert values.max() < 9
+
+    def test_integers_cover_full_range(self):
+        engine = PhiloxEngine(8)
+        values = engine.integers(0, 4, size=2000)
+        assert set(np.unique(values)) == {0, 1, 2, 3}
+
+    def test_integers_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            PhiloxEngine(1).integers(5, 5)
+
+    def test_exponential_is_positive_with_unit_mean(self):
+        values = PhiloxEngine(21).exponential(100_000)
+        assert np.all(values >= 0)
+        assert abs(values.mean() - 1.0) < 0.02
+
+    def test_uniform_shape_tuple(self):
+        values = PhiloxEngine(4).uniform((3, 7))
+        assert values.shape == (3, 7)

@@ -1,0 +1,72 @@
+"""Tests for counting streams and the per-thread stream pool."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng.streams import CountingStream, StreamPool
+
+
+class TestCountingStream:
+    def test_counts_scalar_draws(self):
+        stream = CountingStream.from_seed(1)
+        stream.uniform()
+        stream.uniform()
+        assert stream.draws == 2
+
+    def test_counts_vector_draws_by_size(self):
+        stream = CountingStream.from_seed(1)
+        stream.uniform(10)
+        stream.integers(0, 5, size=4)
+        stream.exponential(3)
+        assert stream.draws == 17
+
+    def test_reset_count_only_resets_counter_not_stream(self):
+        stream = CountingStream.from_seed(2)
+        first = stream.uniform()
+        stream.reset_count()
+        second = stream.uniform()
+        assert stream.draws == 1
+        assert first != second
+
+    def test_split_child_counts_independently(self):
+        parent = CountingStream.from_seed(3)
+        child = parent.split(0)
+        parent.uniform(5)
+        child.uniform(2)
+        assert parent.draws == 5
+        assert child.draws == 2
+
+    def test_same_seed_same_sequence(self):
+        a = CountingStream.from_seed(9)
+        b = CountingStream.from_seed(9)
+        assert np.array_equal(a.uniform(16), b.uniform(16))
+
+
+class TestStreamPool:
+    def test_streams_are_cached_per_thread(self):
+        pool = StreamPool(0)
+        assert pool.stream(3) is pool.stream(3)
+
+    def test_different_threads_get_independent_streams(self):
+        pool = StreamPool(0)
+        a = pool.stream(0).uniform(50)
+        b = pool.stream(1).uniform(50)
+        assert not np.allclose(a, b)
+
+    def test_total_draws_aggregates_all_streams(self):
+        pool = StreamPool(0)
+        pool.stream(0).uniform(4)
+        pool.stream(1).uniform(6)
+        assert pool.total_draws == 10
+
+    def test_reset_counts(self):
+        pool = StreamPool(0)
+        pool.stream(0).uniform(4)
+        pool.reset_counts()
+        assert pool.total_draws == 0
+
+    def test_pool_reproducible_across_instances(self):
+        a = StreamPool(77).stream(5).uniform(8)
+        b = StreamPool(77).stream(5).uniform(8)
+        assert np.array_equal(a, b)

@@ -1,0 +1,60 @@
+"""Tests for the first-order cost model (Eq. 9-11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RuntimeSelectionError
+from repro.runtime.cost_model import CostModel
+
+
+class TestCostModel:
+    def test_rvs_cost_linear_in_degree(self):
+        model = CostModel(edge_cost_ratio=8.0)
+        assert model.cost_rvs(100) == 100
+        assert model.cost_rvs(0) == 0
+
+    def test_rjs_cost_follows_eq_10(self):
+        model = CostModel(edge_cost_ratio=8.0)
+        # degree * max / sum = 10 * 2 / 10 = 2 expected trials, times ratio.
+        assert model.cost_rjs(10, max_weight=2.0, sum_weight=10.0) == pytest.approx(8.0 * 10 * 2 / 10)
+
+    def test_rjs_cost_infinite_for_degenerate_inputs(self):
+        model = CostModel()
+        assert model.cost_rjs(10, 0.0, 5.0) == float("inf")
+        assert model.cost_rjs(10, 2.0, 0.0) == float("inf")
+
+    def test_prefer_rjs_rule_eq_11(self):
+        model = CostModel(edge_cost_ratio=8.0)
+        # sum > ratio * max -> RJS wins.
+        assert model.prefer_rjs(max_weight=1.0, sum_weight=10.0)
+        assert not model.prefer_rjs(max_weight=2.0, sum_weight=10.0)
+
+    def test_prefer_rjs_false_without_estimates(self):
+        model = CostModel()
+        assert not model.prefer_rjs(None, 10.0)
+        assert not model.prefer_rjs(1.0, None)
+        assert not model.prefer_rjs(0.0, 10.0)
+
+    def test_skew_pushes_choice_to_reservoir(self):
+        model = CostModel(edge_cost_ratio=8.0)
+        degree = 100
+        uniform_max, uniform_sum = 1.0, float(degree)
+        skewed_max, skewed_sum = 50.0, float(degree) + 49.0
+        assert model.prefer_rjs(uniform_max, uniform_sum)
+        assert not model.prefer_rjs(skewed_max, skewed_sum)
+
+    def test_expected_trials(self):
+        model = CostModel()
+        assert model.expected_trials(10, 2.0, 10.0) == pytest.approx(2.0)
+        assert model.expected_trials(0, 2.0, 10.0) == float("inf")
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(RuntimeSelectionError):
+            CostModel(edge_cost_ratio=0.0)
+
+    def test_selection_consistent_with_costs(self):
+        model = CostModel(edge_cost_ratio=5.0)
+        for degree, max_w, sum_w in [(10, 1.0, 10.0), (50, 5.0, 60.0), (200, 30.0, 400.0)]:
+            prefer = model.prefer_rjs(max_w, sum_w)
+            assert prefer == (model.cost_rjs(degree, max_w, sum_w) < model.cost_rvs(degree))

@@ -1,0 +1,146 @@
+"""Tests for the walk engine."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.compiler.generator import compile_workload
+from repro.graph.generators import cycle_graph
+from repro.gpusim.device import A6000
+from repro.runtime.engine import WalkEngine
+from repro.runtime.selector import CostModelSelector, FixedSelector
+from repro.sampling.erjs import EnhancedRejectionSampler
+from repro.sampling.ervs import EnhancedReservoirSampler
+from repro.walks.metapath import MetaPathSpec
+from repro.walks.node2vec import Node2VecSpec
+from repro.walks.spec import UniformWalkSpec
+from repro.walks.state import WalkQuery, make_queries
+
+DEVICE = dataclasses.replace(A6000, parallel_lanes=8)
+
+
+def run_engine(graph, spec, queries, **kwargs):
+    engine = WalkEngine(graph=graph, spec=spec, device=DEVICE, **kwargs)
+    return engine.run(queries)
+
+
+class TestWalkExecution:
+    def test_paths_start_at_query_start_nodes(self, small_graph):
+        queries = make_queries(small_graph.num_nodes, walk_length=4, num_queries=10, seed=0)
+        result = run_engine(small_graph, UniformWalkSpec(), queries)
+        assert len(result.paths) == 10
+        for query, path in zip(queries, result.paths):
+            assert path[0] == query.start_node
+
+    def test_every_step_follows_an_edge(self, small_graph):
+        queries = make_queries(small_graph.num_nodes, walk_length=5, num_queries=8, seed=1)
+        result = run_engine(small_graph, Node2VecSpec(), queries)
+        for path in result.paths:
+            for src, dst in zip(path, path[1:]):
+                assert small_graph.has_edge(src, dst)
+
+    def test_walk_length_respected(self, small_graph):
+        queries = make_queries(small_graph.num_nodes, walk_length=6, num_queries=5)
+        result = run_engine(small_graph, UniformWalkSpec(), queries)
+        assert all(len(path) - 1 <= 6 for path in result.paths)
+        # The small BA graph is strongly connected, so walks reach full length.
+        assert result.average_walk_length() == pytest.approx(6.0)
+
+    def test_dead_end_terminates_walk_early(self, tiny_graph):
+        # MetaPath with a label that exists only on some edges: walks stop
+        # when no edge matches the schema.
+        spec = MetaPathSpec(schema=(4,))
+        queries = [WalkQuery(query_id=0, start_node=2, max_length=5)]
+        result = run_engine(tiny_graph, spec, queries)
+        assert len(result.paths[0]) - 1 <= 5
+
+    def test_results_are_deterministic_for_a_seed(self, small_graph):
+        queries = make_queries(small_graph.num_nodes, walk_length=5, num_queries=6)
+        a = run_engine(small_graph, Node2VecSpec(), queries, seed=9)
+        b = run_engine(small_graph, Node2VecSpec(), queries, seed=9)
+        assert a.paths == b.paths
+        assert a.kernel.time_ns == pytest.approx(b.kernel.time_ns)
+
+    def test_different_seeds_give_different_walks(self, small_graph):
+        queries = make_queries(small_graph.num_nodes, walk_length=8, num_queries=6)
+        a = run_engine(small_graph, Node2VecSpec(), queries, seed=1)
+        b = run_engine(small_graph, Node2VecSpec(), queries, seed=2)
+        assert a.paths != b.paths
+
+    def test_cycle_graph_walk_is_fully_determined(self):
+        graph = cycle_graph(5)
+        queries = [WalkQuery(query_id=0, start_node=0, max_length=4)]
+        result = run_engine(graph, UniformWalkSpec(), queries)
+        assert result.paths[0] == [0, 1, 2, 3, 4]
+
+
+class TestSimulationOutputs:
+    def test_per_query_times_positive(self, small_graph):
+        queries = make_queries(small_graph.num_nodes, walk_length=4, num_queries=6)
+        result = run_engine(small_graph, UniformWalkSpec(), queries)
+        assert result.per_query_ns.shape == (6,)
+        assert np.all(result.per_query_ns > 0)
+
+    def test_counters_aggregate_over_all_steps(self, small_graph):
+        queries = make_queries(small_graph.num_nodes, walk_length=4, num_queries=6)
+        result = run_engine(small_graph, UniformWalkSpec(), queries)
+        assert result.counters.total_memory_accesses > 0
+        assert result.total_steps == sum(len(p) - 1 for p in result.paths)
+
+    def test_sampler_usage_tracks_selector(self, small_graph):
+        queries = make_queries(small_graph.num_nodes, walk_length=4, num_queries=6)
+        result = run_engine(
+            small_graph, UniformWalkSpec(), queries,
+            selector=FixedSelector(EnhancedReservoirSampler()),
+        )
+        assert set(result.sampler_usage) == {"eRVS"}
+        assert result.selection_ratio() == {"eRVS": 1.0}
+
+    def test_adaptive_engine_uses_both_kernels(self, small_graph):
+        spec = Node2VecSpec()
+        compiled = compile_workload(spec, small_graph)
+        queries = make_queries(small_graph.num_nodes, walk_length=6, num_queries=12)
+        result = run_engine(
+            small_graph, spec, queries,
+            selector=CostModelSelector(), compiled=compiled,
+        )
+        assert set(result.sampler_usage) <= {"eRJS", "eRVS"}
+        assert sum(result.sampler_usage.values()) == result.total_steps
+
+    def test_int8_weight_bytes_reduce_simulated_time(self, small_graph):
+        queries = make_queries(small_graph.num_nodes, walk_length=5, num_queries=8)
+        full = run_engine(small_graph, UniformWalkSpec(), queries, weight_bytes=8)
+        narrow = run_engine(small_graph, UniformWalkSpec(), queries, weight_bytes=1)
+        assert narrow.kernel.time_ns < full.kernel.time_ns
+
+    def test_warp_switch_overhead_adds_syncs(self, small_graph):
+        queries = make_queries(small_graph.num_nodes, walk_length=4, num_queries=4)
+        with_overhead = run_engine(
+            small_graph, UniformWalkSpec(), queries,
+            selector=FixedSelector(EnhancedReservoirSampler()), warp_switch_overhead=True,
+        )
+        without = run_engine(
+            small_graph, UniformWalkSpec(), queries,
+            selector=FixedSelector(EnhancedReservoirSampler()), warp_switch_overhead=False,
+        )
+        assert with_overhead.counters.warp_syncs > without.counters.warp_syncs
+
+    def test_step_overhead_hook_invoked(self, small_graph):
+        calls = []
+
+        def hook(ctx, sampler):
+            calls.append(sampler.name)
+            ctx.counters.atomic_ops += 1
+
+        queries = make_queries(small_graph.num_nodes, walk_length=3, num_queries=4)
+        result = run_engine(small_graph, UniformWalkSpec(), queries, step_overhead=hook)
+        assert len(calls) == result.total_steps
+        assert result.counters.atomic_ops >= result.total_steps
+
+    def test_static_scheduling_supported(self, small_graph):
+        queries = make_queries(small_graph.num_nodes, walk_length=3, num_queries=6)
+        result = run_engine(small_graph, UniformWalkSpec(), queries, scheduling="static")
+        assert result.kernel.scheduling == "static"

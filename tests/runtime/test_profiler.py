@@ -1,0 +1,59 @@
+"""Tests for the start-up profiling kernels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import cycle_graph
+from repro.gpusim.device import A6000, EPYC_9124P
+from repro.runtime.profiler import profile_edge_costs
+from repro.walks.node2vec import Node2VecSpec
+from repro.walks.spec import UniformWalkSpec
+
+
+class TestProfiler:
+    def test_ratio_reflects_random_vs_coalesced_gap(self, small_graph):
+        profile = profile_edge_costs(small_graph, Node2VecSpec(), A6000, seed=1)
+        # Rejection probes are uncoalesced, carry RNG cost and (for
+        # second-order workloads) pay the dist(v', u) membership probe, so
+        # the measured ratio sits well above 1.
+        assert 2.0 < profile.edge_cost_ratio < 80.0
+
+    def test_per_edge_costs_positive(self, small_graph):
+        profile = profile_edge_costs(small_graph, UniformWalkSpec(), A6000)
+        assert profile.edge_cost_rjs > 0
+        assert profile.edge_cost_rvs > 0
+
+    def test_simulated_time_positive_and_small(self, small_graph):
+        profile = profile_edge_costs(small_graph, Node2VecSpec(), A6000)
+        assert profile.simulated_time_ns > 0
+        # Profiling touches a handful of nodes only.
+        assert profile.sampled_nodes <= 64
+
+    def test_node_fraction_caps_sampled_nodes(self, small_graph):
+        profile = profile_edge_costs(small_graph, UniformWalkSpec(), A6000, node_fraction=0.02, max_nodes=5)
+        assert profile.sampled_nodes <= 5
+
+    def test_cpu_device_gives_different_absolute_costs(self, small_graph):
+        gpu = profile_edge_costs(small_graph, UniformWalkSpec(), A6000, seed=2)
+        cpu = profile_edge_costs(small_graph, UniformWalkSpec(), EPYC_9124P, seed=2)
+        assert cpu.edge_cost_rvs > gpu.edge_cost_rvs
+
+    def test_deterministic_for_same_seed(self, small_graph):
+        a = profile_edge_costs(small_graph, Node2VecSpec(), A6000, seed=5)
+        b = profile_edge_costs(small_graph, Node2VecSpec(), A6000, seed=5)
+        assert a.edge_cost_ratio == pytest.approx(b.edge_cost_ratio)
+
+    def test_graph_without_edges_uses_device_defaults(self):
+        import numpy as np
+
+        from repro.graph.csr import CSRGraph
+
+        empty = CSRGraph(indptr=np.zeros(4, dtype=np.int64), indices=np.zeros(0, dtype=np.int64))
+        profile = profile_edge_costs(empty, UniformWalkSpec(), A6000)
+        assert profile.sampled_nodes == 0
+        assert profile.edge_cost_ratio == pytest.approx(A6000.random_to_coalesced_ratio)
+
+    def test_degree_one_graph_profiles_without_error(self):
+        profile = profile_edge_costs(cycle_graph(20), UniformWalkSpec(), A6000)
+        assert profile.sampled_nodes > 0

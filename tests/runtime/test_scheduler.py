@@ -1,0 +1,62 @@
+"""Tests for the dynamic query queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.counters import CostCounters
+from repro.runtime.scheduler import DynamicQueryQueue, validate_queries
+from repro.walks.state import WalkQuery
+
+
+def make_batch(n):
+    return [WalkQuery(query_id=i, start_node=i, max_length=3) for i in range(n)]
+
+
+class TestDynamicQueryQueue:
+    def test_fetch_returns_queries_in_order(self):
+        queue = DynamicQueryQueue(make_batch(3))
+        assert [queue.fetch().query_id for _ in range(3)] == [0, 1, 2]
+
+    def test_exhausted_queue_returns_none(self):
+        queue = DynamicQueryQueue(make_batch(1))
+        queue.fetch()
+        assert queue.fetch() is None
+        assert queue.exhausted
+
+    def test_each_fetch_costs_one_atomic(self):
+        queue = DynamicQueryQueue(make_batch(2))
+        counters = CostCounters()
+        queue.fetch(counters)
+        queue.fetch(counters)
+        queue.fetch(counters)  # failed fetch still pays the atomic
+        assert counters.atomic_ops == 3
+        assert queue.atomic_ops == 3
+
+    def test_remaining_and_len(self):
+        queue = DynamicQueryQueue(make_batch(4))
+        assert len(queue) == 4
+        queue.fetch()
+        assert queue.remaining == 3
+
+    def test_reset_rewinds(self):
+        queue = DynamicQueryQueue(make_batch(2))
+        queue.drain()
+        queue.reset()
+        assert queue.remaining == 2
+        assert queue.atomic_ops == 0
+
+    def test_drain_returns_all_remaining(self):
+        queue = DynamicQueryQueue(make_batch(5))
+        queue.fetch()
+        assert [q.query_id for q in queue.drain()] == [1, 2, 3, 4]
+
+
+class TestValidateQueries:
+    def test_valid_batch_passes(self):
+        validate_queries(make_batch(3), num_nodes=10)
+
+    def test_out_of_range_start_rejected(self):
+        with pytest.raises(SimulationError):
+            validate_queries([WalkQuery(0, 99, 5)], num_nodes=10)

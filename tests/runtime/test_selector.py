@@ -1,0 +1,91 @@
+"""Tests for the sampling-strategy selection policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RuntimeSelectionError
+from repro.runtime.cost_model import CostModel
+from repro.runtime.selector import (
+    CostModelSelector,
+    DegreeBasedSelector,
+    FixedSelector,
+    RandomSelector,
+)
+from repro.sampling.erjs import EnhancedRejectionSampler
+from repro.sampling.ervs import EnhancedReservoirSampler
+from repro.walks.spec import UniformWalkSpec
+
+from tests.conftest import make_ctx
+
+
+class TestCostModelSelector:
+    def test_prefers_rejection_when_weights_flat(self, tiny_graph):
+        selector = CostModelSelector(CostModel(edge_cost_ratio=2.0))
+        ctx = make_ctx(tiny_graph, UniformWalkSpec(), node=0, bound_hint=1.0, sum_hint=100.0)
+        assert isinstance(selector.select(ctx), EnhancedRejectionSampler)
+
+    def test_prefers_reservoir_when_weights_skewed(self, tiny_graph):
+        selector = CostModelSelector(CostModel(edge_cost_ratio=8.0))
+        ctx = make_ctx(tiny_graph, UniformWalkSpec(), node=0, bound_hint=50.0, sum_hint=60.0)
+        assert isinstance(selector.select(ctx), EnhancedReservoirSampler)
+
+    def test_missing_hints_fall_back_to_reservoir(self, tiny_graph):
+        selector = CostModelSelector()
+        ctx = make_ctx(tiny_graph, UniformWalkSpec(), node=0)
+        assert isinstance(selector.select(ctx), EnhancedReservoirSampler)
+
+    def test_selection_charges_a_small_cost(self, tiny_graph):
+        selector = CostModelSelector()
+        ctx = make_ctx(tiny_graph, UniformWalkSpec(), node=0, bound_hint=1.0, sum_hint=10.0)
+        selector.select(ctx)
+        assert ctx.counters.coalesced_accesses == 2
+        assert ctx.counters.weight_computations == 2
+
+    def test_default_cost_model_constructed(self):
+        assert CostModelSelector().cost_model.edge_cost_ratio > 0
+
+
+class TestFixedSelector:
+    def test_always_returns_the_given_sampler(self, tiny_graph):
+        sampler = EnhancedReservoirSampler()
+        selector = FixedSelector(sampler)
+        for _ in range(3):
+            ctx = make_ctx(tiny_graph, UniformWalkSpec(), node=0)
+            assert selector.select(ctx) is sampler
+
+    def test_name_reflects_sampler(self):
+        assert FixedSelector(EnhancedRejectionSampler()).name == "fixed_erjs"
+
+
+class TestRandomSelector:
+    def test_selects_both_kernels_over_many_draws(self, tiny_graph):
+        selector = RandomSelector(seed=3)
+        seen = set()
+        for _ in range(100):
+            ctx = make_ctx(tiny_graph, UniformWalkSpec(), node=0)
+            seen.add(type(selector.select(ctx)).__name__)
+        assert seen == {"EnhancedRejectionSampler", "EnhancedReservoirSampler"}
+
+    def test_deterministic_by_seed(self, tiny_graph):
+        a = RandomSelector(seed=5)
+        b = RandomSelector(seed=5)
+        for _ in range(20):
+            ctx = make_ctx(tiny_graph, UniformWalkSpec(), node=0)
+            assert type(a.select(ctx)) is type(b.select(ctx))
+
+
+class TestDegreeBasedSelector:
+    def test_low_degree_uses_reservoir(self, tiny_graph):
+        selector = DegreeBasedSelector(threshold=100)
+        ctx = make_ctx(tiny_graph, UniformWalkSpec(), node=0)
+        assert isinstance(selector.select(ctx), EnhancedReservoirSampler)
+
+    def test_high_degree_uses_rejection(self, tiny_graph):
+        selector = DegreeBasedSelector(threshold=2)
+        ctx = make_ctx(tiny_graph, UniformWalkSpec(), node=0)
+        assert isinstance(selector.select(ctx), EnhancedRejectionSampler)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(RuntimeSelectionError):
+            DegreeBasedSelector(threshold=0)

@@ -1,0 +1,131 @@
+"""Every kernel must sample from the exact target transition distribution.
+
+This is the most important correctness property in the library: the paper's
+eRJS proof (Section 3.3) and the eRVS statistical equivalence both claim that
+the optimisations change cost, never the distribution.  The tests draw a few
+thousand single steps per kernel and run a chi-square goodness-of-fit check
+against the analytic probabilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.alias import AliasSampler
+from repro.sampling.erjs import EnhancedRejectionSampler
+from repro.sampling.ervs import EnhancedReservoirSampler
+from repro.sampling.its import InverseTransformSampler
+from repro.sampling.rejection import RejectionSampler
+from repro.sampling.reservoir import ReservoirSampler
+from repro.stats.distributions import chi_square_matches, empirical_transition_distribution
+from repro.walks.metapath import MetaPathSpec
+from repro.walks.node2vec import Node2VecSpec
+from repro.walks.spec import UniformWalkSpec
+
+from tests.conftest import make_state
+
+SAMPLERS = [
+    AliasSampler(),
+    InverseTransformSampler(),
+    RejectionSampler(),
+    ReservoirSampler(),
+    EnhancedRejectionSampler(),
+    EnhancedReservoirSampler(),
+    EnhancedReservoirSampler(use_jump=False),
+]
+
+NUM_SAMPLES = 3000
+
+
+def _hints(graph, spec, state):
+    """Safe (exact) hints: an upper bound 30% above the true max, exact sum."""
+    weights = spec.transition_weights(graph, state)
+    if weights.size == 0 or weights.sum() == 0:
+        return None, None
+    return float(weights.max() * 1.3), float(weights.sum())
+
+
+@pytest.mark.parametrize("sampler", SAMPLERS, ids=lambda s: f"{type(s).__name__}-{getattr(s, 'use_jump', '')}")
+class TestTargetDistribution:
+    def test_static_weights_fig2a(self, tiny_graph, sampler):
+        """The Fig. 2a example: weights {3, 2, 4, 1} from node 0."""
+        spec = UniformWalkSpec()
+        state = make_state(tiny_graph, node=0)
+        bound, total = _hints(tiny_graph, spec, state)
+        observed, probabilities = empirical_transition_distribution(
+            tiny_graph, spec, sampler, state, num_samples=NUM_SAMPLES, seed=11,
+            bound_hint=bound, sum_hint=total,
+        )
+        assert observed.sum() == NUM_SAMPLES
+        assert chi_square_matches(observed, probabilities)
+
+    def test_dynamic_node2vec_distribution(self, small_graph, sampler):
+        """Weighted Node2Vec with a real walk history."""
+        spec = Node2VecSpec(a=2.0, b=0.5)
+        hub = int(np.argmax(small_graph.degrees()))
+        prev = int(small_graph.neighbors(hub)[0])
+        state = make_state(small_graph, node=hub, prev=prev, step=1)
+        bound, total = _hints(small_graph, spec, state)
+        observed, probabilities = empirical_transition_distribution(
+            small_graph, spec, sampler, state, num_samples=NUM_SAMPLES, seed=13,
+            bound_hint=bound, sum_hint=total,
+        )
+        assert chi_square_matches(observed, probabilities)
+
+    def test_zero_weight_neighbors_never_selected(self, tiny_graph, sampler):
+        """MetaPath zeroes non-matching labels; those neighbours must never appear."""
+        spec = MetaPathSpec(schema=(0, 1, 2, 3, 4))
+        state = make_state(tiny_graph, node=0)
+        bound, total = _hints(tiny_graph, spec, state)
+        observed, probabilities = empirical_transition_distribution(
+            tiny_graph, spec, sampler, state, num_samples=500, seed=17,
+            bound_hint=bound, sum_hint=total,
+        )
+        assert np.all(observed[probabilities == 0] == 0)
+
+    def test_skewed_weights_distribution(self, tiny_graph, sampler):
+        """A heavily skewed weight vector (one dominant neighbour)."""
+        skewed = tiny_graph.with_weights(
+            np.array([100.0, 1.0, 1.0, 1.0, 1, 1, 1, 1, 1, 1, 1, 1], dtype=np.float64)
+        )
+        spec = UniformWalkSpec()
+        state = make_state(skewed, node=0)
+        bound, total = _hints(skewed, spec, state)
+        observed, probabilities = empirical_transition_distribution(
+            skewed, spec, sampler, state, num_samples=NUM_SAMPLES, seed=19,
+            bound_hint=bound, sum_hint=total,
+        )
+        assert chi_square_matches(observed, probabilities)
+        assert observed[0] > 0.9 * NUM_SAMPLES
+
+
+class TestLooseBoundKeepsDistribution:
+    """The eRJS proof: any upper bound >= max gives the same distribution."""
+
+    @pytest.mark.parametrize("slack", [1.0, 2.0, 10.0])
+    def test_erjs_distribution_invariant_to_bound_slack(self, tiny_graph, slack):
+        spec = UniformWalkSpec()
+        state = make_state(tiny_graph, node=0)
+        weights = spec.transition_weights(tiny_graph, state)
+        sampler = EnhancedRejectionSampler()
+        observed, probabilities = empirical_transition_distribution(
+            tiny_graph, spec, sampler, state, num_samples=NUM_SAMPLES, seed=23,
+            bound_hint=float(weights.max() * slack), sum_hint=float(weights.sum()),
+        )
+        assert chi_square_matches(observed, probabilities)
+
+    def test_looser_bound_costs_more_trials(self, tiny_graph, ctx_factory):
+        spec = UniformWalkSpec()
+        sampler = EnhancedRejectionSampler()
+        tight_trials = 0
+        loose_trials = 0
+        weights_max = float(spec.transition_weights(tiny_graph, make_state(tiny_graph, 0)).max())
+        for seed in range(200):
+            ctx = ctx_factory(tiny_graph, spec, node=0, seed=seed, bound_hint=weights_max)
+            sampler.sample(ctx)
+            tight_trials += ctx.counters.rejection_trials
+            ctx = ctx_factory(tiny_graph, spec, node=0, seed=seed, bound_hint=weights_max * 10)
+            sampler.sample(ctx)
+            loose_trials += ctx.counters.rejection_trials
+        assert loose_trials > 2 * tight_trials

@@ -1,0 +1,96 @@
+"""Tests for distribution statistics and the CV analysis of Fig. 7b."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.ervs import EnhancedReservoirSampler
+from repro.stats.distributions import (
+    chi_square_matches,
+    chi_square_statistic,
+    coefficient_of_variation,
+    empirical_transition_distribution,
+    weight_sum_cv_histogram,
+)
+from repro.walks.node2vec import Node2VecSpec
+from repro.walks.second_order_pr import SecondOrderPRSpec
+from repro.walks.spec import UniformWalkSpec
+
+from tests.conftest import make_state
+
+
+class TestChiSquare:
+    def test_zero_for_perfect_match(self):
+        observed = np.array([10.0, 20.0, 30.0])
+        assert chi_square_statistic(observed, observed) == 0.0
+
+    def test_positive_for_mismatch(self):
+        assert chi_square_statistic(np.array([10.0, 30.0]), np.array([20.0, 20.0])) > 0
+
+    def test_zero_expectation_bins_ignored(self):
+        stat = chi_square_statistic(np.array([0.0, 10.0]), np.array([0.0, 10.0]))
+        assert stat == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SamplingError):
+            chi_square_statistic(np.ones(3), np.ones(4))
+
+    def test_matches_accepts_sampled_data_from_true_distribution(self):
+        rng = np.random.default_rng(0)
+        p = np.array([0.3, 0.2, 0.4, 0.1])
+        counts = np.bincount(rng.choice(4, size=5000, p=p), minlength=4)
+        assert chi_square_matches(counts, p)
+
+    def test_matches_rejects_wrong_distribution(self):
+        counts = np.array([5000, 0, 0, 0])
+        assert not chi_square_matches(counts, np.array([0.25, 0.25, 0.25, 0.25]))
+
+    def test_matches_requires_samples(self):
+        with pytest.raises(SamplingError):
+            chi_square_matches(np.zeros(3), np.ones(3) / 3)
+
+
+class TestCoefficientOfVariation:
+    def test_constant_values_have_zero_cv(self):
+        assert coefficient_of_variation(np.full(10, 3.0)) == 0.0
+
+    def test_cv_definition(self):
+        values = np.array([1.0, 3.0])
+        assert coefficient_of_variation(values) == pytest.approx(values.std() / values.mean() * 100)
+
+    def test_empty_and_zero_mean(self):
+        assert coefficient_of_variation(np.array([])) == 0.0
+        assert coefficient_of_variation(np.array([0.0, 0.0])) == 0.0
+
+
+class TestEmpiricalDistribution:
+    def test_counts_sum_to_samples(self, tiny_graph):
+        state = make_state(tiny_graph, node=0)
+        observed, probabilities = empirical_transition_distribution(
+            tiny_graph, UniformWalkSpec(), EnhancedReservoirSampler(), state, num_samples=200,
+        )
+        assert observed.sum() == 200
+        assert probabilities.sum() == pytest.approx(1.0)
+
+
+class TestWeightSumCVHistogram:
+    def test_static_walk_has_no_variation(self, small_graph):
+        bins, counts = weight_sum_cv_histogram(small_graph, UniformWalkSpec(), num_nodes=40, seed=1)
+        # A static workload's weight sums never change, so every node lands in
+        # the lowest CV bin.
+        assert counts[0] == counts.sum()
+
+    def test_second_order_pr_shows_runtime_variation(self, small_graph):
+        bins, counts = weight_sum_cv_histogram(small_graph, SecondOrderPRSpec(), num_nodes=40, seed=1)
+        assert counts[1:].sum() > 0
+
+    def test_histogram_covers_all_sampled_nodes(self, small_graph):
+        _, counts = weight_sum_cv_histogram(small_graph, Node2VecSpec(), num_nodes=25, seed=2)
+        assert counts.sum() == 25
+
+    def test_bin_edges_returned(self, small_graph):
+        bins, counts = weight_sum_cv_histogram(small_graph, Node2VecSpec(), num_nodes=5, bins=(10, 20), seed=3)
+        assert list(bins) == [10, 20]
+        assert counts.size == 3

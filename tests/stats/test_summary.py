@@ -1,0 +1,52 @@
+"""Tests for aggregate statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.stats.summary import geometric_mean, normalize_to, speedup
+
+
+class TestGeometricMean:
+    def test_single_value(self):
+        assert geometric_mean([4.0]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_order_invariant(self):
+        assert geometric_mean([2.0, 8.0, 1.0]) == pytest.approx(geometric_mean([8.0, 1.0, 2.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(BenchmarkError):
+            geometric_mean([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(BenchmarkError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_rejects_zero_new_time(self):
+        with pytest.raises(BenchmarkError):
+            speedup(10.0, 0.0)
+
+
+class TestNormalizeTo:
+    def test_reference_becomes_one(self):
+        values = {"a": 2.0, "b": 4.0}
+        normalized = normalize_to(values, "a")
+        assert normalized["a"] == pytest.approx(1.0)
+        assert normalized["b"] == pytest.approx(2.0)
+
+    def test_missing_reference_rejected(self):
+        with pytest.raises(BenchmarkError):
+            normalize_to({"a": 1.0}, "z")
+
+    def test_non_positive_reference_rejected(self):
+        with pytest.raises(BenchmarkError):
+            normalize_to({"a": 0.0}, "a")

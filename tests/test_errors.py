@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "GraphError",
+        "GraphFormatError",
+        "SamplingError",
+        "WalkSpecError",
+        "CompilerError",
+        "RuntimeSelectionError",
+        "SimulationError",
+        "BenchmarkError",
+        "OutOfMemoryError",
+        "OutOfTimeError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_graph_format_error_is_graph_error():
+    assert issubclass(errors.GraphFormatError, errors.GraphError)
+
+
+def test_oom_and_oot_are_simulation_errors():
+    assert issubclass(errors.OutOfMemoryError, errors.SimulationError)
+    assert issubclass(errors.OutOfTimeError, errors.SimulationError)
+
+
+def test_compiler_warning_is_a_warning_not_an_error():
+    assert issubclass(errors.CompilerWarning, UserWarning)
+    assert not issubclass(errors.CompilerWarning, errors.ReproError)
+
+
+def test_errors_can_be_raised_and_caught_generically():
+    with pytest.raises(errors.ReproError):
+        raise errors.SamplingError("boom")

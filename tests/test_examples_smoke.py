@@ -1,0 +1,55 @@
+"""Smoke tests for the runnable examples.
+
+Each example is loaded from its file path and its ``main()`` is executed, so
+a broken public API surface (the thing examples exercise) fails the suite.
+Only the two fastest examples run here; the larger corpus-generation and
+adaptation demos are exercised implicitly by the integration tests and the
+benchmark suite.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_contains_all_documented_scripts():
+    expected = {
+        "quickstart.py",
+        "node2vec_embedding_corpus.py",
+        "metapath_heterogeneous.py",
+        "custom_workload_adaptation.py",
+    }
+    assert expected <= {p.name for p in EXAMPLES_DIR.glob("*.py")}
+
+
+def test_quickstart_example_runs(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "simulated kernel time" in out
+    assert "selection ratio" in out
+
+
+def test_metapath_example_runs(capsys):
+    load_example("metapath_heterogeneous").main()
+    out = capsys.readouterr().out
+    assert "walks launched" in out
+
+
+@pytest.mark.parametrize(
+    "name", ["quickstart", "node2vec_embedding_corpus", "metapath_heterogeneous", "custom_workload_adaptation"]
+)
+def test_every_example_is_importable(name):
+    module = load_example(name)
+    assert callable(module.main)

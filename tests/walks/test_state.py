@@ -1,0 +1,90 @@
+"""Tests for walker and query state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WalkSpecError
+from repro.walks.state import WalkerState, WalkQuery, make_queries
+
+
+class TestWalkQuery:
+    def test_valid_query(self):
+        q = WalkQuery(query_id=0, start_node=3, max_length=10)
+        assert q.start_node == 3
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(WalkSpecError):
+            WalkQuery(query_id=0, start_node=0, max_length=0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(WalkSpecError):
+            WalkQuery(query_id=0, start_node=-1, max_length=5)
+
+
+class TestWalkerState:
+    def test_start_positions_walker_on_start_node(self):
+        state = WalkerState.start(WalkQuery(0, 7, 5))
+        assert state.current_node == 7
+        assert state.prev_node == -1
+        assert state.step == 0
+        assert state.path == [7]
+
+    def test_advance_updates_everything(self):
+        state = WalkerState.start(WalkQuery(0, 7, 5))
+        state.advance(3)
+        assert state.current_node == 3
+        assert state.prev_node == 7
+        assert state.step == 1
+        assert state.path == [7, 3]
+        assert state.walk_length == 1
+
+    def test_finished_after_max_length_steps(self):
+        state = WalkerState.start(WalkQuery(0, 0, 2))
+        assert not state.finished
+        state.advance(1)
+        state.advance(0)
+        assert state.finished
+
+    def test_params_are_per_walker(self):
+        a = WalkerState.start(WalkQuery(0, 0, 2))
+        b = WalkerState.start(WalkQuery(1, 0, 2))
+        a.params["x"] = 1
+        assert "x" not in b.params
+
+
+class TestMakeQueries:
+    def test_one_query_per_node_by_default(self):
+        queries = make_queries(10, walk_length=5)
+        assert len(queries) == 10
+        assert [q.start_node for q in queries] == list(range(10))
+
+    def test_subsampling(self):
+        queries = make_queries(100, walk_length=5, num_queries=10, seed=1)
+        assert len(queries) == 10
+        assert len({q.start_node for q in queries}) == 10
+
+    def test_subsampling_deterministic(self):
+        a = make_queries(100, walk_length=5, num_queries=10, seed=1)
+        b = make_queries(100, walk_length=5, num_queries=10, seed=1)
+        assert [q.start_node for q in a] == [q.start_node for q in b]
+
+    def test_explicit_start_nodes(self):
+        queries = make_queries(10, walk_length=3, start_nodes=np.array([4, 2]))
+        assert [q.start_node for q in queries] == [4, 2]
+
+    def test_query_ids_are_sequential(self):
+        queries = make_queries(5, walk_length=2)
+        assert [q.query_id for q in queries] == [0, 1, 2, 3, 4]
+
+    def test_num_queries_larger_than_nodes_uses_all_nodes(self):
+        assert len(make_queries(5, walk_length=2, num_queries=50)) == 5
+
+    def test_invalid_start_nodes_rejected(self):
+        with pytest.raises(WalkSpecError):
+            make_queries(5, walk_length=2, start_nodes=np.array([7]))
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(WalkSpecError):
+            make_queries(0, walk_length=2)
