@@ -38,10 +38,16 @@ def main() -> None:
     result = walker.run(walk_length=20)
 
     # 5. Results: the walks themselves plus the simulated execution profile.
+    #    The engine runs in the batched (frontier) execution mode by default;
+    #    pass FlexiWalkerConfig(execution="scalar") to use the reference
+    #    interpreter instead — the walks and simulated profile are identical,
+    #    only the host-side throughput changes.
     print(f"first walk: {result.paths[0]}")
     print(f"simulated kernel time: {result.time_ms:.4f} ms "
           f"(+{result.overhead_ms:.4f} ms profiling/preprocessing)")
     print(f"kernel selection ratio: {result.selection_ratio()}")
+    print(f"host throughput: {result.throughput_steps_per_s:,.0f} simulated steps/s "
+          f"({result.wall_clock_s * 1e3:.1f} ms wall clock)")
     print("full summary:")
     for key, value in summarize_run(result).items():
         print(f"  {key}: {value}")

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Microbenchmark: scalar vs batched walk-engine wall clock.
+
+Runs the quickstart workload (weighted Node2Vec on the YT scale model, one
+query per node) through both execution modes of the walk engine and reports
+host wall-clock time plus simulated-steps-per-second throughput.  Emits
+``BENCH_engine.json`` next to the repository root so the numbers form a
+trackable perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_engine.py [--walk-length 20] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import FlexiWalker, FlexiWalkerConfig, Node2VecSpec, load_dataset  # noqa: E402
+
+
+def bench_mode(graph, spec, mode: str, walk_length: int, repeats: int) -> dict[str, float]:
+    """Best-of-N wall clock for one execution mode (pipeline built once)."""
+    walker = FlexiWalker(graph, spec, FlexiWalkerConfig(execution=mode))
+    walker.run(walk_length=walk_length)  # warm-up (hint tables, caches)
+    best = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = walker.run(walk_length=walk_length)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best["wall_clock_s"]:
+            best = {
+                "wall_clock_s": elapsed,
+                "steps_per_s": result.total_steps / elapsed,
+                "total_steps": result.total_steps,
+                "simulated_time_ms": result.time_ms,
+            }
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    def positive_int(value: str) -> int:
+        parsed = int(value)
+        if parsed < 1:
+            raise argparse.ArgumentTypeError(f"must be at least 1, got {parsed}")
+        return parsed
+
+    parser.add_argument("--dataset", default="YT", help="dataset tag (default: YT)")
+    parser.add_argument("--walk-length", type=positive_int, default=20)
+    parser.add_argument("--repeats", type=positive_int, default=3)
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    graph = load_dataset(args.dataset, weights="uniform")
+    spec = Node2VecSpec(a=2.0, b=0.5)
+    print(f"benchmarking on {graph} (walk_length={args.walk_length}, "
+          f"one query per node, best of {args.repeats})")
+
+    report = {
+        "dataset": args.dataset,
+        "workload": "node2vec",
+        "walk_length": args.walk_length,
+        "num_queries": graph.num_nodes,
+    }
+    for mode in ("scalar", "batched"):
+        report[mode] = bench_mode(graph, spec, mode, args.walk_length, args.repeats)
+        print(f"  {mode:>7}: {report[mode]['wall_clock_s']:.3f}s wall, "
+              f"{report[mode]['steps_per_s']:,.0f} steps/s")
+
+    speedup = report["scalar"]["wall_clock_s"] / report["batched"]["wall_clock_s"]
+    report["speedup"] = speedup
+    # Both modes must simulate the same execution; a drift here means the
+    # batched engine broke parity, which invalidates the comparison.
+    parity = report["scalar"]["simulated_time_ms"] == report["batched"]["simulated_time_ms"]
+    report["simulated_time_parity"] = parity
+    print(f"  speedup: {speedup:.1f}x (simulated-time parity: {parity})")
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if parity else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

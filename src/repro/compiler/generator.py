@@ -182,6 +182,25 @@ class CompiledWorkload:
     def preprocessing_time_ns(self) -> float:
         return self.preprocessed.simulated_time_ns if self.preprocessed else 0.0
 
+    @property
+    def hints_node_only(self) -> bool:
+        """True when the hints are a pure function of the current node.
+
+        The generated helpers replay the workload's return expressions with
+        edge-indexed variables bound to *per-node* aggregates, so when no
+        return expression transitively reads the walker state, ``bound_hint``
+        / ``sum_hint`` depend only on ``state.current_node`` — and the
+        batched engine may precompute them once per node instead of
+        re-evaluating the helpers per walker per step.  Workloads whose
+        returns do read state (e.g. the degree terms of second-order
+        PageRank) report False and fall back to per-walker evaluation.
+        """
+        if not self.supported:
+            return False
+        args = self.analysis.argument_names
+        state_arg = args[2] if len(args) > 2 else "state"
+        return all(state_arg not in deps for deps in self.analysis.return_dependencies)
+
     # ------------------------------------------------------------------ #
     def bound_hint(self, graph: CSRGraph, state: WalkerState) -> float | None:
         """Estimated max-weight upper bound for the walker's current node."""

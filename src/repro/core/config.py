@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.errors import ReproError
 from repro.gpusim.device import A6000, DeviceSpec
+from repro.runtime.engine import EXECUTION_MODES
 
 #: Valid values of :attr:`FlexiWalkerConfig.selection`.
 SELECTION_POLICIES = ("cost_model", "ervs_only", "erjs_only", "random", "degree")
@@ -39,6 +40,12 @@ class FlexiWalkerConfig:
         Cooperative width of warp kernels.
     scheduling:
         ``"dynamic"`` (global query queue, Section 5.3) or ``"static"``.
+    execution:
+        Walk-engine execution mode: ``"batched"`` (default) runs all active
+        walkers through the step-synchronous vectorised frontier loop;
+        ``"scalar"`` interprets one query at a time.  Both modes produce
+        identical walks, counters and simulated timings for a fixed seed
+        policy — the scalar mode is kept for exact-parity checks.
     seed:
         Seed for every random stream the run derives.
     """
@@ -52,12 +59,17 @@ class FlexiWalkerConfig:
     weight_bytes: int = 8
     warp_width: int = 32
     scheduling: str = "dynamic"
+    execution: str = "batched"
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.selection not in SELECTION_POLICIES:
             raise ReproError(
                 f"unknown selection policy {self.selection!r}; valid: {SELECTION_POLICIES}"
+            )
+        if self.execution not in EXECUTION_MODES:
+            raise ReproError(
+                f"unknown execution mode {self.execution!r}; valid: {EXECUTION_MODES}"
             )
         if self.weight_bytes not in (1, 2, 4, 8):
             raise ReproError("weight_bytes must be one of 1, 2, 4, 8")

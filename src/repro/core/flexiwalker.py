@@ -103,6 +103,7 @@ class FlexiWalker:
             scheduling=self.config.scheduling,
             selection_overhead=self.config.selection_overhead and self.config.selection == "cost_model",
             warp_switch_overhead=self.config.warp_switch_overhead,
+            execution=self.config.execution,
         )
 
     # ------------------------------------------------------------------ #
@@ -159,4 +160,5 @@ class FlexiWalker:
             "edge_cost_ratio": self.cost_model.edge_cost_ratio,
             "selector": self.selector.name,
             "device": self.config.device.name,
+            "execution": self.config.execution,
         }

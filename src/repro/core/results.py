@@ -30,4 +30,6 @@ def summarize_run(result: WalkRunResult) -> dict[str, object]:
         "memory_accesses": result.counters.total_memory_accesses,
         "rng_draws": result.counters.rng_draws,
         "rejection_trials": result.counters.rejection_trials,
+        "wall_clock_s": result.wall_clock_s,
+        "throughput_steps_per_s": result.throughput_steps_per_s,
     }

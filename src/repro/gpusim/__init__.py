@@ -12,7 +12,7 @@ of Section 5.3).  The multi-GPU and energy models build on the same numbers to
 reproduce Fig. 15 and Fig. 16.
 """
 
-from repro.gpusim.counters import CostCounters
+from repro.gpusim.counters import CostCounters, CounterBatch
 from repro.gpusim.device import DeviceSpec, A6000, EPYC_9124P
 from repro.gpusim.memory import MemoryModel
 from repro.gpusim.warp import WarpModel, WARP_SIZE
@@ -22,6 +22,7 @@ from repro.gpusim.energy import EnergyModel, EnergyReport
 
 __all__ = [
     "CostCounters",
+    "CounterBatch",
     "DeviceSpec",
     "A6000",
     "EPYC_9124P",

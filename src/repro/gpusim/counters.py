@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
 
+import numpy as np
+
 
 @dataclass
 class CostCounters:
@@ -99,3 +101,72 @@ class CostCounters:
 
     def __add__(self, other: "CostCounters") -> "CostCounters":
         return self.copy().merge(other)
+
+
+class CounterBatch:
+    """Vectorised cost accounting: one counter *array* per operation class.
+
+    The batched (frontier) walk engine executes one step for many walkers at
+    once; each walker still needs its own per-step operation counts so the
+    device model can price its lane time exactly like the scalar engine
+    does.  ``CounterBatch`` is the structure-of-arrays form of
+    :class:`CostCounters`: slot ``i`` holds the counts of the ``i``-th walker
+    in the current superstep.  Batch kernels add whole numpy vectors
+    (``batch.coalesced_accesses[slots] += degrees``), and the totals fold
+    back into an ordinary :class:`CostCounters` for aggregation.
+    """
+
+    __slots__ = ("size", "bytes_per_weight") + CostCounters._COUNT_FIELDS
+
+    def __init__(self, size: int, bytes_per_weight: int = 8) -> None:
+        self.size = int(size)
+        self.bytes_per_weight = int(bytes_per_weight)
+        for name in CostCounters._COUNT_FIELDS:
+            setattr(self, name, np.zeros(self.size, dtype=np.int64))
+
+    # ------------------------------------------------------------------ #
+    def charge(self, name: str, slots: np.ndarray, amount: np.ndarray | int) -> None:
+        """Add ``amount`` to counter ``name`` at the given slots.
+
+        ``slots`` must not contain duplicates (each walker occupies exactly
+        one slot per superstep), which keeps this a plain fancy-index add.
+        """
+        getattr(self, name)[slots] += amount
+
+    def absorb(self, slot: int, counters: CostCounters) -> None:
+        """Add a scalar :class:`CostCounters` into one slot.
+
+        Used by the scalar-fallback paths (per-walker ``sample()`` loops,
+        baseline step-overhead hooks) so their accounting lands in the same
+        per-walker slot the vectorised kernels use.
+        """
+        for name in CostCounters._COUNT_FIELDS:
+            getattr(self, name)[slot] += getattr(counters, name)
+
+    def snapshot(self, slot: int) -> CostCounters:
+        """One slot's counts as a scalar :class:`CostCounters` (a copy)."""
+        out = CostCounters(bytes_per_weight=self.bytes_per_weight)
+        for name in CostCounters._COUNT_FIELDS:
+            setattr(out, name, int(getattr(self, name)[slot]))
+        return out
+
+    def write_back(self, slot: int, counters: CostCounters) -> None:
+        """Overwrite one slot with a scalar :class:`CostCounters`.
+
+        The counterpart of :meth:`snapshot` for code that must let scalar
+        hooks *see and mutate* a walker's already-accumulated step counts
+        (the scalar engine hands hooks the live step counters, so the
+        batched engine round-trips the slot through a scalar object).
+        """
+        for name in CostCounters._COUNT_FIELDS:
+            getattr(self, name)[slot] = getattr(counters, name)
+
+    def totals(self) -> CostCounters:
+        """Fold every slot into one scalar :class:`CostCounters`."""
+        out = CostCounters(bytes_per_weight=self.bytes_per_weight)
+        for name in CostCounters._COUNT_FIELDS:
+            setattr(out, name, int(getattr(self, name).sum()))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CounterBatch(size={self.size})"

@@ -13,8 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.errors import SimulationError
-from repro.gpusim.counters import CostCounters
+from repro.gpusim.counters import CostCounters, CounterBatch
 
 
 @dataclass(frozen=True)
@@ -101,6 +103,30 @@ class DeviceSpec:
             + counters.warp_syncs * self.warp_sync_ns
             + counters.atomic_ops * self.atomic_ns
             + counters.table_builds * self.table_build_ns
+        )
+        return memory_ns + compute_ns
+
+    def lane_times_ns(self, batch: CounterBatch) -> np.ndarray:
+        """Vectorised :meth:`lane_time_ns` over a :class:`CounterBatch`.
+
+        The arithmetic mirrors the scalar method term for term and in the
+        same association order, so slot ``i`` of the result is bit-identical
+        to ``lane_time_ns`` of the equivalent scalar counter object — the
+        property the batched engine relies on for exact timing parity.
+        """
+        width_scale = batch.bytes_per_weight / 8.0
+        memory_ns = (
+            batch.coalesced_accesses * self.coalesced_access_ns
+            + batch.random_accesses * self.random_access_ns
+        ) * width_scale
+        compute_ns = (
+            batch.weight_computations * self.weight_compute_ns
+            + batch.rng_draws * self.rng_ns
+            + batch.reduction_elements * self.reduction_ns
+            + batch.prefix_sum_elements * self.prefix_sum_ns
+            + batch.warp_syncs * self.warp_sync_ns
+            + batch.atomic_ops * self.atomic_ns
+            + batch.table_builds * self.table_build_ns
         )
         return memory_ns + compute_ns
 

@@ -9,11 +9,12 @@ an accounting wrapper that counts how many random numbers each kernel drew
 """
 
 from repro.rng.philox import PhiloxEngine, philox_uniform
-from repro.rng.streams import CountingStream, StreamPool
+from repro.rng.streams import BatchStreams, CountingStream, StreamPool
 
 __all__ = [
     "PhiloxEngine",
     "philox_uniform",
     "CountingStream",
     "StreamPool",
+    "BatchStreams",
 ]

@@ -82,6 +82,24 @@ class PhiloxEngine:
         """Number of 64-bit outputs consumed so far."""
         return int(self._counter)
 
+    @property
+    def key(self) -> np.uint64:
+        """The stream key (exposed so batched draws can be vectorised)."""
+        return self._key
+
+    def reserve(self, n: int) -> np.uint64:
+        """Advance the counter by ``n`` draws and return its previous value.
+
+        This is the primitive behind cross-stream vectorised generation: a
+        caller that knows ``(key, start_counter)`` can reproduce the exact
+        values ``uniform(n)`` would have returned, for many engines at once,
+        with a single :func:`philox_uniform` call.
+        """
+        start = self._counter
+        with np.errstate(over="ignore"):
+            self._counter += np.uint64(n)
+        return start
+
     def split(self, index: int) -> "PhiloxEngine":
         """Derive an independent child engine (cheap stream splitting)."""
         child = PhiloxEngine.__new__(PhiloxEngine)

@@ -9,9 +9,11 @@ report exact RNG counts to the GPU simulator's cost counters.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
-from repro.rng.philox import PhiloxEngine
+from repro.rng.philox import PhiloxEngine, philox_uniform
 
 
 class CountingStream:
@@ -51,6 +53,90 @@ class CountingStream:
         """Derive an independent child stream with its own counter."""
         return CountingStream(self._engine.split(index))
 
+    @property
+    def philox_key(self) -> np.uint64:
+        """The underlying engine key (used by :class:`BatchStreams`)."""
+        return self._engine.key
+
+    def reserve(self, n: int) -> np.uint64:
+        """Claim ``n`` draws (counting them) and return the start counter.
+
+        The values that correspond to the claimed counters are exactly what
+        ``uniform(n)`` would have produced; :class:`BatchStreams` uses this to
+        generate them for many streams in one vectorised Philox evaluation.
+        """
+        self.draws += int(n)
+        return self._engine.reserve(int(n))
+
+
+class BatchStreams:
+    """Vectorised draws from many :class:`CountingStream` objects at once.
+
+    Because the underlying generator is counter-based, the variates a stream
+    *would* produce are a pure function of ``(key, counter)``: drawing
+    ``counts[i]`` values from stream ``i`` for every ``i`` simultaneously is
+    one broadcasted Philox evaluation, and each per-stream sub-sequence is
+    bit-identical to what sequential ``stream.uniform(counts[i])`` calls
+    would have returned.  This is what lets the batched walk engine replay
+    the scalar engine's per-walker randomness exactly while running the whole
+    frontier through a single numpy expression.
+    """
+
+    __slots__ = ("streams", "_keys")
+
+    def __init__(self, streams: Sequence[CountingStream]) -> None:
+        self.streams = list(streams)
+        self._keys = np.array([s.philox_key for s in self.streams], dtype=np.uint64)
+
+    def __len__(self) -> int:
+        return len(self.streams)
+
+    def subset(self, indices: np.ndarray) -> "BatchStreams":
+        """A view over a subset of the streams (shared stream objects)."""
+        sub = BatchStreams.__new__(BatchStreams)
+        sub.streams = [self.streams[int(i)] for i in indices]
+        sub._keys = self._keys[np.asarray(indices, dtype=np.int64)]
+        return sub
+
+    def stream(self, index: int) -> CountingStream:
+        """The underlying scalar stream at position ``index``."""
+        return self.streams[int(index)]
+
+    def uniform_flat(self, counts: np.ndarray) -> np.ndarray:
+        """Draw ``counts[i]`` uniforms from stream ``i``, concatenated.
+
+        Stream ``i``'s draws occupy ``out[offsets[i]:offsets[i + 1]]`` where
+        ``offsets = concatenate([[0], cumsum(counts)])``, in the same order
+        ``stream.uniform(counts[i])`` would have produced them.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.size != len(self.streams):
+            raise ValueError("counts must have one entry per stream")
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.float64)
+        # The per-stream reserve loop is O(streams) Python work per draw
+        # call; it is kept because the scalar CountingStream objects are the
+        # single source of truth for counters/draw tallies (scalar-fallback
+        # bridges hand them out mid-run).  At the current scale-model
+        # frontier sizes the Philox evaluation dominates; if frontiers grow
+        # to ~100k walkers, move the counters into arrays here and sync the
+        # scalar objects on stream() access instead.
+        starts = np.zeros(counts.size, dtype=np.uint64)
+        for i, c in enumerate(counts):
+            if c > 0:
+                starts[i] = self.streams[i].reserve(int(c))
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        seg = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+        local = (np.arange(total, dtype=np.int64) - offsets[:-1][seg]).astype(np.uint64)
+        with np.errstate(over="ignore"):
+            ctrs = starts[seg] + local
+        return philox_uniform(self._keys[seg], ctrs)
+
+    def uniform_each(self) -> np.ndarray:
+        """One uniform per stream (the vectorised form of ``uniform()``)."""
+        return self.uniform_flat(np.ones(len(self.streams), dtype=np.int64))
+
 
 class StreamPool:
     """A pool of independent streams, one per simulated GPU thread.
@@ -71,6 +157,10 @@ class StreamPool:
             existing = CountingStream(self._root.split(thread_index))
             self._streams[thread_index] = existing
         return existing
+
+    def batch(self, thread_indices: Sequence[int]) -> BatchStreams:
+        """Bundle the streams of many threads for vectorised draws."""
+        return BatchStreams([self.stream(int(i)) for i in thread_indices])
 
     @property
     def total_draws(self) -> int:

@@ -14,12 +14,14 @@ selector, its own device preset and a per-step framework-overhead hook.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from repro.compiler.generator import CompiledWorkload
+from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
 from repro.gpusim.counters import CostCounters
 from repro.gpusim.device import A6000, DeviceSpec
@@ -28,10 +30,13 @@ from repro.rng.streams import StreamPool
 from repro.runtime.profiler import ProfileResult
 from repro.runtime.scheduler import DynamicQueryQueue, validate_queries
 from repro.runtime.selector import FixedSelector, SamplerSelector
-from repro.sampling.base import Sampler, StepContext
+from repro.sampling.base import Sampler, StepContext, is_dead_end
 from repro.sampling.ervs import EnhancedReservoirSampler
 from repro.walks.spec import WalkSpec
 from repro.walks.state import WalkerState, WalkQuery
+
+#: Valid execution modes of :class:`WalkEngine`.
+EXECUTION_MODES = ("batched", "scalar")
 
 #: Signature of the per-step framework-overhead hook used by baseline models:
 #: it receives the step context and the kernel that ran, and may add counts.
@@ -50,11 +55,25 @@ class WalkRunResult:
     total_steps: int = 0
     profile: ProfileResult | None = None
     preprocess_time_ns: float = 0.0
+    wall_clock_s: float = 0.0
 
     @property
     def time_ms(self) -> float:
         """Simulated main walk execution time (excludes profiling/preprocessing)."""
         return self.kernel.time_ms
+
+    @property
+    def throughput_steps_per_s(self) -> float:
+        """Simulated walk steps executed per *wall-clock* second.
+
+        The observable behind the engine's performance work: simulated
+        quantities (``time_ms``, counters) are identical across execution
+        modes by design, so host-side throughput is how a speedup of the
+        simulator itself shows up.  0.0 when no wall-clock was recorded.
+        """
+        if self.wall_clock_s <= 0.0:
+            return 0.0
+        return self.total_steps / self.wall_clock_s
 
     @property
     def overhead_ms(self) -> float:
@@ -115,6 +134,14 @@ class WalkEngine:
         (Section 5.2) whenever a warp-cooperative kernel runs.
     step_overhead:
         Optional per-step hook for baseline framework overheads.
+    execution:
+        ``"batched"`` (default) runs the step-synchronous frontier loop that
+        vectorises each superstep across all active walkers;``"scalar"``
+        keeps the original one-query-at-a-time interpreter.  Both modes
+        produce identical paths, counter totals and simulated timings for a
+        fixed seed policy (the parity suite enforces this), so the scalar
+        mode exists purely as the executable specification the batched
+        engine is checked against.
     """
 
     def __init__(
@@ -131,7 +158,12 @@ class WalkEngine:
         selection_overhead: bool = False,
         warp_switch_overhead: bool = False,
         step_overhead: StepOverhead | None = None,
+        execution: str = "batched",
     ) -> None:
+        if execution not in EXECUTION_MODES:
+            raise SimulationError(
+                f"unknown execution mode {execution!r}; valid: {EXECUTION_MODES}"
+            )
         self.graph = graph
         self.spec = spec
         self.device = device
@@ -144,6 +176,8 @@ class WalkEngine:
         self.selection_overhead = bool(selection_overhead)
         self.warp_switch_overhead = bool(warp_switch_overhead)
         self.step_overhead = step_overhead
+        self.execution = execution
+        self._hint_table_cache = None
 
     # ------------------------------------------------------------------ #
     def run(
@@ -152,6 +186,31 @@ class WalkEngine:
         profile: ProfileResult | None = None,
     ) -> WalkRunResult:
         """Execute every query and return walks plus the simulated profile."""
+        started = time.perf_counter()
+        if self.execution == "batched":
+            from repro.runtime.frontier import run_batched
+
+            result = run_batched(self, queries, profile)
+        else:
+            result = self._run_scalar(queries, profile)
+        result.wall_clock_s = time.perf_counter() - started
+        return result
+
+    def _node_hint_tables(self):
+        """Cached lazily-filled hint tables (node-only compiled workloads)."""
+        if self._hint_table_cache is None:
+            from repro.runtime.frontier import NodeHintTables
+
+            self._hint_table_cache = NodeHintTables(self.compiled, self.graph)
+        return self._hint_table_cache
+
+    # ------------------------------------------------------------------ #
+    def _run_scalar(
+        self,
+        queries: list[WalkQuery],
+        profile: ProfileResult | None = None,
+    ) -> WalkRunResult:
+        """One-query-at-a-time reference interpreter (``execution="scalar"``)."""
         validate_queries(queries, self.graph.num_nodes)
         pool = StreamPool(self.seed)
         queue = DynamicQueryQueue(queries)
@@ -175,7 +234,7 @@ class WalkEngine:
             aggregate.merge(fetch_counters)
 
             while not state.finished:
-                if self.graph.degree(state.current_node) == 0:
+                if is_dead_end(self.graph, state.current_node):
                     break
                 counters = CostCounters(bytes_per_weight=self.weight_bytes)
                 ctx = StepContext(

@@ -1,0 +1,232 @@
+"""The batched, step-synchronous walk execution loop (frontier engine).
+
+This is the execution shape real GPU walk frameworks use (FlowWalker's and
+C-SAW's frontier kernels): instead of interpreting one query at a time, every
+*superstep* gathers all still-active walkers, evaluates the per-walker kernel
+selection once, partitions the frontier by chosen kernel and executes each
+partition through one vectorised ``sample_batch`` call.
+
+The loop is simulation-equivalent to :meth:`WalkEngine._run_scalar` by
+construction, not by accident:
+
+* randomness — every walker owns the same counter-based stream in both modes
+  and the batch kernels consume the same counter ranges, so the sampled paths
+  are identical;
+* counters — each walker's per-step operation counts land in its own
+  :class:`~repro.gpusim.counters.CounterBatch` slot, and every superstep adds
+  exactly one priced float per active walker to ``per_query_ns`` (the same
+  accumulation order as the scalar loop), so counter totals and simulated
+  timings match;
+* termination — both modes consult the same dead-end rules from
+  :mod:`repro.sampling.base`.
+
+The one documented exception is :class:`~repro.runtime.selector.RandomSelector`,
+whose shared-generator coin flips cannot be replayed step-synchronously.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.gpusim.counters import CostCounters, CounterBatch
+from repro.gpusim.executor import KernelExecutor
+from repro.rng.streams import StreamPool
+from repro.runtime.scheduler import DynamicQueryQueue, validate_queries
+from repro.sampling.batch import BatchStepContext
+from repro.walks.state import WalkerFrontier, WalkerState, WalkQuery
+
+if TYPE_CHECKING:  # pragma: no cover - engine imports frontier
+    from repro.runtime.engine import WalkEngine, WalkRunResult
+    from repro.runtime.profiler import ProfileResult
+
+
+class NodeHintTables:
+    """Lazily-filled per-node bound/sum hint tables (node-only workloads).
+
+    When ``compiled.hints_node_only`` the compiler helpers are a pure
+    function of the current node, so their values can be cached per node and
+    shared by every walker that ever visits it.  Entries are computed on
+    first visit rather than eagerly for the whole graph — a sparse-query run
+    on a large graph must not pay an O(num_nodes) startup the scalar engine
+    would never pay.  ``NaN`` is the array form of the scalar ``None`` ("no
+    estimate"), so a separate mask tracks which entries are populated.
+    """
+
+    def __init__(self, compiled, graph) -> None:
+        self._compiled = compiled
+        self._graph = graph
+        n = graph.num_nodes
+        self.bounds = np.full(n, np.nan, dtype=np.float64)
+        self.sums = np.full(n, np.nan, dtype=np.float64)
+        self._computed = np.zeros(n, dtype=bool)
+        self._probe = WalkerState(
+            query=WalkQuery(query_id=0, start_node=0, max_length=1), current_node=0
+        )
+
+    def lookup(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Hints for the given nodes, evaluating missing entries on demand."""
+        pending = np.unique(nodes[~self._computed[nodes]])
+        for node in pending:
+            node = int(node)
+            self._probe.current_node = node
+            bound = self._compiled.bound_hint(self._graph, self._probe)
+            if bound is not None:
+                self.bounds[node] = bound
+            total = self._compiled.sum_hint(self._graph, self._probe)
+            if total is not None:
+                self.sums[node] = total
+        self._computed[pending] = True
+        return self.bounds[nodes], self.sums[nodes]
+
+
+def run_batched(
+    engine: "WalkEngine",
+    queries: list[WalkQuery],
+    profile: "ProfileResult | None" = None,
+) -> "WalkRunResult":
+    """Execute a query batch step-synchronously on the simulated device."""
+    from repro.runtime.engine import WalkRunResult
+
+    graph, spec, device = engine.graph, engine.spec, engine.device
+    validate_queries(queries, graph.num_nodes)
+    pool = StreamPool(engine.seed)
+    queue = DynamicQueryQueue(queries)
+    n = len(queries)
+
+    aggregate = CostCounters(bytes_per_weight=engine.weight_bytes)
+    usage: dict[str, int] = {}
+    total_steps = 0
+
+    # -- launch: claim the whole batch from the dynamic queue ------------- #
+    fetched = queue.fetch_batch(n)
+    fetch_counters = CounterBatch(n, bytes_per_weight=engine.weight_bytes)
+    fetch_counters.atomic_ops += 1
+    per_query_ns = device.lane_times_ns(fetch_counters)
+    aggregate.merge(fetch_counters.totals())
+
+    frontier = WalkerFrontier(fetched)
+    streams = pool.batch([q.query_id for q in fetched])
+
+    hints_available = engine.compiled is not None and engine.compiled.supported
+    hint_tables: NodeHintTables | None = None
+    if hints_available and engine.compiled.hints_node_only:
+        hint_tables = engine._node_hint_tables()
+
+    # -- supersteps -------------------------------------------------------- #
+    while True:
+        active = frontier.active_indices()
+        if active.size == 0:
+            break
+        # Consolidated dead-end rule, vectorised (see sampling.base.is_dead_end).
+        current = frontier.current[active]
+        degrees = graph.indptr[current + 1] - graph.indptr[current]
+        dead = degrees == 0
+        if dead.any():
+            frontier.terminate(active[dead])
+            active = active[~dead]
+            if active.size == 0:
+                break
+        k = active.size
+
+        counters = CounterBatch(k, bytes_per_weight=engine.weight_bytes)
+        bound_hints = sum_hints = None
+        if hints_available:
+            if hint_tables is not None:
+                bound_hints, sum_hints = hint_tables.lookup(frontier.current[active])
+            else:
+                # State-dependent hints: evaluate the helpers per walker,
+                # exactly like the scalar engine does per step.
+                bound_hints = np.full(k, np.nan, dtype=np.float64)
+                sum_hints = np.full(k, np.nan, dtype=np.float64)
+                for j, walker in enumerate(active):
+                    state = frontier.state_view(int(walker))
+                    bound = engine.compiled.bound_hint(graph, state)
+                    if bound is not None:
+                        bound_hints[j] = bound
+                    total = engine.compiled.sum_hint(graph, state)
+                    if total is not None:
+                        sum_hints[j] = total
+            if engine.selection_overhead:
+                # Reading the two preprocessed aggregates feeding the
+                # estimation helpers, plus their arithmetic.
+                counters.coalesced_accesses += 2
+                counters.weight_computations += 2
+
+        ctx = BatchStepContext(
+            graph=graph,
+            spec=spec,
+            frontier=frontier,
+            walkers=active,
+            rng=streams.subset(active),
+            counters=counters,
+            slots=np.arange(k, dtype=np.int64),
+            bound_hints=bound_hints,
+            sum_hints=sum_hints,
+            warp_width=engine.warp_width,
+        )
+        samplers, assignment = engine.selector.select_batch(ctx)
+
+        next_nodes = np.full(k, -1, dtype=np.int64)
+        for position, sampler in enumerate(samplers):
+            part = np.nonzero(assignment == position)[0]
+            if part.size == 0:
+                continue
+            sub = ctx.subset(part)
+            if engine.warp_switch_overhead and sampler.processing_unit == "warp":
+                # The concurrent kernel votes (__ballot_sync) and shares the
+                # query parameters (__shfl_sync) before the warp switches
+                # into the cooperative mode.
+                sub.charge("warp_syncs", 1)
+            next_nodes[part] = sampler.sample_batch(sub)
+            usage[sampler.name] = usage.get(sampler.name, 0) + int(part.size)
+            if engine.step_overhead is not None:
+                _apply_step_overhead(engine, ctx, part, sampler)
+        total_steps += k
+
+        per_query_ns[active] += device.lane_times_ns(counters)
+        aggregate.merge(counters.totals())
+
+        advancing = next_nodes >= 0
+        if not advancing.all():
+            frontier.terminate(active[~advancing])
+        moving = active[advancing]
+        if moving.size:
+            targets = next_nodes[advancing]
+            spec.update_batch(graph, frontier, moving, targets)
+            frontier.advance(moving, targets)
+
+    executor = KernelExecutor(device)
+    kernel = executor.execute(per_query_ns, counters=aggregate, scheduling=engine.scheduling)
+    return WalkRunResult(
+        paths=frontier.paths(),
+        per_query_ns=per_query_ns,
+        counters=aggregate,
+        kernel=kernel,
+        sampler_usage=usage,
+        total_steps=total_steps,
+        profile=profile,
+        preprocess_time_ns=(
+            engine.compiled.preprocessing_time_ns if engine.compiled is not None else 0.0
+        ),
+    )
+
+
+def _apply_step_overhead(engine: "WalkEngine", ctx: BatchStepContext,
+                         part: np.ndarray, sampler) -> None:
+    """Run a baseline's per-step framework-overhead hook for a partition.
+
+    Hooks are scalar by contract (they model per-walker bookkeeping such as
+    NextDoor's transit regrouping), so each walker gets a real
+    :class:`StepContext` shim.  The scalar engine hands hooks the step's
+    *live, already-populated* counters — a hook may read the counts the
+    selection and the kernel just charged — so the shim's counters are
+    seeded from the walker's slot and written back wholesale afterwards.
+    """
+    for i in part:
+        slot = int(ctx.slots[int(i)])
+        scalar_ctx, _ = ctx.scalar_context(int(i))
+        scalar_ctx.counters = ctx.counters.snapshot(slot)
+        engine.step_overhead(scalar_ctx, sampler)
+        ctx.counters.write_back(slot, scalar_ctx.counters)

@@ -49,6 +49,24 @@ class DynamicQueryQueue:
         self._counter += 1
         return query
 
+    def fetch_batch(self, max_count: int, counters: CostCounters | None = None) -> list[WalkQuery]:
+        """Atomically claim up to ``max_count`` queries in submission order.
+
+        The batched engine's frontier launch: every claimed query still costs
+        one atomic increment (the global counter is bumped once per query on
+        the hardware, whether the claims happen staggered or back to back),
+        so the accounting matches ``max_count`` scalar :meth:`fetch` calls.
+        """
+        if max_count < 0:
+            raise SimulationError("cannot fetch a negative number of queries")
+        count = min(int(max_count), self.remaining)
+        self.atomic_ops += count
+        if counters is not None:
+            counters.atomic_ops += count
+        claimed = self._queries[self._counter:self._counter + count]
+        self._counter += count
+        return list(claimed)
+
     def reset(self) -> None:
         """Rewind the queue (used when re-running the same batch)."""
         self._counter = 0
@@ -68,10 +86,23 @@ class DynamicQueryQueue:
 
 
 def validate_queries(queries: list[WalkQuery], num_nodes: int) -> None:
-    """Sanity-check a query batch against the target graph."""
+    """Sanity-check a query batch against the target graph.
+
+    Query ids must be unique within a batch: each id owns one random stream,
+    and two walks sharing a stream would consume it in execution-order —
+    making the result depend on scheduling instead of only on the seed (and
+    silently breaking the scalar/batched parity guarantee).
+    """
+    seen: set[int] = set()
     for query in queries:
         if not 0 <= query.start_node < num_nodes:
             raise SimulationError(
                 f"query {query.query_id} starts at node {query.start_node}, "
                 f"which is outside the graph (num_nodes={num_nodes})"
             )
+        if query.query_id in seen:
+            raise SimulationError(
+                f"duplicate query_id {query.query_id}: ids must be unique within "
+                "a batch (each id owns one random stream)"
+            )
+        seen.add(query.query_id)

@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import RuntimeSelectionError
 from repro.runtime.cost_model import CostModel
 from repro.sampling.base import Sampler, StepContext
+from repro.sampling.batch import BatchStepContext
 from repro.sampling.erjs import EnhancedRejectionSampler
 from repro.sampling.ervs import EnhancedReservoirSampler
 
@@ -29,6 +30,33 @@ class SamplerSelector(ABC):
     @abstractmethod
     def select(self, ctx: StepContext) -> Sampler:
         """Return the kernel to use for the step described by ``ctx``."""
+
+    # ------------------------------------------------------------------ #
+    def select_batch(self, ctx: BatchStepContext) -> tuple[list[Sampler], np.ndarray]:
+        """Choose the kernel for every walker of a superstep at once.
+
+        Returns ``(samplers, assignment)`` where ``assignment[i]`` indexes
+        into ``samplers`` for the ``i``-th walker; the batched engine then
+        partitions the frontier by kernel and runs each partition through
+        one :meth:`~repro.sampling.base.Sampler.sample_batch` call.
+
+        The built-in policies override this with vectorised rules; the
+        default loops over scalar :meth:`select` (with full counter
+        accounting) so custom selectors keep working in the batched engine.
+        """
+        samplers: list[Sampler] = []
+        positions: dict[int, int] = {}
+        assignment = np.zeros(ctx.size, dtype=np.int64)
+        for i in range(ctx.size):
+            scalar_ctx, counters = ctx.scalar_context(i)
+            sampler = self.select(scalar_ctx)
+            ctx.absorb(i, counters)
+            key = id(sampler)
+            if key not in positions:
+                positions[key] = len(samplers)
+                samplers.append(sampler)
+            assignment[i] = positions[key]
+        return samplers, assignment
 
 
 class CostModelSelector(SamplerSelector):
@@ -57,6 +85,17 @@ class CostModelSelector(SamplerSelector):
             return self._erjs
         return self._ervs
 
+    def select_batch(self, ctx: BatchStepContext) -> tuple[list[Sampler], np.ndarray]:
+        """Vectorised Eq. 11 over the whole frontier."""
+        ctx.charge("coalesced_accesses", 2)
+        ctx.charge("weight_computations", 2)
+        prefer = np.zeros(ctx.size, dtype=bool)
+        if ctx.bound_hints is not None and ctx.sum_hints is not None:
+            bound, total = ctx.bound_hints, ctx.sum_hints
+            valid = ~np.isnan(bound) & ~np.isnan(total) & (bound > 0) & (total > 0)
+            prefer[valid] = self.cost_model.edge_cost_ratio * bound[valid] < total[valid]
+        return [self._erjs, self._ervs], np.where(prefer, 0, 1)
+
 
 class FixedSelector(SamplerSelector):
     """Always run the same kernel (the eRJS-only / eRVS-only ablations)."""
@@ -67,6 +106,9 @@ class FixedSelector(SamplerSelector):
 
     def select(self, ctx: StepContext) -> Sampler:
         return self.sampler
+
+    def select_batch(self, ctx: BatchStepContext) -> tuple[list[Sampler], np.ndarray]:
+        return [self.sampler], np.zeros(ctx.size, dtype=np.int64)
 
 
 class RandomSelector(SamplerSelector):
@@ -81,6 +123,18 @@ class RandomSelector(SamplerSelector):
 
     def select(self, ctx: StepContext) -> Sampler:
         return self._erjs if self._rng.random() < 0.5 else self._ervs
+
+    def select_batch(self, ctx: BatchStepContext) -> tuple[list[Sampler], np.ndarray]:
+        """One coin flip per walker, in frontier order.
+
+        Deterministic per seed within a mode, but the draw *interleaving*
+        differs from the scalar engine's walker-major order, so the random
+        policy is the one selector whose chosen kernels (and hence paths) are
+        not bitwise identical across execution modes — acceptable for a
+        sensitivity baseline whose whole point is arbitrary choice.
+        """
+        flips = self._rng.random(ctx.size)
+        return [self._erjs, self._ervs], np.where(flips < 0.5, 0, 1)
 
 
 class DegreeBasedSelector(SamplerSelector):
@@ -104,3 +158,8 @@ class DegreeBasedSelector(SamplerSelector):
         if ctx.degree >= self.threshold:
             return self._erjs
         return self._ervs
+
+    def select_batch(self, ctx: BatchStepContext) -> tuple[list[Sampler], np.ndarray]:
+        ctx.charge("random_accesses", 1)
+        high = ctx.degrees >= self.threshold
+        return [self._erjs, self._ervs], np.where(high, 0, 1)

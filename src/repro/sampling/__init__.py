@@ -16,7 +16,14 @@ suite) and records its operation counts into the step's
 it.
 """
 
-from repro.sampling.base import Sampler, StepContext, gather_transition_weights
+from repro.sampling.base import (
+    Sampler,
+    StepContext,
+    all_weights_zero,
+    gather_transition_weights,
+    is_dead_end,
+)
+from repro.sampling.batch import BatchStepContext
 from repro.sampling.alias import AliasSampler
 from repro.sampling.its import InverseTransformSampler
 from repro.sampling.rejection import RejectionSampler
@@ -28,7 +35,10 @@ from repro.sampling.registry import SAMPLERS, make_sampler, sampler_names
 __all__ = [
     "Sampler",
     "StepContext",
+    "BatchStepContext",
     "gather_transition_weights",
+    "is_dead_end",
+    "all_weights_zero",
     "AliasSampler",
     "InverseTransformSampler",
     "RejectionSampler",

@@ -14,7 +14,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sampling.base import Sampler, StepContext, gather_transition_weights
+from repro.sampling.base import (
+    Sampler,
+    StepContext,
+    all_weights_zero,
+    gather_transition_weights,
+)
+from repro.sampling.batch import BatchStepContext, segment_any_positive
 
 
 def build_alias_table(weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -68,8 +74,7 @@ class AliasSampler(Sampler):
             return None
         weights = gather_transition_weights(ctx)
         degree = weights.size
-        total = float(weights.sum())
-        if total <= 0.0:
+        if all_weights_zero(weights):
             return None
 
         # Building the table: a mean reduction plus redistributing every
@@ -87,3 +92,36 @@ class AliasSampler(Sampler):
         column = min(int(u_col * degree), degree - 1)
         choice = column if u_acc < prob[column] else int(alias[column])
         return int(ctx.neighbors()[choice])
+
+    # ------------------------------------------------------------------ #
+    def _sample_batch_nonempty(self, batch: BatchStepContext, out: np.ndarray) -> np.ndarray:
+        """Frontier-wide ALS: vectorised gather/draws, per-walker Vose builds.
+
+        The alias-table construction is inherently sequential (Vose's
+        small/large worklists), so it stays a per-walker core; the weight
+        gather, the two uniforms per walker and all cost accounting are
+        vectorised across the frontier.
+        """
+        degrees = batch.degrees
+        weights = batch.gather_weights()
+        live = np.nonzero(segment_any_positive(weights, degrees))[0]
+        if live.size == 0:
+            return out
+
+        batch.charge("reduction_elements", degrees[live], live)
+        batch.charge("table_builds", 2 * degrees[live], live)
+        counts = np.zeros(batch.size, dtype=np.int64)
+        counts[live] = 2
+        uniforms = batch.rng.uniform_flat(counts)
+        batch.charge("rng_draws", 2, live)
+        batch.charge("random_accesses", 1, live)
+
+        for j, i in enumerate(live):
+            lo, hi = int(batch.offsets[i]), int(batch.offsets[i + 1])
+            degree = hi - lo
+            prob, alias = build_alias_table(weights[lo:hi])
+            u_col, u_acc = float(uniforms[2 * j]), float(uniforms[2 * j + 1])
+            column = min(int(u_col * degree), degree - 1)
+            choice = column if u_acc < prob[column] else int(alias[column])
+            out[i] = batch.neighbors_flat[lo + choice]
+        return out

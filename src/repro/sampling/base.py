@@ -1,4 +1,22 @@
-"""Shared sampling-kernel infrastructure: step contexts and the Sampler ABC."""
+"""Shared sampling-kernel infrastructure: step contexts and the Sampler ABC.
+
+Two execution shapes share this module:
+
+* **Scalar** — one walker takes one step through :meth:`Sampler.sample` with
+  a :class:`StepContext` (the original interpreter-style path, kept for
+  exact-parity checks via ``execution="scalar"``).
+* **Batched** — a whole frontier of walkers takes one step at a time through
+  :meth:`Sampler.sample_batch` with a
+  :class:`~repro.sampling.batch.BatchStepContext`.  The built-in kernels
+  override it with NumPy-vectorised implementations; samplers that don't
+  override it fall back to a loop over scalar :meth:`~Sampler.sample`, so any
+  custom kernel works in both modes out of the box.
+
+Both shapes must agree exactly — same chosen neighbours, same operation
+counts — for a fixed seed policy; the dead-end rules are therefore defined
+once here (:func:`is_dead_end`, :func:`all_weights_zero`) and used by both
+engines and every kernel.
+"""
 
 from __future__ import annotations
 
@@ -12,6 +30,7 @@ from repro.graph.csr import CSRGraph
 from repro.gpusim.counters import CostCounters
 from repro.gpusim.warp import WARP_SIZE, WarpModel
 from repro.rng.streams import CountingStream
+from repro.sampling.batch import BatchStepContext
 from repro.walks.spec import WalkSpec
 from repro.walks.state import WalkerState
 
@@ -59,6 +78,34 @@ class StepContext:
 
     def neighbors(self) -> np.ndarray:
         return self.graph.neighbors(self.state.current_node)
+
+
+# ---------------------------------------------------------------------- #
+# Dead-end rules (single source of truth for both execution modes)
+# ---------------------------------------------------------------------- #
+def is_dead_end(graph: CSRGraph, node: int) -> bool:
+    """True when a walk cannot leave ``node`` because it has no out-edges.
+
+    Both the scalar and the batched engine consult this exact rule before
+    dispatching a step (the batched engine evaluates it vectorised as
+    ``degrees == 0``), and every kernel's non-empty precheck goes through it
+    too, so the two paths cannot diverge on termination behaviour.
+    """
+    return graph.degree(node) == 0
+
+
+def all_weights_zero(weights: np.ndarray) -> bool:
+    """True when no probability mass remains (all-zero transition weights).
+
+    Transition weights are non-negative by contract (the CSR builder rejects
+    negative property weights and the paper's ``w̃ = w · h`` is a product of
+    non-negative factors), so "the sum is not positive" and "no element is
+    positive" coincide; batch kernels test the latter per segment
+    (:func:`~repro.sampling.batch.segment_any_positive`) while scalar kernels
+    use this helper.  A walker whose weights are all zero terminates — e.g. a
+    MetaPath dead end where no out-edge matches the schema label.
+    """
+    return weights.size == 0 or float(weights.sum()) <= 0.0
 
 
 def gather_transition_weights(
@@ -125,10 +172,54 @@ class Sampler(ABC):
         """Choose the next node for the walker in ``ctx``."""
 
     # ------------------------------------------------------------------ #
+    def sample_batch(self, batch: BatchStepContext) -> np.ndarray:
+        """Choose the next node for every walker in ``batch`` at once.
+
+        Returns an ``int64`` array parallel to ``batch.walkers`` holding the
+        chosen neighbour id per walker, or ``-1`` where the walk cannot
+        continue (the batched encoding of a scalar ``None``).
+
+        This is a template method: it applies the shared dead-end precheck
+        (zero-degree walkers get ``-1`` with no charges, exactly like the
+        scalar kernels' early return) and hands the all-nonempty remainder to
+        :meth:`_sample_batch_nonempty`.  The built-in kernels override that
+        hook with NumPy-vectorised implementations that draw from each
+        walker's own counter-based random stream, making the result (and the
+        per-walker operation counts) identical to running :meth:`sample`
+        walker by walker; the default hook loops over scalar :meth:`sample`
+        via :meth:`BatchStepContext.scalar_context`, so custom samplers work
+        in the batched engine without a vectorised port.
+        """
+        out = np.full(batch.size, -1, dtype=np.int64)
+        if batch.size == 0:
+            return out
+        nonempty = np.nonzero(batch.degrees > 0)[0]
+        if nonempty.size < batch.size:
+            if nonempty.size:
+                out[nonempty] = self.sample_batch(batch.subset(nonempty))
+            return out
+        return self._sample_batch_nonempty(batch, out)
+
+    def _sample_batch_nonempty(self, batch: BatchStepContext, out: np.ndarray) -> np.ndarray:
+        """Batched sampling core; every walker is guaranteed an out-edge.
+
+        ``out`` arrives filled with ``-1`` (the "walk ends" encoding) and
+        must be returned with the chosen neighbour id of every walker that
+        can continue.
+        """
+        for i in range(batch.size):
+            ctx, counters = batch.scalar_context(i)
+            chosen = self.sample(ctx)
+            batch.absorb(i, counters)
+            if chosen is not None:
+                out[i] = chosen
+        return out
+
+    # ------------------------------------------------------------------ #
     @staticmethod
     def _check_nonempty(ctx: StepContext) -> bool:
         """True when the current node has at least one out-edge."""
-        return ctx.degree > 0
+        return not is_dead_end(ctx.graph, ctx.state.current_node)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

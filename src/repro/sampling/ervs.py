@@ -24,7 +24,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sampling.base import Sampler, StepContext, gather_transition_weights
+from repro.sampling.base import (
+    Sampler,
+    StepContext,
+    all_weights_zero,
+    gather_transition_weights,
+)
+from repro.sampling.batch import (
+    BatchStepContext,
+    local_positions,
+    segment_any_positive,
+    segment_argmax_first,
+    segment_cummax,
+    segment_ids,
+)
 
 
 def exponential_race_keys(weights: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
@@ -89,7 +102,7 @@ class EnhancedReservoirSampler(Sampler):
         # Single pass over the weights — the EXP optimisation.
         weights = gather_transition_weights(ctx, passes=1)
         degree = weights.size
-        if float(weights.sum()) <= 0.0:
+        if all_weights_zero(weights):
             return None
 
         uniforms = np.asarray(ctx.rng.uniform(degree))
@@ -114,3 +127,59 @@ class EnhancedReservoirSampler(Sampler):
         choice = int(np.argmax(log_keys))
         warp.reduce_argmax(log_keys[:width])
         return int(ctx.neighbors()[choice])
+
+    # ------------------------------------------------------------------ #
+    def _sample_batch_nonempty(self, batch: BatchStepContext, out: np.ndarray) -> np.ndarray:
+        """Frontier-wide eRVS: one exponential race across every walker.
+
+        Walker-for-walker identical to :meth:`sample` — the per-walker
+        uniforms come from the same counter positions of the same streams,
+        the keys/argmax use the same formulas, and the jump accounting counts
+        the same candidate updates via a segmented running maximum.
+        """
+        if not self.use_exponential_keys:
+            # Ablation baseline: behave exactly like the FlowWalker kernel.
+            from repro.sampling.reservoir import ReservoirSampler
+
+            return ReservoirSampler()._sample_batch_nonempty(batch, out)
+
+        weights = batch.gather_weights(passes=1)
+        degrees = batch.degrees
+        live = np.nonzero(segment_any_positive(weights, degrees))[0]
+        if live.size == 0:
+            return out
+
+        # Draw exactly one uniform per neighbour for every live walker, from
+        # each walker's own stream (dead-end walkers consume no draws, like
+        # the scalar early return).
+        counts = np.zeros(batch.size, dtype=np.int64)
+        counts[live] = degrees[live]
+        uniforms = batch.rng.uniform_flat(counts)
+        flat_mask = batch.edge_mask(live)
+        live_weights = weights[flat_mask]
+        live_lengths = degrees[live]
+        log_keys = exponential_race_keys(live_weights, uniforms)
+
+        widths = np.minimum(batch.warp_width, live_lengths)
+        rng_counts = live_lengths.copy()
+        if self.use_jump:
+            jump = live_lengths > batch.warp_width
+            if jump.any():
+                # Count the candidate updates exactly as the scalar helper
+                # does: position j >= width triggers an update iff its key
+                # beats the running maximum of everything before it.
+                cummax = segment_cummax(log_keys, live_lengths)
+                prev_max = np.empty_like(cummax)
+                prev_max[0] = -np.inf
+                prev_max[1:] = cummax[:-1]
+                pos = local_positions(live_lengths)
+                seg = segment_ids(live_lengths)
+                beats = (pos >= widths[seg]) & (log_keys > prev_max)
+                updates = np.bincount(seg[beats], minlength=live_lengths.size)
+                rng_counts = np.where(jump, 2 * widths + 2 * updates, live_lengths)
+        batch.charge("rng_draws", rng_counts, live)
+        batch.charge("reduction_elements", widths, live)
+
+        choice = segment_argmax_first(log_keys, live_lengths)
+        out[live] = batch.neighbors_flat[batch.offsets[:-1][live] + choice]
+        return out

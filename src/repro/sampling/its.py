@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sampling.base import Sampler, StepContext, gather_transition_weights
+from repro.sampling.base import (
+    Sampler,
+    StepContext,
+    all_weights_zero,
+    gather_transition_weights,
+)
+from repro.sampling.batch import BatchStepContext, segment_any_positive
 
 
 class InverseTransformSampler(Sampler):
@@ -25,9 +31,9 @@ class InverseTransformSampler(Sampler):
             return None
         weights = gather_transition_weights(ctx)
         degree = weights.size
-        total = float(weights.sum())
-        if total <= 0.0:
+        if all_weights_zero(weights):
             return None
+        total = float(weights.sum())
 
         warp = ctx.warp()
         cdf = warp.prefix_sum(weights)
@@ -45,3 +51,37 @@ class InverseTransformSampler(Sampler):
         # Binary search over the stored CDF: ~log2(degree) probes.
         ctx.counters.random_accesses += max(1, int(np.ceil(np.log2(max(degree, 2)))))
         return int(ctx.neighbors()[choice])
+
+    # ------------------------------------------------------------------ #
+    def _sample_batch_nonempty(self, batch: BatchStepContext, out: np.ndarray) -> np.ndarray:
+        """Frontier-wide ITS: vectorised gather/draws, per-walker CDF cores.
+
+        The prefix-sum core stays a per-walker ``np.cumsum`` so the floating
+        point accumulation (and hence the inverted index) is bit-identical to
+        the scalar kernel; everything around it — the weight gather, the cost
+        accounting and the uniform draws — is vectorised.
+        """
+        degrees = batch.degrees
+        weights = batch.gather_weights()
+        live = np.nonzero(segment_any_positive(weights, degrees))[0]
+        if live.size == 0:
+            return out
+
+        batch.charge("prefix_sum_elements", degrees[live], live)
+        batch.charge("table_builds", degrees[live], live)
+        counts = np.zeros(batch.size, dtype=np.int64)
+        counts[live] = 1
+        uniforms = batch.rng.uniform_flat(counts)
+        batch.charge("rng_draws", 1, live)
+        probes = np.maximum(1, np.ceil(np.log2(np.maximum(degrees[live], 2))).astype(np.int64))
+        batch.charge("random_accesses", probes, live)
+
+        for j, i in enumerate(live):
+            lo, hi = int(batch.offsets[i]), int(batch.offsets[i + 1])
+            wslice = weights[lo:hi]
+            total = float(wslice.sum())
+            cdf = np.cumsum(wslice)
+            choice = int(np.searchsorted(cdf, uniforms[j] * total, side="right"))
+            choice = min(choice, hi - lo - 1)
+            out[i] = batch.neighbors_flat[lo + choice]
+        return out

@@ -13,6 +13,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sampling.base import Sampler, StepContext, gather_transition_weights
+from repro.sampling.batch import (
+    BatchStepContext,
+    local_positions,
+    segment_first_true,
+    segment_ids,
+    segment_max,
+    segment_offsets,
+)
 
 #: Size of the vectorised trial batches drawn at once (purely an
 #: implementation detail; the trial count recorded in the counters is exact).
@@ -60,6 +68,77 @@ def run_rejection_trials(
     return None, trials_done
 
 
+def run_rejection_trials_batch(
+    batch: BatchStepContext,
+    idx: np.ndarray,
+    weights_flat: np.ndarray,
+    bounds: np.ndarray,
+    max_trials: np.ndarray,
+) -> np.ndarray:
+    """Accept/reject trials for many walkers at once.
+
+    The batched twin of :func:`run_rejection_trials`: per round every still
+    undecided walker draws one block of candidate/acceptance uniforms from
+    its own stream (the same counters the scalar loop would consume, so the
+    realised trials are identical), and the round's acceptance test runs as
+    one vectorised comparison across all of them.
+
+    Parameters
+    ----------
+    idx:
+        Batch-local indices of the participating walkers.
+    weights_flat / bounds / max_trials:
+        The flattened frontier weights, plus per-walker proposal bounds and
+        trial budgets parallel to ``idx``.
+
+    Returns the accepted candidate index *within each walker's neighbour
+    list* (``-1`` when the budget was exhausted), charging exactly the trial
+    costs the scalar helper charges.
+    """
+    choice = np.full(idx.size, -1, dtype=np.int64)
+    if idx.size == 0:
+        return choice
+    degrees = batch.degrees[idx]
+    probe_words = 1 + batch.spec.probe_cost_words_batch(batch.graph, batch)[idx]
+    offsets = batch.offsets[:-1][idx]
+    done = np.zeros(idx.size, dtype=np.int64)
+    active = np.nonzero((degrees > 0) & (bounds > 0))[0]
+    while active.size:
+        block = np.minimum(_TRIAL_BATCH, max_trials[active] - done[active])
+        runnable = block > 0
+        active = active[runnable]
+        block = block[runnable]
+        if active.size == 0:
+            break
+        # One contiguous counter block of 2·b draws per walker: the first b
+        # feed the candidate integers, the rest the acceptance uniforms —
+        # the exact consumption order of the scalar loop.
+        u = batch.rng.subset(idx[active]).uniform_flat(2 * block)
+        local = local_positions(2 * block)
+        seg2 = segment_ids(2 * block)
+        is_candidate = local < block[seg2]
+        seg = segment_ids(block)
+        xs = np.floor(u[is_candidate] * degrees[active][seg]).astype(np.int64)
+        ys = u[~is_candidate] * bounds[active][seg]
+        hit = ys <= weights_flat[offsets[active][seg] + xs]
+        any_hit, first = segment_first_true(hit, block)
+
+        used = np.where(any_hit, first + 1, block)
+        slots = idx[active]
+        batch.charge("rng_draws", 2 * used, slots)
+        batch.charge("random_accesses", probe_words[active] * used, slots)
+        batch.charge("weight_computations", used, slots)
+        batch.charge("rejection_trials", used, slots)
+        done[active] += used
+
+        if any_hit.any():
+            block_offsets = segment_offsets(block)
+            winners = xs[block_offsets[:-1] + first]
+            choice[active[any_hit]] = winners[any_hit]
+        active = active[~any_hit]
+    return choice
+
+
 class RejectionSampler(Sampler):
     """Max-reduce + accept/reject trials (NextDoor's strategy, Fig. 2d)."""
 
@@ -99,3 +178,37 @@ class RejectionSampler(Sampler):
             ctx.counters.rng_draws += 1
             choice = min(int(np.searchsorted(cdf, u * total)), degree - 1)
         return int(ctx.neighbors()[choice])
+
+    # ------------------------------------------------------------------ #
+    def _sample_batch_nonempty(self, batch: BatchStepContext, out: np.ndarray) -> np.ndarray:
+        """Frontier-wide baseline RJS: vectorised max reduction + trials."""
+        degrees = batch.degrees
+        weights = batch.gather_weights(coalesced=False)
+        bounds = segment_max(weights, degrees)
+        batch.charge("reduction_elements", degrees)
+        alive = np.nonzero(bounds > 0)[0]
+        if alive.size == 0:
+            return out
+
+        max_trials = np.maximum(self.min_trials, self.max_trial_factor * degrees)
+        choice = np.full(batch.size, -1, dtype=np.int64)
+        choice[alive] = run_rejection_trials_batch(
+            batch, alive, weights, bounds[alive], max_trials[alive]
+        )
+        # Trial-budget exhaustion: finish with a direct inversion per walker,
+        # replaying the scalar fallback on the same weight slice and stream.
+        for i in alive[choice[alive] < 0]:
+            lo, hi = int(batch.offsets[i]), int(batch.offsets[i + 1])
+            wslice = weights[lo:hi]
+            total = float(wslice.sum())
+            if total <= 0.0:
+                continue
+            degree = hi - lo
+            cdf = np.cumsum(wslice)
+            batch.charge("prefix_sum_elements", degree, np.array([i]))
+            u = batch.stream(i).uniform()
+            batch.charge("rng_draws", 1, np.array([i]))
+            choice[i] = min(int(np.searchsorted(cdf, u * total)), degree - 1)
+        picked = np.nonzero(choice >= 0)[0]
+        out[picked] = batch.neighbors_flat[batch.offsets[:-1][picked] + choice[picked]]
+        return out

@@ -17,7 +17,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sampling.base import Sampler, StepContext, gather_transition_weights
+from repro.sampling.base import (
+    Sampler,
+    StepContext,
+    all_weights_zero,
+    gather_transition_weights,
+)
+from repro.sampling.batch import (
+    BatchStepContext,
+    local_positions,
+    segment_any_positive,
+    segment_offsets,
+)
 
 
 def parallel_reservoir_choice(weights: np.ndarray, uniforms: np.ndarray, prefix: np.ndarray) -> int | None:
@@ -47,7 +58,7 @@ class ReservoirSampler(Sampler):
         # sums and once while evaluating the replacement conditions.
         weights = gather_transition_weights(ctx, passes=2)
         degree = weights.size
-        if float(weights.sum()) <= 0.0:
+        if all_weights_zero(weights):
             return None
 
         warp = ctx.warp()
@@ -63,3 +74,45 @@ class ReservoirSampler(Sampler):
         if choice is None:
             return None
         return int(ctx.neighbors()[choice])
+
+    # ------------------------------------------------------------------ #
+    def _sample_batch_nonempty(self, batch: BatchStepContext, out: np.ndarray) -> np.ndarray:
+        """Frontier-wide RVS: vectorised draws/conditions, per-walker scans.
+
+        The prefix sums stay per-walker ``np.cumsum`` calls (bit-exact with
+        the scalar kernel's accumulation); the per-neighbour uniforms, the
+        replacement conditions and the last-qualified selection run as one
+        vectorised pass over the whole frontier.
+        """
+        degrees = batch.degrees
+        weights = batch.gather_weights(passes=2)
+        live = np.nonzero(segment_any_positive(weights, degrees))[0]
+        if live.size == 0:
+            return out
+
+        prefix = np.empty(weights.size, dtype=np.float64)
+        for i in live:
+            lo, hi = int(batch.offsets[i]), int(batch.offsets[i + 1])
+            prefix[lo:hi] = np.cumsum(weights[lo:hi])
+        batch.charge("prefix_sum_elements", degrees[live], live)
+
+        counts = np.zeros(batch.size, dtype=np.int64)
+        counts[live] = degrees[live]
+        uniforms = batch.rng.uniform_flat(counts)
+        batch.charge("rng_draws", degrees[live], live)
+
+        flat_mask = batch.edge_mask(live)
+        live_lengths = degrees[live]
+        qualified = uniforms * prefix[flat_mask] < weights[flat_mask]
+        pos = local_positions(live_lengths)
+        # Replacements are ordered, so the survivor is simply the largest
+        # qualified position per segment (-1 when none qualified).
+        starts = segment_offsets(live_lengths)[:-1]
+        last = np.maximum.reduceat(np.where(qualified, pos, -1), starts)
+        batch.charge("reduction_elements", np.minimum(live_lengths, batch.warp_width), live)
+
+        chosen = np.nonzero(last >= 0)[0]
+        out[live[chosen]] = batch.neighbors_flat[
+            batch.offsets[:-1][live[chosen]] + last[chosen]
+        ]
+        return out

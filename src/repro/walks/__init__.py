@@ -11,7 +11,7 @@ Node2Vec, weighted/unweighted MetaPath and second-order PageRank, plus
 DeepWalk as a static-walk reference.
 """
 
-from repro.walks.state import WalkerState, WalkQuery, make_queries
+from repro.walks.state import WalkerFrontier, WalkerState, WalkQuery, make_queries
 from repro.walks.spec import WalkSpec, UniformWalkSpec
 from repro.walks.node2vec import Node2VecSpec, UnweightedNode2VecSpec
 from repro.walks.metapath import MetaPathSpec
@@ -21,6 +21,7 @@ from repro.walks.registry import WORKLOADS, make_workload, workload_names
 
 __all__ = [
     "WalkerState",
+    "WalkerFrontier",
     "WalkQuery",
     "make_queries",
     "WalkSpec",

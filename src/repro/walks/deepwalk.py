@@ -10,11 +10,16 @@ distribution exactly.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.walks.spec import WalkSpec
 from repro.walks.state import WalkerState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sampling.batch import BatchStepContext
 
 
 class DeepWalkSpec(WalkSpec):
@@ -30,3 +35,6 @@ class DeepWalkSpec(WalkSpec):
 
     def transition_weights(self, graph: CSRGraph, state: WalkerState) -> np.ndarray:
         return graph.edge_weights(state.current_node).astype(np.float64)
+
+    def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+        return graph.weights[batch.flat_edges].astype(np.float64)

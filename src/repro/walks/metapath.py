@@ -10,12 +10,17 @@ the walk.  The paper evaluates with schema ``(0, 1, 2, 3, 4)`` and depth 5.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import WalkSpecError
 from repro.graph.csr import CSRGraph
 from repro.walks.spec import WalkSpec
 from repro.walks.state import WalkerState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sampling.batch import BatchStepContext
 
 
 class MetaPathSpec(WalkSpec):
@@ -58,6 +63,15 @@ class MetaPathSpec(WalkSpec):
         want = self._expected_label(state)
         return np.where(labels == want, h, 0.0)
 
+    def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+        if graph.labels is None:
+            raise WalkSpecError("MetaPath requires an edge-labelled graph")
+        h = graph.weights[batch.flat_edges].astype(np.float64)
+        labels = graph.labels[batch.flat_edges]
+        schema = np.asarray(self.schema, dtype=np.int64)
+        want = schema[batch.steps % len(self.schema)]
+        return np.where(labels == want[batch.seg_ids], h, 0.0)
+
     # ------------------------------------------------------------------ #
     # Simulator cost hooks: the schema check reads one edge label per probe /
     # the whole label slice per scan.
@@ -67,6 +81,12 @@ class MetaPathSpec(WalkSpec):
 
     def scan_cost_words(self, graph: CSRGraph, state: WalkerState) -> int:
         return graph.degree(state.current_node)
+
+    def probe_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+        return np.ones(batch.size, dtype=np.int64)
+
+    def scan_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+        return batch.degrees.copy()
 
     def describe(self) -> dict[str, object]:
         info = super().describe()

@@ -17,12 +17,51 @@ needs a PER_STEP bound.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import WalkSpecError
 from repro.graph.csr import CSRGraph
 from repro.walks.spec import WalkSpec
 from repro.walks.state import WalkerState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sampling.batch import BatchStepContext
+
+
+def _prev_degrees(graph: CSRGraph, prev: np.ndarray) -> np.ndarray:
+    """Out-degree of each walker's previous node (0 where there is none)."""
+    safe = np.where(prev >= 0, prev, 0)
+    degrees = graph.indptr[safe + 1] - graph.indptr[safe]
+    return np.where(prev >= 0, degrees, 0)
+
+
+def _second_order_bias(graph: CSRGraph, batch: "BatchStepContext") -> tuple[np.ndarray, np.ndarray]:
+    """Per-candidate-edge second-order classification for the whole frontier.
+
+    Returns ``(has_prev, linked)``, both parallel to ``batch.neighbors_flat``:
+    ``has_prev`` marks edges of walkers that have a previous node, ``linked``
+    marks candidates that are themselves neighbours of that previous node —
+    the ``dist(v', u) == 1`` test, evaluated as one segmented binary search
+    over the CSR adjacency instead of one ``np.searchsorted`` per walker.
+    """
+    seg = batch.seg_ids
+    prev_per_edge = batch.prev[seg]
+    has_prev = prev_per_edge >= 0
+    linked = np.zeros(prev_per_edge.size, dtype=bool)
+    safe_prev = np.where(has_prev, prev_per_edge, 0)
+    lo = graph.indptr[safe_prev]
+    hi = graph.indptr[safe_prev + 1]
+    check = np.nonzero(has_prev & (hi > lo))[0]
+    if check.size:
+        from repro.sampling.batch import segment_bisect
+
+        queries = batch.neighbors_flat[check]
+        pos = segment_bisect(graph.indices, lo[check], hi[check], queries, side="left")
+        pos = np.minimum(pos, hi[check] - 1)
+        linked[check] = graph.indices[pos] == queries
+    return has_prev, linked
 
 
 class Node2VecSpec(WalkSpec):
@@ -71,6 +110,16 @@ class Node2VecSpec(WalkSpec):
         w[neighbors == state.prev_node] = 1.0 / self.a
         return w * h
 
+    def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+        """Frontier-wide Eq. 2: one segmented membership search for all walkers."""
+        h = graph.weights[batch.flat_edges].astype(np.float64)
+        has_prev, linked = _second_order_bias(graph, batch)
+        w = np.full(h.size, 1.0 / self.b, dtype=np.float64)
+        w[linked] = 1.0
+        w[has_prev & (batch.neighbors_flat == batch.prev[batch.seg_ids])] = 1.0 / self.a
+        w[~has_prev] = 1.0
+        return w * h
+
     # ------------------------------------------------------------------ #
     # Simulator cost hooks: the dist(v', u) check is a membership probe.
     # ------------------------------------------------------------------ #
@@ -84,6 +133,15 @@ class Node2VecSpec(WalkSpec):
         if state.prev_node < 0:
             return 0
         return graph.degree(state.prev_node)
+
+    def probe_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+        prev = batch.prev
+        d_prev = _prev_degrees(graph, prev)
+        words = np.ceil(np.log2(d_prev + 2)).astype(np.int64)
+        return np.where(prev < 0, 0, words)
+
+    def scan_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+        return _prev_degrees(graph, batch.prev)
 
     def describe(self) -> dict[str, object]:
         info = super().describe()
@@ -128,4 +186,12 @@ class UnweightedNode2VecSpec(Node2VecSpec):
             linked = prev_neighbors[pos] == neighbors
             w[linked] = 1.0
         w[neighbors == state.prev_node] = 1.0 / self.a
+        return w
+
+    def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+        has_prev, linked = _second_order_bias(graph, batch)
+        w = np.full(batch.neighbors_flat.size, 1.0 / self.b, dtype=np.float64)
+        w[linked] = 1.0
+        w[has_prev & (batch.neighbors_flat == batch.prev[batch.seg_ids])] = 1.0 / self.a
+        w[~has_prev] = 1.0
         return w

@@ -14,12 +14,18 @@ The paper evaluates with ``gamma = 0.2``.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import WalkSpecError
 from repro.graph.csr import CSRGraph
+from repro.walks.node2vec import _prev_degrees, _second_order_bias
 from repro.walks.spec import WalkSpec
 from repro.walks.state import WalkerState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sampling.batch import BatchStepContext
 
 
 class SecondOrderPRSpec(WalkSpec):
@@ -72,6 +78,24 @@ class SecondOrderPRSpec(WalkSpec):
             w[linked] = base + bonus
         return w * maxd * h
 
+    def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+        """Frontier-wide Eq. 3: per-walker degree terms expanded per edge."""
+        h = graph.weights[batch.flat_edges].astype(np.float64)
+        has_prev, linked = _second_order_bias(graph, batch)
+        d_cur = batch.degrees
+        d_prev = _prev_degrees(graph, batch.prev)
+        maxd = np.maximum(d_cur, d_prev).astype(np.float64)
+        # Degree-0 walkers have no flat entries, so the clamped divisor below
+        # only suppresses the divide warning; the value is never read.
+        base = (1.0 - self.gamma) / np.maximum(d_cur, 1)
+        bonus = np.where(d_prev > 0, self.gamma / np.maximum(d_prev, 1), 0.0)
+        seg = batch.seg_ids
+        w = base[seg].copy()
+        w[linked] = (base + bonus)[seg][linked]
+        factor = w * maxd[seg]
+        factor[~has_prev] = 1.0
+        return factor * h
+
     # ------------------------------------------------------------------ #
     # Simulator cost hooks: like Node2Vec, dist(v', u) is a membership probe,
     # plus the two degree lookups.
@@ -86,6 +110,17 @@ class SecondOrderPRSpec(WalkSpec):
         if state.prev_node < 0:
             return 0
         return 2 + graph.degree(state.prev_node)
+
+    def probe_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+        prev = batch.prev
+        d_prev = _prev_degrees(graph, prev)
+        words = 2 + np.ceil(np.log2(d_prev + 2)).astype(np.int64)
+        return np.where(prev < 0, 0, words)
+
+    def scan_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+        prev = batch.prev
+        d_prev = _prev_degrees(graph, prev)
+        return np.where(prev < 0, 0, 2 + d_prev)
 
     def describe(self) -> dict[str, object]:
         info = super().describe()

@@ -23,12 +23,16 @@ built-in workload.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import WalkSpecError
 from repro.graph.csr import CSRGraph
-from repro.walks.state import WalkerState
+from repro.walks.state import WalkerFrontier, WalkerState
+
+if TYPE_CHECKING:  # pragma: no cover - sampling imports walks, not vice versa
+    from repro.sampling.batch import BatchStepContext
 
 
 class WalkSpec(ABC):
@@ -81,6 +85,63 @@ class WalkSpec(ABC):
             [self.get_weight(graph, state, e) for e in range(start, stop)],
             dtype=np.float64,
         )
+
+    # ------------------------------------------------------------------ #
+    # Batched (frontier) hooks — vectorised across walkers
+    # ------------------------------------------------------------------ #
+    def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+        """Weights of every candidate edge of every walker in the frontier.
+
+        Returns one flat ``float64`` array parallel to
+        ``batch.neighbors_flat`` (walker ``i``'s weights occupy
+        ``batch.offsets[i]:batch.offsets[i + 1]``).  Built-in workloads
+        override this with cross-walker numpy code; the default loops over
+        :meth:`transition_weights` per walker, which keeps any custom
+        workload exact in the batched engine.
+        """
+        if batch.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        parts = [
+            self.transition_weights(graph, batch.state(i)) for i in range(batch.size)
+        ]
+        return np.concatenate(parts) if parts else np.zeros(0, dtype=np.float64)
+
+    def probe_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+        """Vectorised :meth:`probe_cost_words` (one entry per walker)."""
+        if type(self).probe_cost_words is WalkSpec.probe_cost_words:
+            return np.zeros(batch.size, dtype=np.int64)
+        return np.array(
+            [self.probe_cost_words(graph, batch.state(i)) for i in range(batch.size)],
+            dtype=np.int64,
+        )
+
+    def scan_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+        """Vectorised :meth:`scan_cost_words` (one entry per walker)."""
+        if type(self).scan_cost_words is WalkSpec.scan_cost_words:
+            return np.zeros(batch.size, dtype=np.int64)
+        return np.array(
+            [self.scan_cost_words(graph, batch.state(i)) for i in range(batch.size)],
+            dtype=np.int64,
+        )
+
+    def update_batch(
+        self,
+        graph: CSRGraph,
+        frontier: WalkerFrontier,
+        walkers: np.ndarray,
+        next_nodes: np.ndarray,
+    ) -> None:
+        """Apply :meth:`update` for every advancing walker of a superstep.
+
+        Runs *before* the frontier arrays advance, exactly like the scalar
+        engine calls ``update`` before ``state.advance``.  When ``update`` is
+        not overridden this is a no-op, so workloads without per-step
+        bookkeeping never materialise object-form walker state.
+        """
+        if type(self).update is WalkSpec.update:
+            return
+        for walker, nxt in zip(walkers, next_nodes):
+            self.update(graph, frontier.state_view(int(walker)), int(nxt))
 
     # ------------------------------------------------------------------ #
     # Cost hooks consumed by the GPU simulator
@@ -137,3 +198,6 @@ class UniformWalkSpec(WalkSpec):
 
     def transition_weights(self, graph: CSRGraph, state: WalkerState) -> np.ndarray:
         return graph.edge_weights(state.current_node).astype(np.float64)
+
+    def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+        return graph.weights[batch.flat_edges].astype(np.float64)

@@ -81,6 +81,93 @@ class WalkerState:
         return len(self.path) - 1
 
 
+class WalkerFrontier:
+    """Array-form (structure-of-arrays) state of a batch of walkers.
+
+    The batched step-synchronous engine advances every active walker once per
+    superstep, so the per-walker fields of :class:`WalkerState` are kept as
+    parallel numpy arrays: ``current``, ``prev``, ``steps`` and a
+    pre-allocated path matrix.  Workload code that still needs a real
+    :class:`WalkerState` (custom ``update`` overrides, scalar-fallback
+    sampling, compiler hint evaluation) obtains one through
+    :meth:`state_view`, which lazily materialises the object and replays the
+    missing steps from the path matrix — walkers on the fully vectorised hot
+    path never pay for object-form state at all.
+
+    Attributes
+    ----------
+    queries:
+        The originating queries, in submission order.
+    current / prev / steps:
+        Per-walker position, previous node (-1 before the first step) and
+        number of steps taken, as ``int64`` arrays.
+    alive:
+        False once a walker terminated early (dead end / zero weights).
+    path_buf / path_len:
+        ``path_buf[i, :path_len[i]]`` is walker ``i``'s path so far.
+    """
+
+    def __init__(self, queries: list[WalkQuery]) -> None:
+        self.queries = list(queries)
+        n = len(self.queries)
+        starts = np.array([q.start_node for q in self.queries], dtype=np.int64)
+        self.max_lengths = np.array([q.max_length for q in self.queries], dtype=np.int64)
+        self.current = starts.copy()
+        self.prev = np.full(n, -1, dtype=np.int64)
+        self.steps = np.zeros(n, dtype=np.int64)
+        self.alive = np.ones(n, dtype=bool)
+        width = int(self.max_lengths.max()) + 1 if n else 1
+        self.path_buf = np.full((n, width), -1, dtype=np.int64)
+        if n:
+            self.path_buf[:, 0] = starts
+        self.path_len = np.ones(n, dtype=np.int64)
+        self._states: list[WalkerState | None] = [None] * n
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    # ------------------------------------------------------------------ #
+    def active_indices(self) -> np.ndarray:
+        """Walkers that are alive and have steps left to take."""
+        return np.nonzero(self.alive & (self.steps < self.max_lengths))[0]
+
+    def terminate(self, indices: np.ndarray) -> None:
+        """Stop the given walkers (dead end or all-zero transition weights)."""
+        self.alive[indices] = False
+
+    def advance(self, indices: np.ndarray, next_nodes: np.ndarray) -> None:
+        """Move the given walkers to their sampled next nodes."""
+        self.prev[indices] = self.current[indices]
+        self.current[indices] = next_nodes
+        self.steps[indices] += 1
+        self.path_buf[indices, self.steps[indices]] = next_nodes
+        self.path_len[indices] += 1
+
+    # ------------------------------------------------------------------ #
+    def state_view(self, index: int) -> WalkerState:
+        """Object-form state of one walker, synced to the array state.
+
+        The returned object is persistent, so workload-specific ``params``
+        mutated by ``spec.update`` survive across supersteps exactly as they
+        do in the scalar engine.
+        """
+        index = int(index)
+        state = self._states[index]
+        if state is None:
+            state = WalkerState.start(self.queries[index])
+            self._states[index] = state
+        while state.step < int(self.steps[index]):
+            state.advance(int(self.path_buf[index, state.step + 1]))
+        return state
+
+    def paths(self) -> list[list[int]]:
+        """The walks, one python list per query in submission order."""
+        return [
+            self.path_buf[i, : int(self.path_len[i])].tolist()
+            for i in range(len(self.queries))
+        ]
+
+
 def make_queries(
     num_nodes: int,
     walk_length: int,

@@ -144,3 +144,39 @@ class TestSimulationOutputs:
         queries = make_queries(small_graph.num_nodes, walk_length=3, num_queries=6)
         result = run_engine(small_graph, UniformWalkSpec(), queries, scheduling="static")
         assert result.kernel.scheduling == "static"
+
+
+class TestExecutionModes:
+    def test_batched_is_the_default(self, small_graph):
+        engine = WalkEngine(graph=small_graph, spec=UniformWalkSpec(), device=DEVICE)
+        assert engine.execution == "batched"
+
+    def test_unknown_execution_mode_rejected(self, small_graph):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            WalkEngine(graph=small_graph, spec=UniformWalkSpec(), execution="speculative")
+
+    @pytest.mark.parametrize("execution", ["scalar", "batched"])
+    def test_throughput_observable(self, small_graph, execution):
+        queries = make_queries(small_graph.num_nodes, walk_length=4, num_queries=6)
+        result = run_engine(small_graph, UniformWalkSpec(), queries, execution=execution)
+        assert result.wall_clock_s > 0
+        assert result.throughput_steps_per_s == pytest.approx(
+            result.total_steps / result.wall_clock_s
+        )
+
+    def test_throughput_zero_without_wall_clock(self, small_graph):
+        queries = make_queries(small_graph.num_nodes, walk_length=3, num_queries=4)
+        result = run_engine(small_graph, UniformWalkSpec(), queries)
+        result.wall_clock_s = 0.0
+        assert result.throughput_steps_per_s == 0.0
+
+    def test_summary_surfaces_throughput(self, small_graph):
+        from repro.core.results import summarize_run
+
+        queries = make_queries(small_graph.num_nodes, walk_length=3, num_queries=4)
+        result = run_engine(small_graph, UniformWalkSpec(), queries)
+        summary = summarize_run(result)
+        assert summary["throughput_steps_per_s"] == result.throughput_steps_per_s
+        assert summary["wall_clock_s"] == result.wall_clock_s

@@ -60,3 +60,45 @@ class TestValidateQueries:
     def test_out_of_range_start_rejected(self):
         with pytest.raises(SimulationError):
             validate_queries([WalkQuery(0, 99, 5)], num_nodes=10)
+
+    def test_rejects_duplicate_query_ids(self):
+        # Each query id owns one random stream; duplicates would make walks
+        # depend on execution order and break scalar/batched parity.
+        queries = [
+            WalkQuery(query_id=0, start_node=1, max_length=3),
+            WalkQuery(query_id=0, start_node=2, max_length=3),
+        ]
+        with pytest.raises(SimulationError, match="duplicate query_id"):
+            validate_queries(queries, num_nodes=10)
+
+
+class TestBatchFetch:
+    def test_fetch_batch_claims_in_submission_order(self):
+        queue = DynamicQueryQueue(make_batch(5))
+        claimed = queue.fetch_batch(3)
+        assert [q.query_id for q in claimed] == [0, 1, 2]
+        assert queue.remaining == 2
+
+    def test_fetch_batch_charges_one_atomic_per_query(self):
+        queue = DynamicQueryQueue(make_batch(4))
+        counters = CostCounters()
+        claimed = queue.fetch_batch(10, counters)
+        assert len(claimed) == 4
+        assert counters.atomic_ops == 4
+        assert queue.atomic_ops == 4
+        assert queue.exhausted
+
+    def test_fetch_batch_interleaves_with_scalar_fetch(self):
+        queue = DynamicQueryQueue(make_batch(4))
+        assert queue.fetch().query_id == 0
+        assert [q.query_id for q in queue.fetch_batch(2)] == [1, 2]
+        assert queue.fetch().query_id == 3
+
+    def test_fetch_batch_on_empty_queue(self):
+        queue = DynamicQueryQueue([])
+        assert queue.fetch_batch(5) == []
+
+    def test_fetch_batch_rejects_negative_count(self):
+        queue = DynamicQueryQueue(make_batch(1))
+        with pytest.raises(SimulationError):
+            queue.fetch_batch(-1)
