@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""CI perf-regression gate for the walk-engine microbenchmark.
+
+Compares a freshly measured ``bench_engine.py`` report against the committed
+``BENCH_engine.json`` baseline and fails (exit code 1) when the batched
+engine's speedup over the scalar engine dropped by more than the allowed
+fraction — the backstop that keeps the vectorised hot path from silently
+regressing toward the interpreter.  Also re-checks the simulated-time parity
+flag: a speedup obtained by breaking simulation equivalence is not a speedup.
+
+Usage::
+
+    python scripts/bench_engine.py --output BENCH_engine.new.json
+    python scripts/check_bench_regression.py \
+        --baseline BENCH_engine.json --current BENCH_engine.new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_speedup(path: Path) -> float:
+    report = json.loads(path.read_text())
+    speedup = report.get("speedup")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        raise SystemExit(f"{path}: no positive 'speedup' field (got {speedup!r})")
+    return float(speedup)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, default=Path("BENCH_engine.json"),
+                        help="committed baseline report")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="freshly measured report to gate")
+    parser.add_argument("--max-drop", type=float, default=0.30,
+                        help="allowed fractional speedup drop (default: 0.30)")
+    args = parser.parse_args()
+    if not 0 <= args.max_drop < 1:
+        parser.error("--max-drop must be in [0, 1)")
+
+    baseline = load_speedup(args.baseline)
+    current_report = json.loads(args.current.read_text())
+    current = load_speedup(args.current)
+
+    if current_report.get("simulated_time_parity") is not True:
+        print("FAIL: current report lost scalar/batched simulated-time parity")
+        return 1
+
+    floor = baseline * (1.0 - args.max_drop)
+    verdict = "ok" if current >= floor else "REGRESSION"
+    print(f"baseline speedup: {baseline:.2f}x")
+    print(f"current speedup:  {current:.2f}x (allowed floor: {floor:.2f}x)")
+    print(f"verdict: {verdict}")
+    if current < floor:
+        print(
+            f"FAIL: batched-engine speedup dropped more than "
+            f"{args.max_drop:.0%} below the committed baseline"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.errors import ReproError
 from repro.gpusim.device import A6000, DeviceSpec
+from repro.gpusim.multigpu import PARTITION_POLICIES
 from repro.runtime.engine import EXECUTION_MODES
 
 #: Valid values of :attr:`FlexiWalkerConfig.selection`.
@@ -46,6 +47,17 @@ class FlexiWalkerConfig:
         ``"scalar"`` interprets one query at a time.  Both modes produce
         identical walks, counters and simulated timings for a fixed seed
         policy — the scalar mode is kept for exact-parity checks.
+    num_devices:
+        Number of replicated-graph devices the query batch is partitioned
+        over (Fig. 15).  Each device runs its own frontier/scheduler
+        instance of the configured execution mode; because walker randomness
+        is counter-based per query id, the walks and counter totals are
+        identical for every device count — only the makespan changes.
+    partition_policy:
+        Query-to-device mapping used when ``num_devices > 1``: ``"hash"``
+        (multiplicative start-node hashing, the paper's choice), ``"range"``
+        (contiguous slices) or ``"balanced"`` (greedy longest-processing-time
+        packing by start-node degree).
     seed:
         Seed for every random stream the run derives.
     """
@@ -60,6 +72,8 @@ class FlexiWalkerConfig:
     warp_width: int = 32
     scheduling: str = "dynamic"
     execution: str = "batched"
+    num_devices: int = 1
+    partition_policy: str = "hash"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -70,6 +84,13 @@ class FlexiWalkerConfig:
         if self.execution not in EXECUTION_MODES:
             raise ReproError(
                 f"unknown execution mode {self.execution!r}; valid: {EXECUTION_MODES}"
+            )
+        if self.num_devices < 1:
+            raise ReproError("num_devices must be at least 1")
+        if self.partition_policy not in PARTITION_POLICIES:
+            raise ReproError(
+                f"unknown partition policy {self.partition_policy!r}; "
+                f"valid: {PARTITION_POLICIES}"
             )
         if self.weight_bytes not in (1, 2, 4, 8):
             raise ReproError("weight_bytes must be one of 1, 2, 4, 8")

@@ -104,6 +104,8 @@ class FlexiWalker:
             selection_overhead=self.config.selection_overhead and self.config.selection == "cost_model",
             warp_switch_overhead=self.config.warp_switch_overhead,
             execution=self.config.execution,
+            num_devices=self.config.num_devices,
+            partition_policy=self.config.partition_policy,
         )
 
     # ------------------------------------------------------------------ #
@@ -161,4 +163,6 @@ class FlexiWalker:
             "selector": self.selector.name,
             "device": self.config.device.name,
             "execution": self.config.execution,
+            "num_devices": self.config.num_devices,
+            "partition_policy": self.config.partition_policy,
         }

@@ -26,6 +26,8 @@ def summarize_run(result: WalkRunResult) -> dict[str, object]:
         "total_time_ms": result.total_time_ms,
         "utilization": result.kernel.utilization,
         "load_imbalance": result.kernel.load_imbalance,
+        "num_devices": result.num_devices,
+        "device_load_imbalance": result.load_imbalance,
         "selection_ratio": result.selection_ratio(),
         "memory_accesses": result.counters.total_memory_accesses,
         "rng_draws": result.counters.rng_draws,

@@ -17,7 +17,12 @@ from repro.gpusim.device import DeviceSpec, A6000, EPYC_9124P
 from repro.gpusim.memory import MemoryModel
 from repro.gpusim.warp import WarpModel, WARP_SIZE
 from repro.gpusim.executor import KernelExecutor, KernelResult
-from repro.gpusim.multigpu import MultiGPUExecutor, partition_queries
+from repro.gpusim.multigpu import (
+    PARTITION_POLICIES,
+    MultiGPUExecutor,
+    MultiGPUResult,
+    partition_queries,
+)
 from repro.gpusim.energy import EnergyModel, EnergyReport
 
 __all__ = [
@@ -32,6 +37,8 @@ __all__ = [
     "KernelExecutor",
     "KernelResult",
     "MultiGPUExecutor",
+    "MultiGPUResult",
+    "PARTITION_POLICIES",
     "partition_queries",
     "EnergyModel",
     "EnergyReport",

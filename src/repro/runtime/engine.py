@@ -14,6 +14,7 @@ selector, its own device preset and a per-step framework-overhead hook.
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -26,6 +27,7 @@ from repro.graph.csr import CSRGraph
 from repro.gpusim.counters import CostCounters
 from repro.gpusim.device import A6000, DeviceSpec
 from repro.gpusim.executor import KernelExecutor, KernelResult
+from repro.gpusim.multigpu import PARTITION_POLICIES, occupied_load_imbalance
 from repro.rng.streams import StreamPool
 from repro.runtime.profiler import ProfileResult
 from repro.runtime.scheduler import DynamicQueryQueue, validate_queries
@@ -45,7 +47,17 @@ StepOverhead = Callable[[StepContext, Sampler], None]
 
 @dataclass
 class WalkRunResult:
-    """Everything produced by one simulated walk-kernel run."""
+    """Everything produced by one simulated walk-kernel run.
+
+    A multi-device run (``num_devices > 1``) is still *one* result: paths,
+    per-query times and counter totals are placement-invariant (each walker
+    owns a counter-based stream keyed by its query id), so they are reported
+    in submission order exactly like a single-device run.  What the
+    placement does change is captured in ``device_kernels`` — one
+    :class:`~repro.gpusim.executor.KernelResult` per simulated device — and
+    ``kernel`` then holds the aggregate view whose ``time_ns`` is the
+    makespan over devices.
+    """
 
     paths: list[list[int]]
     per_query_ns: np.ndarray
@@ -56,11 +68,39 @@ class WalkRunResult:
     profile: ProfileResult | None = None
     preprocess_time_ns: float = 0.0
     wall_clock_s: float = 0.0
+    num_devices: int = 1
+    partition_policy: str | None = None
+    device_kernels: list[KernelResult] = field(default_factory=list)
 
     @property
     def time_ms(self) -> float:
-        """Simulated main walk execution time (excludes profiling/preprocessing)."""
+        """Simulated main walk execution time (excludes profiling/preprocessing).
+
+        For multi-device runs this is the makespan: the slowest device's
+        kernel time.
+        """
         return self.kernel.time_ms
+
+    @property
+    def makespan_ns(self) -> float:
+        """Simulated completion time over all devices (== ``kernel.time_ns``)."""
+        return self.kernel.time_ns
+
+    @property
+    def device_times_ns(self) -> np.ndarray:
+        """Per-device kernel times (a single-element array for one device)."""
+        if self.device_kernels:
+            return np.array([k.time_ns for k in self.device_kernels], dtype=np.float64)
+        return np.array([self.kernel.time_ns], dtype=np.float64)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max-over-mean device time across *occupied* devices (Fig. 15).
+
+        Computed by :func:`repro.gpusim.multigpu.occupied_load_imbalance`
+        (idle devices are excluded); 1.0 for single-device runs.
+        """
+        return occupied_load_imbalance(self.device_kernels)
 
     @property
     def throughput_steps_per_s(self) -> float:
@@ -142,6 +182,15 @@ class WalkEngine:
         fixed seed policy (the parity suite enforces this), so the scalar
         mode exists purely as the executable specification the batched
         engine is checked against.
+    num_devices:
+        Number of replicated-graph devices the query batch is partitioned
+        over (Fig. 15).  Each device runs its own frontier/queue instance of
+        the selected execution mode; walker randomness is keyed by query id,
+        so placement never changes any walk — only the makespan.
+    partition_policy:
+        Query-to-device mapping: ``"hash"`` (the paper's choice),
+        ``"range"`` (contiguous slices) or ``"balanced"`` (greedy
+        longest-processing-time packing by start-node degree).
     """
 
     def __init__(
@@ -159,10 +208,18 @@ class WalkEngine:
         warp_switch_overhead: bool = False,
         step_overhead: StepOverhead | None = None,
         execution: str = "batched",
+        num_devices: int = 1,
+        partition_policy: str = "hash",
     ) -> None:
         if execution not in EXECUTION_MODES:
             raise SimulationError(
                 f"unknown execution mode {execution!r}; valid: {EXECUTION_MODES}"
+            )
+        if num_devices < 1:
+            raise SimulationError("num_devices must be at least 1")
+        if partition_policy not in PARTITION_POLICIES:
+            raise SimulationError(
+                f"unknown partition policy {partition_policy!r}; valid: {PARTITION_POLICIES}"
             )
         self.graph = graph
         self.spec = spec
@@ -177,6 +234,8 @@ class WalkEngine:
         self.warp_switch_overhead = bool(warp_switch_overhead)
         self.step_overhead = step_overhead
         self.execution = execution
+        self.num_devices = int(num_devices)
+        self.partition_policy = partition_policy
         self._hint_table_cache = None
 
     # ------------------------------------------------------------------ #
@@ -187,7 +246,11 @@ class WalkEngine:
     ) -> WalkRunResult:
         """Execute every query and return walks plus the simulated profile."""
         started = time.perf_counter()
-        if self.execution == "batched":
+        if self.num_devices > 1:
+            from repro.runtime.frontier import run_multi_device
+
+            result = run_multi_device(self, queries, profile)
+        elif self.execution == "batched":
             from repro.runtime.frontier import run_batched
 
             result = run_batched(self, queries, profile)
@@ -195,6 +258,26 @@ class WalkEngine:
             result = self._run_scalar(queries, profile)
         result.wall_clock_s = time.perf_counter() - started
         return result
+
+    def with_devices(self, num_devices: int, partition_policy: str | None = None) -> "WalkEngine":
+        """A copy of this engine re-targeted at a different device count.
+
+        Shares the graph, spec, selector, compiled workload and hint-table
+        cache (all placement-invariant), so re-running the same queries under
+        several device counts or policies — the Fig. 15 sweep — costs no
+        re-compilation.
+        """
+        clone = copy.copy(self)
+        if num_devices < 1:
+            raise SimulationError("num_devices must be at least 1")
+        policy = self.partition_policy if partition_policy is None else partition_policy
+        if policy not in PARTITION_POLICIES:
+            raise SimulationError(
+                f"unknown partition policy {policy!r}; valid: {PARTITION_POLICIES}"
+            )
+        clone.num_devices = int(num_devices)
+        clone.partition_policy = policy
+        return clone
 
     def _node_hint_tables(self):
         """Cached lazily-filled hint tables (node-only compiled workloads)."""

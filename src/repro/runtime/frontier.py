@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.gpusim.counters import CostCounters, CounterBatch
-from repro.gpusim.executor import KernelExecutor
+from repro.gpusim.executor import KernelExecutor, KernelResult
 from repro.rng.streams import StreamPool
 from repro.runtime.scheduler import DynamicQueryQueue, validate_queries
 from repro.sampling.batch import BatchStepContext
@@ -210,6 +210,99 @@ def run_batched(
         preprocess_time_ns=(
             engine.compiled.preprocessing_time_ns if engine.compiled is not None else 0.0
         ),
+    )
+
+
+def run_multi_device(
+    engine: "WalkEngine",
+    queries: list[WalkQuery],
+    profile: "ProfileResult | None" = None,
+) -> "WalkRunResult":
+    """Execute a query batch across ``engine.num_devices`` replicated devices.
+
+    The Fig. 15 execution model made real: queries are partitioned by the
+    engine's ``partition_policy``, every device runs its *own* engine
+    instance — a fresh :class:`~repro.walks.state.WalkerFrontier` and
+    :class:`~repro.runtime.scheduler.DynamicQueryQueue` through
+    :func:`run_batched` (or the scalar interpreter when
+    ``execution="scalar"``) — and the job completes at the makespan of the
+    slowest device.
+
+    Placement cannot change any walk: each walker's counter-based stream is
+    keyed by its query id (every device derives streams from the same engine
+    seed), each walker's counters land in its own slot, and the dead-end /
+    termination rules are per-walker.  Paths, per-query simulated times and
+    counter totals are therefore bit-identical to a single-device run — the
+    multi-device parity suite enforces exactly this — while ``kernel.time_ns``
+    becomes the cross-device makespan and ``device_kernels`` records what
+    each device did.
+    """
+    from repro.gpusim.multigpu import partition_queries
+    from repro.runtime.engine import WalkRunResult
+    from repro.runtime.scheduler import split_for_devices
+
+    graph = engine.graph
+    validate_queries(queries, graph.num_nodes)
+    starts = np.array([q.start_node for q in queries], dtype=np.int64)
+    # The balanced policy packs by start-node out-degree — the first-order
+    # proxy for a walk's cost that is known *before* the walk runs (+1 so
+    # zero-degree starts still carry their fetch cost).
+    degrees = graph.indptr[starts + 1] - graph.indptr[starts] + 1
+    partitions = partition_queries(
+        starts, engine.num_devices, engine.partition_policy, costs=degrees
+    )
+    device_queries = split_for_devices(queries, partitions)
+
+    n = len(queries)
+    paths: list[list[int]] = [[] for _ in range(n)]
+    per_query_ns = np.zeros(n, dtype=np.float64)
+    aggregate = CostCounters(bytes_per_weight=engine.weight_bytes)
+    usage: dict[str, int] = {}
+    total_steps = 0
+    device_kernels = []
+
+    for part, sub_queries in zip(partitions, device_queries):
+        if engine.execution == "batched":
+            sub = run_batched(engine, sub_queries, None)
+        else:
+            sub = engine._run_scalar(sub_queries, None)
+        device_kernels.append(sub.kernel)
+        per_query_ns[part] = sub.per_query_ns
+        for index, path in zip(part, sub.paths):
+            paths[int(index)] = path
+        aggregate.merge(sub.counters)
+        for name, count in sub.sampler_usage.items():
+            usage[name] = usage.get(name, 0) + count
+        total_steps += sub.total_steps
+
+    # The aggregate kernel view: completion at the slowest device, lane
+    # times concatenated so utilisation/imbalance diagnostics still work.
+    makespan = max((k.time_ns for k in device_kernels), default=0.0)
+    kernel = KernelResult(
+        time_ns=makespan,
+        total_work_ns=float(sum(k.total_work_ns for k in device_kernels)),
+        lane_times_ns=(
+            np.concatenate([k.lane_times_ns for k in device_kernels])
+            if device_kernels else np.zeros(0)
+        ),
+        num_queries=n,
+        counters=aggregate,
+        scheduling=engine.scheduling,
+    )
+    return WalkRunResult(
+        paths=paths,
+        per_query_ns=per_query_ns,
+        counters=aggregate,
+        kernel=kernel,
+        sampler_usage=usage,
+        total_steps=total_steps,
+        profile=profile,
+        preprocess_time_ns=(
+            engine.compiled.preprocessing_time_ns if engine.compiled is not None else 0.0
+        ),
+        num_devices=engine.num_devices,
+        partition_policy=engine.partition_policy,
+        device_kernels=device_kernels,
     )
 
 

@@ -40,6 +40,26 @@ class TestFlexiWalkerConfig:
         with pytest.raises(ReproError):
             FlexiWalkerConfig(degree_threshold=0)
 
+    def test_default_is_single_device_hash(self):
+        config = FlexiWalkerConfig()
+        assert config.num_devices == 1
+        assert config.partition_policy == "hash"
+
+    def test_all_partition_policies_accepted(self):
+        from repro.gpusim.multigpu import PARTITION_POLICIES
+
+        for policy in PARTITION_POLICIES:
+            config = FlexiWalkerConfig(num_devices=4, partition_policy=policy)
+            assert config.partition_policy == policy
+
+    def test_unknown_partition_policy_rejected(self):
+        with pytest.raises(ReproError):
+            FlexiWalkerConfig(partition_policy="round-robin")
+
+    def test_invalid_device_count_rejected(self):
+        with pytest.raises(ReproError):
+            FlexiWalkerConfig(num_devices=0)
+
     def test_custom_device(self):
         assert FlexiWalkerConfig(device=EPYC_9124P).device.name.startswith("AMD")
 

@@ -53,6 +53,42 @@ class TestPartitioning:
         with pytest.raises(SimulationError):
             partition_queries(np.arange(10), 0)
 
+    def test_balanced_policy_packs_by_cost(self):
+        # One heavy query and seven light ones: LPT puts the heavy query
+        # alone on one device and spreads the light ones over the other.
+        costs = np.array([100.0, 1, 1, 1, 1, 1, 1, 1])
+        parts = partition_queries(np.arange(8), 2, policy="balanced", costs=costs)
+        loads = sorted(costs[p].sum() for p in parts)
+        assert loads == [7.0, 100.0]
+
+    def test_balanced_policy_deterministic(self):
+        rng = np.random.default_rng(3)
+        costs = rng.uniform(1, 50, size=64)
+        a = partition_queries(np.arange(64), 4, policy="balanced", costs=costs)
+        b = partition_queries(np.arange(64), 4, policy="balanced", costs=costs)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_balanced_policy_requires_costs(self):
+        with pytest.raises(SimulationError):
+            partition_queries(np.arange(10), 2, policy="balanced")
+
+    def test_balanced_policy_rejects_mismatched_costs(self):
+        with pytest.raises(SimulationError):
+            partition_queries(np.arange(10), 2, policy="balanced", costs=np.ones(4))
+
+    def test_more_gpus_than_queries_yields_empty_partitions(self):
+        """Defined behavior: surplus devices get zero-length index arrays."""
+        for policy in ("hash", "range", "balanced"):
+            parts = partition_queries(
+                np.arange(3), 8, policy=policy, costs=np.ones(3)
+            )
+            assert len(parts) == 8
+            combined = np.sort(np.concatenate(parts))
+            assert np.array_equal(combined, np.arange(3))
+            # At most 3 devices can be occupied (hash may collide onto fewer).
+            assert sum(p.size == 0 for p in parts) >= 5
+
 
 class TestMultiGPUExecutor:
     def test_more_gpus_never_slower(self, device):
@@ -84,3 +120,36 @@ class TestMultiGPUExecutor:
         per_query = np.ones(64)
         result = MultiGPUExecutor(device, 4).execute(per_query, np.arange(64))
         assert result.load_imbalance >= 1.0
+
+    def test_load_imbalance_ignores_idle_devices(self, device):
+        """Empty partitions must not inflate the imbalance statistic.
+
+        Two uniform queries on eight devices: the two working devices are
+        perfectly balanced, so the imbalance is 1.0 even though six devices
+        idle (the old all-device mean reported 4.0 here).
+        """
+        result = MultiGPUExecutor(device, 8).execute(
+            np.ones(2), np.arange(2), policy="range"
+        )
+        occupied = [r for r in result.per_gpu if r.num_queries > 0]
+        assert len(occupied) == 2
+        assert result.load_imbalance == pytest.approx(1.0)
+
+    def test_load_imbalance_all_idle_is_unity(self, device):
+        result = MultiGPUExecutor(device, 4).execute(
+            np.zeros(0), np.zeros(0, dtype=np.int64)
+        )
+        assert result.load_imbalance == 1.0
+        assert result.time_ns == 0.0
+
+    def test_balanced_policy_packs_measured_times(self, device):
+        """The cost-array path gives 'balanced' the real per-query times."""
+        per_query = np.array([100.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        balanced = MultiGPUExecutor(device, 2).execute(
+            per_query, np.arange(6), policy="balanced"
+        )
+        range_result = MultiGPUExecutor(device, 2).execute(
+            per_query, np.arange(6), policy="range"
+        )
+        assert balanced.time_ns <= range_result.time_ns
+        assert balanced.load_imbalance <= range_result.load_imbalance

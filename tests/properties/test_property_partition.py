@@ -1,0 +1,101 @@
+"""Property-based coverage for multi-device query partitioning.
+
+Whatever the policy, the partitions must be a *partition* in the
+mathematical sense — every query index assigned to exactly one device —
+because the multi-device engine's parity guarantee rests on it (a dropped
+index loses a walk, a duplicated one double-consumes a random stream).  The
+hash policy additionally promises determinism and rough balance on uniform
+start nodes; the balanced policy promises loads within the classic
+longest-processing-time bound of optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.gpusim.multigpu import PARTITION_POLICIES, partition_queries
+
+starts_strategy = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=0, max_size=200
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+
+class TestEveryIndexAssignedExactlyOnce:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        starts=starts_strategy,
+        num_gpus=st.integers(min_value=1, max_value=12),
+        policy=st.sampled_from(PARTITION_POLICIES),
+        cost_seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_partitions_form_a_permutation(self, starts, num_gpus, policy, cost_seed):
+        costs = np.random.default_rng(cost_seed).uniform(0, 10, size=starts.size)
+        parts = partition_queries(starts, num_gpus, policy=policy, costs=costs)
+        assert len(parts) == num_gpus
+        combined = (
+            np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+        )
+        assert np.array_equal(np.sort(combined), np.arange(starts.size))
+
+
+class TestHashPolicy:
+    @settings(max_examples=40, deadline=None)
+    @given(starts=starts_strategy, num_gpus=st.integers(min_value=1, max_value=8))
+    def test_hash_deterministic(self, starts, num_gpus):
+        a = partition_queries(starts, num_gpus, policy="hash")
+        b = partition_queries(starts, num_gpus, policy="hash")
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    @pytest.mark.parametrize("num_gpus", [2, 4, 8])
+    def test_hash_balanced_within_2x_on_uniform_starts(self, num_gpus):
+        starts = np.arange(4096, dtype=np.int64)
+        parts = partition_queries(starts, num_gpus, policy="hash")
+        ideal = starts.size / num_gpus
+        sizes = np.array([p.size for p in parts])
+        assert sizes.max() <= 2 * ideal
+        assert sizes.min() >= ideal / 2
+
+    def test_hash_depends_on_start_node_not_position(self):
+        """Queries with equal start nodes land on the same device."""
+        starts = np.array([7, 7, 7, 13, 13], dtype=np.int64)
+        parts = partition_queries(starts, 4, policy="hash")
+        for part in parts:
+            assert np.unique(starts[part]).size <= 1
+
+
+class TestBalancedPolicy:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        cost_seed=st.integers(min_value=0, max_value=1000),
+        size=st.integers(min_value=1, max_value=150),
+        num_gpus=st.integers(min_value=1, max_value=8),
+    )
+    def test_balanced_within_lpt_bound(self, cost_seed, size, num_gpus):
+        costs = np.random.default_rng(cost_seed).uniform(0.1, 100, size=size)
+        parts = partition_queries(
+            np.arange(size, dtype=np.int64), num_gpus, policy="balanced", costs=costs
+        )
+        loads = np.array([costs[p].sum() for p in parts])
+        # Graham's bound for greedy LPT: makespan <= (4/3 - 1/(3m)) * OPT,
+        # and OPT >= max(total/m, largest single item).
+        opt_lower = max(costs.sum() / num_gpus, costs.max())
+        assert loads.max() <= (4 / 3) * opt_lower + 1e-9
+
+
+class TestInvalidInputs:
+    @settings(max_examples=20, deadline=None)
+    @given(policy=st.text(min_size=1, max_size=12).filter(lambda s: s not in PARTITION_POLICIES))
+    def test_unknown_policy_raises(self, policy):
+        with pytest.raises(SimulationError):
+            partition_queries(np.arange(4), 2, policy=policy)
+
+    @settings(max_examples=20, deadline=None)
+    @given(num_gpus=st.integers(min_value=-5, max_value=0))
+    def test_non_positive_gpu_count_raises(self, num_gpus):
+        with pytest.raises(SimulationError):
+            partition_queries(np.arange(4), num_gpus)
