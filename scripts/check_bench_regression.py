@@ -2,11 +2,16 @@
 """CI perf-regression gate for the walk-engine microbenchmark.
 
 Compares a freshly measured ``bench_engine.py`` report against the committed
-``BENCH_engine.json`` baseline and fails (exit code 1) when the batched
-engine's speedup over the scalar engine dropped by more than the allowed
-fraction — the backstop that keeps the vectorised hot path from silently
-regressing toward the interpreter.  Also re-checks the simulated-time parity
+``BENCH_engine.json`` baseline and fails (exit code 1) when any workload
+entry's batched-over-scalar speedup dropped by more than the allowed fraction
+— the backstop that keeps the vectorised hot path from silently regressing
+toward the interpreter.  Also re-checks every entry's simulated-time parity
 flag: a speedup obtained by breaking simulation equivalence is not a speedup.
+
+Both the multi-entry schema (``schema_version >= 2``: per-workload entries
+under ``"entries"``) and the legacy single-entry schema (one top-level
+``speedup``) are understood, so the gate keeps working across baseline
+format migrations.
 
 Usage::
 
@@ -23,11 +28,21 @@ import sys
 from pathlib import Path
 
 
-def load_speedup(path: Path) -> float:
+def load_entries(path: Path) -> dict[str, dict]:
+    """Workload-keyed entries of a report, legacy reports mapped to one entry."""
     report = json.loads(path.read_text())
-    speedup = report.get("speedup")
+    entries = report.get("entries")
+    if isinstance(entries, dict) and entries:
+        return entries
+    # Legacy single-entry schema: the whole report is the one entry.
+    workload = report.get("workload", "default")
+    return {workload: report}
+
+
+def entry_speedup(path: Path, name: str, entry: dict) -> float:
+    speedup = entry.get("speedup")
     if not isinstance(speedup, (int, float)) or speedup <= 0:
-        raise SystemExit(f"{path}: no positive 'speedup' field (got {speedup!r})")
+        raise SystemExit(f"{path}: entry {name!r} has no positive 'speedup' (got {speedup!r})")
     return float(speedup)
 
 
@@ -38,31 +53,52 @@ def main() -> int:
     parser.add_argument("--current", type=Path, required=True,
                         help="freshly measured report to gate")
     parser.add_argument("--max-drop", type=float, default=0.30,
-                        help="allowed fractional speedup drop (default: 0.30)")
+                        help="allowed fractional speedup drop per entry (default: 0.30)")
     args = parser.parse_args()
     if not 0 <= args.max_drop < 1:
         parser.error("--max-drop must be in [0, 1)")
 
-    baseline = load_speedup(args.baseline)
-    current_report = json.loads(args.current.read_text())
-    current = load_speedup(args.current)
+    baseline = load_entries(args.baseline)
+    current = load_entries(args.current)
 
-    if current_report.get("simulated_time_parity") is not True:
-        print("FAIL: current report lost scalar/batched simulated-time parity")
-        return 1
-
-    floor = baseline * (1.0 - args.max_drop)
-    verdict = "ok" if current >= floor else "REGRESSION"
-    print(f"baseline speedup: {baseline:.2f}x")
-    print(f"current speedup:  {current:.2f}x (allowed floor: {floor:.2f}x)")
-    print(f"verdict: {verdict}")
-    if current < floor:
-        print(
-            f"FAIL: batched-engine speedup dropped more than "
-            f"{args.max_drop:.0%} below the committed baseline"
-        )
-        return 1
-    return 0
+    failed = False
+    for name, base_entry in sorted(baseline.items()):
+        base = entry_speedup(args.baseline, name, base_entry)
+        cur_entry = current.get(name)
+        if cur_entry is None:
+            print(f"FAIL [{name}]: entry present in the baseline but missing "
+                  f"from the current report")
+            failed = True
+            continue
+        if cur_entry.get("simulated_time_parity") is not True:
+            print(f"FAIL [{name}]: current report lost scalar/batched "
+                  f"simulated-time parity")
+            failed = True
+            continue
+        cur = entry_speedup(args.current, name, cur_entry)
+        floor = base * (1.0 - args.max_drop)
+        verdict = "ok" if cur >= floor else "REGRESSION"
+        print(f"[{name}] baseline {base:.2f}x, current {cur:.2f}x "
+              f"(floor {floor:.2f}x) -> {verdict}")
+        if cur < floor:
+            print(f"FAIL [{name}]: batched-engine speedup dropped more than "
+                  f"{args.max_drop:.0%} below the committed baseline")
+            failed = True
+    # Entries the baseline does not know yet (a freshly added workload) have
+    # no speedup floor, but the parity backstop still applies to them — a
+    # simulation-equivalence break must never ride in on a new entry.
+    for name, cur_entry in sorted(current.items()):
+        if name in baseline:
+            continue
+        if cur_entry.get("simulated_time_parity") is not True:
+            print(f"FAIL [{name}]: new entry lost scalar/batched simulated-time "
+                  f"parity (no baseline yet, parity still required)")
+            failed = True
+        else:
+            cur = entry_speedup(args.current, name, cur_entry)
+            print(f"[{name}] no baseline entry yet, current {cur:.2f}x "
+                  f"(parity ok) -> ok; refresh the baseline to gate it")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

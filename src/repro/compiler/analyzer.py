@@ -65,6 +65,12 @@ class AnalysisResult:
         (transitively) depends on.
     granularity:
         PER_KERNEL / PER_STEP flag (see :class:`BoundGranularity`).
+    reads_state:
+        True when the walker-state parameter is referenced *anywhere* in the
+        function body — conditions included, not just return expressions.
+        When False, ``get_weight`` is a pure function of ``(graph, edge)``,
+        so the transition weight of an edge never changes across steps; the
+        runtime uses this to enable cross-superstep transition caching.
     supported:
         False when unsupported constructs were found; the framework then runs
         eRVS-only.
@@ -80,6 +86,7 @@ class AnalysisResult:
     return_expressions: list[ast.expr] = field(default_factory=list)
     return_dependencies: list[set[str]] = field(default_factory=list)
     granularity: BoundGranularity = BoundGranularity.PER_KERNEL
+    reads_state: bool = True
     supported: bool = True
     warnings: list[str] = field(default_factory=list)
     argument_names: tuple[str, ...] = ()
@@ -182,9 +189,14 @@ def analyze_get_weight(spec: WalkSpec) -> AnalysisResult:
     # Conventional parameter order: self, graph, state, edge.  Positions are
     # resolved from the declaration so renamed parameters still work.
     graph_arg = args[1] if len(args) > 1 else "graph"
+    state_arg = args[2] if len(args) > 2 else "state"
     edge_arg = args[3] if len(args) > 3 else "edge"
 
     result = AnalysisResult(argument_names=args)
+    # Whole-body state usage (branch conditions count: a state-dependent
+    # branch makes the *value* state-dependent even when every return
+    # expression is state-free).
+    result.reads_state = state_arg in _names_in(func)
 
     reasons = _contains_unsupported(func)
     if reasons:

@@ -34,7 +34,9 @@ from repro.compiler.preprocess import PreprocessResult, preprocess_graph
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import DeviceSpec
 from repro.walks.spec import WalkSpec
-from repro.walks.state import WalkerState
+from repro.walks.state import WalkerState, WalkQuery
+
+import numpy as np
 
 
 def _compile_expr(expr: ast.expr) -> CodeType:
@@ -152,6 +154,118 @@ class GeneratedHelpers:
             estimate *= graph.degree(state.current_node)
         return estimate
 
+    # ------------------------------------------------------------------ #
+    # Vectorised (many-nodes-at-once) evaluation for node-only hints
+    # ------------------------------------------------------------------ #
+    def _substitutions_nodes(
+        self, pre: PreprocessResult | None, nodes: np.ndarray, kind: str
+    ) -> dict[str, np.ndarray]:
+        """Array form of :meth:`_substitutions`: one aggregate per node."""
+        if pre is None:
+            return {}
+        mapping: dict[str, np.ndarray] = {}
+        for var in self.analysis.edge_indexed:
+            if pre.has_array(var.source_array):
+                agg = pre.aggregates[f"{var.source_array}_{kind}"]
+                mapping[var.name] = agg[nodes].astype(np.float64)
+        return mapping
+
+    def _evaluate_returns_nodes(
+        self,
+        graph: CSRGraph,
+        nodes: np.ndarray,
+        substitutions: dict[str, np.ndarray],
+    ) -> list[np.ndarray] | None:
+        """Replay the return expressions with *arrays* bound per node.
+
+        Node-only hints never read walker state through any expression that
+        matters, so binding the edge-indexed variables to per-node aggregate
+        arrays evaluates every pending node in one pass.  The replay is
+        all-or-nothing: *any* exception — a numpy floating-point signal where
+        the scalar path would have raised per node, an array-truth-value
+        error from a ternary or builtin ``min``/``max``, anything — returns
+        ``None`` so the caller re-evaluates per node with the exact scalar
+        semantics.  Skipping a failing expression here instead would silently
+        change the surviving-expression set relative to the scalar helpers
+        and break the batched engine's hint parity.
+        """
+        env: dict[str, object] = {
+            self._self_arg: self.spec,
+            self._graph_arg: graph,
+            # The scalar helpers evaluate against a probe walker state; bind
+            # the same shape so state-touching assignments that the node-only
+            # returns never consume still evaluate instead of aborting.
+            self._state_arg: WalkerState(
+                query=WalkQuery(query_id=0, start_node=0, max_length=1), current_node=0
+            ),
+            self._edge_arg: None,
+        }
+        values: list[np.ndarray] = []
+        try:
+            with np.errstate(divide="raise", invalid="raise", over="raise"):
+                for name, code in self._assignment_code:
+                    if name in substitutions:
+                        env[name] = substitutions[name]
+                        continue
+                    env[name] = eval(code, self._globals, env)  # noqa: S307 - user walk code
+                for code in self._return_code:
+                    value = np.asarray(eval(code, self._globals, env), dtype=np.float64)  # noqa: S307
+                    if value.ndim != 0 and value.shape != nodes.shape:
+                        # An array-valued return the scalar helpers would have
+                        # rejected via float() — or a stray broadcastable shape
+                        # that would silently mean something else per node.
+                        raise ValueError(
+                            f"return expression shape {value.shape} is not "
+                            f"per-node ({nodes.shape})"
+                        )
+                    values.append(value)
+        except Exception:
+            return None
+        return values
+
+    def estimate_hints_nodes(
+        self,
+        graph: CSRGraph,
+        nodes: np.ndarray,
+        pre: PreprocessResult | None,
+        per_kernel: bool,
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Vectorised ``(get_weight_max, get_weight_sum)`` for many nodes.
+
+        Returns ``(bounds, sums)`` float64 arrays with ``NaN`` marking "no
+        estimate" (the array form of the scalar ``None``), or ``None`` when
+        the vectorised replay is unsafe and the caller must evaluate per node.
+        """
+        max_values = self._evaluate_returns_nodes(
+            graph, nodes, self._substitutions_nodes(pre, nodes, "max")
+        )
+        if max_values is None:
+            return None
+        sum_values = self._evaluate_returns_nodes(
+            graph, nodes, self._substitutions_nodes(pre, nodes, "sum")
+        )
+        if sum_values is None:
+            return None
+
+        bounds = np.full(nodes.size, np.nan, dtype=np.float64)
+        if max_values:
+            acc = np.array(np.broadcast_to(max_values[0], nodes.shape), dtype=np.float64)
+            for value in max_values[1:]:
+                acc = np.maximum(acc, value)
+            bounds = acc
+        sums = np.full(nodes.size, np.nan, dtype=np.float64)
+        if sum_values:
+            # Mirror `sum(values) / len(values)` term for term (same
+            # accumulation order, same zero start value).
+            acc = np.zeros(nodes.shape, dtype=np.float64)
+            for value in sum_values:
+                acc = acc + value
+            estimate = acc / len(sum_values)
+            if per_kernel:
+                estimate = estimate * (graph.indptr[nodes + 1] - graph.indptr[nodes])
+            sums = np.broadcast_to(estimate, nodes.shape).astype(np.float64)
+        return bounds, sums
+
 
 @dataclass
 class CompiledWorkload:
@@ -201,6 +315,23 @@ class CompiledWorkload:
         state_arg = args[2] if len(args) > 2 else "state"
         return all(state_arg not in deps for deps in self.analysis.return_dependencies)
 
+    @property
+    def weights_node_only(self) -> bool:
+        """True when every transition weight is a pure function of the edge.
+
+        Stricter than :attr:`hints_node_only`: the walker state must not be
+        referenced *anywhere* in ``get_weight`` (a state-dependent branch
+        changes the value even when the return expressions are state-free),
+        and ``update`` must not be overridden (an update hook could feed
+        state back through ``self``).  When True, the weight of an edge never
+        changes across steps, walkers, supersteps or devices — the soundness
+        condition for the runtime's cross-superstep
+        :class:`~repro.sampling.transition_cache.TransitionCache`.
+        """
+        if not self.supported or self.analysis.reads_state:
+            return False
+        return type(self.spec).update is WalkSpec.update
+
     # ------------------------------------------------------------------ #
     def bound_hint(self, graph: CSRGraph, state: WalkerState) -> float | None:
         """Estimated max-weight upper bound for the walker's current node."""
@@ -218,6 +349,41 @@ class CompiledWorkload:
         if not self.supported:
             return None
         return self.helpers.estimate_sum(graph, state, self.preprocessed)
+
+    def hint_nodes(self, graph: CSRGraph, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(bound, sum)`` hints for many nodes at once (node-only hints).
+
+        Only meaningful when :attr:`hints_node_only`; ``NaN`` encodes the
+        scalar ``None``.  The vectorised replay is attempted first and the
+        exact per-node scalar evaluation is used whenever it bails, so the
+        returned values always match what :meth:`bound_hint` /
+        :meth:`sum_hint` would have produced node by node.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        bounds = np.full(nodes.size, np.nan, dtype=np.float64)
+        sums = np.full(nodes.size, np.nan, dtype=np.float64)
+        if not self.supported or nodes.size == 0:
+            return bounds, sums
+        vectorised = self.helpers.estimate_hints_nodes(
+            graph,
+            nodes,
+            self.preprocessed,
+            per_kernel=self.granularity is BoundGranularity.PER_KERNEL,
+        )
+        if vectorised is not None:
+            return vectorised
+        probe = WalkerState(
+            query=WalkQuery(query_id=0, start_node=0, max_length=1), current_node=0
+        )
+        for j in range(nodes.size):
+            probe.current_node = int(nodes[j])
+            bound = self.bound_hint(graph, probe)
+            if bound is not None:
+                bounds[j] = bound
+            total = self.sum_hint(graph, probe)
+            if total is not None:
+                sums[j] = total
+        return bounds, sums
 
 
 def compile_workload(

@@ -46,6 +46,7 @@ class CSRGraph:
     labels: np.ndarray | None = None
     name: str = ""
     _in_degree_cache: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _edge_key_cache: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.indptr = np.asarray(self.indptr, dtype=np.int64)
@@ -154,6 +155,41 @@ class CSRGraph:
             return False
         pos = np.searchsorted(nbrs, dst)
         return bool(pos < nbrs.size and nbrs[pos] == dst)
+
+    def _edge_keys(self) -> np.ndarray:
+        """``src * num_nodes + dst`` of every edge, globally sorted.
+
+        CSR rows are contiguous in source order and each row's destinations
+        are sorted, so the combined key array is sorted as a whole — one
+        global binary search answers an edge-existence query.  Built lazily
+        and cached (host-side acceleration only; simulated costs are charged
+        by the workloads' cost hooks, not by how membership is computed).
+        """
+        if self._edge_key_cache is None:
+            sources = np.repeat(
+                np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr)
+            )
+            self._edge_key_cache = sources * np.int64(self.num_nodes) + self.indices
+        return self._edge_key_cache
+
+    def has_edges(self, srcs: np.ndarray, dsts: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`has_edge` over parallel source/destination arrays.
+
+        The batched second-order workloads (Node2Vec, 2nd-order PageRank) ask
+        for the ``dist(v', u) == 1`` classification of every candidate edge of
+        a whole frontier at once; answering through one global searchsorted
+        over the sorted edge keys replaces a per-segment Python-level
+        bisection loop.  Results are exact booleans, so this cannot perturb
+        any transition weight.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        if srcs.size == 0 or self.num_edges == 0:
+            return np.zeros(srcs.shape, dtype=bool)
+        keys = srcs * np.int64(self.num_nodes) + np.asarray(dsts, dtype=np.int64)
+        edge_keys = self._edge_keys()
+        pos = np.searchsorted(edge_keys, keys)
+        pos = np.minimum(pos, self.num_edges - 1)
+        return edge_keys[pos] == keys
 
     # ------------------------------------------------------------------ #
     # Derived graphs

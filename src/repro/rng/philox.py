@@ -56,6 +56,18 @@ def philox_uniform(key: int | np.ndarray, counter: int | np.ndarray) -> np.ndarr
     return (keyed >> np.uint64(11)).astype(np.float64) * _U64_TO_UNIT
 
 
+def derive_child_keys(parent_key: int | np.uint64, indices: np.ndarray) -> np.ndarray:
+    """Child keys of :meth:`PhiloxEngine.split`, for many indices at once.
+
+    ``derive_child_keys(engine.key, [i])[0] == engine.split(i).key`` — the
+    stream pool uses this to mint thousands of per-walker streams in one
+    vectorised expression instead of one ``split`` call each.
+    """
+    idx = np.asarray(indices, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        return _mix64(np.uint64(parent_key) + (idx + np.uint64(1)) * _GOLDEN_GAMMA)
+
+
 class PhiloxEngine:
     """A counter-based generator with an explicit key and running counter.
 

@@ -18,6 +18,7 @@ from repro.runtime.profiler import ProfileResult, profile_edge_costs
 from repro.runtime.selector import (
     SamplerSelector,
     CostModelSelector,
+    DegreeThresholdRule,
     FixedSelector,
     RandomSelector,
     DegreeBasedSelector,
@@ -31,6 +32,7 @@ __all__ = [
     "profile_edge_costs",
     "SamplerSelector",
     "CostModelSelector",
+    "DegreeThresholdRule",
     "FixedSelector",
     "RandomSelector",
     "DegreeBasedSelector",

@@ -191,6 +191,14 @@ class WalkEngine:
         Query-to-device mapping: ``"hash"`` (the paper's choice),
         ``"range"`` (contiguous slices) or ``"balanced"`` (greedy
         longest-processing-time packing by start-node degree).
+    use_transition_cache:
+        Enable the cross-superstep :class:`TransitionCache` for workloads the
+        compiler classified as node-only (``weights_node_only``): per-node
+        flattened weights, CDFs and alias tables are computed once per
+        (graph, spec) and shared across supersteps, devices and repeated
+        ``run`` calls.  Host-side only — paths, counter totals and simulated
+        timings are identical either way (the cache parity suite enforces
+        it); the flag exists so those tests can run both configurations.
     """
 
     def __init__(
@@ -210,6 +218,7 @@ class WalkEngine:
         execution: str = "batched",
         num_devices: int = 1,
         partition_policy: str = "hash",
+        use_transition_cache: bool = True,
     ) -> None:
         if execution not in EXECUTION_MODES:
             raise SimulationError(
@@ -236,7 +245,9 @@ class WalkEngine:
         self.execution = execution
         self.num_devices = int(num_devices)
         self.partition_policy = partition_policy
+        self.use_transition_cache = bool(use_transition_cache)
         self._hint_table_cache = None
+        self._transition_cache_obj = None
 
     # ------------------------------------------------------------------ #
     def run(
@@ -286,6 +297,25 @@ class WalkEngine:
 
             self._hint_table_cache = NodeHintTables(self.compiled, self.graph)
         return self._hint_table_cache
+
+    def _transition_cache(self):
+        """The engine's cross-superstep transition cache, or ``None``.
+
+        Only node-only workloads (``compiled.weights_node_only``) qualify;
+        the cache is created once and shared across supersteps, repeated
+        ``run`` calls and the device clones minted by :meth:`with_devices`
+        (``copy.copy`` shares the reference — the cache is keyed by
+        (graph, spec), both of which the clones share too).
+        """
+        if not self.use_transition_cache:
+            return None
+        if self.compiled is None or not self.compiled.weights_node_only:
+            return None
+        if self._transition_cache_obj is None:
+            from repro.sampling.transition_cache import TransitionCache
+
+            self._transition_cache_obj = TransitionCache(self.graph, self.spec)
+        return self._transition_cache_obj
 
     # ------------------------------------------------------------------ #
     def _run_scalar(

@@ -22,11 +22,18 @@ construction, not by accident:
 
 The one documented exception is :class:`~repro.runtime.selector.RandomSelector`,
 whose shared-generator coin flips cannot be replayed step-synchronously.
+
+Multi-device execution reuses the same loop: :func:`run_multi_device` fuses
+the frontiers of every simulated device into **one** shared superstep
+(per-device bookkeeping kept through device-id slots), so a D-device run
+costs one Python loop instead of D — the serial per-device composition is
+kept as :func:`run_multi_device_serial` for the scalar mode and as the
+executable specification the fused loop is property-tested against.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -34,8 +41,8 @@ from repro.gpusim.counters import CostCounters, CounterBatch
 from repro.gpusim.executor import KernelExecutor, KernelResult
 from repro.rng.streams import StreamPool
 from repro.runtime.scheduler import DynamicQueryQueue, validate_queries
-from repro.sampling.batch import BatchStepContext
-from repro.walks.state import WalkerFrontier, WalkerState, WalkQuery
+from repro.sampling.batch import BatchStepContext, BufferArena
+from repro.walks.state import WalkerFrontier, WalkQuery
 
 if TYPE_CHECKING:  # pragma: no cover - engine imports frontier
     from repro.runtime.engine import WalkEngine, WalkRunResult
@@ -52,6 +59,12 @@ class NodeHintTables:
     on a large graph must not pay an O(num_nodes) startup the scalar engine
     would never pay.  ``NaN`` is the array form of the scalar ``None`` ("no
     estimate"), so a separate mask tracks which entries are populated.
+
+    Pending nodes are batch-evaluated through
+    :meth:`~repro.compiler.generator.CompiledWorkload.hint_nodes`, which
+    replays the generated helpers with per-node aggregate *arrays* bound in
+    place of scalars (falling back to exact per-node evaluation whenever the
+    vectorised replay is unsafe).
     """
 
     def __init__(self, compiled, graph) -> None:
@@ -61,60 +74,51 @@ class NodeHintTables:
         self.bounds = np.full(n, np.nan, dtype=np.float64)
         self.sums = np.full(n, np.nan, dtype=np.float64)
         self._computed = np.zeros(n, dtype=bool)
-        self._probe = WalkerState(
-            query=WalkQuery(query_id=0, start_node=0, max_length=1), current_node=0
-        )
 
     def lookup(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Hints for the given nodes, evaluating missing entries on demand."""
         pending = np.unique(nodes[~self._computed[nodes]])
-        for node in pending:
-            node = int(node)
-            self._probe.current_node = node
-            bound = self._compiled.bound_hint(self._graph, self._probe)
-            if bound is not None:
-                self.bounds[node] = bound
-            total = self._compiled.sum_hint(self._graph, self._probe)
-            if total is not None:
-                self.sums[node] = total
-        self._computed[pending] = True
+        if pending.size:
+            bounds, sums = self._compiled.hint_nodes(self._graph, pending)
+            self.bounds[pending] = bounds
+            self.sums[pending] = sums
+            self._computed[pending] = True
         return self.bounds[nodes], self.sums[nodes]
 
 
-def run_batched(
+#: Per-superstep hook of the fused multi-device loop: receives the active
+#: frontier indices and the superstep's CounterBatch so the caller can fold
+#: per-walker counts into per-device aggregates.
+SuperstepFold = Callable[[np.ndarray, CounterBatch], None]
+
+
+def _drive_supersteps(
     engine: "WalkEngine",
-    queries: list[WalkQuery],
-    profile: "ProfileResult | None" = None,
-) -> "WalkRunResult":
-    """Execute a query batch step-synchronously on the simulated device."""
-    from repro.runtime.engine import WalkRunResult
+    frontier: WalkerFrontier,
+    streams,
+    per_query_ns: np.ndarray,
+    aggregate: CostCounters,
+    usage: dict[str, int],
+    fold: SuperstepFold | None = None,
+) -> int:
+    """Advance the whole frontier step-synchronously until every walk ends.
 
+    The shared core of :func:`run_batched` and the fused multi-device loop:
+    per-walker accounting lands in ``per_query_ns`` (indexed by frontier
+    position) and ``aggregate``; ``fold`` — when given — observes every
+    superstep's (active walkers, counter batch) pair for per-device
+    bookkeeping.  Returns the number of walker-steps executed.
+    """
     graph, spec, device = engine.graph, engine.spec, engine.device
-    validate_queries(queries, graph.num_nodes)
-    pool = StreamPool(engine.seed)
-    queue = DynamicQueryQueue(queries)
-    n = len(queries)
-
-    aggregate = CostCounters(bytes_per_weight=engine.weight_bytes)
-    usage: dict[str, int] = {}
     total_steps = 0
-
-    # -- launch: claim the whole batch from the dynamic queue ------------- #
-    fetched = queue.fetch_batch(n)
-    fetch_counters = CounterBatch(n, bytes_per_weight=engine.weight_bytes)
-    fetch_counters.atomic_ops += 1
-    per_query_ns = device.lane_times_ns(fetch_counters)
-    aggregate.merge(fetch_counters.totals())
-
-    frontier = WalkerFrontier(fetched)
-    streams = pool.batch([q.query_id for q in fetched])
 
     hints_available = engine.compiled is not None and engine.compiled.supported
     hint_tables: NodeHintTables | None = None
     if hints_available and engine.compiled.hints_node_only:
         hint_tables = engine._node_hint_tables()
+    cache = engine._transition_cache()
+    arena = BufferArena()
 
-    # -- supersteps -------------------------------------------------------- #
     while True:
         active = frontier.active_indices()
         if active.size == 0:
@@ -161,10 +165,12 @@ def run_batched(
             walkers=active,
             rng=streams.subset(active),
             counters=counters,
-            slots=np.arange(k, dtype=np.int64),
+            slots=arena.arange(k),
             bound_hints=bound_hints,
             sum_hints=sum_hints,
             warp_width=engine.warp_width,
+            transition_cache=cache,
+            arena=arena,
         )
         samplers, assignment = engine.selector.select_batch(ctx)
 
@@ -187,6 +193,8 @@ def run_batched(
 
         per_query_ns[active] += device.lane_times_ns(counters)
         aggregate.merge(counters.totals())
+        if fold is not None:
+            fold(active, counters)
 
         advancing = next_nodes >= 0
         if not advancing.all():
@@ -196,8 +204,39 @@ def run_batched(
             targets = next_nodes[advancing]
             spec.update_batch(graph, frontier, moving, targets)
             frontier.advance(moving, targets)
+    return total_steps
 
-    executor = KernelExecutor(device)
+
+def run_batched(
+    engine: "WalkEngine",
+    queries: list[WalkQuery],
+    profile: "ProfileResult | None" = None,
+) -> "WalkRunResult":
+    """Execute a query batch step-synchronously on the simulated device."""
+    from repro.runtime.engine import WalkRunResult
+
+    graph = engine.graph
+    validate_queries(queries, graph.num_nodes)
+    pool = StreamPool(engine.seed)
+    queue = DynamicQueryQueue(queries)
+    n = len(queries)
+
+    aggregate = CostCounters(bytes_per_weight=engine.weight_bytes)
+    usage: dict[str, int] = {}
+
+    # -- launch: claim the whole batch from the dynamic queue ------------- #
+    fetched = queue.fetch_batch(n)
+    fetch_counters = CounterBatch(n, bytes_per_weight=engine.weight_bytes)
+    fetch_counters.atomic_ops += 1
+    per_query_ns = engine.device.lane_times_ns(fetch_counters)
+    aggregate.merge(fetch_counters.totals())
+
+    frontier = WalkerFrontier(fetched)
+    streams = pool.batch([q.query_id for q in fetched])
+
+    total_steps = _drive_supersteps(engine, frontier, streams, per_query_ns, aggregate, usage)
+
+    executor = KernelExecutor(engine.device)
     kernel = executor.execute(per_query_ns, counters=aggregate, scheduling=engine.scheduling)
     return WalkRunResult(
         paths=frontier.paths(),
@@ -213,6 +252,21 @@ def run_batched(
     )
 
 
+def _partition_for_devices(engine: "WalkEngine", queries: list[WalkQuery]):
+    """Partition queries by the engine's policy (with degree costs attached)."""
+    from repro.gpusim.multigpu import partition_queries
+
+    graph = engine.graph
+    starts = np.array([q.start_node for q in queries], dtype=np.int64)
+    # The balanced policy packs by start-node out-degree — the first-order
+    # proxy for a walk's cost that is known *before* the walk runs (+1 so
+    # zero-degree starts still carry their fetch cost).
+    degrees = graph.indptr[starts + 1] - graph.indptr[starts] + 1
+    return partition_queries(
+        starts, engine.num_devices, engine.partition_policy, costs=degrees
+    )
+
+
 def run_multi_device(
     engine: "WalkEngine",
     queries: list[WalkQuery],
@@ -221,36 +275,139 @@ def run_multi_device(
     """Execute a query batch across ``engine.num_devices`` replicated devices.
 
     The Fig. 15 execution model made real: queries are partitioned by the
-    engine's ``partition_policy``, every device runs its *own* engine
-    instance — a fresh :class:`~repro.walks.state.WalkerFrontier` and
-    :class:`~repro.runtime.scheduler.DynamicQueryQueue` through
-    :func:`run_batched` (or the scalar interpreter when
-    ``execution="scalar"``) — and the job completes at the makespan of the
-    slowest device.
+    engine's ``partition_policy`` and the job completes at the makespan of
+    the slowest device.  In batched mode the devices execute through **one
+    fused frontier** (:func:`_run_multi_device_fused`): all devices' walkers
+    advance in the same shared superstep, per-device counter/kernel
+    bookkeeping is kept via device-id slots, and the D× Python-loop and
+    context-rebuild overhead of running the devices one after another
+    disappears.  Scalar mode keeps the serial per-device composition
+    (:func:`run_multi_device_serial`).
 
     Placement cannot change any walk: each walker's counter-based stream is
     keyed by its query id (every device derives streams from the same engine
     seed), each walker's counters land in its own slot, and the dead-end /
     termination rules are per-walker.  Paths, per-query simulated times and
-    counter totals are therefore bit-identical to a single-device run — the
-    multi-device parity suite enforces exactly this — while ``kernel.time_ns``
-    becomes the cross-device makespan and ``device_kernels`` records what
-    each device did.
+    counter totals are therefore bit-identical to a single-device run — and
+    the fused loop is bit-identical to the serial composition (the
+    multi-device parity and property suites enforce both) — while
+    ``kernel.time_ns`` becomes the cross-device makespan and
+    ``device_kernels`` records what each device did.
     """
-    from repro.gpusim.multigpu import partition_queries
+    if engine.execution == "batched":
+        return _run_multi_device_fused(engine, queries, profile)
+    return run_multi_device_serial(engine, queries, profile)
+
+
+def _run_multi_device_fused(
+    engine: "WalkEngine",
+    queries: list[WalkQuery],
+    profile: "ProfileResult | None" = None,
+) -> "WalkRunResult":
+    """One shared superstep loop advancing every device's walkers together."""
     from repro.runtime.engine import WalkRunResult
     from repro.runtime.scheduler import split_for_devices
 
     graph = engine.graph
     validate_queries(queries, graph.num_nodes)
-    starts = np.array([q.start_node for q in queries], dtype=np.int64)
-    # The balanced policy packs by start-node out-degree — the first-order
-    # proxy for a walk's cost that is known *before* the walk runs (+1 so
-    # zero-degree starts still carry their fetch cost).
-    degrees = graph.indptr[starts + 1] - graph.indptr[starts] + 1
-    partitions = partition_queries(
-        starts, engine.num_devices, engine.partition_policy, costs=degrees
+    partitions = _partition_for_devices(engine, queries)
+    # Materialising the per-device batches enforces the every-query-exactly-
+    # once invariant the parity guarantee rests on, fused or not.
+    split_for_devices(queries, partitions)
+    num_devices = engine.num_devices
+
+    n = len(queries)
+    owner = np.empty(n, dtype=np.int64)
+    for d, part in enumerate(partitions):
+        owner[part] = d
+
+    aggregate = CostCounters(bytes_per_weight=engine.weight_bytes)
+    device_aggs = [
+        CostCounters(bytes_per_weight=engine.weight_bytes) for _ in range(num_devices)
+    ]
+    usage: dict[str, int] = {}
+
+    # -- launch ------------------------------------------------------------ #
+    # Each device's queue hands out its whole partition at one atomic per
+    # query (see DynamicQueryQueue.fetch_batch); charging one atomic into
+    # every walker's fetch slot reproduces the serial composition exactly.
+    fetch_counters = CounterBatch(n, bytes_per_weight=engine.weight_bytes)
+    fetch_counters.atomic_ops += 1
+    per_query_ns = engine.device.lane_times_ns(fetch_counters)
+    aggregate.merge(fetch_counters.totals())
+    for d, part in enumerate(partitions):
+        device_aggs[d].atomic_ops += int(part.size)
+
+    # The fused frontier holds every query in submission order; ``owner``
+    # remembers which simulated device each walker executes on.
+    frontier = WalkerFrontier(queries)
+    pool = StreamPool(engine.seed)
+    streams = pool.batch([q.query_id for q in queries])
+
+    count_fields = CostCounters._COUNT_FIELDS
+
+    def fold(active: np.ndarray, counters: CounterBatch) -> None:
+        """Fold one superstep's per-walker counts into per-device aggregates."""
+        owners_active = owner[active]
+        for name in count_fields:
+            arr = getattr(counters, name)
+            if not arr.any():
+                continue
+            sums = np.bincount(owners_active, weights=arr, minlength=num_devices)
+            for d in range(num_devices):
+                if sums[d]:
+                    setattr(device_aggs[d], name, getattr(device_aggs[d], name) + int(sums[d]))
+
+    total_steps = _drive_supersteps(
+        engine, frontier, streams, per_query_ns, aggregate, usage, fold=fold
     )
+
+    executor = KernelExecutor(engine.device)
+    device_kernels = [
+        executor.execute(
+            per_query_ns[part], counters=device_aggs[d], scheduling=engine.scheduling
+        )
+        for d, part in enumerate(partitions)
+    ]
+    kernel = _merge_device_kernels(engine, device_kernels, aggregate, n)
+    return WalkRunResult(
+        paths=frontier.paths(),
+        per_query_ns=per_query_ns,
+        counters=aggregate,
+        kernel=kernel,
+        sampler_usage=usage,
+        total_steps=total_steps,
+        profile=profile,
+        preprocess_time_ns=(
+            engine.compiled.preprocessing_time_ns if engine.compiled is not None else 0.0
+        ),
+        num_devices=num_devices,
+        partition_policy=engine.partition_policy,
+        device_kernels=device_kernels,
+    )
+
+
+def run_multi_device_serial(
+    engine: "WalkEngine",
+    queries: list[WalkQuery],
+    profile: "ProfileResult | None" = None,
+) -> "WalkRunResult":
+    """Serial per-device composition (the fused loop's executable spec).
+
+    Every device runs its *own* engine instance — a fresh
+    :class:`~repro.walks.state.WalkerFrontier` and
+    :class:`~repro.runtime.scheduler.DynamicQueryQueue` through
+    :func:`run_batched` (or the scalar interpreter when
+    ``execution="scalar"``) — one after another.  Used directly for scalar
+    execution and as the reference the fused batched loop is property-tested
+    against.
+    """
+    from repro.runtime.engine import WalkRunResult
+    from repro.runtime.scheduler import split_for_devices
+
+    graph = engine.graph
+    validate_queries(queries, graph.num_nodes)
+    partitions = _partition_for_devices(engine, queries)
     device_queries = split_for_devices(queries, partitions)
 
     n = len(queries)
@@ -275,20 +432,7 @@ def run_multi_device(
             usage[name] = usage.get(name, 0) + count
         total_steps += sub.total_steps
 
-    # The aggregate kernel view: completion at the slowest device, lane
-    # times concatenated so utilisation/imbalance diagnostics still work.
-    makespan = max((k.time_ns for k in device_kernels), default=0.0)
-    kernel = KernelResult(
-        time_ns=makespan,
-        total_work_ns=float(sum(k.total_work_ns for k in device_kernels)),
-        lane_times_ns=(
-            np.concatenate([k.lane_times_ns for k in device_kernels])
-            if device_kernels else np.zeros(0)
-        ),
-        num_queries=n,
-        counters=aggregate,
-        scheduling=engine.scheduling,
-    )
+    kernel = _merge_device_kernels(engine, device_kernels, aggregate, n)
     return WalkRunResult(
         paths=paths,
         per_query_ns=per_query_ns,
@@ -303,6 +447,28 @@ def run_multi_device(
         num_devices=engine.num_devices,
         partition_policy=engine.partition_policy,
         device_kernels=device_kernels,
+    )
+
+
+def _merge_device_kernels(
+    engine: "WalkEngine",
+    device_kernels: list[KernelResult],
+    aggregate: CostCounters,
+    num_queries: int,
+) -> KernelResult:
+    """The aggregate kernel view: completion at the slowest device, lane
+    times concatenated so utilisation/imbalance diagnostics still work."""
+    makespan = max((k.time_ns for k in device_kernels), default=0.0)
+    return KernelResult(
+        time_ns=makespan,
+        total_work_ns=float(sum(k.total_work_ns for k in device_kernels)),
+        lane_times_ns=(
+            np.concatenate([k.lane_times_ns for k in device_kernels])
+            if device_kernels else np.zeros(0)
+        ),
+        num_queries=num_queries,
+        counters=aggregate,
+        scheduling=engine.scheduling,
     )
 
 

@@ -11,6 +11,7 @@ ablations of Fig. 11.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -20,6 +21,27 @@ from repro.sampling.base import Sampler, StepContext
 from repro.sampling.batch import BatchStepContext
 from repro.sampling.erjs import EnhancedRejectionSampler
 from repro.sampling.ervs import EnhancedReservoirSampler
+
+
+@dataclass(frozen=True)
+class DegreeThresholdRule:
+    """Declarative form of the common degree/threshold selection shape.
+
+    A selector whose per-step decision is "run ``above`` when the node degree
+    reaches ``threshold``, else ``below``" can return one of these from
+    :meth:`SamplerSelector.batch_rule` and the base class vectorises the
+    whole superstep: the per-walker charges in ``charge`` are applied to
+    every walker's counter slot and the assignment is a single compare —
+    no probe :class:`~repro.sampling.base.StepContext` objects, no per-walker
+    Python loop.
+    """
+
+    threshold: int
+    above: Sampler
+    below: Sampler
+    #: ``(counter name, amount)`` pairs charged per walker, mirroring what the
+    #: scalar ``select`` charges per step.
+    charge: tuple[tuple[str, int], ...] = (("random_accesses", 1),)
 
 
 class SamplerSelector(ABC):
@@ -32,6 +54,15 @@ class SamplerSelector(ABC):
         """Return the kernel to use for the step described by ``ctx``."""
 
     # ------------------------------------------------------------------ #
+    def batch_rule(self) -> DegreeThresholdRule | None:
+        """Declarative vectorisable selection rule, when one exists.
+
+        Threshold-style selectors (the common custom shape) describe their
+        decision here and inherit a vectorised :meth:`select_batch`; the
+        default ``None`` keeps the scalar bridge.
+        """
+        return None
+
     def select_batch(self, ctx: BatchStepContext) -> tuple[list[Sampler], np.ndarray]:
         """Choose the kernel for every walker of a superstep at once.
 
@@ -40,10 +71,18 @@ class SamplerSelector(ABC):
         partitions the frontier by kernel and runs each partition through
         one :meth:`~repro.sampling.base.Sampler.sample_batch` call.
 
-        The built-in policies override this with vectorised rules; the
-        default loops over scalar :meth:`select` (with full counter
-        accounting) so custom selectors keep working in the batched engine.
+        The built-in policies override this with vectorised rules, and any
+        selector that declares a :meth:`batch_rule` gets the vectorised
+        degree/threshold evaluation below.  Only truly custom selectors fall
+        back to the per-walker scalar bridge (with full counter accounting),
+        which keeps them working in the batched engine unchanged.
         """
+        rule = self.batch_rule()
+        if rule is not None:
+            for counter_name, amount in rule.charge:
+                ctx.charge(counter_name, amount)
+            high = ctx.degrees >= rule.threshold
+            return [rule.above, rule.below], np.where(high, 0, 1)
         samplers: list[Sampler] = []
         positions: dict[int, int] = {}
         assignment = np.zeros(ctx.size, dtype=np.int64)
@@ -159,7 +198,8 @@ class DegreeBasedSelector(SamplerSelector):
             return self._erjs
         return self._ervs
 
-    def select_batch(self, ctx: BatchStepContext) -> tuple[list[Sampler], np.ndarray]:
-        ctx.charge("random_accesses", 1)
-        high = ctx.degrees >= self.threshold
-        return [self._erjs, self._ervs], np.where(high, 0, 1)
+    def batch_rule(self) -> DegreeThresholdRule:
+        """The batched form of :meth:`select` (served by the base class)."""
+        return DegreeThresholdRule(
+            threshold=self.threshold, above=self._erjs, below=self._ervs
+        )

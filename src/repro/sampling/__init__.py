@@ -23,7 +23,8 @@ from repro.sampling.base import (
     gather_transition_weights,
     is_dead_end,
 )
-from repro.sampling.batch import BatchStepContext
+from repro.sampling.batch import BatchStepContext, BufferArena
+from repro.sampling.transition_cache import TransitionCache
 from repro.sampling.alias import AliasSampler
 from repro.sampling.its import InverseTransformSampler
 from repro.sampling.rejection import RejectionSampler
@@ -36,6 +37,8 @@ __all__ = [
     "Sampler",
     "StepContext",
     "BatchStepContext",
+    "BufferArena",
+    "TransitionCache",
     "gather_transition_weights",
     "is_dead_end",
     "all_weights_zero",

@@ -116,6 +116,24 @@ class AliasSampler(Sampler):
         batch.charge("rng_draws", 2, live)
         batch.charge("random_accesses", 1, live)
 
+        cache = batch.transition_cache
+        if cache is not None:
+            # Node-only workload: the Vose tables are run-wide constants
+            # served by the transition cache (built once per node, like
+            # Skywalker's static-walk tables), so the whole partition reduces
+            # to two gathers and a vectorised accept test.
+            live_nodes = batch.current[live]
+            prob_flat, alias_flat = cache.alias_arrays(live_nodes)
+            lo = batch.graph.indptr[live_nodes]
+            degree = degrees[live]
+            u_col = uniforms[0::2]
+            u_acc = uniforms[1::2]
+            column = np.minimum((u_col * degree).astype(np.int64), degree - 1)
+            accept = u_acc < prob_flat[lo + column]
+            choice = np.where(accept, column, alias_flat[lo + column])
+            out[live] = batch.graph.indices[lo + choice]
+            return out
+
         for j, i in enumerate(live):
             lo, hi = int(batch.offsets[i]), int(batch.offsets[i + 1])
             degree = hi - lo

@@ -31,7 +31,42 @@ from repro.walks.state import WalkerFrontier
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (base imports batch)
     from repro.sampling.base import StepContext
+    from repro.sampling.transition_cache import TransitionCache
     from repro.walks.state import WalkerState
+
+
+class BufferArena:
+    """Reusable per-run scratch buffers, recycled across supersteps.
+
+    The frontier loop materialises the same flattened segment arrays every
+    superstep (offsets, walker slot ids, the flat edge enumeration).  The
+    arena hands out geometrically grown buffers keyed by role, so once the
+    frontier's high-water mark is reached no superstep allocates them again.
+    A buffer stays valid until the same key is requested next superstep; the
+    engine requests each key at most once per superstep and subset contexts
+    allocate their own (smaller) arrays instead of sharing the arena.
+    """
+
+    __slots__ = ("_buffers", "_arange")
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+        self._arange = np.zeros(0, dtype=np.int64)
+
+    def int64(self, key: str, size: int) -> np.ndarray:
+        """A writable ``int64`` scratch view of the given size for ``key``."""
+        buf = self._buffers.get(key)
+        if buf is None or buf.size < size:
+            buf = np.empty(max(int(size), 2 * (0 if buf is None else buf.size)), dtype=np.int64)
+            self._buffers[key] = buf
+        return buf[:size]
+
+    def arange(self, size: int) -> np.ndarray:
+        """A read-only view of ``[0, size)`` (shared across all callers)."""
+        if self._arange.size < size:
+            self._arange = np.arange(max(int(size), 2 * self._arange.size), dtype=np.int64)
+            self._arange.flags.writeable = False
+        return self._arange[:size]
 
 
 # ---------------------------------------------------------------------- #
@@ -206,6 +241,16 @@ class BatchStepContext:
         the batched form of ``StepContext.bound_hint`` / ``sum_hint``.
     warp_width:
         Cooperative width for warp kernels.
+    transition_cache:
+        Cross-superstep per-node weight/CDF/alias cache, present only when
+        the compiler classified the workload as node-only
+        (``weights_node_only``); :meth:`transition_weights` and the ITS/ALS
+        kernels consult it instead of recomputing.  Host-side only — the
+        simulated cost accounting is identical with or without it.
+    arena:
+        Optional per-run scratch-buffer arena; when present, the flattened
+        segment arrays are built into recycled buffers instead of fresh
+        allocations every superstep.
     """
 
     graph: CSRGraph
@@ -218,6 +263,8 @@ class BatchStepContext:
     bound_hints: np.ndarray | None = None
     sum_hints: np.ndarray | None = None
     warp_width: int = WARP_SIZE
+    transition_cache: "TransitionCache | None" = None
+    arena: BufferArena | None = None
     _flat: dict = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------ #
@@ -252,7 +299,16 @@ class BatchStepContext:
     @property
     def offsets(self) -> np.ndarray:
         """Start/stop of each walker's segment in the flattened arrays."""
-        return self._cached("offsets", lambda: segment_offsets(self.degrees))
+
+        def build() -> np.ndarray:
+            if self.arena is not None:
+                out = self.arena.int64("offsets", self.degrees.size + 1)
+                out[0] = 0
+                np.cumsum(self.degrees, out=out[1:])
+                return out
+            return segment_offsets(self.degrees)
+
+        return self._cached("offsets", build)
 
     @property
     def seg_ids(self) -> np.ndarray:
@@ -264,7 +320,11 @@ class BatchStepContext:
 
         def build() -> np.ndarray:
             base = np.repeat(self.edge_start - self.offsets[:-1], self.degrees)
-            return base + np.arange(int(self.offsets[-1]), dtype=np.int64)
+            total = int(self.offsets[-1])
+            if self.arena is not None:
+                base += self.arena.arange(total)
+                return base
+            return base + np.arange(total, dtype=np.int64)
 
         return self._cached("flat_edges", build)
 
@@ -299,13 +359,20 @@ class BatchStepContext:
     def transition_weights(self) -> np.ndarray:
         """Flattened transition weights of every candidate edge (no accounting).
 
-        Cached: a kernel that needs the weights twice (e.g. eRJS's trial
-        probes plus its fallback) computes them once, exactly like the scalar
-        kernels materialise the vector once.
+        Cached per superstep: a kernel that needs the weights twice (e.g.
+        eRJS's trial probes plus its fallback) computes them once, exactly
+        like the scalar kernels materialise the vector once.  When a
+        cross-superstep :class:`TransitionCache` is attached (node-only
+        workloads), the values are gathered from it instead of recomputed —
+        same numbers, no per-step evaluation.
         """
-        return self._cached(
-            "weights", lambda: self.spec.transition_weights_batch(self.graph, self)
-        )
+
+        def build() -> np.ndarray:
+            if self.transition_cache is not None:
+                return self.transition_cache.weights_for(self)
+            return self.spec.transition_weights_batch(self.graph, self)
+
+        return self._cached("weights", build)
 
     def gather_weights(self, passes: int = 1, coalesced: bool = True,
                        idx: np.ndarray | None = None) -> np.ndarray:
@@ -368,7 +435,12 @@ class BatchStepContext:
 
     # ------------------------------------------------------------------ #
     def subset(self, idx: np.ndarray) -> "BatchStepContext":
-        """A context over a subset of the walkers (shared counter batch)."""
+        """A context over a subset of the walkers (shared counter batch).
+
+        The transition cache is shared (it is keyed by node, not by walker);
+        the arena is not — a subset materialising its own segment arrays must
+        not overwrite the parent's recycled buffers mid-superstep.
+        """
         return BatchStepContext(
             graph=self.graph,
             spec=self.spec,
@@ -380,4 +452,5 @@ class BatchStepContext:
             bound_hints=None if self.bound_hints is None else self.bound_hints[idx],
             sum_hints=None if self.sum_hints is None else self.sum_hints[idx],
             warp_width=self.warp_width,
+            transition_cache=self.transition_cache,
         )

@@ -167,15 +167,23 @@ class EnhancedReservoirSampler(Sampler):
             if jump.any():
                 # Count the candidate updates exactly as the scalar helper
                 # does: position j >= width triggers an update iff its key
-                # beats the running maximum of everything before it.
-                cummax = segment_cummax(log_keys, live_lengths)
+                # beats the running maximum of everything before it.  Only
+                # jump-eligible segments are scanned — the running maximum is
+                # a per-segment quantity, so restricting the scan cannot
+                # change any counted update.
+                jump_idx = np.nonzero(jump)[0]
+                jump_lengths = live_lengths[jump_idx]
+                jump_mask = np.repeat(jump, live_lengths)
+                jump_keys = log_keys[jump_mask]
+                cummax = segment_cummax(jump_keys, jump_lengths)
                 prev_max = np.empty_like(cummax)
                 prev_max[0] = -np.inf
                 prev_max[1:] = cummax[:-1]
-                pos = local_positions(live_lengths)
-                seg = segment_ids(live_lengths)
-                beats = (pos >= widths[seg]) & (log_keys > prev_max)
-                updates = np.bincount(seg[beats], minlength=live_lengths.size)
+                pos = local_positions(jump_lengths)
+                seg = segment_ids(jump_lengths)
+                beats = (pos >= widths[jump_idx][seg]) & (jump_keys > prev_max)
+                updates = np.zeros(live_lengths.size, dtype=np.int64)
+                updates[jump_idx] = np.bincount(seg[beats], minlength=jump_lengths.size)
                 rng_counts = np.where(jump, 2 * widths + 2 * updates, live_lengths)
         batch.charge("rng_draws", rng_counts, live)
         batch.charge("reduction_elements", widths, live)

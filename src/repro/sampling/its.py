@@ -17,7 +17,7 @@ from repro.sampling.base import (
     all_weights_zero,
     gather_transition_weights,
 )
-from repro.sampling.batch import BatchStepContext, segment_any_positive
+from repro.sampling.batch import BatchStepContext, segment_any_positive, segment_bisect
 
 
 class InverseTransformSampler(Sampler):
@@ -75,6 +75,22 @@ class InverseTransformSampler(Sampler):
         batch.charge("rng_draws", 1, live)
         probes = np.maximum(1, np.ceil(np.log2(np.maximum(degrees[live], 2))).astype(np.int64))
         batch.charge("random_accesses", probes, live)
+
+        cache = batch.transition_cache
+        if cache is not None:
+            # Node-only workload: the per-node CDF/total pair is a run-wide
+            # constant served by the transition cache, and the inversion runs
+            # as one segmented binary search (which replays np.searchsorted's
+            # bisection decisions exactly, so the chosen indices are
+            # bit-identical to the per-walker cores below).
+            live_nodes = batch.current[live]
+            cdf_flat, totals = cache.cdf_arrays(live_nodes)
+            lo = batch.graph.indptr[live_nodes]
+            hi = batch.graph.indptr[live_nodes + 1]
+            pos = segment_bisect(cdf_flat, lo, hi, uniforms * totals, side="right")
+            choice = np.minimum(pos - lo, hi - lo - 1)
+            out[live] = batch.graph.indices[lo + choice]
+            return out
 
         for j, i in enumerate(live):
             lo, hi = int(batch.offsets[i]), int(batch.offsets[i + 1])

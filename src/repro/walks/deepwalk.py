@@ -38,3 +38,7 @@ class DeepWalkSpec(WalkSpec):
 
     def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
         return graph.weights[batch.flat_edges].astype(np.float64)
+
+    def static_transition_weights(self, graph: CSRGraph) -> np.ndarray:
+        """Whole-graph weights in one pass (enables bulk transition caching)."""
+        return graph.weights.astype(np.float64)

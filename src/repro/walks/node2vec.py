@@ -43,24 +43,19 @@ def _second_order_bias(graph: CSRGraph, batch: "BatchStepContext") -> tuple[np.n
     Returns ``(has_prev, linked)``, both parallel to ``batch.neighbors_flat``:
     ``has_prev`` marks edges of walkers that have a previous node, ``linked``
     marks candidates that are themselves neighbours of that previous node —
-    the ``dist(v', u) == 1`` test, evaluated as one segmented binary search
-    over the CSR adjacency instead of one ``np.searchsorted`` per walker.
+    the ``dist(v', u) == 1`` test, answered for the whole frontier by one
+    global binary search over the graph's sorted edge keys
+    (:meth:`~repro.graph.csr.CSRGraph.has_edges`).
     """
     seg = batch.seg_ids
     prev_per_edge = batch.prev[seg]
     has_prev = prev_per_edge >= 0
     linked = np.zeros(prev_per_edge.size, dtype=bool)
-    safe_prev = np.where(has_prev, prev_per_edge, 0)
-    lo = graph.indptr[safe_prev]
-    hi = graph.indptr[safe_prev + 1]
-    check = np.nonzero(has_prev & (hi > lo))[0]
+    check = np.nonzero(has_prev)[0]
     if check.size:
-        from repro.sampling.batch import segment_bisect
-
-        queries = batch.neighbors_flat[check]
-        pos = segment_bisect(graph.indices, lo[check], hi[check], queries, side="left")
-        pos = np.minimum(pos, hi[check] - 1)
-        linked[check] = graph.indices[pos] == queries
+        linked[check] = graph.has_edges(
+            prev_per_edge[check], batch.neighbors_flat[check]
+        )
     return has_prev, linked
 
 

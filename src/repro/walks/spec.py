@@ -106,6 +106,19 @@ class WalkSpec(ABC):
         ]
         return np.concatenate(parts) if parts else np.zeros(0, dtype=np.float64)
 
+    def static_transition_weights(self, graph: CSRGraph) -> np.ndarray | None:
+        """Full-edge transition weights, for state-free workloads only.
+
+        When ``get_weight`` never reads walker state, the weight of an edge
+        is a constant of the (graph, spec) pair; a workload may return the
+        whole array (parallel to ``graph.indices``) here so the runtime's
+        :class:`~repro.sampling.transition_cache.TransitionCache` fills in
+        one vectorised pass instead of probing node by node.  The default
+        ``None`` keeps the per-node fill path; state-dependent workloads are
+        never asked.
+        """
+        return None
+
     def probe_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
         """Vectorised :meth:`probe_cost_words` (one entry per walker)."""
         if type(self).probe_cost_words is WalkSpec.probe_cost_words:
@@ -201,3 +214,6 @@ class UniformWalkSpec(WalkSpec):
 
     def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
         return graph.weights[batch.flat_edges].astype(np.float64)
+
+    def static_transition_weights(self, graph: CSRGraph) -> np.ndarray:
+        return graph.weights.astype(np.float64)

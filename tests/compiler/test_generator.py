@@ -127,3 +127,69 @@ class TestFallback:
             warnings.simplefilter("error", CompilerWarning)
             compiled = compile_workload(Node2VecSpec(), small_graph)
         assert compiled.supported
+
+
+class TestVectorisedNodeHints:
+    """hint_nodes must agree with per-node bound_hint / sum_hint exactly."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [Node2VecSpec(), UnweightedNode2VecSpec(), MetaPathSpec()],
+        ids=lambda s: s.name,
+    )
+    def test_hint_nodes_matches_scalar_helpers(self, spec, small_graph):
+        compiled = compile_workload(spec, small_graph)
+        assert compiled.hints_node_only
+        nodes = np.arange(small_graph.num_nodes, dtype=np.int64)
+        bounds, sums = compiled.hint_nodes(small_graph, nodes)
+        for node in nodes:
+            state = make_state(small_graph, node=int(node))
+            bound = compiled.bound_hint(small_graph, state)
+            total = compiled.sum_hint(small_graph, state)
+            if bound is None:
+                assert np.isnan(bounds[node])
+            else:
+                assert bounds[node] == bound
+            if total is None:
+                assert np.isnan(sums[node])
+            else:
+                assert sums[node] == total
+
+    def test_reads_state_classification(self, small_graph):
+        from repro.walks.deepwalk import DeepWalkSpec
+
+        assert not compile_workload(DeepWalkSpec(), small_graph).analysis.reads_state
+        assert compile_workload(Node2VecSpec(), small_graph).analysis.reads_state
+
+    def test_vectorisation_unsafe_expressions_fall_back_per_node(self, small_graph):
+        """Builtin max on an array raises; hint_nodes must fall back, not drop."""
+
+        class ClampedSpec(WalkSpec):
+            name = "clamped"
+
+            def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+                h = graph.weights[edge]
+                return max(h, 0.5)
+
+        spec = ClampedSpec()
+        compiled = compile_workload(spec, small_graph)
+        assert compiled.supported and compiled.hints_node_only
+        nodes = np.arange(small_graph.num_nodes, dtype=np.int64)
+        bounds, sums = compiled.hint_nodes(small_graph, nodes)
+        saw_real_value = False
+        for node in nodes:
+            state = make_state(small_graph, node=int(node))
+            bound = compiled.bound_hint(small_graph, state)
+            total = compiled.sum_hint(small_graph, state)
+            if bound is None:
+                assert np.isnan(bounds[node])
+            else:
+                assert bounds[node] == bound
+                saw_real_value = True
+            if total is None:
+                assert np.isnan(sums[node])
+            else:
+                assert sums[node] == total
+        # The scalar helpers do produce estimates here, so a silent all-NaN
+        # vectorised result would be the parity bug this test guards against.
+        assert saw_real_value

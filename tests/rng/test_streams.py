@@ -70,3 +70,23 @@ class TestStreamPool:
         a = StreamPool(77).stream(5).uniform(8)
         b = StreamPool(77).stream(5).uniform(8)
         assert np.array_equal(a, b)
+
+
+class TestDuplicateStreamsInOneBatch:
+    """A thread index repeated in one batch must behave like one shared stream."""
+
+    def test_duplicates_share_one_slot_and_draw_sequentially(self):
+        pool = StreamPool(seed=4)
+        batch = pool.batch([5, 5])
+        values = batch.uniform_flat(np.array([1, 1]))
+        reference = StreamPool(seed=4).stream(5).uniform(2)
+        assert np.array_equal(values, np.asarray(reference))
+        assert values[0] != values[1]
+        assert pool.stream(5).draws == 2
+
+    def test_duplicate_then_scalar_continues_the_stream(self):
+        pool = StreamPool(seed=9)
+        pool.batch([3, 3]).uniform_flat(np.array([2, 1]))
+        tail = pool.stream(3).uniform()
+        reference = StreamPool(seed=9).stream(3).uniform(4)
+        assert tail == float(np.asarray(reference)[3])

@@ -89,3 +89,59 @@ class TestDegreeBasedSelector:
     def test_invalid_threshold_rejected(self):
         with pytest.raises(RuntimeSelectionError):
             DegreeBasedSelector(threshold=0)
+
+
+class TestDegreeThresholdRule:
+    """The declarative rule path of the base select_batch."""
+
+    def test_degree_selector_exposes_a_rule(self):
+        selector = DegreeBasedSelector(threshold=7)
+        rule = selector.batch_rule()
+        assert rule is not None
+        assert rule.threshold == 7
+        assert isinstance(rule.above, EnhancedRejectionSampler)
+        assert isinstance(rule.below, EnhancedReservoirSampler)
+
+    def test_custom_threshold_selector_gets_vectorised_for_free(self, tiny_graph):
+        """A custom selector declaring a rule never touches the scalar bridge."""
+        from repro.runtime.selector import DegreeThresholdRule, SamplerSelector
+
+        class MyThresholdSelector(SamplerSelector):
+            def __init__(self):
+                self._hi = EnhancedRejectionSampler()
+                self._lo = EnhancedReservoirSampler()
+
+            def select(self, ctx):  # pragma: no cover - rule path is used
+                raise AssertionError("scalar bridge must not run")
+
+            def batch_rule(self):
+                return DegreeThresholdRule(
+                    threshold=2, above=self._hi, below=self._lo, charge=()
+                )
+
+        import numpy as np
+
+        from repro.gpusim.counters import CounterBatch
+        from repro.rng.streams import StreamPool
+        from repro.sampling.batch import BatchStepContext
+        from repro.walks.spec import UniformWalkSpec
+        from repro.walks.state import WalkerFrontier, WalkQuery
+
+        queries = [WalkQuery(query_id=i, start_node=i % tiny_graph.num_nodes,
+                             max_length=2) for i in range(4)]
+        frontier = WalkerFrontier(queries)
+        walkers = np.arange(4)
+        ctx = BatchStepContext(
+            graph=tiny_graph,
+            spec=UniformWalkSpec(),
+            frontier=frontier,
+            walkers=walkers,
+            rng=StreamPool(0).batch([0, 1, 2, 3]),
+            counters=CounterBatch(4),
+            slots=np.arange(4),
+        )
+        selector = MyThresholdSelector()
+        samplers, assignment = selector.select_batch(ctx)
+        assert samplers == [selector._hi, selector._lo]
+        degrees = ctx.degrees
+        assert np.array_equal(assignment, np.where(degrees >= 2, 0, 1))
