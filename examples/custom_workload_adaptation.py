@@ -20,7 +20,7 @@ e.g. crawling or landmark selection).  The example
 
 from __future__ import annotations
 
-from repro import FlexiWalker, FlexiWalkerConfig, WalkSpec, load_dataset
+from repro import WalkService, WalkSpec, load_dataset, make_queries
 from repro.graph.csr import CSRGraph
 from repro.walks.state import WalkerState
 
@@ -50,12 +50,18 @@ class RepulsiveWalkSpec(WalkSpec):
         recent.append(state.current_node)
         state.params["recent"] = tuple(recent[-self.memory:])
 
+    def describe(self) -> dict[str, object]:
+        # Reporting every hyperparameter lets the service share compiled
+        # artifacts between sessions of equal-parameter instances.
+        return {**super().describe(), "repulsion": self.repulsion, "memory": self.memory}
+
 
 def run_for(weights: str, alpha: float = 2.0) -> None:
     graph = load_dataset("EU", weights=weights, alpha=alpha)
-    walker = FlexiWalker(graph, RepulsiveWalkSpec(), FlexiWalkerConfig())
-    info = walker.describe()
-    result = walker.run(walk_length=20, num_queries=300)
+    session = WalkService(graph).session(RepulsiveWalkSpec())
+    info = session.describe()
+    session.submit(make_queries(graph.num_nodes, walk_length=20, num_queries=300))
+    result = session.collect()
     label = weights if weights != "powerlaw" else f"powerlaw(alpha={alpha:g})"
     revisit = sum(len(p) - len(set(p)) for p in result.paths) / max(sum(len(p) for p in result.paths), 1)
     print(f"{label:22s}  time {result.time_ms:8.4f} ms   selection {result.selection_ratio()}   "
@@ -65,8 +71,7 @@ def run_for(weights: str, alpha: float = 2.0) -> None:
 
 def main() -> None:
     graph = load_dataset("EU", weights="uniform")
-    walker = FlexiWalker(graph, RepulsiveWalkSpec(), FlexiWalkerConfig())
-    info = walker.describe()
+    info = WalkService(graph).session(RepulsiveWalkSpec()).describe()
     print("Flexi-Compiler analysis of the custom workload:")
     print(f"  supported: {info['compiler_supported']}, bound granularity: {info['granularity']}, "
           f"warnings: {info['compiler_warnings']}")

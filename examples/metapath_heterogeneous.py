@@ -20,7 +20,7 @@ from collections import Counter
 
 import numpy as np
 
-from repro import FlexiWalker, FlexiWalkerConfig, MetaPathSpec
+from repro import MetaPathSpec, WalkService
 from repro.graph.builders import from_edge_list
 from repro.walks.state import make_queries
 
@@ -70,12 +70,13 @@ def main() -> None:
     schema = (USER_BUYS_ITEM, ITEM_HAS_TAG, TAG_LABELS_ITEM, ITEM_BOUGHT_BY_USER)
     spec = MetaPathSpec(schema=schema)
 
-    walker = FlexiWalker(graph, spec, FlexiWalkerConfig())
-    print("pipeline:", walker.describe())
+    session = WalkService(graph).session(spec)
+    print("pipeline:", session.describe())
 
     # Walks start from every user node.
     queries = make_queries(graph.num_nodes, walk_length=len(schema), start_nodes=np.arange(NUM_USERS))
-    result = walker.run_queries(queries)
+    session.submit(queries)
+    result = session.collect()
 
     completed = [p for p in result.paths if len(p) - 1 == len(schema)]
     print(f"{len(result.paths)} walks launched, {len(completed)} completed the full schema, "

@@ -18,7 +18,7 @@ from collections import Counter
 
 import numpy as np
 
-from repro import DeepWalkSpec, FlexiWalker, FlexiWalkerConfig, Node2VecSpec, load_dataset
+from repro import DeepWalkSpec, Node2VecSpec, WalkService, load_dataset
 from repro.baselines import make_baseline
 from repro.walks.state import make_queries
 
@@ -42,9 +42,13 @@ def main() -> None:
     print(f"graph: {graph}")
     queries = make_queries(graph.num_nodes, walk_length=WALK_LENGTH, num_queries=400, seed=1)
 
-    # --- FlexiWalker: the adaptive pipeline -----------------------------
-    walker = FlexiWalker(graph, Node2VecSpec(a=2.0, b=0.5), FlexiWalkerConfig())
-    result = walker.run_queries(queries)
+    # --- FlexiWalker: the adaptive pipeline, via the serving API --------
+    # One service holds the graph and every compiled artifact; the Node2Vec
+    # and DeepWalk sessions below share it.
+    service = WalkService(graph)
+    session = service.session(Node2VecSpec(a=2.0, b=0.5))
+    session.submit(queries)
+    result = session.collect()
     print(f"FlexiWalker corpus: {len(result.paths)} walks, "
           f"{sum(len(p) - 1 for p in result.paths)} steps, "
           f"{result.time_ms:.4f} ms simulated")
@@ -63,7 +67,9 @@ def main() -> None:
     print("most frequent co-occurrences:", most_common)
 
     # --- Second-order bias vs a first-order (DeepWalk) corpus ------------
-    deep = FlexiWalker(graph, DeepWalkSpec(), FlexiWalkerConfig()).run_queries(queries)
+    deep_session = service.session(DeepWalkSpec())
+    deep_session.submit(queries)
+    deep = deep_session.collect()
     n2v_unique = np.mean([len(set(p)) / len(p) for p in result.paths])
     dw_unique = np.mean([len(set(p)) / len(p) for p in deep.paths])
     print(f"distinct-node fraction per walk: node2vec={n2v_unique:.3f}, deepwalk={dw_unique:.3f}")

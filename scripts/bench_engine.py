@@ -26,7 +26,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro import FlexiWalker, FlexiWalkerConfig, load_dataset  # noqa: E402
+from repro import FlexiWalkerConfig, WalkService, load_dataset, make_queries  # noqa: E402
 from repro.graph.labels import random_edge_labels  # noqa: E402
 from repro.walks.deepwalk import DeepWalkSpec  # noqa: E402
 from repro.walks.metapath import MetaPathSpec  # noqa: E402
@@ -47,13 +47,20 @@ QUICKSTART = "node2vec"
 
 
 def bench_mode(graph, spec, mode: str, walk_length: int, repeats: int) -> dict[str, float]:
-    """Best-of-N wall clock for one execution mode (pipeline built once)."""
-    walker = FlexiWalker(graph, spec, FlexiWalkerConfig(execution=mode))
-    walker.run(walk_length=walk_length)  # warm-up (hint tables, caches)
+    """Best-of-N wall clock for one execution mode (service compiled once)."""
+    service = WalkService(graph)
+    config = FlexiWalkerConfig(execution=mode)
+
+    def one_run():
+        session = service.session(spec, config)
+        session.submit(make_queries(graph.num_nodes, walk_length=walk_length))
+        return session.collect()
+
+    one_run()  # warm-up (profile, hint tables, transition caches)
     best = None
     for _ in range(repeats):
         started = time.perf_counter()
-        result = walker.run(walk_length=walk_length)
+        result = one_run()
         elapsed = time.perf_counter() - started
         if best is None or elapsed < best["wall_clock_s"]:
             best = {

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Guard the public API surface against accidental breaks.
+
+Two layers of checking:
+
+1. **Structural invariants** — every public module declares ``__all__``,
+   every exported name resolves, no private (underscore) name leaks, and
+   every exported dataclass is importable from the top-level ``repro``
+   namespace.
+2. **Snapshot diff** — the computed surface (module -> sorted exports) must
+   match the checked-in ``API_SURFACE.json``.  Removing or leaking a symbol
+   fails CI; intentional changes are recorded with ``--update``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_api_surface.py          # check
+    PYTHONPATH=src python scripts/check_api_surface.py --update # re-snapshot
+
+The pytest wrapper (``tests/core/test_public_api.py``) runs the same
+functions, so the lint job and the test suite cannot disagree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import importlib
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Where the frozen surface lives (checked into the repository).
+SNAPSHOT_PATH = REPO_ROOT / "API_SURFACE.json"
+
+#: Every module whose ``__all__`` is a public contract.
+PUBLIC_MODULES = (
+    "repro",
+    "repro.core",
+    "repro.runtime",
+    "repro.graph",
+    "repro.walks",
+    "repro.sampling",
+    "repro.gpusim",
+    "repro.compiler",
+    "repro.rng",
+    "repro.stats",
+    "repro.baselines",
+    "repro.bench",
+    "repro.service",
+)
+
+#: Dunder names allowed in ``__all__`` despite the no-underscore rule.
+ALLOWED_DUNDERS = {"__version__"}
+
+
+def compute_surface() -> dict[str, list[str]]:
+    """Import every public module and return {module: sorted(__all__)}.
+
+    Raises ``AssertionError`` on the structural invariants so callers (the
+    CLI and the pytest wrapper) report precise failures.
+    """
+    surface: dict[str, list[str]] = {}
+    for module_name in PUBLIC_MODULES:
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", None)
+        assert exported is not None, f"{module_name} does not declare __all__"
+        assert len(exported) == len(set(exported)), (
+            f"{module_name}.__all__ contains duplicates"
+        )
+        for name in exported:
+            assert hasattr(module, name), (
+                f"{module_name}.__all__ exports {name!r} but the module "
+                "does not define it"
+            )
+            assert not name.startswith("_") or name in ALLOWED_DUNDERS, (
+                f"{module_name}.__all__ leaks private name {name!r}"
+            )
+        surface[module_name] = sorted(exported)
+    return surface
+
+
+def dataclass_gaps(surface: dict[str, list[str]]) -> list[str]:
+    """Public dataclasses exported by a subpackage but not from ``repro``."""
+    top_level = set(surface["repro"])
+    gaps: list[str] = []
+    for module_name, exported in surface.items():
+        if module_name == "repro":
+            continue
+        module = importlib.import_module(module_name)
+        for name in exported:
+            obj = getattr(module, name)
+            if (
+                isinstance(obj, type)
+                and dataclasses.is_dataclass(obj)
+                and name not in top_level
+            ):
+                gaps.append(f"{module_name}.{name}")
+    return gaps
+
+
+def diff_surface(
+    current: dict[str, list[str]], snapshot: dict[str, list[str]]
+) -> list[str]:
+    """Human-readable differences between the live surface and the snapshot."""
+    problems: list[str] = []
+    for module_name in sorted(set(snapshot) | set(current)):
+        recorded = set(snapshot.get(module_name, ()))
+        live = set(current.get(module_name, ()))
+        for name in sorted(recorded - live):
+            problems.append(f"{module_name}: public symbol {name!r} disappeared")
+        for name in sorted(live - recorded):
+            problems.append(
+                f"{module_name}: new public symbol {name!r} is not in the "
+                "snapshot (run scripts/check_api_surface.py --update)"
+            )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite API_SURFACE.json from the live surface"
+    )
+    args = parser.parse_args()
+
+    surface = compute_surface()
+
+    gaps = dataclass_gaps(surface)
+    if gaps:
+        print("public dataclasses missing from the top-level namespace:")
+        for gap in gaps:
+            print(f"  - {gap}")
+        return 1
+
+    if args.update:
+        SNAPSHOT_PATH.write_text(json.dumps(surface, indent=2) + "\n")
+        print(f"wrote {SNAPSHOT_PATH}")
+        return 0
+
+    if not SNAPSHOT_PATH.exists():
+        print(f"missing snapshot {SNAPSHOT_PATH}; run with --update to create it")
+        return 1
+    snapshot = json.loads(SNAPSHOT_PATH.read_text())
+    problems = diff_surface(surface, snapshot)
+    if problems:
+        print("API surface drifted from API_SURFACE.json:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    total = sum(len(names) for names in surface.values())
+    print(f"API surface OK: {len(surface)} modules, {total} public symbols")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

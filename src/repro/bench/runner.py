@@ -20,13 +20,13 @@ from repro.baselines.base import BaselineSystem
 from repro.baselines.registry import make_baseline
 from repro.bench.config import ExperimentConfig
 from repro.core.config import FlexiWalkerConfig
-from repro.core.flexiwalker import FlexiWalker
 from repro.errors import BenchmarkError
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
 from repro.gpusim.device import A6000, EPYC_9124P, DeviceSpec
 from repro.gpusim.memory import MemoryModel
 from repro.runtime.engine import WalkRunResult
+from repro.service import DeviceFleet, WalkService
 from repro.walks.registry import WORKLOADS, make_workload
 from repro.walks.spec import WalkSpec
 from repro.walks.state import WalkQuery, make_queries
@@ -244,8 +244,10 @@ def run_flexiwalker(
         seed=config.seed,
     )
     spec = make_workload(workload)
-    walker = FlexiWalker(graph, spec, fw_config)
-    result = walker.run_queries(queries)
+    service = WalkService(graph, fleet=DeviceFleet(device, fw_config.num_devices))
+    session = service.session(spec, fw_config)
+    session.submit(queries)
+    result = session.collect()
     status = _classify(result.time_ms, result, config)
     label = "FlexiWalker" if selection == "cost_model" else f"FlexiWalker[{selection}]"
     return SystemRun(

@@ -1,17 +1,23 @@
 """The FlexiWalker facade: compile → profile → select → walk (Fig. 6).
 
-Typical use::
+.. deprecated::
+    ``FlexiWalker.run`` / ``run_queries`` are legacy spellings kept for
+    backward compatibility.  New code should use the session-based service
+    API (:mod:`repro.service`), which keeps compiled workloads hot across
+    requests, supports incremental query submission and streams results::
 
-    from repro.core import FlexiWalker
-    from repro.graph import load_dataset
-    from repro.walks import Node2VecSpec
+        from repro import WalkService, Node2VecSpec, load_dataset, make_queries
 
-    graph = load_dataset("YT", weights="uniform")
-    walker = FlexiWalker(graph, Node2VecSpec())
-    result = walker.run(walk_length=80)
-    print(result.time_ms, result.selection_ratio())
+        graph = load_dataset("YT", weights="uniform")
+        service = WalkService(graph)
+        session = service.session(Node2VecSpec())
+        session.submit(make_queries(graph.num_nodes, walk_length=80))
+        result = session.collect()
 
-The facade performs the full pipeline of the paper's Fig. 6:
+    See ``MIGRATION.md`` for the full old → new mapping.
+
+The facade still performs the full pipeline of the paper's Fig. 6 — it is
+now a thin shim over a single-session :class:`~repro.service.WalkService`:
 
 1. **Compile time** — Flexi-Compiler analyses the workload's ``get_weight``
    and generates the max/sum estimation helpers plus the per-node
@@ -21,34 +27,41 @@ The facade performs the full pipeline of the paper's Fig. 6:
 3. **Runtime** — walk queries are pulled from a dynamic queue, the cost model
    picks eRJS or eRVS per node per step, and the optimised kernels execute on
    the simulated device.
+
+The parity suite (``tests/service/test_session_parity.py``) enforces that
+the shim is bit-identical — paths, counters, simulated timings — to the
+pre-service engine path.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.compiler.generator import CompiledWorkload, compile_workload
 from repro.core.config import FlexiWalkerConfig
 from repro.errors import ReproError
 from repro.graph.csr import CSRGraph
-from repro.runtime.cost_model import CostModel
-from repro.runtime.engine import WalkEngine, WalkRunResult
-from repro.runtime.profiler import ProfileResult, profile_edge_costs
-from repro.runtime.selector import (
-    CostModelSelector,
-    DegreeBasedSelector,
-    FixedSelector,
-    RandomSelector,
-    SamplerSelector,
-)
-from repro.sampling.erjs import EnhancedRejectionSampler
-from repro.sampling.ervs import EnhancedReservoirSampler
+from repro.runtime.engine import WalkRunResult
+from repro.service.plan import DeviceFleet
+from repro.service.service import WalkService
 from repro.walks.spec import WalkSpec
 from repro.walks.state import WalkQuery, make_queries
+
+_DEPRECATION_HINT = (
+    "is deprecated; open a session on a WalkService instead "
+    "(service = WalkService(graph); session = service.session(spec, config); "
+    "session.submit(queries); session.collect()) — see MIGRATION.md"
+)
 
 
 class FlexiWalker:
     """End-to-end dynamic random walk framework on the simulated GPU.
+
+    A convenience facade over a single-session :class:`~repro.service.WalkService`:
+    construction compiles the workload, profiles the device and negotiates an
+    execution plan; each (deprecated) ``run`` call opens a fresh session on
+    the shared service, so repeated runs reuse every compiled artifact.
 
     Parameters
     ----------
@@ -71,57 +84,18 @@ class FlexiWalker:
         self.spec = spec
         self.config = config or FlexiWalkerConfig()
 
-        # -- Compile time -------------------------------------------------
-        self.compiled: CompiledWorkload = compile_workload(spec, graph, device=self.config.device)
-
-        # -- Profiling ----------------------------------------------------
-        self.profile: ProfileResult | None = None
-        if self.config.run_profiling:
-            self.profile = profile_edge_costs(
-                graph, spec, self.config.device, seed=self.config.seed
-            )
-            ratio = self.profile.edge_cost_ratio
-        else:
-            ratio = self.config.device.random_to_coalesced_ratio
-        self.cost_model = CostModel(edge_cost_ratio=max(ratio, 1e-6))
-
-        # -- Runtime ------------------------------------------------------
-        self.selector = self._build_selector()
-        # An unsupported workload (compiler fallback, Section 7.1) must not
-        # run eRJS, whatever the configured policy says.
-        if not self.compiled.supported and self.config.selection in ("cost_model", "erjs_only", "degree", "random"):
-            self.selector = FixedSelector(EnhancedReservoirSampler())
-        self.engine = WalkEngine(
-            graph=graph,
-            spec=spec,
-            device=self.config.device,
-            selector=self.selector,
-            compiled=self.compiled,
-            seed=self.config.seed,
-            warp_width=self.config.warp_width,
-            weight_bytes=self.config.weight_bytes,
-            scheduling=self.config.scheduling,
-            selection_overhead=self.config.selection_overhead and self.config.selection == "cost_model",
-            warp_switch_overhead=self.config.warp_switch_overhead,
-            execution=self.config.execution,
-            num_devices=self.config.num_devices,
-            partition_policy=self.config.partition_policy,
+        self.service = WalkService(
+            graph, fleet=DeviceFleet(self.config.device, self.config.num_devices)
         )
+        session = self.service.session(spec, self.config)
 
-    # ------------------------------------------------------------------ #
-    def _build_selector(self) -> SamplerSelector:
-        policy = self.config.selection
-        if policy == "cost_model":
-            return CostModelSelector(self.cost_model)
-        if policy == "ervs_only":
-            return FixedSelector(EnhancedReservoirSampler())
-        if policy == "erjs_only":
-            return FixedSelector(EnhancedRejectionSampler())
-        if policy == "random":
-            return RandomSelector(seed=self.config.seed)
-        if policy == "degree":
-            return DegreeBasedSelector(threshold=self.config.degree_threshold)
-        raise ReproError(f"unknown selection policy {policy!r}")  # pragma: no cover
+        # Legacy attribute surface (kept stable for downstream code).
+        self.compiled = session.compiled
+        self.profile = session.profile
+        self.cost_model = session.cost_model
+        self.selector = session.selector
+        self.engine = session.engine
+        self.plan = session.plan
 
     # ------------------------------------------------------------------ #
     def run(
@@ -134,7 +108,11 @@ class FlexiWalker:
 
         ``walk_length`` defaults to the workload's paper setting (80 steps,
         or the schema depth for MetaPath).
+
+        .. deprecated:: use ``WalkService.session(...)`` +
+           ``submit``/``collect`` instead.
         """
+        warnings.warn(f"FlexiWalker.run {_DEPRECATION_HINT}", DeprecationWarning, stacklevel=2)
         length = self.spec.walk_length(walk_length)
         queries = make_queries(
             self.graph.num_nodes,
@@ -143,13 +121,35 @@ class FlexiWalker:
             start_nodes=start_nodes,
             seed=self.config.seed,
         )
-        return self.run_queries(queries)
+        return self._run_legacy(queries)
 
     def run_queries(self, queries: list[WalkQuery]) -> WalkRunResult:
-        """Execute an explicit batch of walk queries."""
+        """Execute an explicit batch of walk queries.
+
+        .. deprecated:: use ``WalkService.session(...)`` +
+           ``submit``/``collect`` instead.
+        """
+        warnings.warn(
+            f"FlexiWalker.run_queries {_DEPRECATION_HINT}", DeprecationWarning, stacklevel=2
+        )
+        return self._run_legacy(queries)
+
+    def _run_legacy(self, queries: list[WalkQuery]) -> WalkRunResult:
+        """One-shot execution through a fresh session on the shared service.
+
+        The facade's own engine (and with it its selector) is threaded into
+        every session, so the pre-service facade semantics hold exactly:
+        engine knobs mutated in place (``step_overhead``,
+        ``use_transition_cache``, ``scheduling``) affect subsequent runs,
+        and stateful selection policies (``random``) keep advancing one
+        shared generator across repeated ``run()`` calls instead of
+        replaying the same coin flips.
+        """
         if not queries:
             raise ReproError("no walk queries to execute")
-        return self.engine.run(queries, profile=self.profile)
+        session = self.service.session(self.spec, self.config, engine=self.engine)
+        session.submit(queries)
+        return session.collect()
 
     # ------------------------------------------------------------------ #
     def describe(self) -> dict[str, object]:

@@ -1,8 +1,15 @@
-"""Result summarisation helpers for walk runs."""
+"""Result summarisation helpers for walk runs.
+
+.. deprecated::
+    :func:`summarize_run` is a thin backward-compatibility wrapper over
+    :meth:`repro.runtime.engine.WalkRunResult.summary` — the method is the
+    single source of truth, so the two can never drift.  Call
+    ``result.summary()`` directly in new code.
+"""
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
 from repro.runtime.engine import WalkRunResult
 
@@ -10,28 +17,12 @@ from repro.runtime.engine import WalkRunResult
 def summarize_run(result: WalkRunResult) -> dict[str, object]:
     """Condense a walk run into the quantities reported in the paper's tables.
 
-    Returns a plain dictionary (easy to print, compare or serialise) with the
-    simulated execution time, the profiling/preprocessing overhead, walk
-    statistics and the kernel-selection ratio.
+    .. deprecated:: use :meth:`WalkRunResult.summary` instead; this wrapper
+       only delegates (and warns).
     """
-    lengths = np.array([len(path) - 1 for path in result.paths], dtype=np.int64)
-    return {
-        "num_queries": len(result.paths),
-        "total_steps": result.total_steps,
-        "avg_walk_length": float(lengths.mean()) if lengths.size else 0.0,
-        "min_walk_length": int(lengths.min()) if lengths.size else 0,
-        "max_walk_length": int(lengths.max()) if lengths.size else 0,
-        "time_ms": result.time_ms,
-        "overhead_ms": result.overhead_ms,
-        "total_time_ms": result.total_time_ms,
-        "utilization": result.kernel.utilization,
-        "load_imbalance": result.kernel.load_imbalance,
-        "num_devices": result.num_devices,
-        "device_load_imbalance": result.load_imbalance,
-        "selection_ratio": result.selection_ratio(),
-        "memory_accesses": result.counters.total_memory_accesses,
-        "rng_draws": result.counters.rng_draws,
-        "rejection_trials": result.counters.rejection_trials,
-        "wall_clock_s": result.wall_clock_s,
-        "throughput_steps_per_s": result.throughput_steps_per_s,
-    }
+    warnings.warn(
+        "summarize_run is deprecated; call result.summary() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return result.summary()

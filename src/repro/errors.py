@@ -49,6 +49,16 @@ class SimulationError(ReproError):
     """Raised when the GPU execution simulator is configured inconsistently."""
 
 
+class ServiceError(ReproError):
+    """Raised by the session-based service API (:mod:`repro.service`).
+
+    Covers plan-negotiation failures (requesting more devices than the
+    service fleet owns, unknown backends), invalid submissions (duplicate
+    query ids within a session) and collecting results from a session that
+    never received queries.
+    """
+
+
 class BenchmarkError(ReproError):
     """Raised by the benchmark harness on invalid experiment configuration."""
 

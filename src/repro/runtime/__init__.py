@@ -24,9 +24,12 @@ from repro.runtime.selector import (
     DegreeBasedSelector,
 )
 from repro.runtime.scheduler import DynamicQueryQueue
-from repro.runtime.engine import WalkEngine, WalkRunResult
+from repro.runtime.engine import EngineCaches, WalkEngine, WalkRunResult
+from repro.runtime.frontier import SuperstepReport
 
 __all__ = [
+    "EngineCaches",
+    "SuperstepReport",
     "CostModel",
     "ProfileResult",
     "profile_edge_costs",

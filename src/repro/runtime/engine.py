@@ -40,6 +40,27 @@ from repro.walks.state import WalkerState, WalkQuery
 #: Valid execution modes of :class:`WalkEngine`.
 EXECUTION_MODES = ("batched", "scalar")
 
+
+class EngineCaches:
+    """Shared, lazily-built per-(graph, spec) engine caches.
+
+    Both caches — the per-node compiler hint tables and the cross-superstep
+    :class:`~repro.sampling.transition_cache.TransitionCache` — are pure
+    functions of the (graph, spec) pair, so every engine bound to the same
+    pair may share one holder: the clones minted by
+    :meth:`WalkEngine.with_devices` do, and the service layer
+    (:mod:`repro.service`) hands one holder to every session of the same
+    workload.  Keeping them in a separate mutable object (instead of plain
+    engine attributes) is what makes the sharing order-independent: a cache
+    built *after* the engines split is still seen by all of them.
+    """
+
+    __slots__ = ("hint_tables", "transition_cache")
+
+    def __init__(self) -> None:
+        self.hint_tables = None
+        self.transition_cache = None
+
 #: Signature of the per-step framework-overhead hook used by baseline models:
 #: it receives the step context and the kernel that ran, and may add counts.
 StepOverhead = Callable[[StepContext, Sampler], None]
@@ -141,6 +162,37 @@ class WalkRunResult:
             return 0.0
         return float(np.mean([len(p) - 1 for p in self.paths]))
 
+    def summary(self) -> dict[str, object]:
+        """Condense the run into the quantities reported in the paper's tables.
+
+        Returns a plain dictionary (easy to print, compare or serialise) with
+        the simulated execution time, the profiling/preprocessing overhead,
+        walk statistics and the kernel-selection ratio.  The module-level
+        :func:`repro.core.results.summarize_run` is a deprecated wrapper over
+        this method.
+        """
+        lengths = np.array([len(path) - 1 for path in self.paths], dtype=np.int64)
+        return {
+            "num_queries": len(self.paths),
+            "total_steps": self.total_steps,
+            "avg_walk_length": float(lengths.mean()) if lengths.size else 0.0,
+            "min_walk_length": int(lengths.min()) if lengths.size else 0,
+            "max_walk_length": int(lengths.max()) if lengths.size else 0,
+            "time_ms": self.time_ms,
+            "overhead_ms": self.overhead_ms,
+            "total_time_ms": self.total_time_ms,
+            "utilization": self.kernel.utilization,
+            "load_imbalance": self.kernel.load_imbalance,
+            "num_devices": self.num_devices,
+            "device_load_imbalance": self.load_imbalance,
+            "selection_ratio": self.selection_ratio(),
+            "memory_accesses": self.counters.total_memory_accesses,
+            "rng_draws": self.counters.rng_draws,
+            "rejection_trials": self.counters.rejection_trials,
+            "wall_clock_s": self.wall_clock_s,
+            "throughput_steps_per_s": self.throughput_steps_per_s,
+        }
+
 
 class WalkEngine:
     """Simulated execution of dynamic random walks on one device.
@@ -199,6 +251,11 @@ class WalkEngine:
         ``run`` calls.  Host-side only — paths, counter totals and simulated
         timings are identical either way (the cache parity suite enforces
         it); the flag exists so those tests can run both configurations.
+    caches:
+        Optional shared :class:`EngineCaches` holder.  Engines bound to the
+        same (graph, spec) pair may pass the same holder so hint tables and
+        the transition cache are built once and seen by all of them; by
+        default every engine gets a private holder.
     """
 
     def __init__(
@@ -219,6 +276,7 @@ class WalkEngine:
         num_devices: int = 1,
         partition_policy: str = "hash",
         use_transition_cache: bool = True,
+        caches: EngineCaches | None = None,
     ) -> None:
         if execution not in EXECUTION_MODES:
             raise SimulationError(
@@ -246,8 +304,7 @@ class WalkEngine:
         self.num_devices = int(num_devices)
         self.partition_policy = partition_policy
         self.use_transition_cache = bool(use_transition_cache)
-        self._hint_table_cache = None
-        self._transition_cache_obj = None
+        self.caches = caches if caches is not None else EngineCaches()
 
     # ------------------------------------------------------------------ #
     def run(
@@ -273,10 +330,12 @@ class WalkEngine:
     def with_devices(self, num_devices: int, partition_policy: str | None = None) -> "WalkEngine":
         """A copy of this engine re-targeted at a different device count.
 
-        Shares the graph, spec, selector, compiled workload and hint-table
-        cache (all placement-invariant), so re-running the same queries under
-        several device counts or policies — the Fig. 15 sweep — costs no
-        re-compilation.
+        Shares the graph, spec, selector, compiled workload and the
+        :class:`EngineCaches` holder (all placement-invariant), so re-running
+        the same queries under several device counts or policies — the
+        Fig. 15 sweep — costs no re-compilation, and a hint table or
+        transition cache built by either engine (before *or* after the
+        clone) is seen by both.
         """
         clone = copy.copy(self)
         if num_devices < 1:
@@ -292,32 +351,100 @@ class WalkEngine:
 
     def _node_hint_tables(self):
         """Cached lazily-filled hint tables (node-only compiled workloads)."""
-        if self._hint_table_cache is None:
+        if self.caches.hint_tables is None:
             from repro.runtime.frontier import NodeHintTables
 
-            self._hint_table_cache = NodeHintTables(self.compiled, self.graph)
-        return self._hint_table_cache
+            self.caches.hint_tables = NodeHintTables(self.compiled, self.graph)
+        return self.caches.hint_tables
 
     def _transition_cache(self):
         """The engine's cross-superstep transition cache, or ``None``.
 
         Only node-only workloads (``compiled.weights_node_only``) qualify;
-        the cache is created once and shared across supersteps, repeated
-        ``run`` calls and the device clones minted by :meth:`with_devices`
-        (``copy.copy`` shares the reference — the cache is keyed by
-        (graph, spec), both of which the clones share too).
+        the cache is created once and shared — through the
+        :class:`EngineCaches` holder — across supersteps, repeated ``run``
+        calls, the device clones minted by :meth:`with_devices` and every
+        session the service layer binds to the same (graph, spec) pair,
+        whichever of them happens to build it first.
         """
         if not self.use_transition_cache:
             return None
         if self.compiled is None or not self.compiled.weights_node_only:
             return None
-        if self._transition_cache_obj is None:
+        if self.caches.transition_cache is None:
             from repro.sampling.transition_cache import TransitionCache
 
-            self._transition_cache_obj = TransitionCache(self.graph, self.spec)
-        return self._transition_cache_obj
+            self.caches.transition_cache = TransitionCache(self.graph, self.spec)
+        return self.caches.transition_cache
 
     # ------------------------------------------------------------------ #
+    def _scalar_walk(
+        self,
+        query: WalkQuery,
+        stream,
+        usage: dict[str, int],
+        start_ns: float = 0.0,
+    ) -> tuple[list[int], float, CostCounters, int]:
+        """Interpret one query to completion (the scalar per-walk kernel).
+
+        Returns ``(path, simulated_ns, counter_totals, steps)`` where the
+        simulated time accumulates per-step costs *onto* ``start_ns``
+        (normally the already-priced queue-fetch cost) in step order — the
+        same float association the batched engine uses, so the value is
+        bit-identical however the surrounding loop batches queries.  This is
+        the property both :meth:`_run_scalar` and the session layer's wave
+        execution rely on.
+        """
+        state = WalkerState.start(query)
+        query_ns = float(start_ns)
+        query_counters = CostCounters(bytes_per_weight=self.weight_bytes)
+        steps = 0
+        hints_available = self.compiled is not None and self.compiled.supported
+
+        while not state.finished:
+            if is_dead_end(self.graph, state.current_node):
+                break
+            counters = CostCounters(bytes_per_weight=self.weight_bytes)
+            ctx = StepContext(
+                graph=self.graph,
+                state=state,
+                spec=self.spec,
+                rng=stream,
+                counters=counters,
+                warp_width=self.warp_width,
+            )
+            if hints_available:
+                ctx.bound_hint = self.compiled.bound_hint(self.graph, state)
+                ctx.sum_hint = self.compiled.sum_hint(self.graph, state)
+                if self.selection_overhead:
+                    # Reading the two preprocessed aggregates feeding the
+                    # estimation helpers, plus their arithmetic.
+                    counters.coalesced_accesses += 2
+                    counters.weight_computations += 2
+
+            sampler = self.selector.select(ctx)
+            if self.warp_switch_overhead and sampler.processing_unit == "warp":
+                # The concurrent kernel votes (__ballot_sync) and shares
+                # the query parameters (__shfl_sync) before the warp
+                # switches into the cooperative mode.
+                counters.warp_syncs += 1
+
+            next_node = sampler.sample(ctx)
+            if self.step_overhead is not None:
+                self.step_overhead(ctx, sampler)
+
+            usage[sampler.name] = usage.get(sampler.name, 0) + 1
+            steps += 1
+            query_ns += self.device.lane_time_ns(counters)
+            query_counters.merge(counters)
+
+            if next_node is None:
+                break
+            self.spec.update(self.graph, state, next_node)
+            state.advance(next_node)
+
+        return state.path, query_ns, query_counters, steps
+
     def _run_scalar(
         self,
         queries: list[WalkQuery],
@@ -334,64 +461,25 @@ class WalkEngine:
         usage: dict[str, int] = {}
         total_steps = 0
 
-        hints_available = self.compiled is not None and self.compiled.supported
-
         while True:
             fetch_counters = CostCounters(bytes_per_weight=self.weight_bytes)
             query = queue.fetch(fetch_counters)
             if query is None:
                 break
-            state = WalkerState.start(query)
             stream = pool.stream(query.query_id)
-            query_ns = self.device.lane_time_ns(fetch_counters)
+            fetch_ns = self.device.lane_time_ns(fetch_counters)
             aggregate.merge(fetch_counters)
 
-            while not state.finished:
-                if is_dead_end(self.graph, state.current_node):
-                    break
-                counters = CostCounters(bytes_per_weight=self.weight_bytes)
-                ctx = StepContext(
-                    graph=self.graph,
-                    state=state,
-                    spec=self.spec,
-                    rng=stream,
-                    counters=counters,
-                    warp_width=self.warp_width,
-                )
-                if hints_available:
-                    ctx.bound_hint = self.compiled.bound_hint(self.graph, state)
-                    ctx.sum_hint = self.compiled.sum_hint(self.graph, state)
-                    if self.selection_overhead:
-                        # Reading the two preprocessed aggregates feeding the
-                        # estimation helpers, plus their arithmetic.
-                        counters.coalesced_accesses += 2
-                        counters.weight_computations += 2
-
-                sampler = self.selector.select(ctx)
-                if self.warp_switch_overhead and sampler.processing_unit == "warp":
-                    # The concurrent kernel votes (__ballot_sync) and shares
-                    # the query parameters (__shfl_sync) before the warp
-                    # switches into the cooperative mode.
-                    counters.warp_syncs += 1
-
-                next_node = sampler.sample(ctx)
-                if self.step_overhead is not None:
-                    self.step_overhead(ctx, sampler)
-
-                usage[sampler.name] = usage.get(sampler.name, 0) + 1
-                total_steps += 1
-                query_ns += self.device.lane_time_ns(counters)
-                aggregate.merge(counters)
-
-                if next_node is None:
-                    break
-                self.spec.update(self.graph, state, next_node)
-                state.advance(next_node)
+            path, query_ns, query_counters, steps = self._scalar_walk(
+                query, stream, usage, start_ns=fetch_ns
+            )
+            aggregate.merge(query_counters)
+            total_steps += steps
 
             # Queries are fetched in submission order, so the position in the
             # result arrays is simply how many walks have finished so far.
             per_query_ns[len(paths)] = query_ns
-            paths.append(state.path)
+            paths.append(path)
 
         executor = KernelExecutor(self.device)
         kernel = executor.execute(per_query_ns, counters=aggregate, scheduling=self.scheduling)

@@ -33,6 +33,7 @@ executable specification the fused loop is property-tested against.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -92,6 +93,39 @@ class NodeHintTables:
 SuperstepFold = Callable[[np.ndarray, CounterBatch], None]
 
 
+@dataclass(frozen=True)
+class SuperstepReport:
+    """What one superstep of the frontier loop did.
+
+    Yielded by :func:`iter_supersteps` after each superstep's accounting has
+    already landed in the caller-supplied ``per_query_ns`` / ``aggregate`` /
+    ``usage`` structures, so observers (the fused multi-device fold, the
+    streaming session layer) only need the per-superstep views.
+
+    Attributes
+    ----------
+    active:
+        Frontier indices that executed a walk step this superstep (dead-end
+        walkers are excluded — they terminate without charging a step).
+    counters:
+        The superstep's :class:`~repro.gpusim.counters.CounterBatch`; slot
+        ``j`` holds the counts charged to walker ``active[j]``.
+    finished:
+        Frontier indices whose walks completed during this superstep, for
+        any reason: dead end, all-zero transition weights, or the walk
+        reaching its maximum length.  Sorted ascending.
+    """
+
+    active: np.ndarray
+    counters: CounterBatch
+    finished: np.ndarray
+
+    @property
+    def steps(self) -> int:
+        """Walker-steps executed this superstep (one per active walker)."""
+        return int(self.active.size)
+
+
 def _drive_supersteps(
     engine: "WalkEngine",
     frontier: WalkerFrontier,
@@ -104,13 +138,55 @@ def _drive_supersteps(
     """Advance the whole frontier step-synchronously until every walk ends.
 
     The shared core of :func:`run_batched` and the fused multi-device loop:
-    per-walker accounting lands in ``per_query_ns`` (indexed by frontier
-    position) and ``aggregate``; ``fold`` — when given — observes every
-    superstep's (active walkers, counter batch) pair for per-device
-    bookkeeping.  Returns the number of walker-steps executed.
+    a thin consumer of :func:`iter_supersteps` that applies ``fold`` — when
+    given — to every superstep's (active walkers, counter batch) pair for
+    per-device bookkeeping.  Returns the number of walker-steps executed.
+    """
+    total_steps = 0
+    reports = iter_supersteps(
+        engine, frontier, streams, per_query_ns, aggregate, usage, track_finished=False
+    )
+    for report in reports:
+        total_steps += report.steps
+        if fold is not None:
+            fold(report.active, report.counters)
+    return total_steps
+
+
+#: Shared empty finished-set for untracked supersteps.
+_NO_FINISHED = np.zeros(0, dtype=np.int64)
+
+
+def iter_supersteps(
+    engine: "WalkEngine",
+    frontier: WalkerFrontier,
+    streams,
+    per_query_ns: np.ndarray,
+    aggregate: CostCounters,
+    usage: dict[str, int],
+    track_finished: bool = True,
+):
+    """Step-synchronous frontier loop, one :class:`SuperstepReport` at a time.
+
+    The generator form of the batched execution core: each ``next()``
+    advances every still-active walker by one step, lands the per-walker
+    accounting in ``per_query_ns`` (indexed by frontier position) and
+    ``aggregate``, and yields a :class:`SuperstepReport` describing what
+    happened — which walkers stepped, what they charged, and whose walks
+    completed.  The streaming service layer drives this directly to emit
+    per-superstep :class:`~repro.service.WalkChunk`s; :func:`_drive_supersteps`
+    wraps it for the one-shot paths.
+
+    Because every walker owns a counter-based random stream keyed by its
+    query id and every walker's counts land in its own slot, suspending the
+    generator between supersteps (or splitting a batch across several
+    frontiers) cannot change any walk, count or simulated time.
+
+    ``track_finished=False`` skips the per-superstep completion bookkeeping
+    (reports carry an empty ``finished``) — used by the one-shot drivers,
+    which never read it, to keep the benchmarked hot path free of it.
     """
     graph, spec, device = engine.graph, engine.spec, engine.device
-    total_steps = 0
 
     hints_available = engine.compiled is not None and engine.compiled.supported
     hint_tables: NodeHintTables | None = None
@@ -122,16 +198,24 @@ def _drive_supersteps(
     while True:
         active = frontier.active_indices()
         if active.size == 0:
-            break
+            return
         # Consolidated dead-end rule, vectorised (see sampling.base.is_dead_end).
         current = frontier.current[active]
         degrees = graph.indptr[current + 1] - graph.indptr[current]
         dead = degrees == 0
+        dead_finished = active[dead]
         if dead.any():
-            frontier.terminate(active[dead])
+            frontier.terminate(dead_finished)
             active = active[~dead]
             if active.size == 0:
-                break
+                # Every remaining walker hit a dead end: report the
+                # completions without charging a step.
+                yield SuperstepReport(
+                    active=active,
+                    counters=CounterBatch(0, bytes_per_weight=engine.weight_bytes),
+                    finished=dead_finished if track_finished else _NO_FINISHED,
+                )
+                return
         k = active.size
 
         counters = CounterBatch(k, bytes_per_weight=engine.weight_bytes)
@@ -189,12 +273,9 @@ def _drive_supersteps(
             usage[sampler.name] = usage.get(sampler.name, 0) + int(part.size)
             if engine.step_overhead is not None:
                 _apply_step_overhead(engine, ctx, part, sampler)
-        total_steps += k
 
         per_query_ns[active] += device.lane_times_ns(counters)
         aggregate.merge(counters.totals())
-        if fold is not None:
-            fold(active, counters)
 
         advancing = next_nodes >= 0
         if not advancing.all():
@@ -204,7 +285,17 @@ def _drive_supersteps(
             targets = next_nodes[advancing]
             spec.update_batch(graph, frontier, moving, targets)
             frontier.advance(moving, targets)
-    return total_steps
+        # Walks complete by sampling failure (all-zero weights), by reaching
+        # their maximum length, or — reported above the step charge — by
+        # hitting a dead end.
+        if track_finished:
+            exhausted = moving[frontier.steps[moving] >= frontier.max_lengths[moving]]
+            finished = np.sort(
+                np.concatenate([dead_finished, active[~advancing], exhausted])
+            )
+        else:
+            finished = _NO_FINISHED
+        yield SuperstepReport(active=active, counters=counters, finished=finished)
 
 
 def run_batched(

@@ -18,12 +18,28 @@ from repro.walks.state import WalkQuery
 
 
 class DynamicQueryQueue:
-    """Global-counter work queue over a fixed batch of walk queries."""
+    """Global-counter work queue over a batch of walk queries.
 
-    def __init__(self, queries: list[WalkQuery]) -> None:
-        self._queries = list(queries)
+    The batch is usually fixed at construction (one kernel launch), but the
+    session layer (:mod:`repro.service`) also enqueues incrementally through
+    :meth:`extend` — the hardware analogue is the host appending to the
+    query array and bumping its length *before* publishing the new bound to
+    the device, so already-running fetch loops simply observe more work.
+    """
+
+    def __init__(self, queries: list[WalkQuery] | None = None) -> None:
+        self._queries = list(queries) if queries is not None else []
         self._counter = 0
         self.atomic_ops = 0
+
+    def extend(self, queries: list[WalkQuery]) -> None:
+        """Append queries to the tail of the queue (incremental enqueue).
+
+        Appending never reorders or re-issues earlier queries: the global
+        counter is untouched, so consumers keep fetching in submission
+        order.
+        """
+        self._queries.extend(queries)
 
     def __len__(self) -> int:
         return len(self._queries)

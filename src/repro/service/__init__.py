@@ -1,0 +1,44 @@
+"""Session-based service API: compile → plan → execute, decoupled.
+
+The serving surface of the reproduction.  Where the legacy
+:class:`~repro.core.flexiwalker.FlexiWalker` facade re-resolves everything on
+every one-shot ``run()``, this package keeps a workload *hot*:
+
+* :class:`WalkService` — owns the shared immutable state (graph, compiled
+  workloads, profiles, hint tables, transition caches, device fleet);
+* :class:`ExecutionPlan` / :func:`negotiate_plan` — backend selection as an
+  explicit, auditable negotiation against declared
+  :class:`ServiceCapabilities` instead of scattered constructor flags;
+* :class:`WalkSession` — per-tenant execution: incremental
+  :meth:`~WalkSession.submit` (returning :class:`QueryTicket`\\ s), streaming
+  :meth:`~WalkSession.stream` (yielding :class:`WalkChunk`\\ s as walks
+  finish) and exact :meth:`~WalkSession.collect`.
+
+``FlexiWalker.run`` is now a thin deprecated shim over a single-session
+service; the parity suite keeps the two bit-identical.
+"""
+
+from repro.service.plan import (
+    BACKENDS,
+    DeviceFleet,
+    ExecutionPlan,
+    ServiceCapabilities,
+    declare_capabilities,
+    negotiate_plan,
+)
+from repro.service.service import WalkService, build_selector
+from repro.service.session import QueryTicket, WalkChunk, WalkSession
+
+__all__ = [
+    "BACKENDS",
+    "DeviceFleet",
+    "ExecutionPlan",
+    "ServiceCapabilities",
+    "declare_capabilities",
+    "negotiate_plan",
+    "WalkService",
+    "build_selector",
+    "QueryTicket",
+    "WalkChunk",
+    "WalkSession",
+]

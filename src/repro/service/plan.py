@@ -1,0 +1,246 @@
+"""Execution-plan negotiation for the session service.
+
+The legacy surface scattered backend selection across constructor flags:
+``FlexiWalkerConfig.execution``, ``WalkEngine(num_devices=...)``,
+``WalkEngine.with_devices(...)``.  The service API replaces that with an
+explicit negotiation step: the service declares what it *can* do
+(:class:`ServiceCapabilities` — which backends exist, how many devices the
+:class:`DeviceFleet` owns, which partition policies are implemented), the
+session says what it *wants* (its :class:`~repro.core.config.FlexiWalkerConfig`
+plus an optional explicit backend), and :func:`negotiate_plan` resolves the
+two into one immutable :class:`ExecutionPlan` — including *why* each choice
+was made, so a serving operator can audit the decision instead of reverse-
+engineering flag defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.generator import CompiledWorkload
+from repro.core.config import FlexiWalkerConfig
+from repro.errors import ServiceError
+from repro.gpusim.device import A6000, DeviceSpec
+from repro.gpusim.multigpu import PARTITION_POLICIES
+
+#: Backends a service can negotiate.  ``scalar`` is the reference
+#: interpreter (streams walk-by-walk), ``batched`` the step-synchronous
+#: frontier loop (streams superstep-by-superstep), ``multi_device`` the fused
+#: multi-device frontier (also superstep-by-superstep; placement only moves
+#: the makespan, never the walks).
+BACKENDS = ("scalar", "batched", "multi_device")
+
+
+@dataclass(frozen=True)
+class DeviceFleet:
+    """The simulated devices a :class:`~repro.service.WalkService` owns.
+
+    Attributes
+    ----------
+    device:
+        The per-device cost model; the fleet is homogeneous, like the
+        paper's replicated-graph multi-GPU setup (Fig. 15).
+    count:
+        Number of devices available to sessions.  A session may use fewer
+        (its plan's ``num_devices``), never more.
+    """
+
+    device: DeviceSpec = A6000
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ServiceError("a device fleet needs at least one device")
+
+
+@dataclass(frozen=True)
+class ServiceCapabilities:
+    """What a service instance can execute, declared up front.
+
+    Returned by :meth:`repro.service.WalkService.capabilities` and consumed
+    by :func:`negotiate_plan`; sessions never probe flags at run time.
+    """
+
+    backends: tuple[str, ...]
+    max_devices: int
+    partition_policies: tuple[str, ...]
+    device_name: str
+
+    def supports(self, backend: str) -> bool:
+        return backend in self.backends
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """The negotiated execution strategy of one session.
+
+    Immutable and self-describing: every field that used to be a scattered
+    constructor flag is resolved here once, and ``reasons`` records the
+    negotiation trail (requested vs. granted, capability fallbacks).
+
+    Attributes
+    ----------
+    backend:
+        One of :data:`BACKENDS`.
+    execution:
+        The engine execution mode implementing the backend (``"batched"``
+        or ``"scalar"``).
+    num_devices / partition_policy:
+        Device placement; 1/"hash" for single-device backends.
+    scheduling:
+        Query-to-lane scheduling inside each device.
+    use_transition_cache:
+        Whether the cross-superstep transition cache applies — true only
+        when the compiler proved the workload's weights node-only.
+    streaming_granularity:
+        How :meth:`~repro.service.WalkSession.stream` chunks results:
+        ``"superstep"`` (frontier backends) or ``"walk"`` (scalar).
+    reasons:
+        Human-readable negotiation trail, for logs and ``describe()``.
+    """
+
+    backend: str
+    execution: str
+    num_devices: int = 1
+    partition_policy: str = "hash"
+    scheduling: str = "dynamic"
+    use_transition_cache: bool = True
+    streaming_granularity: str = "superstep"
+    reasons: tuple[str, ...] = field(default=())
+
+    def describe(self) -> dict[str, object]:
+        """Plain-dict view (used by examples, logs and ``describe()``s)."""
+        return {
+            "backend": self.backend,
+            "execution": self.execution,
+            "num_devices": self.num_devices,
+            "partition_policy": self.partition_policy,
+            "scheduling": self.scheduling,
+            "use_transition_cache": self.use_transition_cache,
+            "streaming_granularity": self.streaming_granularity,
+            "reasons": list(self.reasons),
+        }
+
+
+def negotiate_plan(
+    capabilities: ServiceCapabilities,
+    config: FlexiWalkerConfig,
+    compiled: CompiledWorkload | None = None,
+    backend: str | None = None,
+) -> ExecutionPlan:
+    """Resolve declared capabilities and a session request into one plan.
+
+    Parameters
+    ----------
+    capabilities:
+        What the service can do (fleet size, implemented backends).
+    config:
+        The session's requested knobs (execution mode, device count,
+        partition policy, scheduling).
+    compiled:
+        The compiled workload, consulted for cache eligibility.
+    backend:
+        Explicit backend request; by default the backend is derived from
+        ``config`` (``num_devices > 1`` → ``multi_device``, else the
+        configured execution mode).
+
+    Raises
+    ------
+    ServiceError
+        When the request exceeds the declared capabilities (unknown
+        backend, more devices than the fleet owns, inconsistent
+        backend/device combinations).
+    """
+    reasons: list[str] = []
+
+    if backend is None:
+        if config.num_devices > 1:
+            backend = "multi_device"
+            reasons.append(
+                f"config requested {config.num_devices} devices -> multi_device backend"
+            )
+        else:
+            backend = config.execution
+            reasons.append(f"config requested execution={config.execution!r}")
+    else:
+        reasons.append(f"backend {backend!r} requested explicitly")
+
+    if backend not in BACKENDS:
+        raise ServiceError(f"unknown backend {backend!r}; valid: {BACKENDS}")
+    if not capabilities.supports(backend):
+        raise ServiceError(
+            f"backend {backend!r} not offered by this service; "
+            f"declared: {capabilities.backends}"
+        )
+
+    num_devices = config.num_devices
+    if backend == "multi_device" and num_devices < 2:
+        num_devices = capabilities.max_devices
+        reasons.append(
+            f"multi_device backend with no device count requested -> "
+            f"using the whole fleet ({num_devices})"
+        )
+    if backend != "multi_device" and num_devices > 1:
+        raise ServiceError(
+            f"backend {backend!r} is single-device but config requests "
+            f"{num_devices} devices; use the multi_device backend"
+        )
+    if num_devices > capabilities.max_devices:
+        raise ServiceError(
+            f"session requests {num_devices} devices but the service fleet "
+            f"owns {capabilities.max_devices}"
+        )
+    if backend == "multi_device" and num_devices < 2:
+        raise ServiceError("the multi_device backend needs a fleet of at least 2 devices")
+
+    if config.partition_policy not in capabilities.partition_policies:
+        raise ServiceError(
+            f"unknown partition policy {config.partition_policy!r}; "
+            f"valid: {capabilities.partition_policies}"
+        )
+
+    # The engine execution mode implementing the backend.  An explicitly
+    # requested single-device backend *is* the execution mode (the request
+    # wins over config.execution); multi_device keeps the configured mode:
+    # batched -> one fused frontier, scalar -> the serial per-device
+    # composition (both placement-invariant).
+    execution = config.execution if backend == "multi_device" else backend
+    if execution != config.execution:
+        reasons.append(
+            f"requested backend overrides config execution "
+            f"({config.execution!r} -> {execution!r})"
+        )
+
+    use_cache = compiled is not None and compiled.weights_node_only
+    reasons.append(
+        "transition cache enabled: compiler proved weights node-only"
+        if use_cache
+        else "transition cache disabled: weights depend on walker state"
+    )
+
+    granularity = "walk" if execution == "scalar" else "superstep"
+    return ExecutionPlan(
+        backend=backend,
+        execution=execution,
+        num_devices=num_devices,
+        partition_policy=config.partition_policy,
+        scheduling=config.scheduling,
+        use_transition_cache=use_cache,
+        streaming_granularity=granularity,
+        reasons=tuple(reasons),
+    )
+
+
+#: Default capability declaration for a fleet: every backend this codebase
+#: implements, gated only by the fleet size.
+def declare_capabilities(fleet: DeviceFleet) -> ServiceCapabilities:
+    """The capability set a service with ``fleet`` declares."""
+    backends = ["scalar", "batched"]
+    if fleet.count > 1:
+        backends.append("multi_device")
+    return ServiceCapabilities(
+        backends=tuple(backends),
+        max_devices=fleet.count,
+        partition_policies=PARTITION_POLICIES,
+        device_name=fleet.device.name,
+    )

@@ -1,0 +1,311 @@
+"""The walk service: long-lived shared state behind many walk sessions.
+
+``WalkService(graph)`` is the serving-shaped entry point this reproduction
+grew toward: one service instance owns everything that is immutable across
+requests — the CSR graph, the per-workload compiled artifacts, profiling
+results, per-node hint tables and cross-superstep transition caches, and the
+simulated :class:`~repro.service.plan.DeviceFleet` — and hands out
+lightweight :class:`~repro.service.session.WalkSession` objects that carry
+only per-tenant run state.  Compile once, profile once, serve many::
+
+    service = WalkService(graph, fleet=DeviceFleet(A6000, count=4))
+    n2v = service.session(Node2VecSpec())
+    deep = service.session(DeepWalkSpec())       # shares the service caches
+    ticket = n2v.submit(make_queries(graph.num_nodes, walk_length=20))
+    for chunk in n2v.stream():
+        ...                                      # walks as they finish
+    result = n2v.collect()                       # exact aggregate
+
+Two sessions over the *same* workload (same spec class and hyperparameters)
+share one compiled workload, one profile, one hint table and one transition
+cache; sessions over different workloads share the service and the graph.
+Sharing is keyed by ``spec.describe()`` — custom workloads should report
+every behaviour-affecting hyperparameter there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.generator import CompiledWorkload, compile_workload
+from repro.core.config import FlexiWalkerConfig
+from repro.errors import ServiceError
+from repro.graph.csr import CSRGraph
+from repro.runtime.cost_model import CostModel
+from repro.runtime.engine import EngineCaches, WalkEngine
+from repro.runtime.profiler import ProfileResult, profile_edge_costs
+from repro.runtime.selector import (
+    CostModelSelector,
+    DegreeBasedSelector,
+    FixedSelector,
+    RandomSelector,
+    SamplerSelector,
+)
+from repro.sampling.erjs import EnhancedRejectionSampler
+from repro.sampling.ervs import EnhancedReservoirSampler
+from repro.service.plan import (
+    DeviceFleet,
+    ExecutionPlan,
+    ServiceCapabilities,
+    declare_capabilities,
+    negotiate_plan,
+)
+from repro.service.session import WalkSession
+from repro.walks.spec import WalkSpec
+
+
+def build_selector(
+    config: FlexiWalkerConfig,
+    cost_model: CostModel,
+    compiled: CompiledWorkload | None = None,
+) -> SamplerSelector:
+    """Construct the runtime selector a config asks for.
+
+    Applies the paper's Section 7.1 safety rule: an unsupported workload
+    (compiler fallback) must never run eRJS, whatever the configured policy
+    says, so every policy that could pick it collapses to eRVS-only.
+    """
+    policy = config.selection
+    if policy == "cost_model":
+        selector: SamplerSelector = CostModelSelector(cost_model)
+    elif policy == "ervs_only":
+        selector = FixedSelector(EnhancedReservoirSampler())
+    elif policy == "erjs_only":
+        selector = FixedSelector(EnhancedRejectionSampler())
+    elif policy == "random":
+        selector = RandomSelector(seed=config.seed)
+    elif policy == "degree":
+        selector = DegreeBasedSelector(threshold=config.degree_threshold)
+    else:  # pragma: no cover - FlexiWalkerConfig validates the policy
+        raise ServiceError(f"unknown selection policy {policy!r}")
+    if (
+        compiled is not None
+        and not compiled.supported
+        and policy in ("cost_model", "erjs_only", "degree", "random")
+    ):
+        selector = FixedSelector(EnhancedReservoirSampler())
+    return selector
+
+
+class WalkService:
+    """Shared immutable state plus compile/profile/cache registries.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (CSR); shared by every session.
+    fleet:
+        The simulated devices available to sessions (one A6000 by default).
+    """
+
+    def __init__(self, graph: CSRGraph, fleet: DeviceFleet | None = None) -> None:
+        self.graph = graph
+        self.fleet = fleet if fleet is not None else DeviceFleet()
+        self._capabilities = declare_capabilities(self.fleet)
+        self._compiled: dict[tuple, CompiledWorkload] = {}
+        self._profiles: dict[tuple, ProfileResult] = {}
+        self._caches: dict[tuple, EngineCaches] = {}
+        self._sessions_created = 0
+
+    # ------------------------------------------------------------------ #
+    def capabilities(self) -> ServiceCapabilities:
+        """What this service can execute (consumed by plan negotiation)."""
+        return self._capabilities
+
+    def describe(self) -> dict[str, object]:
+        """Summary of the service's shared state (for logs and examples)."""
+        return {
+            "graph": repr(self.graph),
+            "device": self.fleet.device.name,
+            "num_devices": self.fleet.count,
+            "backends": list(self._capabilities.backends),
+            "compiled_workloads": len(self._compiled),
+            "profiled_workloads": len(self._profiles),
+            "sessions_created": self._sessions_created,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Compile / profile stages (cached per workload)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _canonical(value):
+        """Hashable structural form of a describe() value.
+
+        ``repr`` is not safe here: numpy truncates large arrays (two
+        different weight vectors would collide on one cache key) and
+        default object reprs embed ids (equal hyperparameters would never
+        share).  Containers and arrays are therefore canonicalised by
+        *content*; anything else falls back to ``repr`` as a best effort.
+        """
+        canonical = WalkService._canonical
+        if isinstance(value, np.ndarray):
+            return ("ndarray", value.shape, value.dtype.str, value.tobytes())
+        if isinstance(value, dict):
+            return ("dict", tuple(sorted((str(k), canonical(v)) for k, v in value.items())))
+        if isinstance(value, (list, tuple)):
+            return ("seq", tuple(canonical(v) for v in value))
+        if isinstance(value, (set, frozenset)):
+            return ("set", tuple(sorted(repr(canonical(v)) for v in value)))
+        if isinstance(value, (bool, int, float, complex, str, bytes, type(None))):
+            return value
+        return repr(value)
+
+    @staticmethod
+    def _spec_key(spec: WalkSpec) -> tuple:
+        """Structural cache key of a workload: class identity + hyperparameters."""
+        return (
+            type(spec).__module__,
+            type(spec).__qualname__,
+            WalkService._canonical(spec.describe()),
+        )
+
+    def compile(self, spec: WalkSpec) -> CompiledWorkload:
+        """Compile a workload against this service's graph and device (cached)."""
+        key = self._spec_key(spec)
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            compiled = compile_workload(spec, self.graph, device=self.fleet.device)
+            self._compiled[key] = compiled
+        return compiled
+
+    def profile(self, spec: WalkSpec, seed: int = 0) -> ProfileResult:
+        """Run (or reuse) the start-up profiling kernels for a workload."""
+        key = (*self._spec_key(spec), seed)
+        result = self._profiles.get(key)
+        if result is None:
+            result = profile_edge_costs(self.graph, spec, self.fleet.device, seed=seed)
+            self._profiles[key] = result
+        return result
+
+    def engine_caches(self, spec: WalkSpec) -> EngineCaches:
+        """The shared hint-table/transition-cache holder of a workload."""
+        key = self._spec_key(spec)
+        caches = self._caches.get(key)
+        if caches is None:
+            caches = EngineCaches()
+            self._caches[key] = caches
+        return caches
+
+    # ------------------------------------------------------------------ #
+    # Session creation (plan + execute stages)
+    # ------------------------------------------------------------------ #
+    def session(
+        self,
+        spec: WalkSpec,
+        config: FlexiWalkerConfig | None = None,
+        backend: str | None = None,
+        selector: SamplerSelector | None = None,
+        engine: WalkEngine | None = None,
+    ) -> WalkSession:
+        """Open a walk session: compile, negotiate a plan, bind an engine.
+
+        Parameters
+        ----------
+        spec:
+            The workload's gather-move-update logic.
+        config:
+            Session knobs (selection policy, seed, overheads, requested
+            execution/device count).  Defaults to the paper's setup on this
+            service's fleet device.  The config's ``device`` must be the
+            fleet's device — the service owns the hardware; configure the
+            fleet instead of the session to change it.
+        backend:
+            Explicit backend request (see :data:`repro.service.BACKENDS`);
+            by default the backend is negotiated from the config.
+        selector:
+            Pre-built runtime selector to reuse instead of constructing one
+            from the config.  Stateful selectors (the ``random`` policy's
+            shared generator) carry their state across the sessions that
+            share them — this is how the legacy facade keeps repeated
+            ``run()`` calls drawing fresh selection coin flips.
+        engine:
+            Pre-built :class:`~repro.runtime.engine.WalkEngine` to execute
+            on instead of constructing one from the plan.  Used by the
+            legacy facade so engine-level knobs its callers mutate in place
+            (``step_overhead``, ``use_transition_cache``, ``scheduling``)
+            keep affecting subsequent runs; the engine must target this
+            service's graph and fleet device.
+        """
+        if config is None:
+            config = FlexiWalkerConfig(device=self.fleet.device)
+        if config.device != self.fleet.device:
+            detail = (
+                "different device"
+                if config.device.name != self.fleet.device.name
+                else "same name, different parameters"
+            )
+            raise ServiceError(
+                f"session config requests device {config.device.name!r} but the "
+                f"service fleet runs {self.fleet.device.name!r} ({detail}); "
+                "configure the DeviceFleet instead"
+            )
+
+        compiled = self.compile(spec)
+        plan = negotiate_plan(self._capabilities, config, compiled, backend=backend)
+
+        profile = self.profile(spec, seed=config.seed) if config.run_profiling else None
+        ratio = (
+            profile.edge_cost_ratio
+            if profile is not None
+            else config.device.random_to_coalesced_ratio
+        )
+        cost_model = CostModel(edge_cost_ratio=max(ratio, 1e-6))
+        if engine is not None:
+            if engine.graph is not self.graph:
+                raise ServiceError("a reused engine must target the service's graph")
+            if engine.device != self.fleet.device:
+                raise ServiceError(
+                    f"a reused engine must target the fleet device "
+                    f"{self.fleet.device.name!r}, not {engine.device.name!r}"
+                )
+            selector = engine.selector
+        else:
+            if selector is None:
+                selector = build_selector(config, cost_model, compiled)
+            engine = WalkEngine(
+                graph=self.graph,
+                spec=spec,
+                device=self.fleet.device,
+                selector=selector,
+                compiled=compiled,
+                seed=config.seed,
+                warp_width=config.warp_width,
+                weight_bytes=config.weight_bytes,
+                scheduling=plan.scheduling,
+                selection_overhead=config.selection_overhead and config.selection == "cost_model",
+                warp_switch_overhead=config.warp_switch_overhead,
+                execution=plan.execution,
+                num_devices=plan.num_devices,
+                partition_policy=plan.partition_policy,
+                use_transition_cache=plan.use_transition_cache,
+                caches=self.engine_caches(spec),
+            )
+        self._sessions_created += 1
+        return WalkSession(
+            service=self,
+            spec=spec,
+            config=config,
+            plan=plan,
+            compiled=compiled,
+            profile=profile,
+            cost_model=cost_model,
+            selector=selector,
+            engine=engine,
+        )
+
+    def plan_for(
+        self,
+        spec: WalkSpec,
+        config: FlexiWalkerConfig | None = None,
+        backend: str | None = None,
+    ) -> ExecutionPlan:
+        """Negotiate (without opening a session) the plan a session would get."""
+        if config is None:
+            config = FlexiWalkerConfig(device=self.fleet.device)
+        return negotiate_plan(self._capabilities, config, self.compile(spec), backend=backend)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WalkService(graph={self.graph!r}, device={self.fleet.device.name!r}, "
+            f"num_devices={self.fleet.count})"
+        )

@@ -1,0 +1,516 @@
+"""Walk sessions: incremental submission, streaming results, exact collection.
+
+A :class:`WalkSession` is the execute stage of the service pipeline
+(compile → plan → execute).  It owns no graph state of its own — the
+compiled workload, hint tables and transition cache live on the parent
+:class:`~repro.service.WalkService` and are shared with every sibling
+session — only the per-tenant run state: a
+:class:`~repro.runtime.scheduler.DynamicQueryQueue` that accepts incremental
+:meth:`~WalkSession.submit` calls, the wave execution driver, and the
+accounting needed to reconstruct an exact
+:class:`~repro.runtime.engine.WalkRunResult` at :meth:`~WalkSession.collect`
+time.
+
+**Exactness.**  Every walker owns a counter-based random stream keyed by its
+query id, every walker's operation counts land in its own slot, and
+termination rules are per-walker — so *how* queries are batched into waves
+(one big submit, or many interleaved submit/stream rounds) cannot change any
+path, counter total or per-query simulated time.  ``collect()`` therefore
+re-prices the kernel over the full submission-ordered per-query time array
+(and, for multi-device plans, re-partitions the full batch), producing
+results bit-identical to the one-shot engine run over the same queries.  The
+service parity suite enforces this for all four paper workloads in scalar,
+batched and multi-device modes.
+
+The one exemption — the same one the scalar/batched parity suite documents —
+is ``selection="random"``: its selector flips coins from a *shared*
+sequential generator, so which draw a walker sees depends on execution
+order, and therefore on wave composition.  Every other selection policy
+(``cost_model`` included) is a pure per-walker function and exact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.gpusim.counters import CostCounters, CounterBatch
+from repro.gpusim.executor import KernelExecutor
+from repro.rng.streams import StreamPool
+from repro.runtime.engine import WalkRunResult
+from repro.runtime.frontier import (
+    _merge_device_kernels,
+    _partition_for_devices,
+    iter_supersteps,
+)
+from repro.runtime.scheduler import DynamicQueryQueue, validate_queries
+from repro.walks.state import WalkerFrontier, WalkQuery
+
+if TYPE_CHECKING:  # pragma: no cover - service imports session
+    from repro.service.service import WalkService
+
+
+@dataclass(frozen=True)
+class WalkChunk:
+    """A batch of walks that completed together, emitted by ``stream()``.
+
+    Frontier backends emit one chunk per superstep that completed at least
+    one walk (``steps``/``counters`` then describe the whole superstep);
+    the scalar backend emits one chunk per finished walk.
+
+    Attributes
+    ----------
+    sequence:
+        Chunk ordinal within the session (0-based, monotonically increasing
+        across waves).
+    superstep:
+        Session-wide ordinal of the superstep (or scalar walk) that
+        produced the chunk.
+    query_ids / paths:
+        The completed walks, paired index-by-index.
+    steps:
+        Walker-steps charged by the producing superstep (scalar: by the
+        producing walk).
+    counters:
+        Operation counts charged by the producing superstep (scalar: by the
+        producing walk, including its queue fetch).
+    pending:
+        Walks still queued or in flight after this chunk.
+    """
+
+    sequence: int
+    superstep: int
+    query_ids: tuple[int, ...]
+    paths: tuple[tuple[int, ...], ...]
+    steps: int
+    counters: CostCounters
+    pending: int
+
+    def __len__(self) -> int:
+        return len(self.query_ids)
+
+
+@dataclass(frozen=True)
+class QueryTicket:
+    """Receipt for one :meth:`WalkSession.submit` call.
+
+    Tickets are how a caller correlates incremental submissions with
+    streamed results: they expose the submitted query ids, a coarse status,
+    and — once every query of the ticket completed — the finished walks.
+    """
+
+    ticket_id: int
+    query_ids: tuple[int, ...]
+    _session: "WalkSession" = field(repr=False, compare=False)
+
+    @property
+    def status(self) -> str:
+        """``"queued"`` (not yet claimed), ``"running"`` or ``"done"``."""
+        done = sum(1 for q in self.query_ids if q in self._session._path_by_qid)
+        if done == len(self.query_ids):
+            return "done"
+        claimed = self._session._claimed_ids
+        if any(q in claimed for q in self.query_ids):
+            return "running"
+        return "queued"
+
+    @property
+    def done(self) -> bool:
+        return self.status == "done"
+
+    def paths(self) -> list[list[int]]:
+        """The completed walks of this ticket, in submission order.
+
+        Raises :class:`~repro.errors.ServiceError` while any of the
+        ticket's walks is still pending — stream or collect first.
+        """
+        if not self.done:
+            raise ServiceError(
+                f"ticket {self.ticket_id} is {self.status}; "
+                "drain stream() or call collect() before reading its paths"
+            )
+        return [list(self._session._path_by_qid[q]) for q in self.query_ids]
+
+
+class _Wave:
+    """One claimed batch of queries executing through a single frontier."""
+
+    __slots__ = ("queries", "offset", "per_ns", "counts", "frontier", "iterator", "pool", "pos")
+
+    def __init__(self, queries: list[WalkQuery], offset: int) -> None:
+        self.queries = queries
+        self.offset = offset  # global submission position of queries[0]
+        self.per_ns: np.ndarray | None = None
+        self.counts: dict[str, np.ndarray] = {}
+        # Batched backend: a live superstep generator over `frontier`.
+        self.frontier: WalkerFrontier | None = None
+        self.iterator = None
+        # Scalar backend: the wave's stream pool and a query cursor.
+        self.pool: StreamPool | None = None
+        self.pos = 0
+
+
+class WalkSession:
+    """One tenant's walk execution over a shared :class:`WalkService`.
+
+    Built by :meth:`WalkService.session` — not directly — from the
+    compile/plan stages' outputs.  The public surface is small:
+
+    * :meth:`submit` — enqueue more queries, get a :class:`QueryTicket`;
+    * :meth:`stream` — iterate :class:`WalkChunk`s as walks complete;
+    * :meth:`collect` — drain everything and return the exact
+      :class:`~repro.runtime.engine.WalkRunResult` the one-shot engine
+      would have produced for the same queries.
+
+    Sessions are single-threaded (the whole simulator is); interleaving
+    ``submit`` and ``stream`` from one thread is fully supported and cannot
+    change any walk.
+    """
+
+    def __init__(
+        self,
+        service: "WalkService",
+        spec,
+        config,
+        plan,
+        compiled,
+        profile,
+        cost_model,
+        selector,
+        engine,
+    ) -> None:
+        self.service = service
+        self.spec = spec
+        self.config = config
+        self.plan = plan
+        self.compiled = compiled
+        self.profile = profile
+        self.cost_model = cost_model
+        self.selector = selector
+        self.engine = engine
+
+        self._queue = DynamicQueryQueue()
+        self._submitted: list[WalkQuery] = []
+        self._seen_ids: set[int] = set()
+        self._claimed_ids: set[int] = set()
+        self._tickets: list[QueryTicket] = []
+        self._path_by_qid: dict[int, list[int]] = {}
+
+        # Finalised accounting, one entry per executed wave (concatenated at
+        # collect time, in submission order).  The per-query counter matrix
+        # exists only to reconstruct exact per-device aggregates over the
+        # full-batch partition at collect time, so single-device plans skip
+        # it entirely (collect() then needs only the aggregate totals).
+        self._track_counts = plan.num_devices > 1
+        self._paths: list[list[int]] = []
+        self._ns_chunks: list[np.ndarray] = []
+        self._count_chunks: dict[str, list[np.ndarray]] = {
+            name: [] for name in CostCounters._COUNT_FIELDS
+        }
+        self._aggregate = CostCounters(bytes_per_weight=engine.weight_bytes)
+        self._usage: dict[str, int] = {}
+        self._total_steps = 0
+        self._executed = 0
+        self._supersteps = 0
+        self._chunks_emitted = 0
+        self._exec_seconds = 0.0
+        self._wave: _Wave | None = None
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, queries: Sequence[WalkQuery]) -> QueryTicket:
+        """Enqueue walk queries and return a ticket tracking them.
+
+        Queries execute in submission order.  Query ids must be unique
+        across the whole session lifetime (each id owns one random stream);
+        duplicates raise :class:`~repro.errors.ServiceError`.
+        """
+        queries = list(queries)
+        if not queries:
+            raise ServiceError("no walk queries to submit")
+        validate_queries(queries, self.service.graph.num_nodes)
+        clashes = [q.query_id for q in queries if q.query_id in self._seen_ids]
+        if clashes:
+            raise ServiceError(
+                f"query ids {clashes[:5]} were already submitted to this session; "
+                "ids must be unique per session (each id owns one random stream)"
+            )
+        self._seen_ids.update(q.query_id for q in queries)
+        self._submitted.extend(queries)
+        self._queue.extend(queries)
+        ticket = QueryTicket(
+            ticket_id=len(self._tickets),
+            query_ids=tuple(q.query_id for q in queries),
+            _session=self,
+        )
+        self._tickets.append(ticket)
+        return ticket
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Walks still queued or in flight."""
+        in_flight = 0
+        if self._wave is not None:
+            if self._wave.frontier is not None:
+                in_flight = int(self._wave.frontier.active_indices().size)
+            else:
+                in_flight = len(self._wave.queries) - self._wave.pos
+        return self._queue.remaining + in_flight
+
+    @property
+    def completed(self) -> int:
+        """Walks that have finished."""
+        return len(self._path_by_qid)
+
+    @property
+    def tickets(self) -> tuple[QueryTicket, ...]:
+        return tuple(self._tickets)
+
+    def describe(self) -> dict[str, object]:
+        """Summary of the session's compiled/planned state."""
+        return {
+            "workload": self.spec.describe(),
+            "granularity": self.compiled.granularity.name,
+            "compiler_supported": self.compiled.supported,
+            "compiler_warnings": list(self.compiled.analysis.warnings),
+            "edge_cost_ratio": self.cost_model.edge_cost_ratio,
+            "selector": self.selector.name,
+            "device": self.engine.device.name,
+            "plan": self.plan.describe(),
+            "submitted": len(self._submitted),
+            "completed": self.completed,
+            "pending": self.pending,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Execution: streaming
+    # ------------------------------------------------------------------ #
+    def stream(self) -> Iterator[WalkChunk]:
+        """Yield walks as they complete, chunked by the plan's granularity.
+
+        The generator is resumable and interleavable: breaking out
+        mid-stream leaves the in-flight wave suspended (a later ``stream()``
+        or ``collect()`` resumes it exactly where it stopped), and queries
+        submitted between chunks are claimed as soon as the current wave
+        drains.  Returns when no queued or in-flight work remains.
+        """
+        while True:
+            if self._wave is None and not self._begin_wave():
+                return
+            chunk = self._advance_once()
+            if chunk is not None:
+                yield chunk
+
+    def collect(self) -> WalkRunResult:
+        """Drain all pending work and return the exact aggregate result.
+
+        Bit-identical — paths, counter totals, per-query and kernel
+        simulated times — to a one-shot ``WalkEngine.run`` over every query
+        submitted so far, whatever submit/stream interleaving preceded it
+        (exemption: the ``random`` selection policy's shared-generator coin
+        flips are execution-order dependent, exactly as in the
+        scalar/batched parity suite).  Can be called repeatedly; later
+        calls cover later submissions too.
+        """
+        for _ in self.stream():
+            pass
+        if self._executed == 0:
+            raise ServiceError("no walk queries were submitted to this session")
+
+        engine = self.engine
+        per_query_ns = np.concatenate(self._ns_chunks)
+        aggregate = self._aggregate.copy()
+        executor = KernelExecutor(engine.device)
+
+        if self.plan.num_devices > 1:
+            partitions = _partition_for_devices(engine, self._submitted)
+            counts = {
+                name: np.concatenate(chunks)
+                for name, chunks in self._count_chunks.items()
+            }
+            device_kernels = []
+            for part in partitions:
+                agg = CostCounters(bytes_per_weight=engine.weight_bytes)
+                for name, column in counts.items():
+                    setattr(agg, name, int(column[part].sum()))
+                device_kernels.append(
+                    executor.execute(
+                        per_query_ns[part], counters=agg, scheduling=engine.scheduling
+                    )
+                )
+            kernel = _merge_device_kernels(
+                engine, device_kernels, aggregate, len(self._submitted)
+            )
+            num_devices = self.plan.num_devices
+            partition_policy = self.plan.partition_policy
+        else:
+            kernel = executor.execute(
+                per_query_ns, counters=aggregate, scheduling=engine.scheduling
+            )
+            device_kernels = []
+            num_devices = 1
+            partition_policy = None
+
+        result = WalkRunResult(
+            paths=[list(p) for p in self._paths],
+            per_query_ns=per_query_ns,
+            counters=aggregate,
+            kernel=kernel,
+            sampler_usage=dict(self._usage),
+            total_steps=self._total_steps,
+            profile=self.profile,
+            preprocess_time_ns=(
+                self.compiled.preprocessing_time_ns if self.compiled is not None else 0.0
+            ),
+            num_devices=num_devices,
+            partition_policy=partition_policy,
+            device_kernels=device_kernels,
+        )
+        result.wall_clock_s = self._exec_seconds
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Wave machinery
+    # ------------------------------------------------------------------ #
+    def _begin_wave(self) -> bool:
+        """Claim every queued query into a new wave; False when idle."""
+        remaining = self._queue.remaining
+        if remaining == 0:
+            return False
+        started = time.perf_counter()
+        engine = self.engine
+        queries = self._queue.fetch_batch(remaining)
+        self._claimed_ids.update(q.query_id for q in queries)
+        k = len(queries)
+        wave = _Wave(queries, offset=self._executed)
+
+        # Launch accounting: one queue atomic per claimed query, exactly as
+        # the one-shot engine paths charge it.
+        fetch = CounterBatch(k, bytes_per_weight=engine.weight_bytes)
+        fetch.atomic_ops += 1
+        self._aggregate.merge(fetch.totals())
+        wave.per_ns = engine.device.lane_times_ns(fetch)
+        if self._track_counts:
+            wave.counts = {
+                name: np.zeros(k, dtype=np.int64) for name in CostCounters._COUNT_FIELDS
+            }
+            wave.counts["atomic_ops"] += 1
+
+        if self.plan.execution == "batched":
+            wave.frontier = WalkerFrontier(queries)
+            pool = StreamPool(engine.seed)
+            streams = pool.batch([q.query_id for q in queries])
+            wave.iterator = iter_supersteps(
+                engine, wave.frontier, streams, wave.per_ns, self._aggregate, self._usage
+            )
+        else:
+            # Scalar backend: the wave is interpreted one query at a time;
+            # per_ns already holds each query's fetch cost, which
+            # _scalar_walk accumulates step costs onto.
+            wave.pool = StreamPool(engine.seed)
+        self._wave = wave
+        self._exec_seconds += time.perf_counter() - started
+        return True
+
+    def _advance_once(self) -> WalkChunk | None:
+        """Advance the in-flight wave by one superstep (or one scalar walk).
+
+        Returns the resulting chunk, or ``None`` when the superstep
+        completed no walk or the wave just finalised.
+        """
+        if self.plan.execution == "batched":
+            return self._advance_batched()
+        return self._advance_scalar()
+
+    def _advance_batched(self) -> WalkChunk | None:
+        wave = self._wave
+        started = time.perf_counter()
+        try:
+            report = next(wave.iterator)
+        except StopIteration:
+            self._finalize_wave()
+            self._exec_seconds += time.perf_counter() - started
+            return None
+
+        if self._track_counts and report.active.size:
+            for name in CostCounters._COUNT_FIELDS:
+                column = getattr(report.counters, name)
+                if column.any():
+                    wave.counts[name][report.active] += column
+        self._total_steps += report.steps
+        self._supersteps += 1
+        self._exec_seconds += time.perf_counter() - started
+
+        if report.finished.size == 0:
+            return None
+        frontier = wave.frontier
+        paths = tuple(tuple(frontier.path(i)) for i in report.finished)
+        query_ids = tuple(wave.queries[int(i)].query_id for i in report.finished)
+        for qid, path in zip(query_ids, paths):
+            self._path_by_qid[qid] = list(path)
+        return self._emit(
+            query_ids, paths, steps=report.steps, counters=report.counters.totals()
+        )
+
+    def _advance_scalar(self) -> WalkChunk | None:
+        wave = self._wave
+        if wave.pos >= len(wave.queries):
+            self._finalize_wave()
+            return None
+        started = time.perf_counter()
+        engine = self.engine
+        query = wave.queries[wave.pos]
+        stream = wave.pool.stream(query.query_id)
+        path, query_ns, query_counters, steps = engine._scalar_walk(
+            query, stream, self._usage, start_ns=float(wave.per_ns[wave.pos])
+        )
+        self._aggregate.merge(query_counters)
+        wave.per_ns[wave.pos] = query_ns
+        if self._track_counts:
+            for name in CostCounters._COUNT_FIELDS:
+                wave.counts[name][wave.pos] += getattr(query_counters, name)
+        self._total_steps += steps
+        self._supersteps += 1
+        self._path_by_qid[query.query_id] = list(path)
+        wave.pos += 1
+        self._exec_seconds += time.perf_counter() - started
+        # The chunk's counters cover the whole walk, fetch included.
+        chunk_counters = query_counters.copy()
+        chunk_counters.atomic_ops += 1
+        return self._emit(
+            (query.query_id,), (tuple(path),), steps=steps, counters=chunk_counters
+        )
+
+    def _emit(self, query_ids, paths, steps: int, counters: CostCounters) -> WalkChunk:
+        chunk = WalkChunk(
+            sequence=self._chunks_emitted,
+            superstep=self._supersteps - 1,
+            query_ids=query_ids,
+            paths=paths,
+            steps=steps,
+            counters=counters,
+            pending=self.pending,
+        )
+        self._chunks_emitted += 1
+        return chunk
+
+    def _finalize_wave(self) -> None:
+        wave = self._wave
+        # Every walk of the wave has been registered in _path_by_qid by the
+        # chunk machinery (all completions are reported), so both backends
+        # reuse those lists instead of materialising a second copy.
+        self._paths.extend(self._path_by_qid[q.query_id] for q in wave.queries)
+        self._ns_chunks.append(wave.per_ns)
+        if self._track_counts:
+            for name in CostCounters._COUNT_FIELDS:
+                self._count_chunks[name].append(wave.counts[name])
+        self._executed += len(wave.queries)
+        self._wave = None

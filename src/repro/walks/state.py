@@ -160,12 +160,15 @@ class WalkerFrontier:
             state.advance(int(self.path_buf[index, state.step + 1]))
         return state
 
+    def path(self, index: int) -> list[int]:
+        """Walker ``index``'s walk so far (the single source of the
+        path-buffer slice convention)."""
+        index = int(index)
+        return self.path_buf[index, : int(self.path_len[index])].tolist()
+
     def paths(self) -> list[list[int]]:
         """The walks, one python list per query in submission order."""
-        return [
-            self.path_buf[i, : int(self.path_len[i])].tolist()
-            for i in range(len(self.queries))
-        ]
+        return [self.path(i) for i in range(len(self.queries))]
 
 
 def make_queries(

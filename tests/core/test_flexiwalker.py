@@ -1,4 +1,11 @@
-"""Tests for the FlexiWalker facade (the end-to-end pipeline of Fig. 6)."""
+"""Tests for the FlexiWalker facade (the end-to-end pipeline of Fig. 6).
+
+This module deliberately exercises the deprecated one-shot spellings
+(``FlexiWalker.run`` / ``run_queries`` / ``summarize_run``) — it is the
+legacy-shim suite, so it opts out of the suite-wide
+``error::DeprecationWarning`` filter.  The warnings themselves are asserted
+in ``tests/service/test_deprecations.py``.
+"""
 
 from __future__ import annotations
 
@@ -16,6 +23,8 @@ from repro.walks.metapath import MetaPathSpec
 from repro.walks.node2vec import Node2VecSpec, UnweightedNode2VecSpec
 from repro.walks.spec import WalkSpec
 from repro.walks.state import WalkerState, make_queries
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 SMALL_DEVICE = dataclasses.replace(A6000, parallel_lanes=8)
 CONFIG = FlexiWalkerConfig(device=SMALL_DEVICE)

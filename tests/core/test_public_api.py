@@ -1,0 +1,78 @@
+"""API-surface snapshot: fail when a public symbol disappears or leaks.
+
+Runs the same checks as ``scripts/check_api_surface.py`` (the lint-job
+gate) by importing the script, so the two can never disagree about what the
+public surface is.  ``API_SURFACE.json`` at the repository root is the
+single frozen source of truth; intentional API changes are recorded with
+``PYTHONPATH=src python scripts/check_api_surface.py --update``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+@pytest.fixture(scope="module")
+def surface_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_api_surface", REPO_ROOT / "scripts" / "check_api_surface.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def surface(surface_checker):
+    # compute_surface() itself asserts the structural invariants:
+    # __all__ everywhere, every export resolvable, no private leaks.
+    return surface_checker.compute_surface()
+
+
+class TestPublicApiSurface:
+    def test_every_public_module_declares_all(self, surface, surface_checker):
+        assert set(surface) == set(surface_checker.PUBLIC_MODULES)
+
+    def test_surface_matches_snapshot(self, surface, surface_checker):
+        snapshot_path = surface_checker.SNAPSHOT_PATH
+        assert snapshot_path.exists(), (
+            "API_SURFACE.json is missing; run "
+            "`PYTHONPATH=src python scripts/check_api_surface.py --update`"
+        )
+        snapshot = json.loads(snapshot_path.read_text())
+        problems = surface_checker.diff_surface(surface, snapshot)
+        assert not problems, "\n".join(problems)
+
+    def test_every_public_dataclass_importable_from_top_level(
+        self, surface, surface_checker
+    ):
+        assert surface_checker.dataclass_gaps(surface) == []
+
+    def test_star_import_exposes_exactly_all(self):
+        import repro
+
+        namespace: dict[str, object] = {}
+        exec("from repro import *", namespace)
+        exported = {name for name in namespace if not name.startswith("__")}
+        expected = {name for name in repro.__all__ if not name.startswith("__")}
+        assert exported == expected
+
+    def test_service_surface_importable_from_top_level(self):
+        # The serving API is the headline of this redesign; pin its spelling.
+        from repro import (  # noqa: F401
+            BACKENDS,
+            DeviceFleet,
+            ExecutionPlan,
+            QueryTicket,
+            ServiceCapabilities,
+            WalkChunk,
+            WalkService,
+            WalkSession,
+            negotiate_plan,
+        )

@@ -173,10 +173,8 @@ class TestExecutionModes:
         assert result.throughput_steps_per_s == 0.0
 
     def test_summary_surfaces_throughput(self, small_graph):
-        from repro.core.results import summarize_run
-
         queries = make_queries(small_graph.num_nodes, walk_length=3, num_queries=4)
         result = run_engine(small_graph, UniformWalkSpec(), queries)
-        summary = summarize_run(result)
+        summary = result.summary()
         assert summary["throughput_steps_per_s"] == result.throughput_steps_per_s
         assert summary["wall_clock_s"] == result.wall_clock_s

@@ -1,0 +1,83 @@
+"""Shared engine caches: `with_devices` clones must never rebuild them.
+
+The satellite fix behind these tests: `WalkEngine.with_devices` used to share
+already-built caches by reference (copy.copy) but let clones rebuild their
+own when the cache had not been built yet at clone time.  The caches now live
+in a shared :class:`~repro.runtime.engine.EngineCaches` holder, so sharing is
+order-independent — asserted here by object identity in both build orders.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.compiler.generator import compile_workload
+from repro.gpusim.device import A6000
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.weights import uniform_weights
+from repro.runtime.engine import EngineCaches, WalkEngine
+from repro.walks.deepwalk import DeepWalkSpec
+from repro.walks.state import make_queries
+
+DEVICE = dataclasses.replace(A6000, parallel_lanes=8)
+
+
+def make_engine():
+    graph = barabasi_albert_graph(40, 3, seed=3, name="caches")
+    graph = graph.with_weights(uniform_weights(graph, seed=3))
+    spec = DeepWalkSpec()  # static weights -> transition-cache eligible
+    compiled = compile_workload(spec, graph)
+    assert compiled.weights_node_only
+    return WalkEngine(graph=graph, spec=spec, device=DEVICE, compiled=compiled, seed=0)
+
+
+class TestWithDevicesSharing:
+    def test_clone_shares_caches_built_before_cloning(self):
+        engine = make_engine()
+        tables = engine._node_hint_tables()
+        cache = engine._transition_cache()
+        clone = engine.with_devices(4, partition_policy="balanced")
+        assert clone._node_hint_tables() is tables
+        assert clone._transition_cache() is cache
+
+    def test_clone_shares_caches_built_after_cloning(self):
+        engine = make_engine()
+        clone = engine.with_devices(2)
+        # The clone builds first; the original must see the same objects.
+        tables = clone._node_hint_tables()
+        cache = clone._transition_cache()
+        assert cache is not None
+        assert engine._node_hint_tables() is tables
+        assert engine._transition_cache() is cache
+        assert engine.caches is clone.caches
+
+    def test_sibling_clones_share_one_holder(self):
+        engine = make_engine()
+        a = engine.with_devices(2)
+        b = engine.with_devices(4)
+        assert a._transition_cache() is b._transition_cache()
+
+    def test_runs_populate_the_shared_holder(self):
+        engine = make_engine()
+        clone = engine.with_devices(2)
+        queries = make_queries(engine.graph.num_nodes, walk_length=4, num_queries=10)
+        clone.run(queries)
+        # The run built the caches through the clone; the original sees them.
+        assert engine.caches.transition_cache is not None
+        assert engine._transition_cache() is clone._transition_cache()
+
+    def test_independent_engines_do_not_share(self):
+        a = make_engine()
+        b = make_engine()
+        assert a._transition_cache() is not b._transition_cache()
+
+    def test_explicit_holder_is_adopted(self):
+        holder = EngineCaches()
+        graph = barabasi_albert_graph(30, 2, seed=5, name="caches2")
+        graph = graph.with_weights(uniform_weights(graph, seed=5))
+        spec = DeepWalkSpec()
+        compiled = compile_workload(spec, graph)
+        a = WalkEngine(graph=graph, spec=spec, device=DEVICE, compiled=compiled, caches=holder)
+        b = WalkEngine(graph=graph, spec=spec, device=DEVICE, compiled=compiled, caches=holder)
+        assert a._transition_cache() is b._transition_cache()
+        assert holder.transition_cache is not None

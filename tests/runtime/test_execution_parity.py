@@ -192,6 +192,8 @@ class TestHooksAndOverheadParity:
 
 
 class TestFacadeParity:
+    # Exercises the deprecated one-shot facade on purpose (legacy-shim test).
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     @pytest.mark.parametrize("selection", ["cost_model", "ervs_only", "erjs_only", "degree"])
     def test_flexiwalker_modes_agree(self, selection):
         graph = labeled_graph(60, seed=21)

@@ -161,6 +161,8 @@ class TestMultiGPUExecutorEnginePath:
 
 
 class TestFacadeMultiDevice:
+    # Exercises the deprecated one-shot facade on purpose (legacy-shim test).
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     @pytest.mark.parametrize("policy", PARTITION_POLICIES)
     def test_flexiwalker_parity_across_device_counts(self, policy):
         graph = weighted_graph(seed=23)

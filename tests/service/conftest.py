@@ -1,0 +1,22 @@
+"""Shared fixtures for the service-layer test suite."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.gpusim.device import A6000
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.labels import random_edge_labels
+from repro.graph.weights import uniform_weights
+
+#: Small device so query batches oversubscribe the lanes like paper-scale runs.
+DEVICE = dataclasses.replace(A6000, parallel_lanes=8)
+
+
+@pytest.fixture(scope="module")
+def service_graph():
+    graph = barabasi_albert_graph(60, 3, seed=11, name="service-test")
+    graph = graph.with_weights(uniform_weights(graph, seed=11))
+    return graph.with_labels(random_edge_labels(graph, num_labels=5, seed=11))

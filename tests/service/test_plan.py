@@ -1,0 +1,125 @@
+"""Plan negotiation: declared capabilities resolve requests into one plan."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import FlexiWalkerConfig
+from repro.errors import ServiceError
+from repro.gpusim.multigpu import PARTITION_POLICIES
+from repro.service import (
+    BACKENDS,
+    DeviceFleet,
+    WalkService,
+    declare_capabilities,
+    negotiate_plan,
+)
+from repro.gpusim.device import A6000
+from repro.walks.deepwalk import DeepWalkSpec
+from repro.walks.node2vec import Node2VecSpec
+
+DEVICE = dataclasses.replace(A6000, parallel_lanes=8)
+
+
+def caps(count: int = 4):
+    return declare_capabilities(DeviceFleet(DEVICE, count))
+
+
+class TestCapabilities:
+    def test_single_device_fleet_has_no_multi_device_backend(self):
+        declared = caps(1)
+        assert declared.backends == ("scalar", "batched")
+        assert not declared.supports("multi_device")
+
+    def test_multi_device_fleet_declares_all_backends(self):
+        declared = caps(4)
+        assert set(declared.backends) == set(BACKENDS)
+        assert declared.max_devices == 4
+        assert declared.partition_policies == PARTITION_POLICIES
+
+    def test_fleet_needs_at_least_one_device(self):
+        with pytest.raises(ServiceError):
+            DeviceFleet(DEVICE, 0)
+
+
+class TestNegotiation:
+    def test_default_config_negotiates_batched(self):
+        plan = negotiate_plan(caps(), FlexiWalkerConfig(device=DEVICE))
+        assert plan.backend == "batched"
+        assert plan.execution == "batched"
+        assert plan.num_devices == 1
+        assert plan.streaming_granularity == "superstep"
+        assert plan.reasons  # the trail is recorded
+
+    def test_scalar_execution_negotiates_scalar_backend(self):
+        config = FlexiWalkerConfig(device=DEVICE, execution="scalar")
+        plan = negotiate_plan(caps(), config)
+        assert plan.backend == "scalar"
+        assert plan.execution == "scalar"
+        assert plan.streaming_granularity == "walk"
+
+    def test_device_count_negotiates_multi_device(self):
+        config = FlexiWalkerConfig(device=DEVICE, num_devices=3, partition_policy="balanced")
+        plan = negotiate_plan(caps(), config)
+        assert plan.backend == "multi_device"
+        assert plan.num_devices == 3
+        assert plan.partition_policy == "balanced"
+
+    def test_explicit_multi_device_backend_uses_whole_fleet(self):
+        plan = negotiate_plan(caps(4), FlexiWalkerConfig(device=DEVICE), backend="multi_device")
+        assert plan.num_devices == 4
+
+    def test_requesting_more_devices_than_fleet_fails(self):
+        config = FlexiWalkerConfig(device=DEVICE, num_devices=8)
+        with pytest.raises(ServiceError):
+            negotiate_plan(caps(4), config)
+
+    def test_unknown_backend_fails(self):
+        with pytest.raises(ServiceError):
+            negotiate_plan(caps(), FlexiWalkerConfig(device=DEVICE), backend="quantum")
+
+    def test_undeclared_backend_fails(self):
+        with pytest.raises(ServiceError):
+            negotiate_plan(caps(1), FlexiWalkerConfig(device=DEVICE), backend="multi_device")
+
+    def test_explicit_backend_overrides_config_execution(self):
+        config = FlexiWalkerConfig(device=DEVICE, execution="scalar")
+        plan = negotiate_plan(caps(), config, backend="batched")
+        assert plan.backend == "batched"
+        assert plan.execution == "batched"
+        assert plan.streaming_granularity == "superstep"
+        assert any("overrides config execution" in reason for reason in plan.reasons)
+
+    def test_single_device_backend_rejects_device_count(self):
+        config = FlexiWalkerConfig(device=DEVICE, num_devices=2)
+        with pytest.raises(ServiceError):
+            negotiate_plan(caps(4), config, backend="batched")
+
+    def test_transition_cache_negotiated_from_compiler_proof(self, service_graph):
+        service = WalkService(service_graph, fleet=DeviceFleet(DEVICE, 1))
+        config = FlexiWalkerConfig(device=DEVICE)
+        static = service.plan_for(DeepWalkSpec(), config)
+        dynamic = service.plan_for(Node2VecSpec(), config)
+        assert static.use_transition_cache
+        assert not dynamic.use_transition_cache
+
+    def test_plan_describe_round_trips(self):
+        plan = negotiate_plan(caps(), FlexiWalkerConfig(device=DEVICE))
+        described = plan.describe()
+        assert described["backend"] == plan.backend
+        assert described["reasons"] == list(plan.reasons)
+
+
+class TestServiceSessionGuards:
+    def test_session_device_must_match_fleet(self, service_graph):
+        service = WalkService(service_graph, fleet=DeviceFleet(DEVICE, 1))
+        other = dataclasses.replace(DEVICE, name="other", parallel_lanes=16)
+        with pytest.raises(ServiceError):
+            service.session(DeepWalkSpec(), FlexiWalkerConfig(device=other))
+
+    def test_default_config_uses_fleet_device(self, service_graph):
+        service = WalkService(service_graph, fleet=DeviceFleet(DEVICE, 1))
+        session = service.session(DeepWalkSpec())
+        assert session.engine.device == DEVICE

@@ -27,6 +27,7 @@ def load_example(name: str):
 def test_examples_directory_contains_all_documented_scripts():
     expected = {
         "quickstart.py",
+        "service_streaming.py",
         "node2vec_embedding_corpus.py",
         "metapath_heterogeneous.py",
         "custom_workload_adaptation.py",
@@ -34,11 +35,24 @@ def test_examples_directory_contains_all_documented_scripts():
     assert expected <= {p.name for p in EXAMPLES_DIR.glob("*.py")}
 
 
-def test_quickstart_example_runs(capsys):
-    load_example("quickstart").main()
+# The quickstart deliberately exercises the deprecated one-shot facade: the
+# acceptance contract is that legacy user code keeps running unchanged, with
+# only a DeprecationWarning.  pytest.warns doubles as the opt-out from the
+# suite-wide error filter, so one run checks both halves of the contract.
+def test_quickstart_example_runs_with_only_a_deprecation_warning(capsys):
+    with pytest.warns(DeprecationWarning):
+        load_example("quickstart").main()
     out = capsys.readouterr().out
     assert "simulated kernel time" in out
     assert "selection ratio" in out
+
+
+def test_service_streaming_example_runs(capsys):
+    load_example("service_streaming").main()
+    out = capsys.readouterr().out
+    assert "negotiated plan" in out
+    assert "streamed" in out
+    assert "transition cache shared: True" in out
 
 
 def test_metapath_example_runs(capsys):
@@ -48,7 +62,14 @@ def test_metapath_example_runs(capsys):
 
 
 @pytest.mark.parametrize(
-    "name", ["quickstart", "node2vec_embedding_corpus", "metapath_heterogeneous", "custom_workload_adaptation"]
+    "name",
+    [
+        "quickstart",
+        "service_streaming",
+        "node2vec_embedding_corpus",
+        "metapath_heterogeneous",
+        "custom_workload_adaptation",
+    ],
 )
 def test_every_example_is_importable(name):
     module = load_example(name)
