@@ -26,7 +26,9 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro import FlexiWalkerConfig, WalkService, load_dataset, make_queries  # noqa: E402
+import numpy as np  # noqa: E402
+
+from repro import DeviceFleet, FlexiWalkerConfig, WalkService, load_dataset, make_queries  # noqa: E402
 from repro.graph.labels import random_edge_labels  # noqa: E402
 from repro.walks.deepwalk import DeepWalkSpec  # noqa: E402
 from repro.walks.metapath import MetaPathSpec  # noqa: E402
@@ -44,6 +46,9 @@ WORKLOADS = {
 
 #: The entry the README quickstart (and the headline speedup) refers to.
 QUICKSTART = "node2vec"
+
+#: Devices of the replicated-vs-sharded multi-device comparison entry.
+SHARD_DEVICES = 4
 
 
 def bench_mode(graph, spec, mode: str, walk_length: int, repeats: int) -> dict[str, float]:
@@ -97,6 +102,70 @@ def bench_workload(graph, name: str, walk_length: int, repeats: int) -> dict[str
     return entry
 
 
+def bench_sharded(graph, walk_length: int, repeats: int) -> dict[str, object]:
+    """Replicated-vs-sharded multi-device entry.
+
+    Both placements run the same fused superstep loop; the sharded mode adds
+    the per-superstep shard accounting (ownership lookups, migration
+    charges, per-device task logs), so this entry's ``speedup`` tracks the
+    host-side overhead of that accounting — the regression gate keeps the
+    sharded driver from becoming pathologically slower than the replicated
+    path.  ``simulated_time_parity`` here means *base-time* parity: walks
+    and per-query base times must be bit-identical across the placements
+    (only the modeled communication term and makespan may differ).
+    """
+    spec = DeepWalkSpec()
+    service = WalkService(graph, fleet=DeviceFleet(count=SHARD_DEVICES))
+    entry: dict[str, object] = {
+        "workload": "sharded",
+        "walk_length": walk_length,
+        "num_queries": graph.num_nodes,
+        "num_devices": SHARD_DEVICES,
+    }
+    collected = {}
+    for mode in ("replicated", "sharded"):
+        config = FlexiWalkerConfig(num_devices=SHARD_DEVICES, graph_placement=mode)
+
+        def one_run():
+            session = service.session(spec, config)
+            session.submit(make_queries(graph.num_nodes, walk_length=walk_length))
+            return session.collect()
+
+        one_run()  # warm-up (profile, hint tables, shard decomposition)
+        best = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = one_run()
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best["wall_clock_s"]:
+                best = {
+                    "wall_clock_s": elapsed,
+                    "steps_per_s": result.total_steps / elapsed,
+                    "total_steps": result.total_steps,
+                    "simulated_time_ms": result.time_ms,
+                }
+        collected[mode] = result
+        entry[mode] = best
+        print(f"  {'sharded':>9} {mode:>10}: {best['wall_clock_s']:.3f}s wall, "
+              f"{best['steps_per_s']:,.0f} steps/s")
+    entry["speedup"] = (
+        entry["replicated"]["wall_clock_s"] / entry["sharded"]["wall_clock_s"]
+    )
+    # Sharding must not perturb any walk or base time — only the modeled
+    # communication term and the makespan are allowed to differ.
+    entry["simulated_time_parity"] = bool(
+        collected["replicated"].paths == collected["sharded"].paths
+        and np.array_equal(
+            collected["replicated"].per_query_ns, collected["sharded"].per_query_ns
+        )
+    )
+    entry["remote_edge_ratio"] = collected["sharded"].remote_edge_ratio
+    print(f"  {'sharded':>9} overhead: {entry['speedup']:.2f}x replicated/sharded wall "
+          f"(base-time parity: {entry['simulated_time_parity']}, "
+          f"remote-edge ratio: {entry['remote_edge_ratio']:.3f})")
+    return entry
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
 
@@ -113,6 +182,8 @@ def main() -> int:
     parser.add_argument("--workloads", nargs="+", choices=sorted(WORKLOADS),
                         default=sorted(WORKLOADS),
                         help="subset of workloads to benchmark")
+    parser.add_argument("--skip-sharded", action="store_true",
+                        help="skip the replicated-vs-sharded multi-device entry")
     parser.add_argument(
         "--output", default=str(REPO_ROOT / "BENCH_engine.json"),
         help="where to write the JSON report",
@@ -132,6 +203,8 @@ def main() -> int:
     }
     for name in args.workloads:
         report["entries"][name] = bench_workload(graph, name, args.walk_length, args.repeats)
+    if not args.skip_sharded:
+        report["entries"]["sharded"] = bench_sharded(graph, args.walk_length, args.repeats)
 
     parity = all(e["simulated_time_parity"] for e in report["entries"].values())
     if QUICKSTART in report["entries"]:

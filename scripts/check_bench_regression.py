@@ -46,6 +46,15 @@ def entry_speedup(path: Path, name: str, entry: dict) -> float:
     return float(speedup)
 
 
+def entry_extras(entry: dict) -> str:
+    """Informational per-entry extras (the sharded entry reports its
+    walked remote-edge ratio alongside the gated speedup)."""
+    ratio = entry.get("remote_edge_ratio")
+    if isinstance(ratio, (int, float)):
+        return f", remote-edge ratio {ratio:.3f}"
+    return ""
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, default=Path("BENCH_engine.json"),
@@ -79,7 +88,7 @@ def main() -> int:
         floor = base * (1.0 - args.max_drop)
         verdict = "ok" if cur >= floor else "REGRESSION"
         print(f"[{name}] baseline {base:.2f}x, current {cur:.2f}x "
-              f"(floor {floor:.2f}x) -> {verdict}")
+              f"(floor {floor:.2f}x){entry_extras(cur_entry)} -> {verdict}")
         if cur < floor:
             print(f"FAIL [{name}]: batched-engine speedup dropped more than "
                   f"{args.max_drop:.0%} below the committed baseline")
@@ -97,7 +106,8 @@ def main() -> int:
         else:
             cur = entry_speedup(args.current, name, cur_entry)
             print(f"[{name}] no baseline entry yet, current {cur:.2f}x "
-                  f"(parity ok) -> ok; refresh the baseline to gate it")
+                  f"(parity ok){entry_extras(cur_entry)} -> ok; "
+                  f"refresh the baseline to gate it")
     return 1 if failed else 0
 
 

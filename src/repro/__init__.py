@@ -35,6 +35,7 @@ from repro.core.config import FlexiWalkerConfig
 from repro.core.flexiwalker import FlexiWalker
 from repro.core.results import summarize_run
 from repro.graph.csr import CSRGraph
+from repro.graph.sharded import SHARD_POLICIES, GraphShard, ShardedCSRGraph
 from repro.graph.datasets import DatasetSpec, load_dataset, dataset_names
 from repro.gpusim.counters import CostCounters
 from repro.gpusim.device import A6000, DeviceSpec
@@ -113,6 +114,9 @@ __all__ = [
     "SystemRun",
     # Graphs
     "CSRGraph",
+    "ShardedCSRGraph",
+    "GraphShard",
+    "SHARD_POLICIES",
     "DatasetSpec",
     "load_dataset",
     "dataset_names",

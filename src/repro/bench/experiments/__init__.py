@@ -24,6 +24,7 @@ EXPERIMENT_MODULES = (
     "fig14_ratio",
     "table3_overheads",
     "fig15_multigpu",
+    "fig15_sharded",
     "fig16_energy",
     "int8_extension",
     "scheduling_ablation",

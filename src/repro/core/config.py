@@ -7,7 +7,13 @@ from dataclasses import dataclass
 from repro.errors import ReproError
 from repro.gpusim.device import A6000, DeviceSpec
 from repro.gpusim.multigpu import PARTITION_POLICIES
-from repro.runtime.engine import EXECUTION_MODES
+from repro.graph.sharded import SHARD_POLICIES
+from repro.runtime.engine import EXECUTION_MODES, GRAPH_PLACEMENTS
+
+#: Valid values of :attr:`FlexiWalkerConfig.graph_placement` — the engine
+#: placements plus ``"auto"`` (negotiated from the graph's memory footprint
+#: against the fleet device's memory).
+GRAPH_PLACEMENT_REQUESTS = ("auto",) + GRAPH_PLACEMENTS
 
 #: Valid values of :attr:`FlexiWalkerConfig.selection`.
 SELECTION_POLICIES = ("cost_model", "ervs_only", "erjs_only", "random", "degree")
@@ -58,6 +64,16 @@ class FlexiWalkerConfig:
         (multiplicative start-node hashing, the paper's choice), ``"range"``
         (contiguous slices) or ``"balanced"`` (greedy longest-processing-time
         packing by start-node degree).
+    graph_placement:
+        How a multi-device run places the graph: ``"auto"`` (default —
+        plan negotiation picks ``"sharded"`` exactly when the graph's
+        memory footprint exceeds one fleet device's memory, else
+        ``"replicated"``), or an explicit ``"replicated"`` / ``"sharded"``
+        request.
+    shard_policy:
+        Node-range decomposition for sharded placement: ``"contiguous"``
+        (equal node ranges) or ``"degree_balanced"`` (edge-count-balanced
+        boundaries).
     seed:
         Seed for every random stream the run derives.
     """
@@ -74,6 +90,8 @@ class FlexiWalkerConfig:
     execution: str = "batched"
     num_devices: int = 1
     partition_policy: str = "hash"
+    graph_placement: str = "auto"
+    shard_policy: str = "contiguous"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -91,6 +109,15 @@ class FlexiWalkerConfig:
             raise ReproError(
                 f"unknown partition policy {self.partition_policy!r}; "
                 f"valid: {PARTITION_POLICIES}"
+            )
+        if self.graph_placement not in GRAPH_PLACEMENT_REQUESTS:
+            raise ReproError(
+                f"unknown graph placement {self.graph_placement!r}; "
+                f"valid: {GRAPH_PLACEMENT_REQUESTS}"
+            )
+        if self.shard_policy not in SHARD_POLICIES:
+            raise ReproError(
+                f"unknown shard policy {self.shard_policy!r}; valid: {SHARD_POLICIES}"
             )
         if self.weight_bytes not in (1, 2, 4, 8):
             raise ReproError("weight_bytes must be one of 1, 2, 4, 8")

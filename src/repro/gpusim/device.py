@@ -46,9 +46,19 @@ class DeviceSpec:
     table_build_ns:
         Per-element cost of building auxiliary structures (alias/CDF tables).
     memory_bytes:
-        Device memory capacity (used for the simulated OOM checks).
+        Device memory capacity (used for the simulated OOM checks and the
+        replicated-vs-sharded plan negotiation).
     idle_watts / peak_watts:
         Power envelope for the energy model (Fig. 16).
+    interconnect_latency_ns:
+        Fixed per-transfer latency of one device-to-device message (NVLink /
+        PCIe peer-to-peer for the GPU preset, socket interconnect for the
+        CPU preset).  Charged once per walker migration by the sharded
+        execution mode.
+    interconnect_bytes_per_ns:
+        Device-to-device bandwidth in bytes per nanosecond (1 byte/ns ==
+        1 GB/s).  Together with the latency this prices
+        :meth:`migration_time_ns`.
     """
 
     name: str
@@ -65,6 +75,8 @@ class DeviceSpec:
     memory_bytes: int
     idle_watts: float
     peak_watts: float
+    interconnect_latency_ns: float = 1300.0
+    interconnect_bytes_per_ns: float = 32.0
 
     def __post_init__(self) -> None:
         if self.parallel_lanes < 1:
@@ -79,8 +91,11 @@ class DeviceSpec:
             self.warp_sync_ns,
             self.atomic_ns,
             self.table_build_ns,
+            self.interconnect_latency_ns,
         ) < 0:
             raise SimulationError("per-operation costs must be non-negative")
+        if self.interconnect_bytes_per_ns <= 0:
+            raise SimulationError("interconnect bandwidth must be positive")
 
     # ------------------------------------------------------------------ #
     def lane_time_ns(self, counters: CostCounters) -> float:
@@ -130,6 +145,17 @@ class DeviceSpec:
         )
         return memory_ns + compute_ns
 
+    def migration_time_ns(self, num_bytes: int) -> float:
+        """Interconnect cost of shipping ``num_bytes`` to a peer device.
+
+        The sharded execution mode charges one such transfer whenever a
+        sampled step lands on a node owned by a remote shard and the walker
+        record migrates to that shard's device (KnightKing-style walker
+        migration).  Latency-plus-bandwidth model: small walker records are
+        latency-dominated, exactly like real peer-to-peer messages.
+        """
+        return self.interconnect_latency_ns + num_bytes / self.interconnect_bytes_per_ns
+
     @property
     def random_to_coalesced_ratio(self) -> float:
         """The EdgeCost_RJS / EdgeCost_RVS ratio of Eq. (11), from the spec."""
@@ -162,6 +188,8 @@ A6000 = DeviceSpec(
     memory_bytes=48 * 1024**3,
     idle_watts=70.0,
     peak_watts=300.0,
+    interconnect_latency_ns=1300.0,   # NVLink peer-to-peer message latency
+    interconnect_bytes_per_ns=112.0,  # NVLink 3 bridge, ~112 GB/s per direction
 )
 
 #: AMD EPYC 9124P preset (16 cores / 32 threads, 512 GB host memory, 200 W).
@@ -180,4 +208,6 @@ EPYC_9124P = DeviceSpec(
     memory_bytes=512 * 1024**3,
     idle_watts=90.0,
     peak_watts=200.0,
+    interconnect_latency_ns=500.0,   # cross-socket / cross-CCD hop
+    interconnect_bytes_per_ns=47.0,  # xGMI-class link, ~47 GB/s
 )

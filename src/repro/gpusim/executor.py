@@ -43,6 +43,10 @@ class KernelResult:
         Aggregated operation counts over every query.
     scheduling:
         ``"dynamic"`` or ``"static"``.
+    comm_ns:
+        Modeled interconnect time serialised onto this kernel (walker
+        migrations in the sharded execution mode).  Already included in
+        ``time_ns``; 0 for replicated/single-device kernels.
     """
 
     time_ns: float
@@ -51,6 +55,7 @@ class KernelResult:
     num_queries: int
     counters: CostCounters = field(default_factory=CostCounters)
     scheduling: str = "dynamic"
+    comm_ns: float = 0.0
 
     @property
     def time_ms(self) -> float:
@@ -88,6 +93,7 @@ class KernelExecutor:
         counters: CostCounters | None = None,
         scheduling: str = "dynamic",
         queue_atomic_ns: float | None = None,
+        comm_ns: float = 0.0,
     ) -> KernelResult:
         """Simulate one kernel launch.
 
@@ -104,23 +110,32 @@ class KernelExecutor:
         queue_atomic_ns:
             Cost of one queue fetch under dynamic scheduling; defaults to the
             device's atomic cost.
+        comm_ns:
+            Interconnect time to serialise onto this kernel (the sharded
+            mode's walker-migration traffic, priced by
+            :meth:`~repro.gpusim.device.DeviceSpec.migration_time_ns`).
+            Added to the kernel's ``time_ns`` after the lane makespan — the
+            conservative no-overlap model — and recorded on the result.
         """
         per_query_ns = np.asarray(per_query_ns, dtype=np.float64)
         if per_query_ns.ndim != 1:
             raise SimulationError("per_query_ns must be a one-dimensional array")
         if np.any(per_query_ns < 0):
             raise SimulationError("per-query times must be non-negative")
+        if comm_ns < 0:
+            raise SimulationError("communication time must be non-negative")
         num_queries = int(per_query_ns.size)
         lanes = min(self.device.parallel_lanes, max(num_queries, 1))
 
         if num_queries == 0:
             return KernelResult(
-                time_ns=0.0,
+                time_ns=float(comm_ns),
                 total_work_ns=0.0,
                 lane_times_ns=np.zeros(0),
                 num_queries=0,
                 counters=counters or CostCounters(),
                 scheduling=scheduling,
+                comm_ns=float(comm_ns),
             )
 
         if scheduling == "dynamic":
@@ -132,12 +147,13 @@ class KernelExecutor:
             raise SimulationError(f"unknown scheduling policy {scheduling!r}")
 
         return KernelResult(
-            time_ns=float(lane_times.max()),
+            time_ns=float(lane_times.max()) + float(comm_ns),
             total_work_ns=float(per_query_ns.sum()),
             lane_times_ns=lane_times,
             num_queries=num_queries,
             counters=counters or CostCounters(),
             scheduling=scheduling,
+            comm_ns=float(comm_ns),
         )
 
     # ------------------------------------------------------------------ #

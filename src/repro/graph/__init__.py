@@ -7,6 +7,7 @@ weights and edge labels).
 """
 
 from repro.graph.csr import CSRGraph
+from repro.graph.sharded import SHARD_POLICIES, GraphShard, ShardedCSRGraph
 from repro.graph.builders import from_edge_list, from_adjacency, to_undirected
 from repro.graph.generators import (
     barabasi_albert_graph,
@@ -30,6 +31,9 @@ from repro.graph.io import read_edge_list, write_edge_list, save_csr_npz, load_c
 
 __all__ = [
     "CSRGraph",
+    "ShardedCSRGraph",
+    "GraphShard",
+    "SHARD_POLICIES",
     "from_edge_list",
     "from_adjacency",
     "to_undirected",

@@ -195,23 +195,36 @@ class CSRGraph:
     # Derived graphs
     # ------------------------------------------------------------------ #
     def with_weights(self, weights: np.ndarray, name: str | None = None) -> "CSRGraph":
-        """Return a copy of this graph with replaced property weights."""
+        """Return a copy of this graph with replaced property weights.
+
+        ``indptr``/``indices`` are shared unchanged, so the in-degree and
+        edge-key caches (both pure functions of the topology) carry over —
+        a derived graph must not silently rebuild O(E) structures its parent
+        already paid for.
+        """
         return CSRGraph(
             indptr=self.indptr,
             indices=self.indices,
             weights=np.asarray(weights, dtype=np.float64),
             labels=self.labels,
             name=self.name if name is None else name,
+            _in_degree_cache=self._in_degree_cache,
+            _edge_key_cache=self._edge_key_cache,
         )
 
     def with_labels(self, labels: np.ndarray) -> "CSRGraph":
-        """Return a copy of this graph with edge labels attached."""
+        """Return a copy of this graph with edge labels attached.
+
+        Topology caches propagate exactly as in :meth:`with_weights`.
+        """
         return CSRGraph(
             indptr=self.indptr,
             indices=self.indices,
             weights=self.weights,
             labels=np.asarray(labels, dtype=np.int64),
             name=self.name,
+            _in_degree_cache=self._in_degree_cache,
+            _edge_key_cache=self._edge_key_cache,
         )
 
     def memory_footprint_bytes(self, weight_bytes: int = 8) -> int:

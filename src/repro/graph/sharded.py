@@ -1,0 +1,251 @@
+"""Graph sharding: splitting one CSR graph into per-device edge shards.
+
+The replicated multi-device design (Fig. 15) copies the whole graph onto
+every device, so the largest servable graph is bounded by a single device's
+memory.  Distributed walk systems (KnightKing-style walker migration) lift
+that bound by *partitioning the graph*: each device owns a contiguous range
+of nodes together with their out-edges, and a walker executes each step on
+the device owning its current node — paying an interconnect transfer when a
+sampled step crosses a shard boundary.
+
+:class:`ShardedCSRGraph` is the storage side of that model: it splits a
+:class:`~repro.graph.csr.CSRGraph` into per-shard :class:`GraphShard` slices
+(contiguous node ranges, chosen either uniformly over nodes or balanced by
+edge count), answers ``owner(nodes)`` lookups with one vectorised binary
+search, and reports per-shard memory footprints so the plan negotiation in
+:mod:`repro.service.plan` can decide when sharding is *required* (graph
+larger than one device) rather than merely possible.
+
+Shards slice the parent's edge arrays (no copies): the shard decomposition
+is a view-level bookkeeping structure, exactly like the CSR slices the
+per-node accessors hand out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+#: Valid node-range partitioning policies of :meth:`ShardedCSRGraph.build`.
+SHARD_POLICIES = ("contiguous", "degree_balanced")
+
+
+@dataclass(frozen=True)
+class GraphShard:
+    """One device's slice of a sharded graph.
+
+    Attributes
+    ----------
+    shard_id:
+        Position of this shard in the decomposition (== owning device id).
+    node_start / node_stop:
+        The contiguous global node range ``[node_start, node_stop)`` this
+        shard owns.
+    indptr:
+        Local ``int64`` row-pointer array of length ``num_nodes + 1``
+        (rebased to start at 0).
+    indices / weights / labels:
+        Views into the parent graph's edge arrays covering exactly this
+        shard's out-edges.  Destination ids stay *global* — a destination
+        outside ``[node_start, node_stop)`` is a remote edge.
+    """
+
+    shard_id: int
+    node_start: int
+    node_stop: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+    labels: np.ndarray | None
+
+    @property
+    def num_nodes(self) -> int:
+        return self.node_stop - self.node_start
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.size)
+
+    def owns(self, nodes: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of ``nodes`` fall in this shard's range."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return (nodes >= self.node_start) & (nodes < self.node_stop)
+
+    def remote_edge_count(self) -> int:
+        """Out-edges whose destination lives on another shard."""
+        return int(np.count_nonzero(~self.owns(self.indices)))
+
+    def memory_footprint_bytes(self, weight_bytes: int = 8) -> int:
+        """Device memory needed to hold this shard (same model as the
+        replicated :meth:`~repro.graph.csr.CSRGraph.memory_footprint_bytes`)."""
+        return int(
+            self.indptr.size * 8
+            + self.indices.size * 8
+            + self.indices.size * weight_bytes
+            + (self.indices.size * 8 if self.labels is not None else 0)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphShard(#{self.shard_id}, nodes [{self.node_start}, "
+            f"{self.node_stop}), {self.num_edges} edges)"
+        )
+
+
+class ShardedCSRGraph:
+    """A CSR graph decomposed into contiguous per-device node-range shards.
+
+    Build with :meth:`build`; the decomposition is immutable.  The parent
+    graph stays fully intact (the walk kernels still execute against it —
+    the simulator charges communication instead of actually distributing the
+    arrays), so a sharded run is bit-identical to a replicated run in
+    everything but the modeled interconnect traffic.
+
+    Attributes
+    ----------
+    graph:
+        The parent :class:`~repro.graph.csr.CSRGraph`.
+    policy:
+        The partitioning policy used (one of :data:`SHARD_POLICIES`).
+    boundaries:
+        ``int64`` array of length ``num_shards + 1``; shard ``s`` owns the
+        node range ``[boundaries[s], boundaries[s + 1])``.
+    shards:
+        The per-device :class:`GraphShard` slices, in shard-id order.
+    """
+
+    def __init__(self, graph: CSRGraph, boundaries: np.ndarray, policy: str) -> None:
+        self.graph = graph
+        self.policy = policy
+        self.boundaries = np.asarray(boundaries, dtype=np.int64)
+        if (
+            self.boundaries.ndim != 1
+            or self.boundaries.size < 2
+            or self.boundaries[0] != 0
+            or self.boundaries[-1] != graph.num_nodes
+            or np.any(np.diff(self.boundaries) < 0)
+        ):
+            raise GraphError(
+                "shard boundaries must be a non-decreasing array covering "
+                f"[0, num_nodes]; got {self.boundaries!r}"
+            )
+        self.shards = [
+            self._slice_shard(s, int(self.boundaries[s]), int(self.boundaries[s + 1]))
+            for s in range(self.boundaries.size - 1)
+        ]
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls, graph: CSRGraph, num_shards: int, policy: str = "contiguous"
+    ) -> "ShardedCSRGraph":
+        """Split ``graph`` into ``num_shards`` contiguous node-range shards.
+
+        ``"contiguous"`` slices the node id space into equal ranges — the
+        naive decomposition, cheap but degree-blind (the scale models give
+        low node ids the highest degrees, so shard 0 ends up edge-heavy).
+        ``"degree_balanced"`` places the boundaries so every shard holds
+        roughly ``num_edges / num_shards`` out-edges — the edge-balanced
+        decomposition distributed walk frameworks default to.  Both policies
+        keep node ranges contiguous, so :meth:`owner` is one binary search.
+        """
+        if num_shards < 1:
+            raise GraphError("need at least one shard")
+        if policy not in SHARD_POLICIES:
+            raise GraphError(
+                f"unknown shard policy {policy!r}; valid: {SHARD_POLICIES}"
+            )
+        n = graph.num_nodes
+        if policy == "contiguous":
+            boundaries = np.linspace(0, n, num_shards + 1).astype(np.int64)
+        else:
+            # Edge-balanced boundaries: walk the cumulative edge counts
+            # (indptr *is* that prefix sum) and cut at the node where each
+            # shard's edge budget fills up.  Interior boundaries are clipped
+            # into [0, n]; shards can come out empty on degenerate graphs
+            # (fewer nodes than shards), which owner() handles.
+            targets = (np.arange(1, num_shards) * graph.num_edges) / num_shards
+            interior = np.searchsorted(graph.indptr, targets, side="left")
+            boundaries = np.concatenate(
+                ([0], np.minimum(interior, n), [n])
+            ).astype(np.int64)
+            boundaries = np.maximum.accumulate(boundaries)
+        return cls(graph, boundaries, policy)
+
+    def _slice_shard(self, shard_id: int, start: int, stop: int) -> GraphShard:
+        lo = int(self.graph.indptr[start])
+        hi = int(self.graph.indptr[stop])
+        return GraphShard(
+            shard_id=shard_id,
+            node_start=start,
+            node_stop=stop,
+            indptr=(self.graph.indptr[start:stop + 1] - lo).astype(np.int64),
+            indices=self.graph.indices[lo:hi],
+            weights=self.graph.weights[lo:hi],
+            labels=self.graph.labels[lo:hi] if self.graph.labels is not None else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def owner(self, nodes: np.ndarray) -> np.ndarray:
+        """Shard id owning each of ``nodes`` (vectorised binary search).
+
+        Empty shards never own a node: with ``side="right"`` a node sitting
+        on a run of equal boundaries maps past the zero-width ranges to the
+        shard whose range actually contains it.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.graph.num_nodes):
+            raise GraphError("node id out of range for owner() lookup")
+        return np.searchsorted(self.boundaries, nodes, side="right") - 1
+
+    def memory_footprint_bytes(self, weight_bytes: int = 8) -> int:
+        """Total device memory across all shards (≈ the replicated footprint
+        plus one duplicated ``indptr`` entry per extra shard)."""
+        return sum(s.memory_footprint_bytes(weight_bytes) for s in self.shards)
+
+    def max_shard_footprint_bytes(self, weight_bytes: int = 8) -> int:
+        """Largest single-shard footprint — what each device must actually fit."""
+        return max(s.memory_footprint_bytes(weight_bytes) for s in self.shards)
+
+    def shard_edge_counts(self) -> np.ndarray:
+        """Out-edges per shard (the balance the degree_balanced policy targets)."""
+        return np.array([s.num_edges for s in self.shards], dtype=np.int64)
+
+    def remote_edge_fraction(self) -> float:
+        """Fraction of all edges whose destination lives on another shard.
+
+        A static property of the decomposition (the *walked* remote-edge
+        ratio additionally depends on the workload's visit distribution and
+        is reported per run by the sharded driver).
+        """
+        if self.graph.num_edges == 0:
+            return 0.0
+        remote = sum(s.remote_edge_count() for s in self.shards)
+        return remote / self.graph.num_edges
+
+    def describe(self) -> dict[str, object]:
+        """Plain-dict view for logs, plans and the bench tables."""
+        counts = self.shard_edge_counts()
+        return {
+            "num_shards": self.num_shards,
+            "policy": self.policy,
+            "boundaries": self.boundaries.tolist(),
+            "shard_edge_counts": counts.tolist(),
+            "edge_balance": float(counts.max() / counts.mean()) if counts.size and counts.mean() else 1.0,
+            "remote_edge_fraction": self.remote_edge_fraction(),
+            "max_shard_footprint_bytes": self.max_shard_footprint_bytes(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedCSRGraph({self.graph!r}, {self.num_shards} shards, "
+            f"policy={self.policy!r})"
+        )

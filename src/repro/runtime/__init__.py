@@ -24,11 +24,17 @@ from repro.runtime.selector import (
     DegreeBasedSelector,
 )
 from repro.runtime.scheduler import DynamicQueryQueue
-from repro.runtime.engine import EngineCaches, WalkEngine, WalkRunResult
+from repro.runtime.engine import (
+    GRAPH_PLACEMENTS,
+    EngineCaches,
+    WalkEngine,
+    WalkRunResult,
+)
 from repro.runtime.frontier import SuperstepReport
 
 __all__ = [
     "EngineCaches",
+    "GRAPH_PLACEMENTS",
     "SuperstepReport",
     "CostModel",
     "ProfileResult",

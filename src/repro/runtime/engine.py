@@ -40,26 +40,34 @@ from repro.walks.state import WalkerState, WalkQuery
 #: Valid execution modes of :class:`WalkEngine`.
 EXECUTION_MODES = ("batched", "scalar")
 
+#: Valid graph placements of a multi-device run: ``"replicated"`` copies the
+#: whole graph onto every device and partitions the queries (Fig. 15);
+#: ``"sharded"`` partitions the graph into per-device node-range shards and
+#: migrates walkers across the interconnect instead.
+GRAPH_PLACEMENTS = ("replicated", "sharded")
+
 
 class EngineCaches:
     """Shared, lazily-built per-(graph, spec) engine caches.
 
-    Both caches — the per-node compiler hint tables and the cross-superstep
-    :class:`~repro.sampling.transition_cache.TransitionCache` — are pure
-    functions of the (graph, spec) pair, so every engine bound to the same
-    pair may share one holder: the clones minted by
-    :meth:`WalkEngine.with_devices` do, and the service layer
+    The caches — the per-node compiler hint tables, the cross-superstep
+    :class:`~repro.sampling.transition_cache.TransitionCache` and the
+    :class:`~repro.graph.sharded.ShardedCSRGraph` decompositions (keyed by
+    shard count and policy) — are pure functions of the (graph, spec) pair,
+    so every engine bound to the same pair may share one holder: the clones
+    minted by :meth:`WalkEngine.with_devices` do, and the service layer
     (:mod:`repro.service`) hands one holder to every session of the same
     workload.  Keeping them in a separate mutable object (instead of plain
     engine attributes) is what makes the sharing order-independent: a cache
     built *after* the engines split is still seen by all of them.
     """
 
-    __slots__ = ("hint_tables", "transition_cache")
+    __slots__ = ("hint_tables", "transition_cache", "sharded_graphs")
 
     def __init__(self) -> None:
         self.hint_tables = None
         self.transition_cache = None
+        self.sharded_graphs: dict[tuple[int, str], object] = {}
 
 #: Signature of the per-step framework-overhead hook used by baseline models:
 #: it receives the step context and the kernel that ran, and may add counts.
@@ -78,6 +86,13 @@ class WalkRunResult:
     :class:`~repro.gpusim.executor.KernelResult` per simulated device — and
     ``kernel`` then holds the aggregate view whose ``time_ns`` is the
     makespan over devices.
+
+    Graph-sharded runs (``graph_placement == "sharded"``) additionally
+    report the modeled communication: ``per_query_comm_ns`` (interconnect
+    time each walk spent migrating between shards — kept *separate* from
+    the placement-invariant base times in ``per_query_ns``),
+    ``comm_time_ns`` (total interconnect time) and ``remote_steps`` (steps
+    whose sampled destination was owned by another shard).
     """
 
     paths: list[list[int]]
@@ -92,6 +107,11 @@ class WalkRunResult:
     num_devices: int = 1
     partition_policy: str | None = None
     device_kernels: list[KernelResult] = field(default_factory=list)
+    graph_placement: str = "replicated"
+    shard_policy: str | None = None
+    per_query_comm_ns: np.ndarray | None = None
+    comm_time_ns: float = 0.0
+    remote_steps: int = 0
 
     @property
     def time_ms(self) -> float:
@@ -122,6 +142,22 @@ class WalkRunResult:
         (idle devices are excluded); 1.0 for single-device runs.
         """
         return occupied_load_imbalance(self.device_kernels)
+
+    @property
+    def remote_edge_ratio(self) -> float:
+        """Fraction of executed steps that crossed a shard boundary.
+
+        The headline statistic of the sharded bench experiment; 0.0 for
+        replicated and single-device runs (no boundary exists to cross).
+        """
+        if self.total_steps == 0:
+            return 0.0
+        return self.remote_steps / self.total_steps
+
+    @property
+    def comm_time_ms(self) -> float:
+        """Modeled interconnect time in milliseconds (0 unless sharded)."""
+        return self.comm_time_ns / 1e6
 
     @property
     def throughput_steps_per_s(self) -> float:
@@ -185,6 +221,9 @@ class WalkRunResult:
             "load_imbalance": self.kernel.load_imbalance,
             "num_devices": self.num_devices,
             "device_load_imbalance": self.load_imbalance,
+            "graph_placement": self.graph_placement,
+            "remote_edge_ratio": self.remote_edge_ratio,
+            "comm_time_ms": self.comm_time_ms,
             "selection_ratio": self.selection_ratio(),
             "memory_accesses": self.counters.total_memory_accesses,
             "rng_draws": self.counters.rng_draws,
@@ -242,7 +281,21 @@ class WalkEngine:
     partition_policy:
         Query-to-device mapping: ``"hash"`` (the paper's choice),
         ``"range"`` (contiguous slices) or ``"balanced"`` (greedy
-        longest-processing-time packing by start-node degree).
+        longest-processing-time packing by start-node degree).  Only
+        meaningful for replicated placement — sharded runs route each
+        walker to the shard owning its current node instead.
+    graph_placement:
+        ``"replicated"`` (default, the Fig. 15 model: the whole graph on
+        every device) or ``"sharded"`` (the graph split into per-device
+        node-range shards; walkers migrate across the modeled interconnect
+        when a step crosses a shard boundary).  Sharding needs
+        ``num_devices > 1`` to mean anything and the batched execution
+        mode; paths, counters and per-query base times stay bit-identical
+        to the replicated run either way.
+    shard_policy:
+        Node-range decomposition used when ``graph_placement="sharded"``:
+        ``"contiguous"`` (equal node ranges) or ``"degree_balanced"``
+        (edge-count-balanced boundaries).
     use_transition_cache:
         Enable the cross-superstep :class:`TransitionCache` for workloads the
         compiler classified as node-only (``weights_node_only``): per-node
@@ -275,9 +328,13 @@ class WalkEngine:
         execution: str = "batched",
         num_devices: int = 1,
         partition_policy: str = "hash",
+        graph_placement: str = "replicated",
+        shard_policy: str = "contiguous",
         use_transition_cache: bool = True,
         caches: EngineCaches | None = None,
     ) -> None:
+        from repro.graph.sharded import SHARD_POLICIES
+
         if execution not in EXECUTION_MODES:
             raise SimulationError(
                 f"unknown execution mode {execution!r}; valid: {EXECUTION_MODES}"
@@ -287,6 +344,18 @@ class WalkEngine:
         if partition_policy not in PARTITION_POLICIES:
             raise SimulationError(
                 f"unknown partition policy {partition_policy!r}; valid: {PARTITION_POLICIES}"
+            )
+        if graph_placement not in GRAPH_PLACEMENTS:
+            raise SimulationError(
+                f"unknown graph placement {graph_placement!r}; valid: {GRAPH_PLACEMENTS}"
+            )
+        if shard_policy not in SHARD_POLICIES:
+            raise SimulationError(
+                f"unknown shard policy {shard_policy!r}; valid: {SHARD_POLICIES}"
+            )
+        if graph_placement == "sharded" and execution != "batched":
+            raise SimulationError(
+                "sharded graph placement requires the batched execution mode"
             )
         self.graph = graph
         self.spec = spec
@@ -303,6 +372,8 @@ class WalkEngine:
         self.execution = execution
         self.num_devices = int(num_devices)
         self.partition_policy = partition_policy
+        self.graph_placement = graph_placement
+        self.shard_policy = shard_policy
         self.use_transition_cache = bool(use_transition_cache)
         self.caches = caches if caches is not None else EngineCaches()
 
@@ -314,7 +385,11 @@ class WalkEngine:
     ) -> WalkRunResult:
         """Execute every query and return walks plus the simulated profile."""
         started = time.perf_counter()
-        if self.num_devices > 1:
+        if self.num_devices > 1 and self.graph_placement == "sharded":
+            from repro.runtime.frontier import run_sharded
+
+            result = run_sharded(self, queries, profile)
+        elif self.num_devices > 1:
             from repro.runtime.frontier import run_multi_device
 
             result = run_multi_device(self, queries, profile)
@@ -327,16 +402,25 @@ class WalkEngine:
         result.wall_clock_s = time.perf_counter() - started
         return result
 
-    def with_devices(self, num_devices: int, partition_policy: str | None = None) -> "WalkEngine":
+    def with_devices(
+        self,
+        num_devices: int,
+        partition_policy: str | None = None,
+        graph_placement: str | None = None,
+        shard_policy: str | None = None,
+    ) -> "WalkEngine":
         """A copy of this engine re-targeted at a different device count.
 
         Shares the graph, spec, selector, compiled workload and the
         :class:`EngineCaches` holder (all placement-invariant), so re-running
-        the same queries under several device counts or policies — the
-        Fig. 15 sweep — costs no re-compilation, and a hint table or
-        transition cache built by either engine (before *or* after the
-        clone) is seen by both.
+        the same queries under several device counts, partition policies or
+        graph placements — the Fig. 15 and sharded sweeps — costs no
+        re-compilation, and a hint table, transition cache or shard
+        decomposition built by either engine (before *or* after the clone)
+        is seen by both.
         """
+        from repro.graph.sharded import SHARD_POLICIES
+
         clone = copy.copy(self)
         if num_devices < 1:
             raise SimulationError("num_devices must be at least 1")
@@ -345,9 +429,43 @@ class WalkEngine:
             raise SimulationError(
                 f"unknown partition policy {policy!r}; valid: {PARTITION_POLICIES}"
             )
+        placement = self.graph_placement if graph_placement is None else graph_placement
+        if placement not in GRAPH_PLACEMENTS:
+            raise SimulationError(
+                f"unknown graph placement {placement!r}; valid: {GRAPH_PLACEMENTS}"
+            )
+        shards = self.shard_policy if shard_policy is None else shard_policy
+        if shards not in SHARD_POLICIES:
+            raise SimulationError(
+                f"unknown shard policy {shards!r}; valid: {SHARD_POLICIES}"
+            )
+        if placement == "sharded" and self.execution != "batched":
+            raise SimulationError(
+                "sharded graph placement requires the batched execution mode"
+            )
         clone.num_devices = int(num_devices)
         clone.partition_policy = policy
+        clone.graph_placement = placement
+        clone.shard_policy = shards
         return clone
+
+    def _sharded_graph(self):
+        """The cached shard decomposition for this engine's count/policy.
+
+        Keyed by ``(num_devices, shard_policy)`` on the shared
+        :class:`EngineCaches` holder, so repeated runs, device clones and
+        sibling sessions of the same workload split the graph once.
+        """
+        from repro.graph.sharded import ShardedCSRGraph
+
+        key = (self.num_devices, self.shard_policy)
+        sharded = self.caches.sharded_graphs.get(key)
+        if sharded is None:
+            sharded = ShardedCSRGraph.build(
+                self.graph, self.num_devices, policy=self.shard_policy
+            )
+            self.caches.sharded_graphs[key] = sharded
+        return sharded
 
     def _node_hint_tables(self):
         """Cached lazily-filled hint tables (node-only compiled workloads)."""

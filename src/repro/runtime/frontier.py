@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.gpusim.counters import CostCounters, CounterBatch
 from repro.gpusim.executor import KernelExecutor, KernelResult
 from repro.rng.streams import StreamPool
@@ -114,11 +115,21 @@ class SuperstepReport:
         Frontier indices whose walks completed during this superstep, for
         any reason: dead end, all-zero transition weights, or the walk
         reaching its maximum length.  Sorted ascending.
+    nodes:
+        Node walker ``active[j]`` occupied when it executed this
+        superstep's step (captured *before* the frontier advanced) — what
+        the sharded accounting attributes work and migrations by.
+    step_ns:
+        The priced lane time of each active walker's step — the exact
+        values already accumulated into ``per_query_ns``, exposed so
+        observers do not re-price the counter batch.
     """
 
     active: np.ndarray
     counters: CounterBatch
     finished: np.ndarray
+    nodes: np.ndarray
+    step_ns: np.ndarray
 
     @property
     def steps(self) -> int:
@@ -214,15 +225,21 @@ def iter_supersteps(
                     active=active,
                     counters=CounterBatch(0, bytes_per_weight=engine.weight_bytes),
                     finished=dead_finished if track_finished else _NO_FINISHED,
+                    nodes=active,
+                    step_ns=np.zeros(0, dtype=np.float64),
                 )
                 return
         k = active.size
+        # The nodes the steps execute on, captured before the frontier
+        # advances (fancy indexing copies, so the later in-place advance
+        # cannot alias this).
+        step_nodes = frontier.current[active]
 
         counters = CounterBatch(k, bytes_per_weight=engine.weight_bytes)
         bound_hints = sum_hints = None
         if hints_available:
             if hint_tables is not None:
-                bound_hints, sum_hints = hint_tables.lookup(frontier.current[active])
+                bound_hints, sum_hints = hint_tables.lookup(step_nodes)
             else:
                 # State-dependent hints: evaluate the helpers per walker,
                 # exactly like the scalar engine does per step.
@@ -274,7 +291,8 @@ def iter_supersteps(
             if engine.step_overhead is not None:
                 _apply_step_overhead(engine, ctx, part, sampler)
 
-        per_query_ns[active] += device.lane_times_ns(counters)
+        step_ns = device.lane_times_ns(counters)
+        per_query_ns[active] += step_ns
         aggregate.merge(counters.totals())
 
         advancing = next_nodes >= 0
@@ -295,7 +313,13 @@ def iter_supersteps(
             )
         else:
             finished = _NO_FINISHED
-        yield SuperstepReport(active=active, counters=counters, finished=finished)
+        yield SuperstepReport(
+            active=active,
+            counters=counters,
+            finished=finished,
+            nodes=step_nodes,
+            step_ns=step_ns,
+        )
 
 
 def run_batched(
@@ -341,6 +365,31 @@ def run_batched(
             engine.compiled.preprocessing_time_ns if engine.compiled is not None else 0.0
         ),
     )
+
+
+def fold_counters_by_owner(
+    owners: np.ndarray,
+    counters: CounterBatch,
+    device_aggs: list[CostCounters],
+    num_devices: int,
+) -> None:
+    """Fold one superstep's per-walker counts into per-device aggregates.
+
+    ``owners[j]`` names the device charged with slot ``j`` of ``counters``.
+    Exact under any grouping of supersteps: every per-walker count is an
+    integer, so the bincount sums (and their int truncation) cannot lose
+    precision — the property both the fused replicated fold and the sharded
+    ledger rely on for wave-composition invariance.
+    """
+    for name in CostCounters._COUNT_FIELDS:
+        arr = getattr(counters, name)
+        if not arr.any():
+            continue
+        sums = np.bincount(owners, weights=arr, minlength=num_devices)
+        for d in range(num_devices):
+            if sums[d]:
+                agg = device_aggs[d]
+                setattr(agg, name, getattr(agg, name) + int(sums[d]))
 
 
 def _partition_for_devices(engine: "WalkEngine", queries: list[WalkQuery]):
@@ -435,19 +484,9 @@ def _run_multi_device_fused(
     pool = StreamPool(engine.seed)
     streams = pool.batch([q.query_id for q in queries])
 
-    count_fields = CostCounters._COUNT_FIELDS
-
     def fold(active: np.ndarray, counters: CounterBatch) -> None:
-        """Fold one superstep's per-walker counts into per-device aggregates."""
-        owners_active = owner[active]
-        for name in count_fields:
-            arr = getattr(counters, name)
-            if not arr.any():
-                continue
-            sums = np.bincount(owners_active, weights=arr, minlength=num_devices)
-            for d in range(num_devices):
-                if sums[d]:
-                    setattr(device_aggs[d], name, getattr(device_aggs[d], name) + int(sums[d]))
+        """Attribute one superstep's counts to each walker's fixed device."""
+        fold_counters_by_owner(owner[active], counters, device_aggs, num_devices)
 
     total_steps = _drive_supersteps(
         engine, frontier, streams, per_query_ns, aggregate, usage, fold=fold
@@ -541,6 +580,231 @@ def run_multi_device_serial(
     )
 
 
+#: Bytes of one migrating walker record: query id, current node, previous
+#: node, step counter and max length (5 x int64) plus the 128-bit Philox key
+#: identifying the walker's counter-based random stream.  What actually
+#: crosses the interconnect when a walk leaves its shard — the path prefix
+#: stays behind on the originating device and is gathered at collect time.
+WALKER_MIGRATION_BYTES = 56
+
+
+class ShardedRunAccounting:
+    """Per-device bookkeeping of a graph-sharded run.
+
+    The sharded driver executes the *same* fused superstep loop as the
+    replicated path (walks, counters and per-query base times are therefore
+    bit-identical by construction); this object is where the sharding shows
+    up.  Each walker-step is attributed to the shard owning the node the
+    step executed on, and every step whose sampled destination lives on a
+    different shard records one walker migration, priced through the
+    device's interconnect model.
+
+    Tasks are keyed ``(step ordinal, global query index)`` — the order the
+    one-shot fused loop executes them in — and sorted at kernel-build time,
+    so an interleaved submit/stream session reconstructs the exact same
+    per-device schedules (and hence makespans) as a one-shot run.
+    """
+
+    def __init__(self, engine: "WalkEngine", sharded) -> None:
+        self.engine = engine
+        self.sharded = sharded
+        self.num_shards = sharded.num_shards
+        self.migration_ns = engine.device.migration_time_ns(WALKER_MIGRATION_BYTES)
+        self.device_aggs = [
+            CostCounters(bytes_per_weight=engine.weight_bytes)
+            for _ in range(self.num_shards)
+        ]
+        # Per-device task log: parallel chunks of (step ordinal, global
+        # query index, lane time), concatenated + canonically sorted when
+        # the kernels are built.
+        self._task_steps: list[list[np.ndarray]] = [[] for _ in range(self.num_shards)]
+        self._task_queries: list[list[np.ndarray]] = [[] for _ in range(self.num_shards)]
+        self._task_times: list[list[np.ndarray]] = [[] for _ in range(self.num_shards)]
+        self.remote_counts = np.zeros(self.num_shards, dtype=np.int64)
+        self.remote_steps = 0
+
+    # ------------------------------------------------------------------ #
+    def charge_fetch(self, start_nodes: np.ndarray, fetch_ns: np.ndarray, offset: int = 0) -> None:
+        """Attribute each query's queue-fetch atomic to its start node's owner.
+
+        Queries are submitted straight to the device owning their start
+        node, so the launch atomic executes there.  Fetch tasks sort before
+        every walk step (ordinal -1), in submission order — exactly where
+        the one-shot loop prices them.
+        """
+        owners = self.sharded.owner(np.asarray(start_nodes, dtype=np.int64))
+        indices = np.arange(owners.size, dtype=np.int64) + offset
+        for d in range(self.num_shards):
+            mask = owners == d
+            if mask.any():
+                self._task_steps[d].append(np.full(int(mask.sum()), -1, dtype=np.int64))
+                self._task_queries[d].append(indices[mask])
+                self._task_times[d].append(np.asarray(fetch_ns[mask], dtype=np.float64))
+                self.device_aggs[d].atomic_ops += int(mask.sum())
+
+    def observe(
+        self,
+        report: SuperstepReport,
+        frontier: WalkerFrontier,
+        per_walker_comm_ns: np.ndarray,
+        step_ordinal: int,
+        offset: int = 0,
+    ) -> None:
+        """Fold one superstep into the per-device ledgers.
+
+        ``report.nodes`` holds each active walker's node at execution time:
+        its step ran on the shard owning that node, and a migration is
+        charged when the walker's post-step node (``frontier.current``) is
+        owned by a different shard.  Migration time lands in
+        ``per_walker_comm_ns`` (frontier-indexed) and in the source device's
+        communication ledger — never in the base per-query times, which
+        stay bit-identical to the replicated run.
+        """
+        active = report.active
+        if active.size == 0:
+            return
+        owners = self.sharded.owner(report.nodes)
+        fold_counters_by_owner(owners, report.counters, self.device_aggs, self.num_shards)
+        for d in range(self.num_shards):
+            mask = owners == d
+            if mask.any():
+                self._task_steps[d].append(
+                    np.full(int(mask.sum()), step_ordinal, dtype=np.int64)
+                )
+                self._task_queries[d].append(active[mask] + offset)
+                self._task_times[d].append(report.step_ns[mask])
+
+        landed = self.sharded.owner(frontier.current[active])
+        remote = landed != owners
+        if remote.any():
+            per_walker_comm_ns[active[remote]] += self.migration_ns
+            self.remote_counts += np.bincount(
+                owners[remote], minlength=self.num_shards
+            ).astype(np.int64)
+            self.remote_steps += int(np.count_nonzero(remote))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def comm_ns(self) -> np.ndarray:
+        """Per-device interconnect time (migration count x transfer cost)."""
+        return self.remote_counts * self.migration_ns
+
+    def device_kernels(self, scheduling: str) -> list[KernelResult]:
+        """Build one kernel per shard device from the accumulated task log.
+
+        Each device's tasks — queue fetches plus the walker-steps that
+        executed on it — are sorted into the canonical (step ordinal, query
+        index) order and scheduled over the device's lanes; the device's
+        migration traffic is serialised on top through the executor's
+        interconnect hook.  Safe to call repeatedly (a session may collect
+        more than once): the ledgers are only read.
+        """
+        executor = KernelExecutor(self.engine.device)
+        kernels = []
+        comm = self.comm_ns
+        for d in range(self.num_shards):
+            if self._task_times[d]:
+                steps = np.concatenate(self._task_steps[d])
+                queries = np.concatenate(self._task_queries[d])
+                times = np.concatenate(self._task_times[d])
+                order = np.lexsort((queries, steps))
+                tasks = times[order]
+            else:
+                tasks = np.zeros(0, dtype=np.float64)
+            kernels.append(
+                executor.execute(
+                    tasks,
+                    counters=self.device_aggs[d].copy(),
+                    scheduling=scheduling,
+                    comm_ns=float(comm[d]),
+                )
+            )
+        return kernels
+
+
+def run_sharded(
+    engine: "WalkEngine",
+    queries: list[WalkQuery],
+    profile: "ProfileResult | None" = None,
+) -> "WalkRunResult":
+    """Execute a query batch across ``engine.num_devices`` graph shards.
+
+    The graph-partitioned counterpart of :func:`run_multi_device`: instead
+    of replicating the graph and splitting the queries, the *graph* is split
+    into per-device node-range shards
+    (:class:`~repro.graph.sharded.ShardedCSRGraph`) and every walker
+    executes each step on the device owning its current node, migrating —
+    at a modeled interconnect cost — whenever a sampled step lands on a
+    remote shard.
+
+    The walk execution itself is the same fused superstep loop as every
+    other mode, so paths, counter totals and per-query base times are
+    bit-identical to a replicated (or single-device) run; what sharding
+    changes is *where* each step's work lands (per-device kernels follow
+    the walkers around) and the new communication term — per-query
+    migration time, per-device interconnect time and the resulting
+    makespan.
+    """
+    from repro.runtime.engine import WalkRunResult
+
+    graph = engine.graph
+    validate_queries(queries, graph.num_nodes)
+    if engine.execution != "batched":
+        raise SimulationError(
+            "sharded graph placement requires the batched execution mode"
+        )
+    sharded = engine._sharded_graph()
+    n = len(queries)
+
+    aggregate = CostCounters(bytes_per_weight=engine.weight_bytes)
+    usage: dict[str, int] = {}
+    acct = ShardedRunAccounting(engine, sharded)
+
+    # -- launch: every query is submitted to its start node's owner ------- #
+    fetch_counters = CounterBatch(n, bytes_per_weight=engine.weight_bytes)
+    fetch_counters.atomic_ops += 1
+    per_query_ns = engine.device.lane_times_ns(fetch_counters)
+    aggregate.merge(fetch_counters.totals())
+    starts = np.array([q.start_node for q in queries], dtype=np.int64)
+    acct.charge_fetch(starts, per_query_ns)
+
+    frontier = WalkerFrontier(queries)
+    pool = StreamPool(engine.seed)
+    streams = pool.batch([q.query_id for q in queries])
+
+    per_query_comm_ns = np.zeros(n, dtype=np.float64)
+    total_steps = 0
+    reports = iter_supersteps(
+        engine, frontier, streams, per_query_ns, aggregate, usage, track_finished=False
+    )
+    for step_ordinal, report in enumerate(reports):
+        total_steps += report.steps
+        acct.observe(report, frontier, per_query_comm_ns, step_ordinal)
+
+    device_kernels = acct.device_kernels(engine.scheduling)
+    kernel = _merge_device_kernels(engine, device_kernels, aggregate, n)
+    return WalkRunResult(
+        paths=frontier.paths(),
+        per_query_ns=per_query_ns,
+        counters=aggregate,
+        kernel=kernel,
+        sampler_usage=usage,
+        total_steps=total_steps,
+        profile=profile,
+        preprocess_time_ns=(
+            engine.compiled.preprocessing_time_ns if engine.compiled is not None else 0.0
+        ),
+        num_devices=engine.num_devices,
+        partition_policy=engine.partition_policy,
+        device_kernels=device_kernels,
+        graph_placement="sharded",
+        shard_policy=sharded.policy,
+        per_query_comm_ns=per_query_comm_ns,
+        comm_time_ns=float(acct.comm_ns.sum()),
+        remote_steps=acct.remote_steps,
+    )
+
+
 def _merge_device_kernels(
     engine: "WalkEngine",
     device_kernels: list[KernelResult],
@@ -560,6 +824,7 @@ def _merge_device_kernels(
         num_queries=num_queries,
         counters=aggregate,
         scheduling=engine.scheduling,
+        comm_ns=float(sum(k.comm_ns for k in device_kernels)),
     )
 
 

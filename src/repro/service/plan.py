@@ -22,6 +22,7 @@ from repro.core.config import FlexiWalkerConfig
 from repro.errors import ServiceError
 from repro.gpusim.device import A6000, DeviceSpec
 from repro.gpusim.multigpu import PARTITION_POLICIES
+from repro.graph.sharded import SHARD_POLICIES
 
 #: Backends a service can negotiate.  ``scalar`` is the reference
 #: interpreter (streams walk-by-walk), ``batched`` the step-synchronous
@@ -65,6 +66,14 @@ class ServiceCapabilities:
     max_devices: int
     partition_policies: tuple[str, ...]
     device_name: str
+    #: Memory capacity of one fleet device — the budget the graph footprint
+    #: is negotiated against.  0 means "unknown" (no footprint negotiation).
+    device_memory_bytes: int = 0
+    #: Graph placements this service can execute (sharding needs a fleet
+    #: of at least 2 devices).
+    graph_placements: tuple[str, ...] = ("replicated",)
+    #: Node-range shard policies the sharded placement offers.
+    shard_policies: tuple[str, ...] = SHARD_POLICIES
 
     def supports(self, backend: str) -> bool:
         return backend in self.backends
@@ -87,6 +96,13 @@ class ExecutionPlan:
         or ``"scalar"``).
     num_devices / partition_policy:
         Device placement; 1/"hash" for single-device backends.
+    graph_placement / shard_policy:
+        How a multi-device plan places the graph: ``"replicated"`` copies
+        it onto every device (Fig. 15), ``"sharded"`` splits it into
+        per-device node-range shards (``shard_policy`` names the
+        decomposition; ``None`` unless sharded).  Negotiated from the
+        graph's memory footprint against the fleet device's memory when the
+        config requests ``"auto"``.
     scheduling:
         Query-to-lane scheduling inside each device.
     use_transition_cache:
@@ -103,6 +119,8 @@ class ExecutionPlan:
     execution: str
     num_devices: int = 1
     partition_policy: str = "hash"
+    graph_placement: str = "replicated"
+    shard_policy: str | None = None
     scheduling: str = "dynamic"
     use_transition_cache: bool = True
     streaming_granularity: str = "superstep"
@@ -115,6 +133,8 @@ class ExecutionPlan:
             "execution": self.execution,
             "num_devices": self.num_devices,
             "partition_policy": self.partition_policy,
+            "graph_placement": self.graph_placement,
+            "shard_policy": self.shard_policy,
             "scheduling": self.scheduling,
             "use_transition_cache": self.use_transition_cache,
             "streaming_granularity": self.streaming_granularity,
@@ -127,29 +147,39 @@ def negotiate_plan(
     config: FlexiWalkerConfig,
     compiled: CompiledWorkload | None = None,
     backend: str | None = None,
+    graph_footprint_bytes: int | None = None,
 ) -> ExecutionPlan:
     """Resolve declared capabilities and a session request into one plan.
 
     Parameters
     ----------
     capabilities:
-        What the service can do (fleet size, implemented backends).
+        What the service can do (fleet size, implemented backends, device
+        memory, graph placements).
     config:
         The session's requested knobs (execution mode, device count,
-        partition policy, scheduling).
+        partition policy, graph placement, scheduling).
     compiled:
         The compiled workload, consulted for cache eligibility.
     backend:
         Explicit backend request; by default the backend is derived from
         ``config`` (``num_devices > 1`` → ``multi_device``, else the
         configured execution mode).
+    graph_footprint_bytes:
+        Memory footprint of the graph to serve
+        (:meth:`~repro.graph.csr.CSRGraph.memory_footprint_bytes`).  Drives
+        the replicated-vs-sharded decision for multi-device plans when the
+        config requests ``graph_placement="auto"``: sharded is selected
+        exactly when the footprint exceeds one fleet device's memory.
+        ``None`` (or an unknown device memory) skips the negotiation and
+        keeps the replicated placement.
 
     Raises
     ------
     ServiceError
         When the request exceeds the declared capabilities (unknown
         backend, more devices than the fleet owns, inconsistent
-        backend/device combinations).
+        backend/device/placement combinations).
     """
     reasons: list[str] = []
 
@@ -199,6 +229,99 @@ def negotiate_plan(
             f"valid: {capabilities.partition_policies}"
         )
 
+    # Graph placement: replicated vs sharded.  Only a multi-device plan has
+    # a placement choice to make; single-device backends trivially hold the
+    # whole graph (replicated) and reject explicit shard requests.
+    placement = "replicated"
+    shard_policy: str | None = None
+    if backend == "multi_device":
+        memory = capabilities.device_memory_bytes
+        known = graph_footprint_bytes is not None and memory > 0
+        fits = not known or graph_footprint_bytes <= memory
+        can_shard = (
+            "sharded" in capabilities.graph_placements
+            and config.shard_policy in capabilities.shard_policies
+            and config.execution != "scalar"
+        )
+        requested = config.graph_placement
+        if requested == "sharded":
+            # An explicit shard request is a hard requirement: failing it
+            # loudly beats silently serving a placement the caller did not
+            # ask for.
+            if "sharded" not in capabilities.graph_placements:
+                raise ServiceError(
+                    "sharded graph placement is not offered by this service; "
+                    f"declared: {capabilities.graph_placements}"
+                )
+            if config.execution == "scalar":
+                raise ServiceError(
+                    "sharded graph placement requires the batched execution mode"
+                )
+            if config.shard_policy not in capabilities.shard_policies:
+                raise ServiceError(
+                    f"unknown shard policy {config.shard_policy!r}; "
+                    f"valid: {capabilities.shard_policies}"
+                )
+            placement = "sharded"
+            reasons.append("sharded graph placement requested explicitly")
+        elif requested == "replicated":
+            reasons.append("replicated graph placement requested explicitly")
+            if not fits:
+                reasons.append(
+                    f"warning: graph footprint {graph_footprint_bytes} B exceeds "
+                    f"device memory {memory} B but replicated placement was "
+                    "requested (simulated-OOM risk)"
+                )
+        # "auto": a negotiation, never a hard requirement — when sharding
+        # would help but the service cannot offer it, fall back to
+        # replicated and say so instead of failing the session.
+        elif not fits and not can_shard:
+            blocker = (
+                "scalar execution cannot shard"
+                if config.execution == "scalar"
+                else "sharded placement is not offered"
+            )
+            reasons.append(
+                f"graph footprint {graph_footprint_bytes} B exceeds device "
+                f"memory {memory} B but {blocker} -> replicated placement "
+                "kept (simulated-OOM risk)"
+            )
+        elif not fits:
+            placement = "sharded"
+            reasons.append(
+                f"graph footprint {graph_footprint_bytes} B exceeds device "
+                f"memory {memory} B -> sharded placement over "
+                f"{num_devices} devices ({config.shard_policy} ranges)"
+            )
+        elif not known:
+            reasons.append("graph footprint not negotiated -> replicated placement")
+        else:
+            reasons.append(
+                f"graph footprint {graph_footprint_bytes} B fits device "
+                f"memory {memory} B -> replicated placement"
+            )
+        if placement == "sharded":
+            shard_policy = config.shard_policy
+            # Sharding divides the graph, it does not shrink it: when even
+            # a device's 1/num_devices share of the footprint exceeds its
+            # memory, the plan is still under-provisioned — say so instead
+            # of presenting the placement as a solved memory problem.  (The
+            # edge-balanced ideal share; a skewed contiguous decomposition
+            # can only be worse.)
+            if known:
+                per_shard = -(-graph_footprint_bytes // num_devices)
+                if per_shard > memory:
+                    reasons.append(
+                        f"warning: even sharded, ~{per_shard} B per shard exceeds "
+                        f"device memory {memory} B — the graph needs more than "
+                        f"{num_devices} devices (simulated-OOM risk)"
+                    )
+    elif config.graph_placement == "sharded":
+        raise ServiceError(
+            f"sharded graph placement needs the multi_device backend, "
+            f"not {backend!r}"
+        )
+
     # The engine execution mode implementing the backend.  An explicitly
     # requested single-device backend *is* the execution mode (the request
     # wins over config.execution); multi_device keeps the configured mode:
@@ -224,6 +347,8 @@ def negotiate_plan(
         execution=execution,
         num_devices=num_devices,
         partition_policy=config.partition_policy,
+        graph_placement=placement,
+        shard_policy=shard_policy,
         scheduling=config.scheduling,
         use_transition_cache=use_cache,
         streaming_granularity=granularity,
@@ -236,11 +361,16 @@ def negotiate_plan(
 def declare_capabilities(fleet: DeviceFleet) -> ServiceCapabilities:
     """The capability set a service with ``fleet`` declares."""
     backends = ["scalar", "batched"]
+    placements = ["replicated"]
     if fleet.count > 1:
         backends.append("multi_device")
+        placements.append("sharded")
     return ServiceCapabilities(
         backends=tuple(backends),
         max_devices=fleet.count,
         partition_policies=PARTITION_POLICIES,
         device_name=fleet.device.name,
+        device_memory_bytes=fleet.device.memory_bytes,
+        graph_placements=tuple(placements),
+        shard_policies=SHARD_POLICIES,
     )

@@ -25,6 +25,8 @@ every behaviour-affecting hyperparameter there.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.compiler.generator import CompiledWorkload, compile_workload
@@ -52,6 +54,12 @@ from repro.service.plan import (
 )
 from repro.service.session import WalkSession
 from repro.walks.spec import WalkSpec
+
+#: Default cap on the per-workload registries (compiled artifacts, profiles,
+#: engine caches).  Each distinct ``spec.describe()`` key holds hint tables
+#: and transition caches that can reach O(graph) size, so an unbounded
+#: registry is a memory leak in a long-lived multi-tenant service.
+DEFAULT_MAX_CACHED_WORKLOADS = 128
 
 
 def build_selector(
@@ -96,16 +104,46 @@ class WalkService:
         The input graph (CSR); shared by every session.
     fleet:
         The simulated devices available to sessions (one A6000 by default).
+    max_cached_workloads:
+        LRU cap on each per-workload registry (compiled workloads,
+        profiles, engine caches).  A long-lived service seeing an unbounded
+        stream of distinct workload hyperparameters evicts the
+        least-recently-used entries instead of growing forever; an evicted
+        workload simply re-compiles (and re-profiles, re-builds its caches)
+        on its next use.  ``None`` disables the cap.
     """
 
-    def __init__(self, graph: CSRGraph, fleet: DeviceFleet | None = None) -> None:
+    def __init__(
+        self,
+        graph: CSRGraph,
+        fleet: DeviceFleet | None = None,
+        max_cached_workloads: int | None = DEFAULT_MAX_CACHED_WORKLOADS,
+    ) -> None:
+        if max_cached_workloads is not None and max_cached_workloads < 1:
+            raise ServiceError("max_cached_workloads must be at least 1 (or None)")
         self.graph = graph
         self.fleet = fleet if fleet is not None else DeviceFleet()
+        self.max_cached_workloads = max_cached_workloads
         self._capabilities = declare_capabilities(self.fleet)
-        self._compiled: dict[tuple, CompiledWorkload] = {}
-        self._profiles: dict[tuple, ProfileResult] = {}
-        self._caches: dict[tuple, EngineCaches] = {}
+        self._compiled: OrderedDict[tuple, CompiledWorkload] = OrderedDict()
+        self._profiles: OrderedDict[tuple, ProfileResult] = OrderedDict()
+        self._caches: OrderedDict[tuple, EngineCaches] = OrderedDict()
         self._sessions_created = 0
+
+    def _registry_get(self, registry: OrderedDict, key: tuple):
+        """LRU lookup: a hit moves the entry to the most-recent end."""
+        value = registry.get(key)
+        if value is not None:
+            registry.move_to_end(key)
+        return value
+
+    def _registry_put(self, registry: OrderedDict, key: tuple, value) -> None:
+        """LRU insert: evicts the least-recently-used entries over the cap."""
+        registry[key] = value
+        registry.move_to_end(key)
+        if self.max_cached_workloads is not None:
+            while len(registry) > self.max_cached_workloads:
+                registry.popitem(last=False)
 
     # ------------------------------------------------------------------ #
     def capabilities(self) -> ServiceCapabilities:
@@ -121,6 +159,7 @@ class WalkService:
             "backends": list(self._capabilities.backends),
             "compiled_workloads": len(self._compiled),
             "profiled_workloads": len(self._profiles),
+            "max_cached_workloads": self.max_cached_workloads,
             "sessions_created": self._sessions_created,
         }
 
@@ -162,28 +201,28 @@ class WalkService:
     def compile(self, spec: WalkSpec) -> CompiledWorkload:
         """Compile a workload against this service's graph and device (cached)."""
         key = self._spec_key(spec)
-        compiled = self._compiled.get(key)
+        compiled = self._registry_get(self._compiled, key)
         if compiled is None:
             compiled = compile_workload(spec, self.graph, device=self.fleet.device)
-            self._compiled[key] = compiled
+            self._registry_put(self._compiled, key, compiled)
         return compiled
 
     def profile(self, spec: WalkSpec, seed: int = 0) -> ProfileResult:
         """Run (or reuse) the start-up profiling kernels for a workload."""
         key = (*self._spec_key(spec), seed)
-        result = self._profiles.get(key)
+        result = self._registry_get(self._profiles, key)
         if result is None:
             result = profile_edge_costs(self.graph, spec, self.fleet.device, seed=seed)
-            self._profiles[key] = result
+            self._registry_put(self._profiles, key, result)
         return result
 
     def engine_caches(self, spec: WalkSpec) -> EngineCaches:
         """The shared hint-table/transition-cache holder of a workload."""
         key = self._spec_key(spec)
-        caches = self._caches.get(key)
+        caches = self._registry_get(self._caches, key)
         if caches is None:
             caches = EngineCaches()
-            self._caches[key] = caches
+            self._registry_put(self._caches, key, caches)
         return caches
 
     # ------------------------------------------------------------------ #
@@ -241,7 +280,13 @@ class WalkService:
             )
 
         compiled = self.compile(spec)
-        plan = negotiate_plan(self._capabilities, config, compiled, backend=backend)
+        plan = negotiate_plan(
+            self._capabilities,
+            config,
+            compiled,
+            backend=backend,
+            graph_footprint_bytes=self.graph.memory_footprint_bytes(config.weight_bytes),
+        )
 
         profile = self.profile(spec, seed=config.seed) if config.run_profiling else None
         ratio = (
@@ -277,6 +322,8 @@ class WalkService:
                 execution=plan.execution,
                 num_devices=plan.num_devices,
                 partition_policy=plan.partition_policy,
+                graph_placement=plan.graph_placement,
+                shard_policy=plan.shard_policy or config.shard_policy,
                 use_transition_cache=plan.use_transition_cache,
                 caches=self.engine_caches(spec),
             )
@@ -302,7 +349,13 @@ class WalkService:
         """Negotiate (without opening a session) the plan a session would get."""
         if config is None:
             config = FlexiWalkerConfig(device=self.fleet.device)
-        return negotiate_plan(self._capabilities, config, self.compile(spec), backend=backend)
+        return negotiate_plan(
+            self._capabilities,
+            config,
+            self.compile(spec),
+            backend=backend,
+            graph_footprint_bytes=self.graph.memory_footprint_bytes(config.weight_bytes),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

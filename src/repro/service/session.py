@@ -43,6 +43,7 @@ from repro.gpusim.executor import KernelExecutor
 from repro.rng.streams import StreamPool
 from repro.runtime.engine import WalkRunResult
 from repro.runtime.frontier import (
+    ShardedRunAccounting,
     _merge_device_kernels,
     _partition_for_devices,
     iter_supersteps,
@@ -139,7 +140,10 @@ class QueryTicket:
 class _Wave:
     """One claimed batch of queries executing through a single frontier."""
 
-    __slots__ = ("queries", "offset", "per_ns", "counts", "frontier", "iterator", "pool", "pos")
+    __slots__ = (
+        "queries", "offset", "per_ns", "counts", "frontier", "iterator",
+        "pool", "pos", "comm_ns", "steps_done",
+    )
 
     def __init__(self, queries: list[WalkQuery], offset: int) -> None:
         self.queries = queries
@@ -152,6 +156,11 @@ class _Wave:
         # Scalar backend: the wave's stream pool and a query cursor.
         self.pool: StreamPool | None = None
         self.pos = 0
+        # Sharded plans: per-walker migration time and the wave-local
+        # superstep ordinal (== every wave walker's step index, the
+        # canonical task key of the sharded accounting).
+        self.comm_ns: np.ndarray | None = None
+        self.steps_done = 0
 
 
 class WalkSession:
@@ -205,7 +214,16 @@ class WalkSession:
         # exists only to reconstruct exact per-device aggregates over the
         # full-batch partition at collect time, so single-device plans skip
         # it entirely (collect() then needs only the aggregate totals).
-        self._track_counts = plan.num_devices > 1
+        # Sharded plans skip it too: their per-device accounting follows the
+        # walkers around and is folded per superstep by the shard ledger.
+        self._sharded = plan.num_devices > 1 and plan.graph_placement == "sharded"
+        self._shard_acct = (
+            ShardedRunAccounting(engine, engine._sharded_graph())
+            if self._sharded
+            else None
+        )
+        self._comm_chunks: list[np.ndarray] = []
+        self._track_counts = plan.num_devices > 1 and not self._sharded
         self._paths: list[list[int]] = []
         self._ns_chunks: list[np.ndarray] = []
         self._count_chunks: dict[str, list[np.ndarray]] = {
@@ -330,7 +348,18 @@ class WalkSession:
         aggregate = self._aggregate.copy()
         executor = KernelExecutor(engine.device)
 
-        if self.plan.num_devices > 1:
+        if self._sharded:
+            # The shard ledger already attributed every fetch and every
+            # walker-step to the device owning the node it executed on
+            # (tasks keyed canonically, so wave composition cannot change
+            # the schedules); kernels just re-materialise from it.
+            device_kernels = self._shard_acct.device_kernels(engine.scheduling)
+            kernel = _merge_device_kernels(
+                engine, device_kernels, aggregate, len(self._submitted)
+            )
+            num_devices = self.plan.num_devices
+            partition_policy = self.plan.partition_policy
+        elif self.plan.num_devices > 1:
             partitions = _partition_for_devices(engine, self._submitted)
             counts = {
                 name: np.concatenate(chunks)
@@ -373,6 +402,15 @@ class WalkSession:
             num_devices=num_devices,
             partition_policy=partition_policy,
             device_kernels=device_kernels,
+            graph_placement="sharded" if self._sharded else "replicated",
+            shard_policy=self.plan.shard_policy if self._sharded else None,
+            per_query_comm_ns=(
+                np.concatenate(self._comm_chunks) if self._sharded else None
+            ),
+            comm_time_ns=(
+                float(self._shard_acct.comm_ns.sum()) if self._sharded else 0.0
+            ),
+            remote_steps=self._shard_acct.remote_steps if self._sharded else 0,
         )
         result.wall_clock_s = self._exec_seconds
         return result
@@ -403,6 +441,11 @@ class WalkSession:
                 name: np.zeros(k, dtype=np.int64) for name in CostCounters._COUNT_FIELDS
             }
             wave.counts["atomic_ops"] += 1
+
+        if self._sharded:
+            starts = np.array([q.start_node for q in queries], dtype=np.int64)
+            self._shard_acct.charge_fetch(starts, wave.per_ns, offset=wave.offset)
+            wave.comm_ns = np.zeros(k, dtype=np.float64)
 
         if self.plan.execution == "batched":
             wave.frontier = WalkerFrontier(queries)
@@ -440,6 +483,15 @@ class WalkSession:
             self._exec_seconds += time.perf_counter() - started
             return None
 
+        if self._sharded:
+            self._shard_acct.observe(
+                report,
+                wave.frontier,
+                wave.comm_ns,
+                step_ordinal=wave.steps_done,
+                offset=wave.offset,
+            )
+            wave.steps_done += 1
         if self._track_counts and report.active.size:
             for name in CostCounters._COUNT_FIELDS:
                 column = getattr(report.counters, name)
@@ -509,6 +561,8 @@ class WalkSession:
         # reuse those lists instead of materialising a second copy.
         self._paths.extend(self._path_by_qid[q.query_id] for q in wave.queries)
         self._ns_chunks.append(wave.per_ns)
+        if self._sharded:
+            self._comm_chunks.append(wave.comm_ns)
         if self._track_counts:
             for name in CostCounters._COUNT_FIELDS:
                 self._count_chunks[name].append(wave.counts[name])

@@ -30,7 +30,7 @@ def test_experiment_runs_and_formats(module_name):
 
 
 def test_experiment_registry_lists_every_module():
-    assert len(EXPERIMENT_MODULES) == 13
+    assert len(EXPERIMENT_MODULES) == 14
     for name in EXPERIMENT_MODULES:
         assert importlib.import_module(f"repro.bench.experiments.{name}")
 

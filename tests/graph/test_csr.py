@@ -121,5 +121,30 @@ class TestDerivedGraphs:
         g = simple_graph()
         assert g.memory_footprint_bytes(weight_bytes=8) > g.memory_footprint_bytes(weight_bytes=1)
 
+    def test_derivation_propagates_topology_caches(self):
+        """with_weights/with_labels share indptr/indices unchanged, so the
+        O(E) in-degree and edge-key caches must carry over by identity —
+        a derived graph silently rebuilding them was the regression."""
+        g = simple_graph()
+        in_degrees = g.in_degrees()            # populate both caches
+        g.has_edges(np.array([0]), np.array([1]))
+        assert g._in_degree_cache is not None
+        assert g._edge_key_cache is not None
+
+        weighted = g.with_weights(np.array([5.0, 5.0, 5.0]))
+        labeled = g.with_labels(np.array([1, 2, 3]))
+        chained = weighted.with_labels(np.array([1, 2, 3]))
+        for derived in (weighted, labeled, chained):
+            assert derived._in_degree_cache is g._in_degree_cache
+            assert derived._edge_key_cache is g._edge_key_cache
+            assert np.array_equal(derived.in_degrees(), in_degrees)
+
+    def test_caches_populated_after_derivation_are_not_shared_backward(self):
+        g = simple_graph()
+        derived = g.with_weights(np.array([2.0, 2.0, 2.0]))
+        assert derived._in_degree_cache is None  # parent had not built it yet
+        derived.in_degrees()
+        assert g._in_degree_cache is None        # no backward propagation
+
     def test_repr_mentions_counts(self):
         assert "3 nodes" in repr(simple_graph())

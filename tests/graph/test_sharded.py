@@ -1,0 +1,136 @@
+"""ShardedCSRGraph: builder policies, ownership lookup, memory accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import barabasi_albert_graph, star_graph
+from repro.graph.labels import random_edge_labels
+from repro.graph.sharded import SHARD_POLICIES, ShardedCSRGraph
+
+
+def skewed_graph(num_nodes: int = 50, seed: int = 7) -> CSRGraph:
+    # Scale-model shape: low node ids get the highest degrees.
+    return barabasi_albert_graph(num_nodes, 3, seed=seed, name="sharded-test")
+
+
+class TestBuild:
+    @pytest.mark.parametrize("policy", SHARD_POLICIES)
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 7])
+    def test_shards_cover_every_node_and_edge_exactly_once(self, policy, num_shards):
+        graph = skewed_graph()
+        sharded = ShardedCSRGraph.build(graph, num_shards, policy)
+        assert sharded.num_shards == num_shards
+        assert sharded.boundaries[0] == 0
+        assert sharded.boundaries[-1] == graph.num_nodes
+        assert sum(s.num_nodes for s in sharded.shards) == graph.num_nodes
+        assert sum(s.num_edges for s in sharded.shards) == graph.num_edges
+        # Reassembling the per-shard slices reproduces the parent arrays.
+        assert np.array_equal(
+            np.concatenate([s.indices for s in sharded.shards]), graph.indices
+        )
+        assert np.array_equal(
+            np.concatenate([s.weights for s in sharded.shards]), graph.weights
+        )
+
+    def test_local_indptr_is_rebased(self):
+        graph = skewed_graph()
+        sharded = ShardedCSRGraph.build(graph, 3, "contiguous")
+        for shard in sharded.shards:
+            assert shard.indptr[0] == 0
+            assert shard.indptr[-1] == shard.num_edges
+            # Each local row matches the parent's neighbour list.
+            for local in range(shard.num_nodes):
+                node = shard.node_start + local
+                nbrs = shard.indices[shard.indptr[local]:shard.indptr[local + 1]]
+                assert np.array_equal(nbrs, graph.neighbors(node))
+
+    def test_degree_balanced_beats_contiguous_on_skew(self):
+        graph = skewed_graph(num_nodes=120)
+        contiguous = ShardedCSRGraph.build(graph, 4, "contiguous")
+        balanced = ShardedCSRGraph.build(graph, 4, "degree_balanced")
+
+        def imbalance(sharded):
+            counts = sharded.shard_edge_counts().astype(float)
+            return counts.max() / counts.mean()
+
+        assert imbalance(balanced) <= imbalance(contiguous)
+
+    def test_labels_slice_along(self):
+        graph = skewed_graph()
+        graph = graph.with_labels(random_edge_labels(graph, num_labels=4, seed=1))
+        sharded = ShardedCSRGraph.build(graph, 2, "contiguous")
+        assert all(s.labels is not None for s in sharded.shards)
+        assert np.array_equal(
+            np.concatenate([s.labels for s in sharded.shards]), graph.labels
+        )
+
+    def test_invalid_arguments(self):
+        graph = skewed_graph()
+        with pytest.raises(GraphError):
+            ShardedCSRGraph.build(graph, 0)
+        with pytest.raises(GraphError):
+            ShardedCSRGraph.build(graph, 2, policy="random")
+
+
+class TestOwner:
+    @pytest.mark.parametrize("policy", SHARD_POLICIES)
+    def test_owner_matches_shard_ranges(self, policy):
+        graph = skewed_graph()
+        sharded = ShardedCSRGraph.build(graph, 4, policy)
+        nodes = np.arange(graph.num_nodes)
+        owners = sharded.owner(nodes)
+        for shard in sharded.shards:
+            mask = owners == shard.shard_id
+            assert np.array_equal(np.nonzero(mask)[0], nodes[shard.owns(nodes)])
+
+    def test_empty_shards_never_own(self):
+        # More shards than nodes: the star graph has hub 0 plus leaves.
+        graph = star_graph(4)
+        sharded = ShardedCSRGraph.build(graph, 7, "degree_balanced")
+        owners = sharded.owner(np.arange(graph.num_nodes))
+        for shard in sharded.shards:
+            if shard.num_nodes == 0:
+                assert not np.any(owners == shard.shard_id)
+        # Every node still has exactly one owner in range.
+        assert owners.min() >= 0
+        assert owners.max() < sharded.num_shards
+
+    def test_owner_rejects_out_of_range_nodes(self):
+        sharded = ShardedCSRGraph.build(skewed_graph(), 2)
+        with pytest.raises(GraphError):
+            sharded.owner(np.array([999]))
+
+
+class TestMemoryAccounting:
+    def test_shard_footprints_cover_the_replicated_footprint(self):
+        graph = skewed_graph()
+        sharded = ShardedCSRGraph.build(graph, 4, "degree_balanced")
+        total = sharded.memory_footprint_bytes()
+        # Sharding duplicates one indptr entry per extra shard, nothing else.
+        assert total == graph.memory_footprint_bytes() + 8 * (sharded.num_shards - 1)
+        assert sharded.max_shard_footprint_bytes() < graph.memory_footprint_bytes()
+        assert sharded.max_shard_footprint_bytes() == max(
+            s.memory_footprint_bytes() for s in sharded.shards
+        )
+
+    def test_weight_bytes_scales_like_the_parent(self):
+        graph = skewed_graph()
+        sharded = ShardedCSRGraph.build(graph, 2)
+        delta = sharded.memory_footprint_bytes(8) - sharded.memory_footprint_bytes(1)
+        assert delta == graph.num_edges * 7
+
+    def test_describe_reports_the_decomposition(self):
+        sharded = ShardedCSRGraph.build(skewed_graph(), 4, "degree_balanced")
+        described = sharded.describe()
+        assert described["num_shards"] == 4
+        assert described["policy"] == "degree_balanced"
+        assert 0.0 <= described["remote_edge_fraction"] <= 1.0
+        assert described["edge_balance"] >= 1.0
+
+    def test_remote_edge_fraction_zero_for_single_shard(self):
+        sharded = ShardedCSRGraph.build(skewed_graph(), 1)
+        assert sharded.remote_edge_fraction() == 0.0

@@ -1,0 +1,113 @@
+"""Property-based sharded-vs-replicated parity across the whole grid.
+
+The sharded driver runs the identical fused superstep loop as the replicated
+multi-device path; sharding only relocates where each step's work is
+accounted and adds the modeled interconnect term.  So for *any* graph,
+workload, seed, device count, shard policy and walk length, the two modes
+must agree bit-for-bit on paths, counter totals (global and summed over
+device kernels) and per-query base times — while the communication term
+stays exactly the migration count times the device's transfer cost.
+Hypothesis hunts for counterexamples across that grid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.generator import compile_workload
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.labels import random_edge_labels
+from repro.graph.sharded import SHARD_POLICIES, ShardedCSRGraph
+from repro.graph.weights import uniform_weights
+from repro.gpusim.device import A6000
+from repro.runtime.engine import WalkEngine
+from repro.runtime.frontier import WALKER_MIGRATION_BYTES
+from repro.runtime.selector import CostModelSelector
+from repro.walks.deepwalk import DeepWalkSpec
+from repro.walks.metapath import MetaPathSpec
+from repro.walks.node2vec import Node2VecSpec
+from repro.walks.state import make_queries
+
+DEVICE = dataclasses.replace(A6000, parallel_lanes=8)
+
+SPEC_FACTORIES = {
+    "deepwalk": DeepWalkSpec,
+    "node2vec": Node2VecSpec,
+    "metapath": lambda: MetaPathSpec(schema=(0, 1, 2)),
+}
+
+
+def build_graph(seed: int):
+    graph = barabasi_albert_graph(24 + (seed % 4) * 10, 3, seed=seed,
+                                  name=f"sharded-prop-{seed}")
+    graph = graph.with_weights(uniform_weights(graph, seed=seed))
+    return graph.with_labels(random_edge_labels(graph, num_labels=4, seed=seed))
+
+
+def build_engine(graph, spec, run_seed, **kwargs):
+    compiled = compile_workload(spec, graph)
+    return WalkEngine(
+        graph=graph, spec=spec, device=DEVICE, seed=run_seed,
+        selector=CostModelSelector(), compiled=compiled,
+        selection_overhead=True, warp_switch_overhead=True, **kwargs,
+    )
+
+
+class TestShardedMatchesReplicated:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        graph_seed=st.integers(min_value=0, max_value=30),
+        run_seed=st.integers(min_value=0, max_value=500),
+        workload=st.sampled_from(sorted(SPEC_FACTORIES)),
+        num_devices=st.sampled_from([2, 3, 4]),
+        shard_policy=st.sampled_from(SHARD_POLICIES),
+        walk_length=st.integers(min_value=1, max_value=6),
+    )
+    def test_sharded_equals_replicated_in_base_quantities(
+        self, graph_seed, run_seed, workload, num_devices, shard_policy, walk_length
+    ):
+        graph = build_graph(graph_seed)
+        spec = SPEC_FACTORIES[workload]()
+        queries = make_queries(graph.num_nodes, walk_length=walk_length,
+                               num_queries=min(16, graph.num_nodes), seed=run_seed)
+
+        replicated = build_engine(graph, spec, run_seed,
+                                  num_devices=num_devices).run(queries)
+        sharded = build_engine(
+            graph, spec, run_seed, num_devices=num_devices,
+            graph_placement="sharded", shard_policy=shard_policy,
+        ).run(queries)
+
+        assert sharded.paths == replicated.paths
+        assert sharded.sampler_usage == replicated.sampler_usage
+        assert sharded.total_steps == replicated.total_steps
+        assert sharded.counters.as_dict() == replicated.counters.as_dict()
+        assert np.array_equal(sharded.per_query_ns, replicated.per_query_ns)
+
+        # Per-device counters fold back to the placement-invariant totals.
+        for name, total in replicated.counters.as_dict().items():
+            assert sum(
+                k.counters.as_dict()[name] for k in sharded.device_kernels
+            ) == total
+
+        # The communication term is exactly migrations x transfer cost, and
+        # every walk's migration count is bounded by its step count.
+        migration = DEVICE.migration_time_ns(WALKER_MIGRATION_BYTES)
+        assert sharded.comm_time_ns == sharded.remote_steps * migration
+        assert sharded.remote_steps <= sharded.total_steps
+        assert np.all(sharded.per_query_comm_ns >= 0.0)
+        assert float(sharded.per_query_comm_ns.sum()) == sharded.comm_time_ns
+
+        # Remote steps are consistent with the walked paths and the shard
+        # decomposition: recount boundary crossings directly from the walks.
+        decomposition = ShardedCSRGraph.build(graph, num_devices, shard_policy)
+        crossings = 0
+        for path in sharded.paths:
+            nodes = np.asarray(path, dtype=np.int64)
+            owners = decomposition.owner(nodes)
+            crossings += int(np.count_nonzero(owners[1:] != owners[:-1]))
+        assert sharded.remote_steps == crossings

@@ -71,6 +71,72 @@ class TestValidateQueries:
         with pytest.raises(SimulationError, match="duplicate query_id"):
             validate_queries(queries, num_nodes=10)
 
+    def test_empty_batch_passes(self):
+        validate_queries([], num_nodes=10)
+
+    def test_range_error_message_is_exact(self):
+        queries = make_batch(3) + [WalkQuery(query_id=7, start_node=42, max_length=3)]
+        with pytest.raises(
+            SimulationError,
+            match=r"query 7 starts at node 42, which is outside the graph "
+                  r"\(num_nodes=10\)",
+        ):
+            validate_queries(queries, num_nodes=10)
+
+    def test_duplicate_error_message_is_exact(self):
+        queries = make_batch(3) + [WalkQuery(query_id=1, start_node=2, max_length=3)]
+        with pytest.raises(
+            SimulationError,
+            match=r"duplicate query_id 1: ids must be unique within a batch "
+                  r"\(each id owns one random stream\)",
+        ):
+            validate_queries(queries, num_nodes=10)
+
+    def test_reports_the_first_failing_query_in_submission_order(self):
+        # The vectorised checks must keep the old loop's semantics: the
+        # error names the earliest offender, range checked before
+        # duplication at the same index.
+        range_then_dup = [
+            WalkQuery(query_id=0, start_node=0, max_length=3),
+            WalkQuery(query_id=1, start_node=99, max_length=3),  # first offender
+            WalkQuery(query_id=0, start_node=1, max_length=3),   # later duplicate
+        ]
+        with pytest.raises(SimulationError, match="query 1 starts at node 99"):
+            validate_queries(range_then_dup, num_nodes=10)
+
+        dup_then_range = [
+            WalkQuery(query_id=0, start_node=0, max_length=3),
+            WalkQuery(query_id=0, start_node=1, max_length=3),   # first offender
+            WalkQuery(query_id=2, start_node=99, max_length=3),  # later range error
+        ]
+        with pytest.raises(SimulationError, match="duplicate query_id 0"):
+            validate_queries(dup_then_range, num_nodes=10)
+
+    def test_same_index_failing_both_checks_reports_the_range_error(self):
+        queries = [
+            WalkQuery(query_id=3, start_node=1, max_length=3),
+            WalkQuery(query_id=3, start_node=50, max_length=3),  # dup AND range
+        ]
+        with pytest.raises(SimulationError, match="starts at node 50"):
+            validate_queries(queries, num_nodes=10)
+
+    def test_duplicate_detection_reports_the_second_occurrence(self):
+        # Three-way duplicate: the error fires where the old loop fired —
+        # at the *second* occurrence, not the third.
+        queries = [
+            WalkQuery(query_id=5, start_node=1, max_length=3),
+            WalkQuery(query_id=4, start_node=1, max_length=3),
+            WalkQuery(query_id=5, start_node=2, max_length=3),
+            WalkQuery(query_id=5, start_node=3, max_length=3),
+        ]
+        with pytest.raises(SimulationError, match="duplicate query_id 5"):
+            validate_queries(queries, num_nodes=10)
+
+    def test_large_unique_batch_validates(self):
+        queries = [WalkQuery(query_id=i, start_node=i % 10, max_length=3)
+                   for i in range(5000)]
+        validate_queries(queries, num_nodes=10)
+
 
 class TestBatchFetch:
     def test_fetch_batch_claims_in_submission_order(self):

@@ -1,0 +1,261 @@
+"""Sharded-vs-replicated parity: graph placement cannot change any walk.
+
+The sharded driver executes the same fused superstep loop as every other
+mode — sharding only decides *where* each step's work lands and what
+interconnect traffic it generates.  These tests enforce the acceptance
+contract: bit-identical paths, counter totals and per-query base times
+against the replicated run for every shard count × shard policy, with only
+the communication term and the makespan allowed to differ; plus the
+dead-end-on-a-remote-shard edge case and the session-layer exactness of the
+sharded accounting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.compiler.generator import compile_workload
+from repro.core.config import FlexiWalkerConfig
+from repro.errors import SimulationError
+from repro.gpusim.device import A6000
+from repro.graph.builders import from_edge_list
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.labels import random_edge_labels
+from repro.graph.sharded import SHARD_POLICIES, ShardedCSRGraph
+from repro.graph.weights import uniform_weights
+from repro.runtime.engine import WalkEngine
+from repro.runtime.frontier import WALKER_MIGRATION_BYTES
+from repro.runtime.selector import CostModelSelector
+from repro.service import DeviceFleet, WalkService
+from repro.walks.deepwalk import DeepWalkSpec
+from repro.walks.metapath import MetaPathSpec
+from repro.walks.node2vec import Node2VecSpec
+from repro.walks.second_order_pr import SecondOrderPRSpec
+from repro.walks.state import make_queries
+
+DEVICE = dataclasses.replace(A6000, parallel_lanes=8)
+WORKLOADS = {
+    "deepwalk": DeepWalkSpec,
+    "node2vec": Node2VecSpec,
+    "second_order_pr": SecondOrderPRSpec,
+    "metapath": lambda: MetaPathSpec(schema=(0, 1, 2)),
+}
+
+
+def labeled_graph(num_nodes: int = 60, seed: int = 3):
+    graph = barabasi_albert_graph(num_nodes, 3, seed=seed, name=f"sharded-{seed}")
+    graph = graph.with_weights(uniform_weights(graph, seed=seed))
+    return graph.with_labels(random_edge_labels(graph, num_labels=4, seed=seed))
+
+
+def make_engine(graph, spec, num_devices=1, placement="replicated",
+                shard_policy="contiguous", seed=0):
+    compiled = compile_workload(spec, graph)
+    return WalkEngine(
+        graph=graph,
+        spec=spec,
+        device=DEVICE,
+        selector=CostModelSelector(),
+        compiled=compiled,
+        seed=seed,
+        selection_overhead=True,
+        warp_switch_overhead=True,
+        num_devices=num_devices,
+        graph_placement=placement,
+        shard_policy=shard_policy,
+    )
+
+
+def assert_base_parity(baseline, result):
+    """Everything but communication and makespan must match exactly."""
+    assert result.paths == baseline.paths
+    assert result.sampler_usage == baseline.sampler_usage
+    assert result.total_steps == baseline.total_steps
+    assert result.counters.as_dict() == baseline.counters.as_dict()
+    assert np.array_equal(result.per_query_ns, baseline.per_query_ns)
+
+
+class TestShardedParityMatrix:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("shard_policy", SHARD_POLICIES)
+    @pytest.mark.parametrize("num_devices", [2, 4])
+    def test_base_quantities_identical_to_replicated(
+        self, workload, shard_policy, num_devices
+    ):
+        graph = labeled_graph()
+        spec = WORKLOADS[workload]()
+        queries = make_queries(graph.num_nodes, walk_length=6, num_queries=32, seed=0)
+        replicated = make_engine(graph, spec, num_devices, "replicated").run(queries)
+        sharded = make_engine(
+            graph, spec, num_devices, "sharded", shard_policy
+        ).run(queries)
+        assert_base_parity(replicated, sharded)
+        assert sharded.graph_placement == "sharded"
+        assert sharded.shard_policy == shard_policy
+        assert len(sharded.device_kernels) == num_devices
+        # The shard decomposition only adds the communication term.
+        assert sharded.comm_time_ns >= 0.0
+        assert 0.0 <= sharded.remote_edge_ratio <= 1.0
+        assert replicated.comm_time_ns == 0.0
+        assert replicated.remote_steps == 0
+
+    def test_per_device_counters_fold_back_to_the_aggregate(self):
+        graph = labeled_graph(seed=9)
+        spec = Node2VecSpec()
+        queries = make_queries(graph.num_nodes, walk_length=5, num_queries=24, seed=1)
+        result = make_engine(graph, spec, 4, "sharded", "degree_balanced").run(queries)
+        for name, total in result.counters.as_dict().items():
+            assert sum(k.counters.as_dict()[name] for k in result.device_kernels) == total
+        assert sum(k.num_queries for k in result.device_kernels) >= len(queries)
+
+    def test_comm_term_prices_every_migration(self):
+        graph = labeled_graph(seed=5)
+        spec = DeepWalkSpec()
+        queries = make_queries(graph.num_nodes, walk_length=6, seed=0)
+        result = make_engine(graph, spec, 4, "sharded").run(queries)
+        migration = DEVICE.migration_time_ns(WALKER_MIGRATION_BYTES)
+        assert result.comm_time_ns == pytest.approx(result.remote_steps * migration)
+        assert result.per_query_comm_ns is not None
+        assert result.per_query_comm_ns.sum() == pytest.approx(result.comm_time_ns)
+        assert sum(k.comm_ns for k in result.device_kernels) == pytest.approx(
+            result.comm_time_ns
+        )
+        # Makespan includes the communication serialised on each device.
+        assert result.kernel.time_ns == max(k.time_ns for k in result.device_kernels)
+
+    def test_single_shard_has_no_remote_steps(self):
+        graph = labeled_graph(seed=7)
+        sharded = ShardedCSRGraph.build(graph, 1)
+        assert sharded.remote_edge_fraction() == 0.0
+
+    def test_sharded_requires_batched_execution(self):
+        graph = labeled_graph(seed=11)
+        with pytest.raises(SimulationError):
+            WalkEngine(
+                graph=graph,
+                spec=DeepWalkSpec(),
+                device=DEVICE,
+                execution="scalar",
+                num_devices=2,
+                graph_placement="sharded",
+            )
+        scalar_engine = WalkEngine(
+            graph=graph, spec=DeepWalkSpec(), device=DEVICE, execution="scalar"
+        )
+        with pytest.raises(SimulationError):
+            scalar_engine.with_devices(2, graph_placement="sharded")
+
+    def test_engine_rejects_unknown_placement_and_policy(self):
+        graph = labeled_graph(seed=11)
+        with pytest.raises(SimulationError):
+            WalkEngine(graph=graph, spec=DeepWalkSpec(), graph_placement="mirrored")
+        with pytest.raises(SimulationError):
+            WalkEngine(graph=graph, spec=DeepWalkSpec(), shard_policy="hashed")
+
+
+class TestDeadEndOnRemoteShard:
+    def test_walker_migrates_then_terminates_without_further_charges(self):
+        # Shards (2, contiguous over 4 nodes): shard 0 owns {0, 1}, shard 1
+        # owns {2, 3}.  Node 2 is a dead end, so a walk from node 0 crosses
+        # the boundary once and dies on the remote shard.
+        graph = from_edge_list([(0, 2), (1, 0), (3, 0)], num_nodes=4, name="dead-end")
+        spec = DeepWalkSpec()
+        queries = make_queries(4, walk_length=5, start_nodes=np.array([0]))
+
+        replicated = make_engine(graph, spec, 2, "replicated").run(queries)
+        sharded = make_engine(graph, spec, 2, "sharded").run(queries)
+        assert_base_parity(replicated, sharded)
+        assert sharded.paths == [[0, 2]]
+        # Exactly one boundary crossing: the 0 -> 2 step.  The dead-end
+        # termination on shard 1 charges nothing — no step, no migration.
+        assert sharded.remote_steps == 1
+        migration = DEVICE.migration_time_ns(WALKER_MIGRATION_BYTES)
+        assert sharded.comm_time_ns == pytest.approx(migration)
+        assert sharded.per_query_comm_ns[0] == pytest.approx(migration)
+        # The one walk step executed on shard 0; shard 1 ran no tasks.
+        assert sharded.device_kernels[1].num_queries == 0
+        assert sharded.device_kernels[1].comm_ns == 0.0
+
+    def test_zero_weight_termination_is_not_a_migration(self):
+        # Node 1 (remote from node 0's shard in a 2-shard split) has a
+        # single all-zero-weight edge: the walker migrates onto it, then
+        # fails to sample and terminates where it stands.
+        # CSR edge order (sorted by source): (0,2), (1,3), (2,1), (3,0).
+        graph = from_edge_list([(0, 2), (2, 1), (1, 3), (3, 0)], num_nodes=4)
+        graph = graph.with_weights(np.array([1.0, 0.0, 1.0, 1.0]))
+        spec = DeepWalkSpec()
+        queries = make_queries(4, walk_length=5, start_nodes=np.array([0]))
+        sharded = make_engine(graph, spec, 2, "sharded").run(queries)
+        # 0 -> 2 crosses (shard0 -> shard1), 2 -> 1 crosses back, then the
+        # zero-weight step at node 1 charges a step but no migration.
+        assert sharded.paths == [[0, 2, 1]]
+        assert sharded.remote_steps == 2
+
+
+class TestShardedThroughTheService:
+    def make_service(self, graph, count=4):
+        # A device too small for the whole graph: negotiation must shard.
+        small = dataclasses.replace(
+            DEVICE, memory_bytes=max(1, graph.memory_footprint_bytes() // count)
+        )
+        return WalkService(graph, fleet=DeviceFleet(small, count)), small
+
+    def test_negotiated_sharded_session_matches_oneshot_engine(self):
+        graph = labeled_graph(seed=13)
+        service, small = self.make_service(graph)
+        config = FlexiWalkerConfig(device=small, num_devices=4)
+        session = service.session(Node2VecSpec(), config)
+        assert session.plan.graph_placement == "sharded"
+        queries = make_queries(graph.num_nodes, walk_length=5, num_queries=30, seed=2)
+        session.submit(queries)
+        collected = session.collect()
+        oneshot = session.engine.run(queries)
+        assert collected.paths == oneshot.paths
+        assert np.array_equal(collected.per_query_ns, oneshot.per_query_ns)
+        assert np.array_equal(collected.per_query_comm_ns, oneshot.per_query_comm_ns)
+        assert collected.counters.as_dict() == oneshot.counters.as_dict()
+        assert collected.kernel.time_ns == oneshot.kernel.time_ns
+        assert [k.time_ns for k in collected.device_kernels] == [
+            k.time_ns for k in oneshot.device_kernels
+        ]
+
+    def test_interleaved_submit_stream_is_exact(self):
+        graph = labeled_graph(seed=17)
+        service, small = self.make_service(graph)
+        config = FlexiWalkerConfig(device=small, num_devices=4)
+        queries = make_queries(graph.num_nodes, walk_length=5, num_queries=24, seed=3)
+
+        oneshot = service.session(Node2VecSpec(), config)
+        oneshot.submit(queries)
+        expected = oneshot.collect()
+
+        interleaved = service.session(Node2VecSpec(), config)
+        interleaved.submit(queries[:9])
+        seen = 0
+        for _chunk in interleaved.stream():
+            seen += 1
+            if seen == 2:
+                break
+        interleaved.submit(queries[9:])
+        result = interleaved.collect()
+
+        assert result.paths == expected.paths
+        assert np.array_equal(result.per_query_ns, expected.per_query_ns)
+        assert np.array_equal(result.per_query_comm_ns, expected.per_query_comm_ns)
+        assert result.remote_steps == expected.remote_steps
+        assert result.kernel.time_ns == expected.kernel.time_ns
+
+    def test_summary_reports_the_sharded_quantities(self):
+        graph = labeled_graph(seed=19)
+        service, small = self.make_service(graph)
+        session = service.session(
+            DeepWalkSpec(), FlexiWalkerConfig(device=small, num_devices=4)
+        )
+        session.submit(make_queries(graph.num_nodes, walk_length=4, num_queries=16))
+        summary = session.collect().summary()
+        assert summary["graph_placement"] == "sharded"
+        assert summary["remote_edge_ratio"] > 0.0
+        assert summary["comm_time_ms"] > 0.0

@@ -112,6 +112,112 @@ class TestNegotiation:
         assert described["reasons"] == list(plan.reasons)
 
 
+class TestGraphPlacementNegotiation:
+    MEMORY = DEVICE.memory_bytes
+
+    def test_default_plan_is_replicated(self):
+        plan = negotiate_plan(caps(), FlexiWalkerConfig(device=DEVICE, num_devices=4))
+        assert plan.graph_placement == "replicated"
+        assert plan.shard_policy is None
+
+    def test_sharded_selected_exactly_when_footprint_exceeds_memory(self):
+        config = FlexiWalkerConfig(device=DEVICE, num_devices=4)
+        fits = negotiate_plan(caps(), config, graph_footprint_bytes=self.MEMORY)
+        too_big = negotiate_plan(caps(), config, graph_footprint_bytes=self.MEMORY + 1)
+        assert fits.graph_placement == "replicated"
+        assert too_big.graph_placement == "sharded"
+        assert too_big.shard_policy == config.shard_policy
+        assert any("exceeds device memory" in r for r in too_big.reasons)
+        assert any("fits device memory" in r for r in fits.reasons)
+
+    def test_explicit_sharded_request_wins_even_when_the_graph_fits(self):
+        config = FlexiWalkerConfig(
+            device=DEVICE, num_devices=4, graph_placement="sharded",
+            shard_policy="degree_balanced",
+        )
+        plan = negotiate_plan(caps(), config, graph_footprint_bytes=1)
+        assert plan.graph_placement == "sharded"
+        assert plan.shard_policy == "degree_balanced"
+        assert any("requested explicitly" in r for r in plan.reasons)
+
+    def test_explicit_replicated_request_records_the_oom_risk(self):
+        config = FlexiWalkerConfig(
+            device=DEVICE, num_devices=4, graph_placement="replicated"
+        )
+        plan = negotiate_plan(caps(), config, graph_footprint_bytes=self.MEMORY * 2)
+        assert plan.graph_placement == "replicated"
+        assert any("simulated-OOM risk" in r for r in plan.reasons)
+
+    def test_sharded_needs_multi_device_backend(self):
+        config = FlexiWalkerConfig(device=DEVICE, graph_placement="sharded")
+        with pytest.raises(ServiceError):
+            negotiate_plan(caps(), config)
+
+    def test_scalar_execution_falls_back_to_replicated(self):
+        config = FlexiWalkerConfig(device=DEVICE, num_devices=4, execution="scalar")
+        plan = negotiate_plan(caps(), config, graph_footprint_bytes=self.MEMORY * 2)
+        assert plan.graph_placement == "replicated"
+        assert any("scalar execution cannot shard" in r for r in plan.reasons)
+
+    def test_explicit_sharded_with_scalar_execution_fails(self):
+        config = FlexiWalkerConfig(
+            device=DEVICE, num_devices=4, execution="scalar",
+            graph_placement="sharded",
+        )
+        with pytest.raises(ServiceError):
+            negotiate_plan(caps(), config)
+
+    def test_sharded_plan_warns_when_even_the_shards_do_not_fit(self):
+        config = FlexiWalkerConfig(device=DEVICE, num_devices=4)
+        # 10x one device's memory over 4 shards: ~2.5x per shard — sharding
+        # alone does not solve the memory problem and the plan must say so.
+        plan = negotiate_plan(caps(), config, graph_footprint_bytes=self.MEMORY * 10)
+        assert plan.graph_placement == "sharded"
+        assert any("even sharded" in r and "simulated-OOM risk" in r
+                   for r in plan.reasons)
+        # A footprint the shards can absorb stays warning-free.
+        ok = negotiate_plan(caps(), config, graph_footprint_bytes=self.MEMORY * 3)
+        assert ok.graph_placement == "sharded"
+        assert not any("even sharded" in r for r in ok.reasons)
+
+    def test_auto_falls_back_when_sharding_is_not_offered(self):
+        # "auto" is a negotiation, not a requirement: capabilities without
+        # the sharded placement keep the session alive on replicated and
+        # record why, even for an oversized graph.
+        declared = dataclasses.replace(caps(4), graph_placements=("replicated",))
+        config = FlexiWalkerConfig(device=DEVICE, num_devices=4)
+        plan = negotiate_plan(declared, config, graph_footprint_bytes=self.MEMORY * 2)
+        assert plan.graph_placement == "replicated"
+        assert any("sharded placement is not offered" in r for r in plan.reasons)
+        # An explicit request against the same capabilities still fails.
+        explicit = dataclasses.replace(config, graph_placement="sharded")
+        with pytest.raises(ServiceError):
+            negotiate_plan(declared, explicit, graph_footprint_bytes=self.MEMORY * 2)
+
+    def test_capabilities_declare_memory_and_placements(self):
+        declared = caps(4)
+        assert declared.device_memory_bytes == DEVICE.memory_bytes
+        assert declared.graph_placements == ("replicated", "sharded")
+        assert caps(1).graph_placements == ("replicated",)
+
+    def test_describe_includes_the_placement(self):
+        config = FlexiWalkerConfig(device=DEVICE, num_devices=4)
+        plan = negotiate_plan(caps(), config, graph_footprint_bytes=self.MEMORY + 1)
+        described = plan.describe()
+        assert described["graph_placement"] == "sharded"
+        assert described["shard_policy"] == "contiguous"
+
+    def test_service_passes_the_graph_footprint(self, service_graph):
+        small = dataclasses.replace(
+            DEVICE, memory_bytes=service_graph.memory_footprint_bytes() - 1
+        )
+        service = WalkService(service_graph, fleet=DeviceFleet(small, 4))
+        plan = service.plan_for(
+            Node2VecSpec(), FlexiWalkerConfig(device=small, num_devices=4)
+        )
+        assert plan.graph_placement == "sharded"
+
+
 class TestServiceSessionGuards:
     def test_session_device_must_match_fleet(self, service_graph):
         service = WalkService(service_graph, fleet=DeviceFleet(DEVICE, 1))

@@ -1,0 +1,95 @@
+"""WalkService registry bounds: the per-workload caches must not leak.
+
+Each distinct ``spec.describe()`` key pins a compiled workload, profiling
+results and an :class:`~repro.runtime.engine.EngineCaches` holder (hint
+tables + transition caches, up to O(graph) each).  A long-lived multi-tenant
+service therefore needs the registries capped: least-recently-used entries
+are evicted and simply re-compiled on demand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import FlexiWalkerConfig
+from repro.errors import ServiceError
+from repro.gpusim.device import A6000
+from repro.service import DeviceFleet, WalkService
+from repro.service.service import DEFAULT_MAX_CACHED_WORKLOADS
+from repro.walks.node2vec import Node2VecSpec
+from repro.walks.state import make_queries
+
+DEVICE = dataclasses.replace(A6000, parallel_lanes=8)
+
+
+def spec_variant(i: int) -> Node2VecSpec:
+    """Distinct hyperparameters -> distinct registry keys."""
+    return Node2VecSpec(a=1.0 + i, b=0.5)
+
+
+class TestRegistryLRU:
+    def test_default_cap_is_bounded(self, service_graph):
+        service = WalkService(service_graph)
+        assert service.max_cached_workloads == DEFAULT_MAX_CACHED_WORKLOADS
+
+    def test_cap_must_be_positive(self, service_graph):
+        with pytest.raises(ServiceError):
+            WalkService(service_graph, max_cached_workloads=0)
+
+    def test_old_entries_are_evicted_and_recompiled_on_demand(self, service_graph):
+        service = WalkService(
+            service_graph, fleet=DeviceFleet(DEVICE, 1), max_cached_workloads=2
+        )
+        first = service.compile(spec_variant(0))
+        service.compile(spec_variant(1))
+        service.compile(spec_variant(2))  # evicts variant 0
+
+        assert len(service._compiled) == 2
+        key0 = service._spec_key(spec_variant(0))
+        assert key0 not in service._compiled
+        # The evicted workload still works — it is compiled afresh.
+        recompiled = service.compile(spec_variant(0))
+        assert recompiled is not first
+        assert key0 in service._compiled
+
+    def test_lookup_refreshes_recency(self, service_graph):
+        service = WalkService(
+            service_graph, fleet=DeviceFleet(DEVICE, 1), max_cached_workloads=2
+        )
+        kept = service.compile(spec_variant(0))
+        service.compile(spec_variant(1))
+        # Touch variant 0 so variant 1 is now the least recently used...
+        assert service.compile(spec_variant(0)) is kept
+        service.compile(spec_variant(2))
+        # ...and is the one evicted.
+        assert service._spec_key(spec_variant(0)) in service._compiled
+        assert service._spec_key(spec_variant(1)) not in service._compiled
+
+    def test_every_registry_is_capped(self, service_graph):
+        service = WalkService(
+            service_graph, fleet=DeviceFleet(DEVICE, 1), max_cached_workloads=2
+        )
+        for i in range(4):
+            session = service.session(
+                spec_variant(i), FlexiWalkerConfig(device=DEVICE)
+            )
+            session.submit(make_queries(service_graph.num_nodes, walk_length=2,
+                                        num_queries=4, seed=i))
+            session.collect()
+        assert len(service._compiled) == 2
+        assert len(service._profiles) == 2
+        assert len(service._caches) == 2
+
+    def test_unbounded_when_cap_is_none(self, service_graph):
+        service = WalkService(
+            service_graph, fleet=DeviceFleet(DEVICE, 1), max_cached_workloads=None
+        )
+        for i in range(5):
+            service.compile(spec_variant(i))
+        assert len(service._compiled) == 5
+
+    def test_describe_reports_the_cap(self, service_graph):
+        service = WalkService(service_graph, max_cached_workloads=3)
+        assert service.describe()["max_cached_workloads"] == 3
