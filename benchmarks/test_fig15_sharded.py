@@ -1,0 +1,34 @@
+"""Benchmark: Fig. 15 companion — sharded execution with locality + ghosts."""
+
+from __future__ import annotations
+
+from bench_helpers import run_once
+
+from repro.bench.config import ExperimentConfig
+from repro.bench.experiments import fig15_sharded as experiment
+
+
+def test_fig15_sharded(benchmark):
+    # YT is the near-uniform scale model, EU the skewed one (hubs at low
+    # node ids) — together they cover both regimes of the locality
+    # partitioner; the full five-dataset sweep lives in the tier-2 workflow.
+    config = ExperimentConfig(num_queries=96, walk_length=8, datasets=("YT", "EU"))
+    result = run_once(benchmark, experiment, config)
+    for row in result["rows"]:
+        # Sharding must never perturb the simulated walks: paths, counters
+        # and per-query base times stay bit-identical to the replicated run
+        # for every policy, with and without the ghost cache.
+        assert row["base_parity"] is True
+        # A fleet whose devices cannot hold the whole graph negotiates the
+        # sharded placement (the scenario replication cannot express).
+        assert row["negotiated_plan"] == "sharded"
+        for policy in ("contiguous", "degree_balanced", "locality"):
+            # The walked remote ratio is a fraction of the executed steps.
+            assert 0.0 <= row[f"remote_ratio_{policy}"] <= 1.0
+            # The degree-ranked ghost cache absorbs at least some boundary
+            # crossings whenever the walk crosses shards at all.
+            if row[f"remote_ratio_{policy}"] > 0:
+                assert row[f"ghost_hit_{policy}"] > 0.0
+        # The locality partitioner optimises the static cut: it must not
+        # leave more edges crossing shards than naive contiguous ranges.
+        assert row["static_remote_locality"] <= row["static_remote_contiguous"]

@@ -8,6 +8,12 @@ entry's batched-over-scalar speedup dropped by more than the allowed fraction
 toward the interpreter.  Also re-checks every entry's simulated-time parity
 flag: a speedup obtained by breaking simulation equivalence is not a speedup.
 
+Entries that report a walked ``remote_edge_ratio`` (the sharded placement)
+are additionally gated on locality: the ratio may not regress more than an
+absolute margin above the committed baseline, so a partitioner or
+ghost-cache change that silently makes walkers migrate more gets caught
+even when wall-clock numbers still look fine.
+
 Both the multi-entry schema (``schema_version >= 2``: per-workload entries
 under ``"entries"``) and the legacy single-entry schema (one top-level
 ``speedup``) are understood, so the gate keeps working across baseline
@@ -63,9 +69,14 @@ def main() -> int:
                         help="freshly measured report to gate")
     parser.add_argument("--max-drop", type=float, default=0.30,
                         help="allowed fractional speedup drop per entry (default: 0.30)")
+    parser.add_argument("--max-remote-ratio-rise", type=float, default=0.05,
+                        help="allowed absolute walked remote-edge-ratio rise above "
+                             "the baseline for sharded entries (default: 0.05)")
     args = parser.parse_args()
     if not 0 <= args.max_drop < 1:
         parser.error("--max-drop must be in [0, 1)")
+    if args.max_remote_ratio_rise < 0:
+        parser.error("--max-remote-ratio-rise must be non-negative")
 
     baseline = load_entries(args.baseline)
     current = load_entries(args.current)
@@ -93,6 +104,15 @@ def main() -> int:
             print(f"FAIL [{name}]: batched-engine speedup dropped more than "
                   f"{args.max_drop:.0%} below the committed baseline")
             failed = True
+        base_ratio = base_entry.get("remote_edge_ratio")
+        cur_ratio = cur_entry.get("remote_edge_ratio")
+        if isinstance(base_ratio, (int, float)) and isinstance(cur_ratio, (int, float)):
+            ceiling = base_ratio + args.max_remote_ratio_rise
+            if cur_ratio > ceiling:
+                print(f"FAIL [{name}]: walked remote-edge ratio rose to "
+                      f"{cur_ratio:.3f}, above the baseline {base_ratio:.3f} "
+                      f"+ {args.max_remote_ratio_rise:.2f} locality margin")
+                failed = True
     # Entries the baseline does not know yet (a freshly added workload) have
     # no speedup floor, but the parity backstop still applies to them — a
     # simulation-equivalence break must never ride in on a new entry.

@@ -35,7 +35,12 @@ from repro.core.config import FlexiWalkerConfig
 from repro.core.flexiwalker import FlexiWalker
 from repro.core.results import summarize_run
 from repro.graph.csr import CSRGraph
-from repro.graph.sharded import SHARD_POLICIES, GraphShard, ShardedCSRGraph
+from repro.graph.sharded import (
+    SHARD_POLICIES,
+    GhostNodeCache,
+    GraphShard,
+    ShardedCSRGraph,
+)
 from repro.graph.datasets import DatasetSpec, load_dataset, dataset_names
 from repro.gpusim.counters import CostCounters
 from repro.gpusim.device import A6000, DeviceSpec
@@ -116,6 +121,7 @@ __all__ = [
     "CSRGraph",
     "ShardedCSRGraph",
     "GraphShard",
+    "GhostNodeCache",
     "SHARD_POLICIES",
     "DatasetSpec",
     "load_dataset",

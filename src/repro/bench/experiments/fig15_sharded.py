@@ -1,28 +1,32 @@
-"""Sharded multi-GPU execution — remote-edge cost per shard policy.
+"""Sharded multi-GPU execution — locality partitioning and ghost caching.
 
 The Fig. 15 experiment replicates the graph on every device, which bounds
 the largest servable graph by one device's memory.  This companion
 experiment measures the *graph-sharded* execution mode that lifts the
-bound: the graph is split into per-device node-range shards
+bound: the graph is split into per-device node shards
 (:class:`~repro.graph.sharded.ShardedCSRGraph`) and each walker executes
 every step on the device owning its current node, paying a modeled
-interconnect transfer whenever a sampled step lands on a remote shard.
+interconnect transfer whenever a sampled step migrates to a remote shard.
+Migrations taking the same (step, source, destination) lane coalesce into
+one batched transfer, and each device overlaps that communication with its
+compute.
 
-For every dataset the experiment runs the same query batch replicated and
-sharded (both shard policies) on four devices and reports
+For every dataset the experiment sweeps the full decomposition grid —
+all three shard policies (``contiguous``, ``degree_balanced``,
+``locality``) across 2, 4 and 8 devices — and reports, per cell,
 
-* the walked remote-edge ratio per shard policy — the fraction of steps
-  that crossed a shard boundary, the quantity the partitioning policy is
-  trying to minimise;
-* the communication share of the total sharded work (modeled interconnect
-  time over compute-plus-communication); and
-* the plan negotiation outcome for a fleet whose per-device memory is too
-  small for the whole graph (the scenario the replicated design cannot
-  express): ``negotiate_plan`` must select ``sharded`` and record why.
+* the *static* remote-edge fraction of the decomposition (the cut the
+  partitioner minimises);
+* the *walked* remote-edge ratio with the ghost cache off — the fraction
+  of steps that actually migrated, which depends on the workload's visit
+  distribution, not just the cut; and
+* the ghost-hit ratio under a per-shard ghost budget of 1/8 of the graph
+  footprint — the fraction of boundary crossings the degree-ranked ghost
+  cache absorbed locally.
 
-Walks, counters and per-query base times are bit-identical between the
-modes (the parity suites enforce it; the table re-checks per row), so every
-difference in the table is attributable to the placement.
+It also re-checks bit-identical parity against the replicated run per row
+and records the plan negotiated for a fleet whose per-device memory cannot
+hold the whole graph (the scenario the replicated design cannot express).
 """
 
 from __future__ import annotations
@@ -42,11 +46,16 @@ from repro.walks.state import make_queries
 
 WORKLOAD = "node2vec"
 DATASETS = ("YT", "CP", "EU", "AB", "SK")
-NUM_DEVICES = 4
+DEVICE_COUNTS = (2, 4, 8)
+
+
+def ghost_budget_for(graph) -> int:
+    """Per-shard ghost budget the sweep grants: 1/8 of the graph footprint."""
+    return graph.memory_footprint_bytes() // 8
 
 
 def run_experiment(config: ExperimentConfig | None = None) -> dict:
-    """Measure the sharded mode against the replicated baseline."""
+    """Sweep shard policies x device counts, with and without ghosting."""
     config = config or ExperimentConfig.quick()
     datasets = [d for d in DATASETS if d in config.datasets] or list(DATASETS[:2])
     rows: list[dict] = []
@@ -60,73 +69,87 @@ def run_experiment(config: ExperimentConfig | None = None) -> dict:
             seed=config.seed,
         )
         device = scaled_device_for("gpu", len(queries), config.waves)
-        service = WalkService(graph, fleet=DeviceFleet(device, NUM_DEVICES))
-        session = service.session(
-            make_workload(WORKLOAD), FlexiWalkerConfig(device=device, seed=config.seed)
-        )
-        replicated = session.engine.with_devices(NUM_DEVICES, "hash").run(queries)
+        budget = ghost_budget_for(graph)
 
         # Negotiation check: a fleet whose devices cannot hold the whole
         # graph must be offered the sharded plan (reasons recorded).
         footprint = graph.memory_footprint_bytes()
         small = dataclasses.replace(device, memory_bytes=max(1, footprint // 2))
-        small_service = WalkService(graph, fleet=DeviceFleet(small, NUM_DEVICES))
+        small_service = WalkService(graph, fleet=DeviceFleet(small, max(DEVICE_COUNTS)))
         plan = small_service.plan_for(
             make_workload(WORKLOAD),
-            FlexiWalkerConfig(device=small, num_devices=NUM_DEVICES, seed=config.seed),
+            FlexiWalkerConfig(device=small, num_devices=4, seed=config.seed),
         )
 
-        row: dict[str, object] = {
-            "dataset": dataset,
-            "replicated_ms": replicated.time_ms,
-            "negotiated_plan": plan.graph_placement,
-        }
-        parity = True
-        for policy in SHARD_POLICIES:
-            sharded = session.engine.with_devices(
-                NUM_DEVICES, graph_placement="sharded", shard_policy=policy
-            ).run(queries)
-            parity = parity and (
-                sharded.paths == replicated.paths
-                and np.array_equal(sharded.per_query_ns, replicated.per_query_ns)
-                and sharded.counters.as_dict() == replicated.counters.as_dict()
-            )
-            decomposition = ShardedCSRGraph.build(graph, NUM_DEVICES, policy)
-            row[f"remote_ratio_{policy}"] = sharded.remote_edge_ratio
-            row[f"static_remote_{policy}"] = decomposition.remote_edge_fraction()
-            row[f"sharded_ms_{policy}"] = sharded.time_ms
-            total = sharded.kernel.total_work_ns + sharded.comm_time_ns
-            row[f"comm_share_{policy}"] = (
-                sharded.comm_time_ns / total if total > 0 else 0.0
-            )
-        row["base_parity"] = parity
-        rows.append(row)
+        service = WalkService(graph, fleet=DeviceFleet(device, max(DEVICE_COUNTS)))
+        session = service.session(
+            make_workload(WORKLOAD), FlexiWalkerConfig(device=device, seed=config.seed)
+        )
+        for num_devices in DEVICE_COUNTS:
+            replicated = session.engine.with_devices(num_devices, "hash").run(queries)
+            row: dict[str, object] = {
+                "dataset": dataset,
+                "devices": num_devices,
+                "replicated_ms": replicated.time_ms,
+                "negotiated_plan": plan.graph_placement,
+            }
+            parity = True
+            for policy in SHARD_POLICIES:
+                sharded = session.engine.with_devices(
+                    num_devices, graph_placement="sharded", shard_policy=policy
+                ).run(queries)
+                ghosted = session.engine.with_devices(
+                    num_devices,
+                    graph_placement="sharded",
+                    shard_policy=policy,
+                    ghost_cache_bytes=budget,
+                ).run(queries)
+                parity = parity and all(
+                    r.paths == replicated.paths
+                    and np.array_equal(r.per_query_ns, replicated.per_query_ns)
+                    and r.counters.as_dict() == replicated.counters.as_dict()
+                    for r in (sharded, ghosted)
+                )
+                decomposition = ShardedCSRGraph.build(graph, num_devices, policy)
+                row[f"static_remote_{policy}"] = decomposition.remote_edge_fraction()
+                row[f"remote_ratio_{policy}"] = sharded.remote_edge_ratio
+                row[f"ghost_hit_{policy}"] = ghosted.ghost_hit_ratio
+                row[f"sharded_ms_{policy}"] = sharded.time_ms
+                row[f"ghosted_ms_{policy}"] = ghosted.time_ms
+                total = sharded.kernel.total_work_ns + sharded.comm_time_ns
+                row[f"comm_share_{policy}"] = (
+                    sharded.comm_time_ns / total if total > 0 else 0.0
+                )
+            row["base_parity"] = parity
+            rows.append(row)
 
     return {
         "rows": rows,
         "config": config,
         "paper_reference": (
-            "Fig. 15 companion: graph-sharded execution with remote-edge cost "
-            "modeling (replicated-vs-sharded, walker migration over the "
-            "interconnect)"
+            "Fig. 15 companion: graph-sharded execution with locality-aware "
+            "partitioning, coalesced walker migration and per-shard ghost "
+            "caching (replicated-vs-sharded over 2/4/8 devices)"
         ),
     }
 
 
 def format_result(result: dict) -> str:
     headers = (
-        ["dataset", "replicated_ms"]
+        ["dataset", "devices", "replicated_ms"]
         + [f"sharded_ms_{p}" for p in SHARD_POLICIES]
+        + [f"static_remote_{p}" for p in SHARD_POLICIES]
         + [f"remote_ratio_{p}" for p in SHARD_POLICIES]
-        + [f"comm_share_{p}" for p in SHARD_POLICIES]
+        + [f"ghost_hit_{p}" for p in SHARD_POLICIES]
         + ["negotiated_plan", "base_parity"]
     )
     return format_table(
         headers,
         [[row[h] for h in headers] for row in result["rows"]],
         title=(
-            "Sharded multi-GPU execution — makespan, walked remote-edge ratio "
-            f"and communication share ({NUM_DEVICES} devices)"
+            "Sharded multi-GPU execution — static cut vs walked remote ratio "
+            "vs ghost-hit ratio (2/4/8 devices, per-shard ghost budget = "
+            "graph footprint / 8)"
         ),
         float_format="{:.3f}",
     )

@@ -71,9 +71,15 @@ class FlexiWalkerConfig:
         ``"replicated"``), or an explicit ``"replicated"`` / ``"sharded"``
         request.
     shard_policy:
-        Node-range decomposition for sharded placement: ``"contiguous"``
-        (equal node ranges) or ``"degree_balanced"`` (edge-count-balanced
-        boundaries).
+        Node decomposition for sharded placement: ``"contiguous"`` (equal
+        node ranges), ``"degree_balanced"`` (edge-count-balanced
+        boundaries) or ``"locality"`` (streaming LDG-style partitioning
+        that co-locates neighbourhoods to cut remote edges).
+    ghost_cache_bytes:
+        Per-shard ghost-node cache budget for sharded placement: each
+        shard replicates the adjacency of the hottest (highest-degree)
+        remote nodes within this byte budget, so walkers stepping onto a
+        cached hub pay no migration.  0 (default) disables ghost caching.
     seed:
         Seed for every random stream the run derives.
     """
@@ -92,6 +98,7 @@ class FlexiWalkerConfig:
     partition_policy: str = "hash"
     graph_placement: str = "auto"
     shard_policy: str = "contiguous"
+    ghost_cache_bytes: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -119,6 +126,8 @@ class FlexiWalkerConfig:
             raise ReproError(
                 f"unknown shard policy {self.shard_policy!r}; valid: {SHARD_POLICIES}"
             )
+        if self.ghost_cache_bytes < 0:
+            raise ReproError("ghost_cache_bytes must be non-negative")
         if self.weight_bytes not in (1, 2, 4, 8):
             raise ReproError("weight_bytes must be one of 1, 2, 4, 8")
         if self.warp_width < 1:

@@ -7,7 +7,13 @@ weights and edge labels).
 """
 
 from repro.graph.csr import CSRGraph
-from repro.graph.sharded import SHARD_POLICIES, GraphShard, ShardedCSRGraph
+from repro.graph.sharded import (
+    SHARD_POLICIES,
+    GhostNodeCache,
+    GraphShard,
+    ShardedCSRGraph,
+    locality_owner_map,
+)
 from repro.graph.builders import from_edge_list, from_adjacency, to_undirected
 from repro.graph.generators import (
     barabasi_albert_graph,
@@ -33,7 +39,9 @@ __all__ = [
     "CSRGraph",
     "ShardedCSRGraph",
     "GraphShard",
+    "GhostNodeCache",
     "SHARD_POLICIES",
+    "locality_owner_map",
     "from_edge_list",
     "from_adjacency",
     "to_undirected",

@@ -3,35 +3,48 @@
 The replicated multi-device design (Fig. 15) copies the whole graph onto
 every device, so the largest servable graph is bounded by a single device's
 memory.  Distributed walk systems (KnightKing-style walker migration) lift
-that bound by *partitioning the graph*: each device owns a contiguous range
-of nodes together with their out-edges, and a walker executes each step on
-the device owning its current node — paying an interconnect transfer when a
+that bound by *partitioning the graph*: each device owns a subset of the
+nodes together with their out-edges, and a walker executes each step on the
+device owning its current node — paying an interconnect transfer when a
 sampled step crosses a shard boundary.
 
-:class:`ShardedCSRGraph` is the storage side of that model: it splits a
-:class:`~repro.graph.csr.CSRGraph` into per-shard :class:`GraphShard` slices
-(contiguous node ranges, chosen either uniformly over nodes or balanced by
-edge count), answers ``owner(nodes)`` lookups with one vectorised binary
-search, and reports per-shard memory footprints so the plan negotiation in
-:mod:`repro.service.plan` can decide when sharding is *required* (graph
-larger than one device) rather than merely possible.
+:class:`ShardedCSRGraph` is the storage side of that model.  Ownership is a
+relabeling layer: a node→shard ``owner_map`` (one ``int64`` per node) plus a
+per-shard sorted global-node list that doubles as the local-index
+permutation, so *any* node-to-shard assignment is expressible — the
+contiguous-range policies are just the special case where each shard's node
+list is a run of consecutive ids.  Three build policies exist:
 
-Shards slice the parent's edge arrays (no copies): the shard decomposition
-is a view-level bookkeeping structure, exactly like the CSR slices the
-per-node accessors hand out.
+* ``"contiguous"`` — equal node-id ranges (naive, degree-blind);
+* ``"degree_balanced"`` — contiguous ranges balanced by edge count;
+* ``"locality"`` — a streaming LDG/Fennel-style one-pass partitioner that
+  assigns each node (highest degree first) to the shard already holding
+  most of its neighbours, subject to a capacity penalty.  Guaranteed to cut
+  no more edges than the contiguous split of the same graph (the builder
+  keeps whichever of the two assignments cuts fewer).
+
+The decomposition also builds the per-shard *ghost cache* used by the
+sharded runtime: each shard locally caches the adjacency slices of the
+hottest (highest global out-degree) remote nodes within a modeled byte
+budget, so walker steps landing on a cached remote hub are served locally
+instead of migrating (:meth:`ShardedCSRGraph.ghost_cache`).
+
+Shards slice the parent's edge arrays (views for contiguous ranges, one
+gather for permuted assignments): the shard decomposition is a bookkeeping
+structure, exactly like the CSR slices the per-node accessors hand out.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import GraphError
 from repro.graph.csr import CSRGraph
 
-#: Valid node-range partitioning policies of :meth:`ShardedCSRGraph.build`.
-SHARD_POLICIES = ("contiguous", "degree_balanced")
+#: Valid node partitioning policies of :meth:`ShardedCSRGraph.build`.
+SHARD_POLICIES = ("contiguous", "degree_balanced", "locality")
 
 
 @dataclass(frozen=True)
@@ -42,38 +55,53 @@ class GraphShard:
     ----------
     shard_id:
         Position of this shard in the decomposition (== owning device id).
-    node_start / node_stop:
-        The contiguous global node range ``[node_start, node_stop)`` this
-        shard owns.
+    nodes:
+        Sorted ``int64`` array of the *global* node ids this shard owns.
+        Its position order is the shard's local node numbering — the
+        relabeling permutation (:meth:`local_index` inverts it).
     indptr:
         Local ``int64`` row-pointer array of length ``num_nodes + 1``
-        (rebased to start at 0).
+        (rebased to start at 0); row ``i`` describes global node
+        ``nodes[i]``.
     indices / weights / labels:
-        Views into the parent graph's edge arrays covering exactly this
-        shard's out-edges.  Destination ids stay *global* — a destination
-        outside ``[node_start, node_stop)`` is a remote edge.
+        This shard's out-edge arrays (views into the parent for contiguous
+        node runs, gathered copies otherwise).  Destination ids stay
+        *global* — a destination owned by another shard is a remote edge.
+    owner_map:
+        The decomposition's shared node→shard map (not per-shard data; the
+        same array every sibling shard holds), backing :meth:`owns`.
     """
 
     shard_id: int
-    node_start: int
-    node_stop: int
+    nodes: np.ndarray
     indptr: np.ndarray
     indices: np.ndarray
     weights: np.ndarray
     labels: np.ndarray | None
+    owner_map: np.ndarray = field(repr=False)
 
     @property
     def num_nodes(self) -> int:
-        return self.node_stop - self.node_start
+        return int(self.nodes.size)
 
     @property
     def num_edges(self) -> int:
         return int(self.indices.size)
 
     def owns(self, nodes: np.ndarray) -> np.ndarray:
-        """Boolean mask: which of ``nodes`` fall in this shard's range."""
+        """Boolean mask: which of ``nodes`` this shard owns."""
         nodes = np.asarray(nodes, dtype=np.int64)
-        return (nodes >= self.node_start) & (nodes < self.node_stop)
+        return self.owner_map[nodes] == self.shard_id
+
+    def local_index(self, nodes: np.ndarray) -> np.ndarray:
+        """Per-shard local index of each (owned) global node id.
+
+        The inverse of the ``nodes`` permutation: ``nodes[local_index(v)]
+        == v`` for every owned ``v``.  Callers pass owned nodes only (the
+        sharded driver routes through :meth:`ShardedCSRGraph.owner` first).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return np.searchsorted(self.nodes, nodes)
 
     def remote_edge_count(self) -> int:
         """Out-edges whose destination lives on another shard."""
@@ -91,13 +119,57 @@ class GraphShard:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"GraphShard(#{self.shard_id}, nodes [{self.node_start}, "
-            f"{self.node_stop}), {self.num_edges} edges)"
+            f"GraphShard(#{self.shard_id}, {self.num_nodes} nodes, "
+            f"{self.num_edges} edges)"
         )
 
 
+@dataclass(frozen=True)
+class GhostNodeCache:
+    """Per-shard ghost copies of the hottest remote nodes' adjacency slices.
+
+    Distributed walk engines cut migration traffic by *ghosting*: each
+    partition keeps a read-only local copy of the adjacency lists of the
+    highest-degree nodes it does not own, so a walker stepping onto such a
+    hub is served from the local copy instead of migrating.  The cache is
+    degree-ranked under a byte budget: shard ``s`` caches remote nodes in
+    descending global out-degree order while their cumulative modeled size
+    (edge destinations + weights [+ labels] + one row pointer) fits
+    ``budget_bytes``.
+
+    Attributes
+    ----------
+    budget_bytes:
+        Per-shard byte budget the cache was built under.
+    weight_bytes:
+        Stored weight width used for the size model.
+    mask:
+        Boolean ``[num_shards, num_nodes]``; ``mask[s, v]`` means shard
+        ``s`` holds a ghost copy of remote node ``v``.
+    cached_nodes / cached_bytes:
+        Per-shard totals of ghosted nodes and their modeled bytes.
+    """
+
+    budget_bytes: int
+    weight_bytes: int
+    mask: np.ndarray
+    cached_nodes: np.ndarray
+    cached_bytes: np.ndarray
+
+    def covers(self, shard_ids: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+        """Whether each (shard, node) pair is served by a ghost copy."""
+        return self.mask[shard_ids, nodes]
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "budget_bytes": self.budget_bytes,
+            "cached_nodes": self.cached_nodes.tolist(),
+            "cached_bytes": self.cached_bytes.tolist(),
+        }
+
+
 class ShardedCSRGraph:
-    """A CSR graph decomposed into contiguous per-device node-range shards.
+    """A CSR graph decomposed into per-device node shards.
 
     Build with :meth:`build`; the decomposition is immutable.  The parent
     graph stays fully intact (the walk kernels still execute against it —
@@ -111,47 +183,60 @@ class ShardedCSRGraph:
         The parent :class:`~repro.graph.csr.CSRGraph`.
     policy:
         The partitioning policy used (one of :data:`SHARD_POLICIES`).
-    boundaries:
-        ``int64`` array of length ``num_shards + 1``; shard ``s`` owns the
-        node range ``[boundaries[s], boundaries[s + 1])``.
+    owner_map:
+        ``int64`` array of length ``num_nodes``: ``owner_map[v]`` is the
+        shard owning node ``v``.  The single source of truth every
+        ownership query (:meth:`owner`, :meth:`GraphShard.owns`, the
+        sharded driver) routes through.
     shards:
         The per-device :class:`GraphShard` slices, in shard-id order.
     """
 
-    def __init__(self, graph: CSRGraph, boundaries: np.ndarray, policy: str) -> None:
+    def __init__(
+        self,
+        graph: CSRGraph,
+        owner_map: np.ndarray,
+        num_shards: int,
+        policy: str,
+    ) -> None:
         self.graph = graph
         self.policy = policy
-        self.boundaries = np.asarray(boundaries, dtype=np.int64)
-        if (
-            self.boundaries.ndim != 1
-            or self.boundaries.size < 2
-            or self.boundaries[0] != 0
-            or self.boundaries[-1] != graph.num_nodes
-            or np.any(np.diff(self.boundaries) < 0)
+        self.owner_map = np.asarray(owner_map, dtype=np.int64)
+        if num_shards < 1:
+            raise GraphError("need at least one shard")
+        if self.owner_map.shape != (graph.num_nodes,) or (
+            self.owner_map.size
+            and (self.owner_map.min() < 0 or self.owner_map.max() >= num_shards)
         ):
             raise GraphError(
-                "shard boundaries must be a non-decreasing array covering "
-                f"[0, num_nodes]; got {self.boundaries!r}"
+                "owner_map must assign every node one shard id in "
+                f"[0, {num_shards}); got shape {self.owner_map.shape}"
             )
         self.shards = [
-            self._slice_shard(s, int(self.boundaries[s]), int(self.boundaries[s + 1]))
-            for s in range(self.boundaries.size - 1)
+            self._slice_shard(s, np.nonzero(self.owner_map == s)[0])
+            for s in range(num_shards)
         ]
+        # Lazily computed, cached per instance (the decomposition is
+        # immutable): per-shard edge counts and the static cut size.
+        self._edge_counts: np.ndarray | None = None
+        self._remote_edges: int | None = None
 
     # ------------------------------------------------------------------ #
     @classmethod
     def build(
         cls, graph: CSRGraph, num_shards: int, policy: str = "contiguous"
     ) -> "ShardedCSRGraph":
-        """Split ``graph`` into ``num_shards`` contiguous node-range shards.
+        """Split ``graph`` into ``num_shards`` shards under ``policy``.
 
         ``"contiguous"`` slices the node id space into equal ranges — the
         naive decomposition, cheap but degree-blind (the scale models give
         low node ids the highest degrees, so shard 0 ends up edge-heavy).
-        ``"degree_balanced"`` places the boundaries so every shard holds
-        roughly ``num_edges / num_shards`` out-edges — the edge-balanced
-        decomposition distributed walk frameworks default to.  Both policies
-        keep node ranges contiguous, so :meth:`owner` is one binary search.
+        ``"degree_balanced"`` places contiguous range boundaries so every
+        shard holds roughly ``num_edges / num_shards`` out-edges — the
+        edge-balanced decomposition distributed walk frameworks default to.
+        ``"locality"`` runs the streaming partitioner
+        (:func:`locality_owner_map`), minimising cut edges under the same
+        per-shard node capacity the contiguous split uses.
         """
         if num_shards < 1:
             raise GraphError("need at least one shard")
@@ -159,34 +244,47 @@ class ShardedCSRGraph:
             raise GraphError(
                 f"unknown shard policy {policy!r}; valid: {SHARD_POLICIES}"
             )
-        n = graph.num_nodes
-        if policy == "contiguous":
-            boundaries = np.linspace(0, n, num_shards + 1).astype(np.int64)
+        if policy == "locality":
+            owner_map = locality_owner_map(graph, num_shards)
         else:
-            # Edge-balanced boundaries: walk the cumulative edge counts
-            # (indptr *is* that prefix sum) and cut at the node where each
-            # shard's edge budget fills up.  Interior boundaries are clipped
-            # into [0, n]; shards can come out empty on degenerate graphs
-            # (fewer nodes than shards), which owner() handles.
-            targets = (np.arange(1, num_shards) * graph.num_edges) / num_shards
-            interior = np.searchsorted(graph.indptr, targets, side="left")
-            boundaries = np.concatenate(
-                ([0], np.minimum(interior, n), [n])
-            ).astype(np.int64)
-            boundaries = np.maximum.accumulate(boundaries)
-        return cls(graph, boundaries, policy)
+            owner_map = _range_owner_map(graph, num_shards, policy)
+        return cls(graph, owner_map, num_shards, policy)
 
-    def _slice_shard(self, shard_id: int, start: int, stop: int) -> GraphShard:
-        lo = int(self.graph.indptr[start])
-        hi = int(self.graph.indptr[stop])
+    def _slice_shard(self, shard_id: int, nodes: np.ndarray) -> GraphShard:
+        graph = self.graph
+        nodes = nodes.astype(np.int64, copy=False)
+        if nodes.size and nodes[-1] - nodes[0] + 1 == nodes.size:
+            # Contiguous id run: the shard's edge arrays are views into the
+            # parent, exactly like the range-policy decomposition always was.
+            start, stop = int(nodes[0]), int(nodes[-1]) + 1
+            lo = int(graph.indptr[start])
+            hi = int(graph.indptr[stop])
+            indptr = (graph.indptr[start:stop + 1] - lo).astype(np.int64)
+            indices = graph.indices[lo:hi]
+            weights = graph.weights[lo:hi]
+            labels = graph.labels[lo:hi] if graph.labels is not None else None
+        else:
+            # Permuted assignment: gather each owned node's edge slice into
+            # one contiguous local array (repeat/cumsum, no Python loop).
+            degrees = graph.indptr[nodes + 1] - graph.indptr[nodes]
+            indptr = np.concatenate(
+                ([0], np.cumsum(degrees, dtype=np.int64))
+            ).astype(np.int64)
+            positions = (
+                np.repeat(graph.indptr[nodes] - indptr[:-1], degrees)
+                + np.arange(indptr[-1], dtype=np.int64)
+            )
+            indices = graph.indices[positions]
+            weights = graph.weights[positions]
+            labels = graph.labels[positions] if graph.labels is not None else None
         return GraphShard(
             shard_id=shard_id,
-            node_start=start,
-            node_stop=stop,
-            indptr=(self.graph.indptr[start:stop + 1] - lo).astype(np.int64),
-            indices=self.graph.indices[lo:hi],
-            weights=self.graph.weights[lo:hi],
-            labels=self.graph.labels[lo:hi] if self.graph.labels is not None else None,
+            nodes=nodes,
+            indptr=indptr,
+            indices=indices,
+            weights=weights,
+            labels=labels,
+            owner_map=self.owner_map,
         )
 
     # ------------------------------------------------------------------ #
@@ -195,16 +293,11 @@ class ShardedCSRGraph:
         return len(self.shards)
 
     def owner(self, nodes: np.ndarray) -> np.ndarray:
-        """Shard id owning each of ``nodes`` (vectorised binary search).
-
-        Empty shards never own a node: with ``side="right"`` a node sitting
-        on a run of equal boundaries maps past the zero-width ranges to the
-        shard whose range actually contains it.
-        """
+        """Shard id owning each of ``nodes`` (one owner-map gather)."""
         nodes = np.asarray(nodes, dtype=np.int64)
         if nodes.size and (nodes.min() < 0 or nodes.max() >= self.graph.num_nodes):
             raise GraphError("node id out of range for owner() lookup")
-        return np.searchsorted(self.boundaries, nodes, side="right") - 1
+        return self.owner_map[nodes]
 
     def memory_footprint_bytes(self, weight_bytes: int = 8) -> int:
         """Total device memory across all shards (≈ the replicated footprint
@@ -215,9 +308,29 @@ class ShardedCSRGraph:
         """Largest single-shard footprint — what each device must actually fit."""
         return max(s.memory_footprint_bytes(weight_bytes) for s in self.shards)
 
+    def _edge_ownership(self) -> tuple[np.ndarray, int]:
+        """Per-shard edge counts and the static cut, one vectorised pass.
+
+        Both are pure functions of the immutable owner map, so they are
+        computed once from it (``repeat`` expands node ownership to edge
+        ownership) and cached on the instance.
+        """
+        if self._edge_counts is None:
+            graph = self.graph
+            degrees = graph.indptr[1:] - graph.indptr[:-1]
+            source_owner = np.repeat(self.owner_map, degrees)
+            self._edge_counts = np.bincount(
+                source_owner, minlength=self.num_shards
+            ).astype(np.int64)
+            self._remote_edges = int(
+                np.count_nonzero(source_owner != self.owner_map[graph.indices])
+            )
+        return self._edge_counts, self._remote_edges
+
     def shard_edge_counts(self) -> np.ndarray:
         """Out-edges per shard (the balance the degree_balanced policy targets)."""
-        return np.array([s.num_edges for s in self.shards], dtype=np.int64)
+        counts, _ = self._edge_ownership()
+        return counts
 
     def remote_edge_fraction(self) -> float:
         """Fraction of all edges whose destination lives on another shard.
@@ -228,8 +341,49 @@ class ShardedCSRGraph:
         """
         if self.graph.num_edges == 0:
             return 0.0
-        remote = sum(s.remote_edge_count() for s in self.shards)
+        _, remote = self._edge_ownership()
         return remote / self.graph.num_edges
+
+    # ------------------------------------------------------------------ #
+    def ghost_cache(
+        self, budget_bytes: int, weight_bytes: int = 8
+    ) -> GhostNodeCache:
+        """Build the per-shard ghost cache under a byte budget.
+
+        Every shard walks the global out-degree ranking (hottest first),
+        skips its own nodes, and ghosts remote nodes while their cumulative
+        modeled size fits ``budget_bytes``.  A node's ghost costs its edge
+        destinations and weights (plus labels when present) and one local
+        row-pointer entry — the same per-element widths as
+        :meth:`GraphShard.memory_footprint_bytes`.
+        """
+        if budget_bytes < 0:
+            raise GraphError("ghost cache budget must be non-negative")
+        graph = self.graph
+        n = graph.num_nodes
+        k = self.num_shards
+        mask = np.zeros((k, n), dtype=bool)
+        cached_nodes = np.zeros(k, dtype=np.int64)
+        cached_bytes = np.zeros(k, dtype=np.int64)
+        if budget_bytes and n:
+            degrees = graph.indptr[1:] - graph.indptr[:-1]
+            per_edge = 8 + weight_bytes + (8 if graph.labels is not None else 0)
+            node_bytes = degrees * per_edge + 8
+            hot_order = np.argsort(-degrees, kind="stable")
+            for s in range(k):
+                remote = hot_order[self.owner_map[hot_order] != s]
+                cumulative = np.cumsum(node_bytes[remote])
+                take = remote[cumulative <= budget_bytes]
+                mask[s, take] = True
+                cached_nodes[s] = take.size
+                cached_bytes[s] = int(cumulative[take.size - 1]) if take.size else 0
+        return GhostNodeCache(
+            budget_bytes=int(budget_bytes),
+            weight_bytes=int(weight_bytes),
+            mask=mask,
+            cached_nodes=cached_nodes,
+            cached_bytes=cached_bytes,
+        )
 
     def describe(self) -> dict[str, object]:
         """Plain-dict view for logs, plans and the bench tables."""
@@ -237,7 +391,7 @@ class ShardedCSRGraph:
         return {
             "num_shards": self.num_shards,
             "policy": self.policy,
-            "boundaries": self.boundaries.tolist(),
+            "shard_node_counts": [s.num_nodes for s in self.shards],
             "shard_edge_counts": counts.tolist(),
             "edge_balance": float(counts.max() / counts.mean()) if counts.size and counts.mean() else 1.0,
             "remote_edge_fraction": self.remote_edge_fraction(),
@@ -249,3 +403,87 @@ class ShardedCSRGraph:
             f"ShardedCSRGraph({self.graph!r}, {self.num_shards} shards, "
             f"policy={self.policy!r})"
         )
+
+
+# ---------------------------------------------------------------------- #
+# Partitioners
+# ---------------------------------------------------------------------- #
+def _range_owner_map(graph: CSRGraph, num_shards: int, policy: str) -> np.ndarray:
+    """Owner map of the contiguous-range policies (node- or edge-balanced)."""
+    n = graph.num_nodes
+    if policy == "contiguous":
+        boundaries = np.linspace(0, n, num_shards + 1).astype(np.int64)
+    else:
+        # Edge-balanced boundaries: walk the cumulative edge counts (indptr
+        # *is* that prefix sum) and cut at the node where each shard's edge
+        # budget fills up.  Interior boundaries are clipped into [0, n];
+        # shards can come out empty on degenerate graphs (fewer nodes than
+        # shards), which the owner map handles naturally.
+        targets = (np.arange(1, num_shards) * graph.num_edges) / num_shards
+        interior = np.searchsorted(graph.indptr, targets, side="left")
+        boundaries = np.concatenate(
+            ([0], np.minimum(interior, n), [n])
+        ).astype(np.int64)
+        boundaries = np.maximum.accumulate(boundaries)
+    owner_map = np.empty(n, dtype=np.int64)
+    for s in range(num_shards):
+        owner_map[boundaries[s]:boundaries[s + 1]] = s
+    return owner_map
+
+
+def _cut_edges(graph: CSRGraph, owner_map: np.ndarray) -> int:
+    """Number of edges whose endpoints land on different shards."""
+    degrees = graph.indptr[1:] - graph.indptr[:-1]
+    source_owner = np.repeat(owner_map, degrees)
+    return int(np.count_nonzero(source_owner != owner_map[graph.indices]))
+
+
+def locality_owner_map(graph: CSRGraph, num_shards: int) -> np.ndarray:
+    """Streaming LDG/Fennel-style one-pass locality partitioner.
+
+    Nodes stream in descending degree order (hubs first — they anchor the
+    clusters); each node goes to the shard holding the most of its
+    already-placed neighbours, discounted by a linear capacity penalty
+    ``(1 - size / capacity)`` with ``capacity = ceil(n / num_shards)`` —
+    the same maximum shard width the contiguous split produces, so the
+    locality decomposition never needs more per-device node head-room.
+    Nodes with no placed neighbours (or only full candidate shards) fall
+    back to the least-loaded open shard.
+
+    The returned assignment is guaranteed to cut no more edges than the
+    contiguous split of the same graph: the builder scores both and keeps
+    the better one (on pathological inputs a greedy stream can lose to the
+    trivial split; the guarantee makes the policy safe to default to).
+    """
+    if num_shards < 1:
+        raise GraphError("need at least one shard")
+    n = graph.num_nodes
+    if num_shards == 1 or n == 0:
+        return np.zeros(n, dtype=np.int64)
+    capacity = -(-n // num_shards)
+    indptr, indices = graph.indptr, graph.indices
+    degrees = indptr[1:] - indptr[:-1]
+    owner = np.full(n, -1, dtype=np.int64)
+    sizes = np.zeros(num_shards, dtype=np.int64)
+    for v in np.argsort(-degrees, kind="stable"):
+        placed = owner[indices[indptr[v]:indptr[v + 1]]]
+        placed = placed[placed >= 0]
+        best = -1
+        if placed.size:
+            scores = np.bincount(placed, minlength=num_shards) * (
+                1.0 - sizes / capacity
+            )
+            scores[sizes >= capacity] = -1.0
+            candidate = int(np.argmax(scores))
+            if scores[candidate] > 0.0:
+                best = candidate
+        if best < 0:
+            open_shards = np.nonzero(sizes < capacity)[0]
+            best = int(open_shards[np.argmin(sizes[open_shards])])
+        owner[v] = best
+        sizes[best] += 1
+
+    contiguous = _range_owner_map(graph, num_shards, "contiguous")
+    if _cut_edges(graph, owner) > _cut_edges(graph, contiguous):
+        return contiguous
+    return owner

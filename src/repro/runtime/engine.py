@@ -62,12 +62,15 @@ class EngineCaches:
     built *after* the engines split is still seen by all of them.
     """
 
-    __slots__ = ("hint_tables", "transition_cache", "sharded_graphs")
+    __slots__ = ("hint_tables", "transition_cache", "sharded_graphs", "ghost_tables")
 
     def __init__(self) -> None:
         self.hint_tables = None
         self.transition_cache = None
         self.sharded_graphs: dict[tuple[int, str], object] = {}
+        # Ghost caches keyed by (num_devices, shard_policy, budget_bytes,
+        # weight_bytes) — pure functions of the decomposition + budget.
+        self.ghost_tables: dict[tuple[int, str, int, int], object] = {}
 
 #: Signature of the per-step framework-overhead hook used by baseline models:
 #: it receives the step context and the kernel that ran, and may add counts.
@@ -112,6 +115,8 @@ class WalkRunResult:
     per_query_comm_ns: np.ndarray | None = None
     comm_time_ns: float = 0.0
     remote_steps: int = 0
+    ghost_hits: int = 0
+    migration_batches: int = 0
 
     @property
     def time_ms(self) -> float:
@@ -158,6 +163,15 @@ class WalkRunResult:
     def comm_time_ms(self) -> float:
         """Modeled interconnect time in milliseconds (0 unless sharded)."""
         return self.comm_time_ns / 1e6
+
+    @property
+    def ghost_hit_ratio(self) -> float:
+        """Boundary crossings served by a local ghost copy instead of a
+        migration (0.0 when no crossing happened or no ghost cache ran)."""
+        crossings = self.ghost_hits + self.remote_steps
+        if crossings == 0:
+            return 0.0
+        return self.ghost_hits / crossings
 
     @property
     def throughput_steps_per_s(self) -> float:
@@ -224,6 +238,8 @@ class WalkRunResult:
             "graph_placement": self.graph_placement,
             "remote_edge_ratio": self.remote_edge_ratio,
             "comm_time_ms": self.comm_time_ms,
+            "ghost_hit_ratio": self.ghost_hit_ratio,
+            "migration_batches": self.migration_batches,
             "selection_ratio": self.selection_ratio(),
             "memory_accesses": self.counters.total_memory_accesses,
             "rng_draws": self.counters.rng_draws,
@@ -293,9 +309,16 @@ class WalkEngine:
         mode; paths, counters and per-query base times stay bit-identical
         to the replicated run either way.
     shard_policy:
-        Node-range decomposition used when ``graph_placement="sharded"``:
-        ``"contiguous"`` (equal node ranges) or ``"degree_balanced"``
-        (edge-count-balanced boundaries).
+        Node decomposition used when ``graph_placement="sharded"``:
+        ``"contiguous"`` (equal node ranges), ``"degree_balanced"``
+        (edge-count-balanced boundaries) or ``"locality"`` (streaming
+        LDG-style cut-minimising partitioner).
+    ghost_cache_bytes:
+        Per-shard byte budget for ghost copies of the hottest remote
+        nodes' adjacency slices (sharded placement only; 0 disables).
+        Steps landing on a ghosted remote hub are served locally instead
+        of migrating — base times stay bit-identical, only the modeled
+        interconnect traffic (and ``ghost_hit_ratio``) changes.
     use_transition_cache:
         Enable the cross-superstep :class:`TransitionCache` for workloads the
         compiler classified as node-only (``weights_node_only``): per-node
@@ -330,6 +353,7 @@ class WalkEngine:
         partition_policy: str = "hash",
         graph_placement: str = "replicated",
         shard_policy: str = "contiguous",
+        ghost_cache_bytes: int = 0,
         use_transition_cache: bool = True,
         caches: EngineCaches | None = None,
     ) -> None:
@@ -357,6 +381,8 @@ class WalkEngine:
             raise SimulationError(
                 "sharded graph placement requires the batched execution mode"
             )
+        if ghost_cache_bytes < 0:
+            raise SimulationError("ghost_cache_bytes must be non-negative")
         self.graph = graph
         self.spec = spec
         self.device = device
@@ -374,6 +400,7 @@ class WalkEngine:
         self.partition_policy = partition_policy
         self.graph_placement = graph_placement
         self.shard_policy = shard_policy
+        self.ghost_cache_bytes = int(ghost_cache_bytes)
         self.use_transition_cache = bool(use_transition_cache)
         self.caches = caches if caches is not None else EngineCaches()
 
@@ -408,6 +435,7 @@ class WalkEngine:
         partition_policy: str | None = None,
         graph_placement: str | None = None,
         shard_policy: str | None = None,
+        ghost_cache_bytes: int | None = None,
     ) -> "WalkEngine":
         """A copy of this engine re-targeted at a different device count.
 
@@ -443,10 +471,14 @@ class WalkEngine:
             raise SimulationError(
                 "sharded graph placement requires the batched execution mode"
             )
+        ghost = self.ghost_cache_bytes if ghost_cache_bytes is None else ghost_cache_bytes
+        if ghost < 0:
+            raise SimulationError("ghost_cache_bytes must be non-negative")
         clone.num_devices = int(num_devices)
         clone.partition_policy = policy
         clone.graph_placement = placement
         clone.shard_policy = shards
+        clone.ghost_cache_bytes = int(ghost)
         return clone
 
     def _sharded_graph(self):
@@ -466,6 +498,30 @@ class WalkEngine:
             )
             self.caches.sharded_graphs[key] = sharded
         return sharded
+
+    def _ghost_cache(self):
+        """The cached ghost-node cache of this engine's sharded setup.
+
+        ``None`` when no budget is configured; otherwise keyed by
+        ``(num_devices, shard_policy, budget, weight_bytes)`` on the shared
+        :class:`EngineCaches` holder so sibling engines/sessions build the
+        degree ranking once.
+        """
+        if self.ghost_cache_bytes <= 0:
+            return None
+        key = (
+            self.num_devices,
+            self.shard_policy,
+            self.ghost_cache_bytes,
+            self.weight_bytes,
+        )
+        ghost = self.caches.ghost_tables.get(key)
+        if ghost is None:
+            ghost = self._sharded_graph().ghost_cache(
+                self.ghost_cache_bytes, weight_bytes=self.weight_bytes
+            )
+            self.caches.ghost_tables[key] = ghost
+        return ghost
 
     def _node_hint_tables(self):
         """Cached lazily-filled hint tables (node-only compiled workloads)."""

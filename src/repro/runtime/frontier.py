@@ -588,135 +588,332 @@ def run_multi_device_serial(
 WALKER_MIGRATION_BYTES = 56
 
 
+@dataclass(frozen=True)
+class _CommSummary:
+    """Coalesced-migration communication totals of a sharded run.
+
+    Built lazily by :meth:`ShardedRunAccounting._comm_summary` from the
+    migration log.  ``queries``/``shares`` are sorted by (query, walker step
+    index) so per-query accumulation happens in one canonical float order,
+    whatever submit/stream interleaving produced the log.
+    """
+
+    queries: np.ndarray
+    shares: np.ndarray
+    per_device_ns: np.ndarray
+    num_batches: int
+
+
 class ShardedRunAccounting:
     """Per-device bookkeeping of a graph-sharded run.
 
     The sharded driver executes the *same* fused superstep loop as the
     replicated path (walks, counters and per-query base times are therefore
     bit-identical by construction); this object is where the sharding shows
-    up.  Each walker-step is attributed to the shard owning the node the
-    step executed on, and every step whose sampled destination lives on a
-    different shard records one walker migration, priced through the
-    device's interconnect model.
+    up.  Each walker-step is attributed to the device *hosting* the walker
+    — the shard owning its current node, unless the node is a ghost-cached
+    remote hub the walker is reading locally — and every step whose sampled
+    destination is neither owned by nor ghosted on the hosting device
+    migrates the walker there.
 
-    Tasks are keyed ``(step ordinal, global query index)`` — the order the
-    one-shot fused loop executes them in — and sorted at kernel-build time,
-    so an interleaved submit/stream session reconstructs the exact same
-    per-device schedules (and hence makespans) as a one-shot run.
+    Migrations are **coalesced**: all walkers leaving device ``s`` for
+    device ``d`` at the same walk-step index travel as one batched transfer
+    (one ``interconnect_latency_ns`` plus ``count x WALKER_MIGRATION_BYTES``
+    of bandwidth), the KnightKing message-coalescing model.  Batches are
+    keyed by the walkers' *step index* — not the wall-clock superstep — so
+    an interleaved submit/stream session groups migrations exactly like the
+    one-shot run and reconstructs identical communication totals.
+
+    Per-device schedules treat each *resident walker* as one queue entry
+    (its fetch plus every step it executed there, accumulated in walk-step
+    order), so sessions also reconstruct the exact per-device
+    schedules/makespans of the one-shot run.
     """
 
-    def __init__(self, engine: "WalkEngine", sharded) -> None:
+    def __init__(self, engine: "WalkEngine", sharded, ghost=None) -> None:
         self.engine = engine
         self.sharded = sharded
+        self.ghost = ghost
         self.num_shards = sharded.num_shards
         self.migration_ns = engine.device.migration_time_ns(WALKER_MIGRATION_BYTES)
+        self._latency_ns = float(engine.device.interconnect_latency_ns)
+        self._bytes_per_ns = float(engine.device.interconnect_bytes_per_ns)
+        self._owner = sharded.owner_map
+        self._ghost_mask = ghost.mask if ghost is not None else None
+        # Flat view for cheap (host, node) lookups on the crossing subset.
+        self._ghost_flat = self._ghost_mask.ravel() if ghost is not None else None
+        self._num_nodes = int(self._owner.size)
         self.device_aggs = [
             CostCounters(bytes_per_weight=engine.weight_bytes)
             for _ in range(self.num_shards)
         ]
-        # Per-device task log: parallel chunks of (step ordinal, global
-        # query index, lane time), concatenated + canonically sorted when
-        # the kernels are built.
-        self._task_steps: list[list[np.ndarray]] = [[] for _ in range(self.num_shards)]
-        self._task_queries: list[list[np.ndarray]] = [[] for _ in range(self.num_shards)]
-        self._task_times: list[list[np.ndarray]] = [[] for _ in range(self.num_shards)]
-        self.remote_counts = np.zeros(self.num_shards, dtype=np.int64)
+        # Resident-walker ledger: cell (d, q) accumulates all the lane time
+        # query ``q`` executed on device ``d`` (its fetch, then every step
+        # hosted there, added in walk-step order — so the float sums are
+        # invariant to how queries were split into waves).  ``_res_seen``
+        # marks the (device, query) pairs that actually executed work.
+        # Each superstep lands as one fancy scatter-add (a walker occupies
+        # exactly one slot per superstep, so the pairs are unique).
+        self._res_times = np.zeros((self.num_shards, 0), dtype=np.float64)
+        self._res_seen = np.zeros((self.num_shards, 0), dtype=bool)
+        self._res_used = 0
+        # Per-device counter accumulation: one float64 cell per (counter
+        # field, device), folded eagerly every superstep so the superstep's
+        # CounterBatch can be released immediately (integer counts sum
+        # exactly in float64).  Materialised into ``device_aggs`` lazily.
+        self._counter_sums = np.zeros(
+            (len(CostCounters._COUNT_FIELDS), self.num_shards), dtype=np.float64
+        )
+        # Migration log: (walker step index, global query index, source
+        # device, destination device) per migration, batched lazily.
+        self._mig_steps: list[np.ndarray] = []
+        self._mig_queries: list[np.ndarray] = []
+        self._mig_src: list[np.ndarray] = []
+        self._mig_dst: list[np.ndarray] = []
+        # Per-wave hosting device of each walker (wave offset -> array
+        # indexed by wave-local frontier position).
+        self._hosts: dict[int, np.ndarray] = {}
         self.remote_steps = 0
+        self.ghost_hits = 0
+        self._comm_cache: _CommSummary | None = None
+
+    def _ensure_capacity(self, upto: int) -> None:
+        """Grow the resident-walker ledger to cover query indices < upto."""
+        if upto > self._res_used:
+            self._res_used = upto
+        capacity = self._res_times.shape[1]
+        if upto <= capacity:
+            return
+        new = max(upto, capacity * 2, 256)
+        times = np.zeros((self.num_shards, new), dtype=np.float64)
+        times[:, :capacity] = self._res_times
+        seen = np.zeros((self.num_shards, new), dtype=bool)
+        seen[:, :capacity] = self._res_seen
+        self._res_times = times
+        self._res_seen = seen
 
     # ------------------------------------------------------------------ #
     def charge_fetch(self, start_nodes: np.ndarray, fetch_ns: np.ndarray, offset: int = 0) -> None:
         """Attribute each query's queue-fetch atomic to its start node's owner.
 
         Queries are submitted straight to the device owning their start
-        node, so the launch atomic executes there.  Fetch tasks sort before
-        every walk step (ordinal -1), in submission order — exactly where
-        the one-shot loop prices them.
+        node, so the launch atomic executes there — and that device is the
+        walker's initial host.  Fetch tasks sort before every walk step
+        (ordinal -1), in submission order — exactly where the one-shot loop
+        prices them.
         """
-        owners = self.sharded.owner(np.asarray(start_nodes, dtype=np.int64))
-        indices = np.arange(owners.size, dtype=np.int64) + offset
-        for d in range(self.num_shards):
-            mask = owners == d
-            if mask.any():
-                self._task_steps[d].append(np.full(int(mask.sum()), -1, dtype=np.int64))
-                self._task_queries[d].append(indices[mask])
-                self._task_times[d].append(np.asarray(fetch_ns[mask], dtype=np.float64))
-                self.device_aggs[d].atomic_ops += int(mask.sum())
+        starts = np.asarray(start_nodes, dtype=np.int64)
+        owners = self._owner[starts]
+        self._hosts[offset] = owners.copy()
+        self._ensure_capacity(offset + owners.size)
+        cols = np.arange(owners.size, dtype=np.int64) + offset
+        # fetch_ns aliases the live per-query accumulator — copy the values.
+        self._res_times[owners, cols] += fetch_ns
+        self._res_seen[owners, cols] = True
+        counts = np.bincount(owners, minlength=self.num_shards)
+        for d in np.nonzero(counts)[0]:
+            self.device_aggs[d].atomic_ops += int(counts[d])
 
     def observe(
         self,
         report: SuperstepReport,
         frontier: WalkerFrontier,
-        per_walker_comm_ns: np.ndarray,
         step_ordinal: int,
         offset: int = 0,
     ) -> None:
         """Fold one superstep into the per-device ledgers.
 
-        ``report.nodes`` holds each active walker's node at execution time:
-        its step ran on the shard owning that node, and a migration is
-        charged when the walker's post-step node (``frontier.current``) is
-        owned by a different shard.  Migration time lands in
-        ``per_walker_comm_ns`` (frontier-indexed) and in the source device's
-        communication ledger — never in the base per-query times, which
-        stay bit-identical to the replicated run.
+        Each active walker's step executes on its hosting device (without a
+        ghost cache the host is always the owner of ``report.nodes``).  A
+        walker whose sampled destination (``frontier.current``) is owned by
+        a different device either reads a local ghost copy — a ghost hit,
+        host unchanged, no traffic — or migrates: host reassigned, one
+        entry in the coalesced migration log.  Migration time never touches
+        the base per-query times, which stay bit-identical to replicated.
         """
         active = report.active
         if active.size == 0:
             return
-        owners = self.sharded.owner(report.nodes)
-        fold_counters_by_owner(owners, report.counters, self.device_aggs, self.num_shards)
-        for d in range(self.num_shards):
-            mask = owners == d
-            if mask.any():
-                self._task_steps[d].append(
-                    np.full(int(mask.sum()), step_ordinal, dtype=np.int64)
-                )
-                self._task_queries[d].append(active[mask] + offset)
-                self._task_times[d].append(report.step_ns[mask])
+        hosts = self._hosts[offset]
+        current = hosts[active]
+        counters = report.counters
+        k = self.num_shards
+        live = [
+            (j, column)
+            for j, name in enumerate(CostCounters._COUNT_FIELDS)
+            if (column := getattr(counters, name)).any()
+        ]
+        if live:
+            # One bincount over (field, device) keys covers every non-zero
+            # counter column of the superstep in a single pass.
+            keys = np.concatenate([current + j * k for j, _ in live])
+            weights = np.concatenate([column for _, column in live])
+            top = live[-1][0] + 1
+            self._counter_sums[:top] += np.bincount(
+                keys, weights=weights, minlength=top * k
+            ).reshape(top, k)
+        cols = active + offset if offset else active
+        self._res_times[current, cols] += report.step_ns
+        self._res_seen[current, cols] = True
 
-        landed = self.sharded.owner(frontier.current[active])
-        remote = landed != owners
-        if remote.any():
-            per_walker_comm_ns[active[remote]] += self.migration_ns
-            self.remote_counts += np.bincount(
-                owners[remote], minlength=self.num_shards
-            ).astype(np.int64)
-            self.remote_steps += int(np.count_nonzero(remote))
+        destinations = frontier.current[active]
+        dest_owner = self._owner[destinations]
+        # A boundary crossing needs a foreign destination owner AND an
+        # actual move — walkers that stayed put (termination, or a
+        # self-loop landing on the node they already occupy) generate no
+        # traffic even when riding a ghost copy of a remote node.
+        crossing = dest_owner != current
+        crossing &= destinations != report.nodes
+        idx = np.flatnonzero(crossing)
+        if idx.size == 0:
+            return
+        if self._ghost_flat is not None:
+            hit = self._ghost_flat[current[idx] * self._num_nodes + destinations[idx]]
+            hits = int(np.count_nonzero(hit))
+            if hits:
+                self.ghost_hits += hits
+                idx = idx[~hit]
+                if idx.size == 0:
+                    return
+        count = int(idx.size)
+        self.remote_steps += count
+        movers = active[idx]
+        dest = dest_owner[idx]
+        self._mig_steps.append(np.full(count, step_ordinal, dtype=np.int64))
+        self._mig_queries.append(movers + offset if offset else movers)
+        self._mig_src.append(current[idx])
+        self._mig_dst.append(dest)
+        hosts[movers] = dest
+        self._comm_cache = None
 
     # ------------------------------------------------------------------ #
+    def _comm_summary(self) -> _CommSummary:
+        """Coalesce the migration log into per-batch transfers (cached).
+
+        Migrations are grouped by (walker step index, source, destination);
+        each group is one interconnect message costing one latency plus the
+        batch payload over bandwidth.  Every migrating walker is assigned
+        its equal share of its batch for the per-query communication view.
+        Grouping by step index (not wall-clock superstep) makes the batches
+        — and therefore every derived number — invariant to how queries
+        were split into waves.
+        """
+        if self._comm_cache is not None:
+            return self._comm_cache
+        k = self.num_shards
+        if self._mig_steps:
+            steps = np.concatenate(self._mig_steps)
+            queries = np.concatenate(self._mig_queries)
+            src = np.concatenate(self._mig_src)
+            dst = np.concatenate(self._mig_dst)
+            keys = (steps * k + src) * k + dst
+            unique, inverse, counts = np.unique(
+                keys, return_inverse=True, return_counts=True
+            )
+            batch_ns = self._latency_ns + counts * (
+                WALKER_MIGRATION_BYTES / self._bytes_per_ns
+            )
+            per_device = np.bincount(
+                (unique // k) % k, weights=batch_ns, minlength=k
+            )
+            # No canonicalising sort is needed for the per-query view: a
+            # query's migrations enter the log in walk-step order under
+            # every wave composition (observe() runs the supersteps of its
+            # wave in order), so each query's float shares always
+            # accumulate in the same sequence.
+            shares = batch_ns[inverse] / counts[inverse]
+            summary = _CommSummary(
+                queries=queries,
+                shares=shares,
+                per_device_ns=per_device,
+                num_batches=int(unique.size),
+            )
+        else:
+            summary = _CommSummary(
+                queries=np.zeros(0, dtype=np.int64),
+                shares=np.zeros(0, dtype=np.float64),
+                per_device_ns=np.zeros(k, dtype=np.float64),
+                num_batches=0,
+            )
+        self._comm_cache = summary
+        return summary
+
     @property
     def comm_ns(self) -> np.ndarray:
-        """Per-device interconnect time (migration count x transfer cost)."""
-        return self.remote_counts * self.migration_ns
+        """Per-source-device interconnect time (coalesced batch costs)."""
+        return self._comm_summary().per_device_ns
+
+    @property
+    def migration_batches(self) -> int:
+        """Coalesced interconnect messages sent (batches, not walkers)."""
+        return self._comm_summary().num_batches
+
+    def per_query_comm_ns(self, num_queries: int) -> np.ndarray:
+        """Each query's share of the batched transfers it rode in.
+
+        A walker in a batch of ``c`` is charged ``1/c`` of the batch cost —
+        per-query shares sum (to float tolerance) to the total interconnect
+        time, and the accumulation order is canonical (query, step index),
+        so the array is identical however the run was waved.
+        """
+        summary = self._comm_summary()
+        out = np.zeros(num_queries, dtype=np.float64)
+        np.add.at(out, summary.queries, summary.shares)
+        return out
+
+    def _fold_pending_counters(self) -> None:
+        """Materialise the accumulated per-device counter sums.
+
+        ``observe`` folds every superstep's counts into ``_counter_sums``
+        eagerly (so the superstep's CounterBatch is released right away);
+        this flushes those sums into the ``device_aggs`` objects and zeroes
+        the matrix, which keeps repeated kernel builds idempotent.
+        """
+        sums = self._counter_sums
+        if not sums.any():
+            return
+        for j, name in enumerate(CostCounters._COUNT_FIELDS):
+            row = sums[j]
+            if not row.any():
+                continue
+            for d in range(self.num_shards):
+                if row[d]:
+                    agg = self.device_aggs[d]
+                    setattr(agg, name, getattr(agg, name) + int(row[d]))
+        sums[:] = 0.0
 
     def device_kernels(self, scheduling: str) -> list[KernelResult]:
         """Build one kernel per shard device from the accumulated task log.
 
-        Each device's tasks — queue fetches plus the walker-steps that
-        executed on it — are sorted into the canonical (step ordinal, query
-        index) order and scheduled over the device's lanes; the device's
-        migration traffic is serialised on top through the executor's
-        interconnect hook.  Safe to call repeatedly (a session may collect
-        more than once): the ledgers are only read.
+        The schedulable unit is one *resident walker*: all the work query
+        ``q`` executed on device ``d`` — its queue fetch plus every
+        walker-step hosted there — is one unit pulled from the device's
+        query queue, exactly the one-query-per-processing-unit model of the
+        replicated kernels (Section 5.3).  Per-unit times accumulate in
+        walk-step order whatever submit/stream interleaving produced the
+        log, so sessions reconstruct the one-shot makespans bit-for-bit.
+        The device's coalesced migration traffic overlaps the compute
+        through the executor's interconnect hook (only the excess beyond
+        the lane makespan serialises).  Safe to call repeatedly (a session
+        may collect more than once): the ledgers are only read.
         """
+        self._fold_pending_counters()
         executor = KernelExecutor(self.engine.device)
         kernels = []
         comm = self.comm_ns
+        used = self._res_used
         for d in range(self.num_shards):
-            if self._task_times[d]:
-                steps = np.concatenate(self._task_steps[d])
-                queries = np.concatenate(self._task_queries[d])
-                times = np.concatenate(self._task_times[d])
-                order = np.lexsort((queries, steps))
-                tasks = times[order]
-            else:
-                tasks = np.zeros(0, dtype=np.float64)
+            # The walkers resident on this device, in query-id order; each
+            # one's ledger cell already holds its fetch plus every hosted
+            # step, accumulated in walk-step order.
+            tasks = self._res_times[d, :used][self._res_seen[d, :used]]
             kernels.append(
                 executor.execute(
                     tasks,
                     counters=self.device_aggs[d].copy(),
                     scheduling=scheduling,
                     comm_ns=float(comm[d]),
+                    comm_overlap=True,
                 )
             )
         return kernels
@@ -758,7 +955,7 @@ def run_sharded(
 
     aggregate = CostCounters(bytes_per_weight=engine.weight_bytes)
     usage: dict[str, int] = {}
-    acct = ShardedRunAccounting(engine, sharded)
+    acct = ShardedRunAccounting(engine, sharded, ghost=engine._ghost_cache())
 
     # -- launch: every query is submitted to its start node's owner ------- #
     fetch_counters = CounterBatch(n, bytes_per_weight=engine.weight_bytes)
@@ -772,14 +969,13 @@ def run_sharded(
     pool = StreamPool(engine.seed)
     streams = pool.batch([q.query_id for q in queries])
 
-    per_query_comm_ns = np.zeros(n, dtype=np.float64)
     total_steps = 0
     reports = iter_supersteps(
         engine, frontier, streams, per_query_ns, aggregate, usage, track_finished=False
     )
     for step_ordinal, report in enumerate(reports):
         total_steps += report.steps
-        acct.observe(report, frontier, per_query_comm_ns, step_ordinal)
+        acct.observe(report, frontier, step_ordinal)
 
     device_kernels = acct.device_kernels(engine.scheduling)
     kernel = _merge_device_kernels(engine, device_kernels, aggregate, n)
@@ -799,9 +995,11 @@ def run_sharded(
         device_kernels=device_kernels,
         graph_placement="sharded",
         shard_policy=sharded.policy,
-        per_query_comm_ns=per_query_comm_ns,
+        per_query_comm_ns=acct.per_query_comm_ns(n),
         comm_time_ns=float(acct.comm_ns.sum()),
         remote_steps=acct.remote_steps,
+        ghost_hits=acct.ghost_hits,
+        migration_batches=acct.migration_batches,
     )
 
 

@@ -74,6 +74,9 @@ class ServiceCapabilities:
     graph_placements: tuple[str, ...] = ("replicated",)
     #: Node-range shard policies the sharded placement offers.
     shard_policies: tuple[str, ...] = SHARD_POLICIES
+    #: Largest per-shard ghost-node cache budget the service grants to a
+    #: sharded session (0 = ghost caching not offered).
+    ghost_cache_bytes: int = 0
 
     def supports(self, backend: str) -> bool:
         return backend in self.backends
@@ -103,6 +106,10 @@ class ExecutionPlan:
         decomposition; ``None`` unless sharded).  Negotiated from the
         graph's memory footprint against the fleet device's memory when the
         config requests ``"auto"``.
+    ghost_cache_bytes:
+        Granted per-shard ghost-node cache budget (0 unless sharded and
+        requested): the session's request clamped to the service's
+        declared maximum.
     scheduling:
         Query-to-lane scheduling inside each device.
     use_transition_cache:
@@ -121,6 +128,7 @@ class ExecutionPlan:
     partition_policy: str = "hash"
     graph_placement: str = "replicated"
     shard_policy: str | None = None
+    ghost_cache_bytes: int = 0
     scheduling: str = "dynamic"
     use_transition_cache: bool = True
     streaming_granularity: str = "superstep"
@@ -135,6 +143,7 @@ class ExecutionPlan:
             "partition_policy": self.partition_policy,
             "graph_placement": self.graph_placement,
             "shard_policy": self.shard_policy,
+            "ghost_cache_bytes": self.ghost_cache_bytes,
             "scheduling": self.scheduling,
             "use_transition_cache": self.use_transition_cache,
             "streaming_granularity": self.streaming_granularity,
@@ -234,6 +243,7 @@ def negotiate_plan(
     # whole graph (replicated) and reject explicit shard requests.
     placement = "replicated"
     shard_policy: str | None = None
+    ghost_cache_bytes = 0
     if backend == "multi_device":
         memory = capabilities.device_memory_bytes
         known = graph_footprint_bytes is not None and memory > 0
@@ -302,18 +312,39 @@ def negotiate_plan(
             )
         if placement == "sharded":
             shard_policy = config.shard_policy
+            # Ghost caching trades per-shard memory for fewer migrations:
+            # the grant is the session's request clamped to the service's
+            # declared maximum, never more.
+            if config.ghost_cache_bytes > 0:
+                ghost_cache_bytes = min(
+                    config.ghost_cache_bytes, capabilities.ghost_cache_bytes
+                )
+                if ghost_cache_bytes < config.ghost_cache_bytes:
+                    reasons.append(
+                        f"ghost cache request {config.ghost_cache_bytes} B "
+                        f"clamped to the service maximum {ghost_cache_bytes} B"
+                        if ghost_cache_bytes
+                        else "ghost cache requested but not offered by this "
+                        "service -> disabled"
+                    )
+                else:
+                    reasons.append(
+                        f"ghost cache granted: {ghost_cache_bytes} B per shard"
+                    )
             # Sharding divides the graph, it does not shrink it: when even
-            # a device's 1/num_devices share of the footprint exceeds its
-            # memory, the plan is still under-provisioned — say so instead
-            # of presenting the placement as a solved memory problem.  (The
-            # edge-balanced ideal share; a skewed contiguous decomposition
-            # can only be worse.)
+            # a device's 1/num_devices share of the footprint (plus its
+            # ghost-cache budget) exceeds its memory, the plan is still
+            # under-provisioned — say so instead of presenting the
+            # placement as a solved memory problem.  (The edge-balanced
+            # ideal share; a skewed contiguous decomposition can only be
+            # worse.)
             if known:
-                per_shard = -(-graph_footprint_bytes // num_devices)
+                per_shard = -(-graph_footprint_bytes // num_devices) + ghost_cache_bytes
                 if per_shard > memory:
                     reasons.append(
-                        f"warning: even sharded, ~{per_shard} B per shard exceeds "
-                        f"device memory {memory} B — the graph needs more than "
+                        f"warning: even sharded, ~{per_shard} B per shard "
+                        "(graph share + ghost cache) exceeds device memory "
+                        f"{memory} B — the graph needs more than "
                         f"{num_devices} devices (simulated-OOM risk)"
                     )
     elif config.graph_placement == "sharded":
@@ -349,6 +380,7 @@ def negotiate_plan(
         partition_policy=config.partition_policy,
         graph_placement=placement,
         shard_policy=shard_policy,
+        ghost_cache_bytes=ghost_cache_bytes,
         scheduling=config.scheduling,
         use_transition_cache=use_cache,
         streaming_granularity=granularity,
@@ -373,4 +405,7 @@ def declare_capabilities(fleet: DeviceFleet) -> ServiceCapabilities:
         device_memory_bytes=fleet.device.memory_bytes,
         graph_placements=tuple(placements),
         shard_policies=SHARD_POLICIES,
+        # A shard may spend up to 1/8 of its device's memory on ghost
+        # copies of hot remote nodes.
+        ghost_cache_bytes=fleet.device.memory_bytes // 8 if fleet.count > 1 else 0,
     )

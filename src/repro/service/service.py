@@ -324,6 +324,7 @@ class WalkService:
                 partition_policy=plan.partition_policy,
                 graph_placement=plan.graph_placement,
                 shard_policy=plan.shard_policy or config.shard_policy,
+                ghost_cache_bytes=plan.ghost_cache_bytes,
                 use_transition_cache=plan.use_transition_cache,
                 caches=self.engine_caches(spec),
             )

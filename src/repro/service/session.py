@@ -142,7 +142,7 @@ class _Wave:
 
     __slots__ = (
         "queries", "offset", "per_ns", "counts", "frontier", "iterator",
-        "pool", "pos", "comm_ns", "steps_done",
+        "pool", "pos", "steps_done",
     )
 
     def __init__(self, queries: list[WalkQuery], offset: int) -> None:
@@ -156,10 +156,9 @@ class _Wave:
         # Scalar backend: the wave's stream pool and a query cursor.
         self.pool: StreamPool | None = None
         self.pos = 0
-        # Sharded plans: per-walker migration time and the wave-local
-        # superstep ordinal (== every wave walker's step index, the
-        # canonical task key of the sharded accounting).
-        self.comm_ns: np.ndarray | None = None
+        # Sharded plans: the wave-local superstep ordinal (== every wave
+        # walker's step index, the canonical task/batch key of the sharded
+        # accounting).
         self.steps_done = 0
 
 
@@ -218,11 +217,12 @@ class WalkSession:
         # walkers around and is folded per superstep by the shard ledger.
         self._sharded = plan.num_devices > 1 and plan.graph_placement == "sharded"
         self._shard_acct = (
-            ShardedRunAccounting(engine, engine._sharded_graph())
+            ShardedRunAccounting(
+                engine, engine._sharded_graph(), ghost=engine._ghost_cache()
+            )
             if self._sharded
             else None
         )
-        self._comm_chunks: list[np.ndarray] = []
         self._track_counts = plan.num_devices > 1 and not self._sharded
         self._paths: list[list[int]] = []
         self._ns_chunks: list[np.ndarray] = []
@@ -405,12 +405,18 @@ class WalkSession:
             graph_placement="sharded" if self._sharded else "replicated",
             shard_policy=self.plan.shard_policy if self._sharded else None,
             per_query_comm_ns=(
-                np.concatenate(self._comm_chunks) if self._sharded else None
+                self._shard_acct.per_query_comm_ns(len(self._submitted))
+                if self._sharded
+                else None
             ),
             comm_time_ns=(
                 float(self._shard_acct.comm_ns.sum()) if self._sharded else 0.0
             ),
             remote_steps=self._shard_acct.remote_steps if self._sharded else 0,
+            ghost_hits=self._shard_acct.ghost_hits if self._sharded else 0,
+            migration_batches=(
+                self._shard_acct.migration_batches if self._sharded else 0
+            ),
         )
         result.wall_clock_s = self._exec_seconds
         return result
@@ -445,7 +451,6 @@ class WalkSession:
         if self._sharded:
             starts = np.array([q.start_node for q in queries], dtype=np.int64)
             self._shard_acct.charge_fetch(starts, wave.per_ns, offset=wave.offset)
-            wave.comm_ns = np.zeros(k, dtype=np.float64)
 
         if self.plan.execution == "batched":
             wave.frontier = WalkerFrontier(queries)
@@ -487,7 +492,6 @@ class WalkSession:
             self._shard_acct.observe(
                 report,
                 wave.frontier,
-                wave.comm_ns,
                 step_ordinal=wave.steps_done,
                 offset=wave.offset,
             )
@@ -561,8 +565,6 @@ class WalkSession:
         # reuse those lists instead of materialising a second copy.
         self._paths.extend(self._path_by_qid[q.query_id] for q in wave.queries)
         self._ns_chunks.append(wave.per_ns)
-        if self._sharded:
-            self._comm_chunks.append(wave.comm_ns)
         if self._track_counts:
             for name in CostCounters._COUNT_FIELDS:
                 self._count_chunks[name].append(wave.counts[name])

@@ -24,27 +24,36 @@ class TestBuild:
         graph = skewed_graph()
         sharded = ShardedCSRGraph.build(graph, num_shards, policy)
         assert sharded.num_shards == num_shards
-        assert sharded.boundaries[0] == 0
-        assert sharded.boundaries[-1] == graph.num_nodes
+        assert sharded.owner_map.shape == (graph.num_nodes,)
         assert sum(s.num_nodes for s in sharded.shards) == graph.num_nodes
         assert sum(s.num_edges for s in sharded.shards) == graph.num_edges
-        # Reassembling the per-shard slices reproduces the parent arrays.
-        assert np.array_equal(
-            np.concatenate([s.indices for s in sharded.shards]), graph.indices
-        )
-        assert np.array_equal(
-            np.concatenate([s.weights for s in sharded.shards]), graph.weights
-        )
+        # The union of shard node sets is a partition of the node ids.
+        owned = np.concatenate([s.nodes for s in sharded.shards])
+        assert np.array_equal(np.sort(owned), np.arange(graph.num_nodes))
+        # Reassembling the per-node slices reproduces the parent rows.
+        for shard in sharded.shards:
+            for local, node in enumerate(shard.nodes):
+                row = slice(shard.indptr[local], shard.indptr[local + 1])
+                assert np.array_equal(shard.indices[row], graph.neighbors(node))
+                assert np.array_equal(
+                    shard.weights[row],
+                    graph.weights[graph.indptr[node]:graph.indptr[node + 1]],
+                )
 
-    def test_local_indptr_is_rebased(self):
+    @pytest.mark.parametrize("policy", SHARD_POLICIES)
+    def test_local_indptr_is_rebased(self, policy):
         graph = skewed_graph()
-        sharded = ShardedCSRGraph.build(graph, 3, "contiguous")
+        sharded = ShardedCSRGraph.build(graph, 3, policy)
         for shard in sharded.shards:
             assert shard.indptr[0] == 0
             assert shard.indptr[-1] == shard.num_edges
-            # Each local row matches the parent's neighbour list.
+            # Each local row matches the parent's neighbour list, and
+            # local_index round-trips the global ids.
+            assert np.array_equal(
+                shard.local_index(shard.nodes), np.arange(shard.num_nodes)
+            )
             for local in range(shard.num_nodes):
-                node = shard.node_start + local
+                node = shard.nodes[local]
                 nbrs = shard.indices[shard.indptr[local]:shard.indptr[local + 1]]
                 assert np.array_equal(nbrs, graph.neighbors(node))
 
@@ -134,3 +143,77 @@ class TestMemoryAccounting:
     def test_remote_edge_fraction_zero_for_single_shard(self):
         sharded = ShardedCSRGraph.build(skewed_graph(), 1)
         assert sharded.remote_edge_fraction() == 0.0
+
+
+class TestLocalityPolicy:
+    def test_cuts_no_more_edges_than_contiguous(self):
+        graph = skewed_graph(num_nodes=200)
+        contiguous = ShardedCSRGraph.build(graph, 4, "contiguous")
+        locality = ShardedCSRGraph.build(graph, 4, "locality")
+        assert locality.remote_edge_fraction() <= contiguous.remote_edge_fraction()
+
+    def test_respects_the_contiguous_capacity(self):
+        graph = skewed_graph(num_nodes=100)
+        sharded = ShardedCSRGraph.build(graph, 3, "locality")
+        capacity = -(-graph.num_nodes // 3)
+        assert all(s.num_nodes <= capacity for s in sharded.shards)
+
+    def test_star_graph_keeps_the_hub_cluster_together(self):
+        # Hub 0 plus 19 leaves, 2 shards of capacity 10: the streaming pass
+        # places the hub first and pulls half the leaves onto its shard —
+        # every leaf on that shard has a local edge to the hub.
+        graph = star_graph(19)
+        sharded = ShardedCSRGraph.build(graph, 2, "locality")
+        hub_shard = sharded.shards[int(sharded.owner_map[0])]
+        assert 0 in hub_shard.nodes
+        assert hub_shard.num_nodes == 10
+
+
+class TestGhostCache:
+    def test_ghosts_only_remote_nodes_within_budget(self):
+        graph = skewed_graph(num_nodes=80)
+        sharded = ShardedCSRGraph.build(graph, 4, "contiguous")
+        ghost = sharded.ghost_cache(budget_bytes=2_000)
+        for s, shard in enumerate(sharded.shards):
+            ghosted = np.nonzero(ghost.mask[s])[0]
+            # Never ghost an owned node.
+            assert not np.any(sharded.owner_map[ghosted] == s)
+            assert ghost.cached_nodes[s] == ghosted.size
+            assert 0 <= ghost.cached_bytes[s] <= 2_000
+
+    def test_hottest_remote_nodes_are_cached_first(self):
+        graph = skewed_graph(num_nodes=80)
+        sharded = ShardedCSRGraph.build(graph, 4, "contiguous")
+        ghost = sharded.ghost_cache(budget_bytes=1_500)
+        degrees = graph.indptr[1:] - graph.indptr[:-1]
+        for s in range(4):
+            ghosted = np.nonzero(ghost.mask[s])[0]
+            if ghosted.size == 0:
+                continue
+            floor = degrees[ghosted].min()
+            remote = np.nonzero(sharded.owner_map != s)[0]
+            skipped = remote[~ghost.mask[s, remote]]
+            # Everything skipped is no hotter than the coldest cached node.
+            assert skipped.size == 0 or degrees[skipped].max() <= floor
+
+    def test_zero_budget_caches_nothing(self):
+        sharded = ShardedCSRGraph.build(skewed_graph(), 2)
+        ghost = sharded.ghost_cache(budget_bytes=0)
+        assert not ghost.mask.any()
+        assert ghost.cached_nodes.sum() == 0
+
+    def test_covers_matches_the_mask(self):
+        sharded = ShardedCSRGraph.build(skewed_graph(), 2)
+        ghost = sharded.ghost_cache(budget_bytes=5_000)
+        shard_ids = np.array([0, 0, 1, 1])
+        nodes = np.array([0, 30, 0, 30])
+        assert np.array_equal(
+            ghost.covers(shard_ids, nodes), ghost.mask[shard_ids, nodes]
+        )
+
+    def test_labels_widen_the_modeled_node_size(self):
+        graph = skewed_graph()
+        labelled = graph.with_labels(random_edge_labels(graph, num_labels=4, seed=1))
+        plain_cache = ShardedCSRGraph.build(graph, 2).ghost_cache(3_000)
+        label_cache = ShardedCSRGraph.build(labelled, 2).ghost_cache(3_000)
+        assert label_cache.cached_nodes.sum() <= plain_cache.cached_nodes.sum()

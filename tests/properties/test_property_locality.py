@@ -1,0 +1,98 @@
+"""Property-based invariants of the streaming locality partitioner.
+
+``locality_owner_map`` is a greedy heuristic, but three things about it are
+hard guarantees the sharded runtime builds on: the output is a *partition*
+(every node owned by exactly one in-range shard), it respects the same
+per-shard node capacity the contiguous split uses (no extra device
+head-room), and it never cuts more edges than the contiguous split of the
+same graph (the builder keeps the better of the two).  Hypothesis sweeps
+graph shapes and shard counts hunting for violations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    cycle_graph,
+    star_graph,
+)
+from repro.graph.sharded import (
+    ShardedCSRGraph,
+    locality_owner_map,
+)
+
+
+def _cut(graph, owner_map):
+    degrees = graph.indptr[1:] - graph.indptr[:-1]
+    source_owner = np.repeat(owner_map, degrees)
+    return int(np.count_nonzero(source_owner != owner_map[graph.indices]))
+
+
+def _build_graph(kind: str, size: int, seed: int):
+    if kind == "ba":
+        return barabasi_albert_graph(max(size, 8), 3, seed=seed)
+    if kind == "star":
+        return star_graph(max(size - 1, 2))
+    return cycle_graph(max(size, 2))
+
+
+class TestLocalityOwnerMap:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        kind=st.sampled_from(["ba", "star", "cycle"]),
+        size=st.integers(min_value=4, max_value=120),
+        seed=st.integers(min_value=0, max_value=50),
+        num_shards=st.integers(min_value=1, max_value=8),
+    )
+    def test_partition_capacity_and_cut_invariants(
+        self, kind, size, seed, num_shards
+    ):
+        graph = _build_graph(kind, size, seed)
+        owner = locality_owner_map(graph, num_shards)
+
+        # Every node is owned exactly once, by an in-range shard.
+        assert owner.shape == (graph.num_nodes,)
+        assert owner.dtype == np.int64
+        assert owner.min() >= 0
+        assert owner.max() < num_shards
+
+        # No shard exceeds the contiguous split's node capacity.
+        capacity = -(-graph.num_nodes // num_shards)
+        assert np.bincount(owner, minlength=num_shards).max() <= capacity
+
+        # The cut never regresses past the trivial contiguous split.
+        contiguous = ShardedCSRGraph.build(graph, num_shards, "contiguous")
+        assert _cut(graph, owner) <= _cut(graph, contiguous.owner_map)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        size=st.integers(min_value=8, max_value=100),
+        seed=st.integers(min_value=0, max_value=50),
+        num_shards=st.integers(min_value=2, max_value=6),
+    )
+    def test_builder_agrees_with_the_standalone_partitioner(
+        self, size, seed, num_shards
+    ):
+        graph = barabasi_albert_graph(size, 3, seed=seed)
+        sharded = ShardedCSRGraph.build(graph, num_shards, "locality")
+        assert np.array_equal(
+            sharded.owner_map, locality_owner_map(graph, num_shards)
+        )
+        # The static cut the decomposition reports is the owner map's cut.
+        assert sharded.remote_edge_fraction() == (
+            _cut(graph, sharded.owner_map) / graph.num_edges
+        )
+
+    def test_single_shard_is_the_zero_map(self):
+        graph = barabasi_albert_graph(30, 3, seed=1)
+        assert not locality_owner_map(graph, 1).any()
+
+    def test_deterministic_across_calls(self):
+        graph = barabasi_albert_graph(60, 3, seed=5)
+        assert np.array_equal(
+            locality_owner_map(graph, 4), locality_owner_map(graph, 4)
+        )

@@ -6,8 +6,10 @@ accounted and adds the modeled interconnect term.  So for *any* graph,
 workload, seed, device count, shard policy and walk length, the two modes
 must agree bit-for-bit on paths, counter totals (global and summed over
 device kernels) and per-query base times — while the communication term
-stays exactly the migration count times the device's transfer cost.
-Hypothesis hunts for counterexamples across that grid.
+stays exactly the coalesced-batch bill (one interconnect latency per
+(step, src, dst) migration batch plus the per-walker payload), and the
+ghost cache only relabels boundary crossings as local hits, never touching
+a walk.  Hypothesis hunts for counterexamples across that grid.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -94,16 +97,30 @@ class TestShardedMatchesReplicated:
                 k.counters.as_dict()[name] for k in sharded.device_kernels
             ) == total
 
-        # The communication term is exactly migrations x transfer cost, and
-        # every walk's migration count is bounded by its step count.
+        # The communication term is exactly the coalesced-batch bill: one
+        # interconnect latency per (step, src, dst) batch plus the payload
+        # per migrating walker — never more than pricing each migration as
+        # its own transfer, and every walk's migration count is bounded by
+        # its step count.
+        per_walker = WALKER_MIGRATION_BYTES / DEVICE.interconnect_bytes_per_ns
+        expected = (
+            sharded.migration_batches * DEVICE.interconnect_latency_ns
+            + sharded.remote_steps * per_walker
+        )
+        assert sharded.comm_time_ns == pytest.approx(expected, rel=1e-12)
+        assert sharded.migration_batches <= sharded.remote_steps
         migration = DEVICE.migration_time_ns(WALKER_MIGRATION_BYTES)
-        assert sharded.comm_time_ns == sharded.remote_steps * migration
+        assert sharded.comm_time_ns <= sharded.remote_steps * migration + 1e-6
         assert sharded.remote_steps <= sharded.total_steps
         assert np.all(sharded.per_query_comm_ns >= 0.0)
-        assert float(sharded.per_query_comm_ns.sum()) == sharded.comm_time_ns
+        assert float(sharded.per_query_comm_ns.sum()) == pytest.approx(
+            sharded.comm_time_ns, rel=1e-12
+        )
 
         # Remote steps are consistent with the walked paths and the shard
         # decomposition: recount boundary crossings directly from the walks.
+        # (Only valid with the ghost cache off — hits leave the walker's
+        # host behind its node's owner.)
         decomposition = ShardedCSRGraph.build(graph, num_devices, shard_policy)
         crossings = 0
         for path in sharded.paths:
@@ -111,3 +128,63 @@ class TestShardedMatchesReplicated:
             owners = decomposition.owner(nodes)
             crossings += int(np.count_nonzero(owners[1:] != owners[:-1]))
         assert sharded.remote_steps == crossings
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        graph_seed=st.integers(min_value=0, max_value=30),
+        run_seed=st.integers(min_value=0, max_value=500),
+        workload=st.sampled_from(sorted(SPEC_FACTORIES)),
+        num_devices=st.sampled_from([2, 4]),
+        shard_policy=st.sampled_from(SHARD_POLICIES),
+        ghost_budget=st.sampled_from([2_000, 8_000, 10**9]),
+        walk_length=st.integers(min_value=1, max_value=6),
+    )
+    def test_ghost_cache_preserves_walks_and_matches_host_replay(
+        self, graph_seed, run_seed, workload, num_devices, shard_policy,
+        ghost_budget, walk_length,
+    ):
+        graph = build_graph(graph_seed)
+        spec = SPEC_FACTORIES[workload]()
+        queries = make_queries(graph.num_nodes, walk_length=walk_length,
+                               num_queries=min(16, graph.num_nodes), seed=run_seed)
+
+        plain = build_engine(
+            graph, spec, run_seed, num_devices=num_devices,
+            graph_placement="sharded", shard_policy=shard_policy,
+        ).run(queries)
+        ghosted = build_engine(
+            graph, spec, run_seed, num_devices=num_devices,
+            graph_placement="sharded", shard_policy=shard_policy,
+            ghost_cache_bytes=ghost_budget,
+        ).run(queries)
+
+        # Ghosting is pure accounting: the walks are untouched.
+        assert ghosted.paths == plain.paths
+        assert ghosted.counters.as_dict() == plain.counters.as_dict()
+        assert np.array_equal(ghosted.per_query_ns, plain.per_query_ns)
+
+        # Hits can only absorb migrations (host changes are a subsequence
+        # of owner changes), and the hit ratio is a proper fraction.
+        assert ghosted.remote_steps <= plain.remote_steps
+        assert 0.0 <= ghosted.ghost_hit_ratio <= 1.0
+
+        # Replay the host dynamics from the walked paths and the static
+        # ghost mask: a crossing onto a cached node is a hit (host stays),
+        # anything else migrates (host becomes the owner).
+        decomposition = ShardedCSRGraph.build(graph, num_devices, shard_policy)
+        ghost = decomposition.ghost_cache(ghost_budget)
+        hits = migrations = 0
+        for path in ghosted.paths:
+            nodes = np.asarray(path, dtype=np.int64)
+            owners = decomposition.owner(nodes)
+            host = int(owners[0])
+            for node, owner in zip(nodes[1:], owners[1:]):
+                if int(owner) == host:
+                    continue
+                if ghost.mask[host, int(node)]:
+                    hits += 1
+                else:
+                    migrations += 1
+                    host = int(owner)
+        assert ghosted.ghost_hits == hits
+        assert ghosted.remote_steps == migrations

@@ -207,6 +207,59 @@ class TestGraphPlacementNegotiation:
         assert described["graph_placement"] == "sharded"
         assert described["shard_policy"] == "contiguous"
 
+    def test_ghost_budget_granted_and_clamped(self):
+        declared = caps(4)
+        sharded = FlexiWalkerConfig(
+            device=DEVICE, num_devices=4, graph_placement="sharded",
+            ghost_cache_bytes=1_000,
+        )
+        plan = negotiate_plan(declared, sharded)
+        assert plan.ghost_cache_bytes == 1_000
+        assert any("ghost cache granted" in r for r in plan.reasons)
+        # Requests beyond the declared maximum clamp down to it.
+        greedy = dataclasses.replace(
+            sharded, ghost_cache_bytes=declared.ghost_cache_bytes * 10
+        )
+        clamped = negotiate_plan(declared, greedy)
+        assert clamped.ghost_cache_bytes == declared.ghost_cache_bytes
+        assert any("clamped" in r for r in clamped.reasons)
+
+    def test_ghost_budget_zero_without_request_or_offering(self):
+        sharded = FlexiWalkerConfig(
+            device=DEVICE, num_devices=4, graph_placement="sharded"
+        )
+        assert negotiate_plan(caps(), sharded).ghost_cache_bytes == 0
+        # A service that offers no ghost memory disables the request.
+        none_offered = dataclasses.replace(caps(4), ghost_cache_bytes=0)
+        config = dataclasses.replace(sharded, ghost_cache_bytes=1_000)
+        plan = negotiate_plan(none_offered, config)
+        assert plan.ghost_cache_bytes == 0
+        assert any("not offered" in r for r in plan.reasons)
+        # Replicated plans never carry a ghost budget.
+        replicated = negotiate_plan(
+            caps(), FlexiWalkerConfig(device=DEVICE, ghost_cache_bytes=1_000)
+        )
+        assert replicated.ghost_cache_bytes == 0
+
+    def test_ghost_budget_counts_against_the_footprint_warning(self):
+        config = FlexiWalkerConfig(
+            device=DEVICE, num_devices=4, graph_placement="sharded",
+            ghost_cache_bytes=self.MEMORY // 8,
+        )
+        # Each shard's graph share alone just fits, but not once the shard
+        # also reserves an eighth of its memory for ghost copies.
+        footprint = self.MEMORY * 4 - 8_000
+        plan = negotiate_plan(caps(), config, graph_footprint_bytes=footprint)
+        assert any("ghost cache" in r and "simulated-OOM risk" in r
+                   for r in plan.reasons)
+        lean = dataclasses.replace(config, ghost_cache_bytes=1_000)
+        ok = negotiate_plan(caps(), lean, graph_footprint_bytes=footprint)
+        assert not any("even sharded" in r for r in ok.reasons)
+
+    def test_capabilities_declare_the_ghost_budget(self):
+        assert caps(4).ghost_cache_bytes == DEVICE.memory_bytes // 8
+        assert caps(1).ghost_cache_bytes == 0
+
     def test_service_passes_the_graph_footprint(self, service_graph):
         small = dataclasses.replace(
             DEVICE, memory_bytes=service_graph.memory_footprint_bytes() - 1
