@@ -1,0 +1,72 @@
+"""Benchmark: continuous-batching serving smoke — the load-generator example.
+
+Nightly companion of the ``serving`` entry in ``BENCH_engine.json``: drives
+``examples/load_generator.py`` (many tenant-tagged sessions fused into one
+shared frontier by the :class:`~repro.service.ServiceScheduler`) at a small
+session count and checks the serving-side invariants — every submitted walk
+completes, the superstep-clock latency percentiles are ordered and the
+weighted tenants all make progress.  The full three-scale sweep with the
+gated p99 ceiling runs through ``scripts/bench_engine.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover - trivial import guard
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+EXAMPLE = Path(__file__).resolve().parent.parent / "examples" / "load_generator.py"
+
+SESSIONS = 16
+QUERIES_PER_SESSION = 6
+WALK_LENGTH = 10
+
+
+def load_generator():
+    spec = importlib.util.spec_from_file_location("serving_load_generator", EXAMPLE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_serving_load_smoke(benchmark):
+    generator = load_generator()
+    metrics = benchmark.pedantic(
+        generator.run_load,
+        args=(SESSIONS,),
+        kwargs={
+            "queries_per_session": QUERIES_PER_SESSION,
+            "walk_length": WALK_LENGTH,
+            "max_inflight_walkers": 64,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    # Every submitted walk must complete and be accounted to some tenant.
+    assert metrics["walks"] == SESSIONS * QUERIES_PER_SESSION
+    assert sum(t["completed"] for t in metrics["tenants"].values()) == metrics["walks"]
+    # Latency is measured on the shared superstep clock: percentiles are
+    # ordered, positive and bounded by the run's total superstep count.
+    assert 0 < metrics["p50_latency_ticks"] <= metrics["p99_latency_ticks"]
+    assert metrics["p99_latency_ticks"] <= metrics["supersteps"]
+    assert metrics["p99_queue_delay_ticks"] >= 0
+    assert metrics["aggregate_steps_per_s"] > 0
+    # The tenant mix spans weights; every registered tenant made progress
+    # (WRR admission never starves a nonzero-weight tenant).
+    for tenant in metrics["tenants"].values():
+        if tenant["sessions"] > 0:
+            assert tenant["completed"] > 0
+            assert tenant["steps"] > 0
+    print()
+    print(
+        f"serving smoke: {metrics['sessions']} sessions, "
+        f"{metrics['walks']} walks over {metrics['supersteps']} supersteps, "
+        f"p50/p99 latency {metrics['p50_latency_ticks']:.0f}/"
+        f"{metrics['p99_latency_ticks']:.0f} ticks, "
+        f"{metrics['aggregate_steps_per_s']:,.0f} steps/s"
+    )

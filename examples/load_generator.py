@@ -1,0 +1,185 @@
+"""Multi-tenant serving load generator for the continuous-batching scheduler.
+
+Drives many interleaved :class:`~repro.service.WalkSession`\\ s — all fused
+into one shared frontier by a :class:`~repro.service.ServiceScheduler` —
+through an open-loop arrival process: every scheduler tick a few sessions
+submit fresh query batches, tagged with a tenant and (for the interactive
+tenant) an SLO priority, while earlier walkers are still mid-walk.  Nothing
+waits for a wave to drain; admission happens at superstep boundaries.
+
+Reported per run:
+
+* **ticket latency** (submit → walk completion, in scheduler supersteps):
+  p50 / p99 across every walk, plus the queue-delay component
+  (submit → first scheduled step) — the serving-style metrics;
+* **aggregate throughput** (walker-steps per second across all sessions);
+* **per-tenant accounting** (:class:`~repro.service.TenantStats`), showing
+  the weighted-fairness split of the fused execution.
+
+A JSON artifact with the same numbers is written next to the script (or to
+``--output``), which is what the serving benchmark entry and the nightly
+smoke test consume.
+
+Run ``python examples/load_generator.py --sessions 256`` to scale the fleet
+of sessions up or down; the defaults keep the demo under a few seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    DeepWalkSpec,
+    DeviceFleet,
+    FlexiWalkerConfig,
+    SubmitOptions,
+    WalkQuery,
+    WalkService,
+    load_dataset,
+)
+from repro.gpusim import A6000
+
+#: The tenant mix: (name, weight, share of sessions, submit options template).
+#: Every tenant opts into blocking admission so a finite ``--max-inflight``
+#: budget throttles the arrival loop (backpressure) instead of erroring it.
+TENANTS = (
+    ("interactive", 4.0, 0.25, {"priority": 1, "block_on_full": True}),
+    ("batch", 2.0, 0.50, {"block_on_full": True}),
+    ("background", 1.0, 0.25, {"deadline_steps": 24, "block_on_full": True}),
+)
+
+
+def run_load(
+    num_sessions: int,
+    queries_per_session: int = 8,
+    walk_length: int = 10,
+    max_inflight_walkers: int = 0,
+    seed: int = 7,
+) -> dict:
+    """Drive ``num_sessions`` interleaved sessions; return the metrics dict."""
+    graph = load_dataset("YT", weights="uniform")
+    device = A6000.scaled(96 / A6000.parallel_lanes, name="A6000 (scaled)")
+    service = WalkService(graph, fleet=DeviceFleet(device))
+    scheduler = service.scheduler(max_inflight_walkers=max_inflight_walkers)
+    config = FlexiWalkerConfig(device=device)
+
+    rng = np.random.default_rng(seed)
+    sessions = []
+    for index in range(num_sessions):
+        pick = rng.random()
+        cumulative = 0.0
+        for name, weight, share, template in TENANTS:
+            cumulative += share
+            if pick <= cumulative or name == TENANTS[-1][0]:
+                scheduler.register_tenant(name, weight=weight)
+                session = scheduler.session(DeepWalkSpec(), config, tenant=name)
+                sessions.append((session, SubmitOptions(**template)))
+                break
+
+    # Open-loop arrival: each tick a handful of sessions submit a batch,
+    # joining walkers already mid-walk in the shared frontier.
+    next_query_id = 0
+    outstanding = list(range(num_sessions))
+    rng.shuffle(outstanding)
+    started = time.perf_counter()
+    while outstanding:
+        arrivals = outstanding[: max(1, num_sessions // 16)]
+        outstanding = outstanding[len(arrivals) :]
+        for index in arrivals:
+            session, options = sessions[index]
+            batch = [
+                WalkQuery(
+                    query_id=next_query_id + i,
+                    start_node=int(rng.integers(0, graph.num_nodes)),
+                    max_length=walk_length,
+                )
+                for i in range(queries_per_session)
+            ]
+            next_query_id += queries_per_session
+            session.submit(batch, options=options)
+        scheduler.tick()
+
+    # Drain: stream every session, harvesting per-walk latency from the
+    # chunk queue-delay fields (all on the scheduler's superstep clock).
+    latencies = []
+    queue_delays = []
+    for session, _ in sessions:
+        for chunk in session.stream():
+            for enq, start in zip(chunk.enqueue_steps, chunk.first_scheduled_steps):
+                latencies.append(chunk.superstep - enq)
+                queue_delays.append(start - enq)
+    wall_s = time.perf_counter() - started
+
+    stats = scheduler.tenant_stats()
+    total_steps = sum(s.steps for s in stats.values())
+    latencies = np.array(latencies, dtype=np.float64)
+    queue_delays = np.array(queue_delays, dtype=np.float64)
+    return {
+        "sessions": num_sessions,
+        "tenants": {
+            name: {
+                "weight": s.weight,
+                "sessions": s.sessions,
+                "completed": s.completed,
+                "slo_admitted": s.slo_admitted,
+                "steps": s.steps,
+            }
+            for name, s in stats.items()
+        },
+        "walks": int(latencies.size),
+        "supersteps": scheduler.supersteps,
+        "fusion_groups": scheduler.describe()["fusion_groups"],
+        "p50_latency_ticks": float(np.percentile(latencies, 50)),
+        "p99_latency_ticks": float(np.percentile(latencies, 99)),
+        "p99_queue_delay_ticks": float(np.percentile(queue_delays, 99)),
+        "aggregate_steps_per_s": total_steps / max(wall_s, 1e-9),
+        "wall_s": wall_s,
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=64)
+    parser.add_argument("--queries", type=int, default=8,
+                        help="queries per session submission")
+    parser.add_argument("--walk-length", type=int, default=10)
+    parser.add_argument("--max-inflight", type=int, default=0,
+                        help="in-flight walker budget (0 = unbounded)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent / "load_generator.json")
+    args = parser.parse_args(argv)
+
+    metrics = run_load(
+        args.sessions,
+        queries_per_session=args.queries,
+        walk_length=args.walk_length,
+        max_inflight_walkers=args.max_inflight,
+    )
+    print(
+        f"{metrics['sessions']} sessions fused into "
+        f"{metrics['fusion_groups']} group(s): {metrics['walks']} walks over "
+        f"{metrics['supersteps']} shared supersteps"
+    )
+    print(
+        f"ticket latency p50={metrics['p50_latency_ticks']:.0f} "
+        f"p99={metrics['p99_latency_ticks']:.0f} ticks "
+        f"(queue-delay p99={metrics['p99_queue_delay_ticks']:.0f}); "
+        f"aggregate {metrics['aggregate_steps_per_s']:,.0f} steps/s"
+    )
+    for name, tenant in sorted(metrics["tenants"].items()):
+        print(
+            f"  tenant {name:<12} weight={tenant['weight']:.0f} "
+            f"sessions={tenant['sessions']:<3} completed={tenant['completed']:<5} "
+            f"slo_admitted={tenant['slo_admitted']:<5} steps={tenant['steps']}"
+        )
+    args.output.write_text(json.dumps(metrics, indent=2, sort_keys=True))
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -58,6 +58,16 @@ SHARD_DEVICES = 4
 SHARD_POLICY = "locality"
 GHOST_BUDGET_FRACTION = 2  # per-shard budget = footprint // this
 
+#: The serving entry: session counts of the continuous-batching load sweep
+#: (at least three scales so the trajectory shows how fused throughput and
+#: tail latency react to load), plus the fixed per-session shape and the
+#: in-flight walker budget that makes queueing — and therefore the p99
+#: ticket latency — actually observable at the top scale.
+SERVING_SESSION_COUNTS = (4, 16, 64)
+SERVING_QUERIES_PER_SESSION = 8
+SERVING_WALK_LENGTH = 10
+SERVING_MAX_INFLIGHT = 256
+
 
 @contextmanager
 def no_gc():
@@ -215,6 +225,124 @@ def bench_sharded(graph, walk_length: int, repeats: int) -> dict[str, object]:
     return entry
 
 
+def _load_generator():
+    """The examples/load_generator.py module (the serving entry's driver)."""
+    import importlib.util
+
+    path = REPO_ROOT / "examples" / "load_generator.py"
+    spec = importlib.util.spec_from_file_location("bench_load_generator", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _serving_parity(graph, walk_length: int) -> bool:
+    """Scheduler-vs-sequential parity: two sessions fused into one frontier
+    must each collect() bit-identically to running alone."""
+    from repro.walks.deepwalk import DeepWalkSpec as _DeepWalk
+    from repro.walks.state import WalkQuery
+
+    def block(base, count):
+        rng = np.random.default_rng(base)
+        return [
+            WalkQuery(query_id=base + i,
+                      start_node=int(rng.integers(0, graph.num_nodes)),
+                      max_length=walk_length)
+            for i in range(count)
+        ]
+
+    batches = {"a": [block(1000, 24), block(1100, 8)], "b": [block(2000, 16)]}
+    service = WalkService(graph)
+    scheduler = service.scheduler(max_inflight_walkers=64)
+    fused = {key: scheduler.session(_DeepWalk(), FlexiWalkerConfig()) for key in batches}
+    fused["a"].submit(batches["a"][0])
+    fused["b"].submit(batches["b"][0])
+    for _ in range(3):
+        scheduler.tick()
+    fused["a"].submit(batches["a"][1])  # admitted mid-flight
+    for key in batches:
+        solo = WalkService(graph).session(_DeepWalk(), FlexiWalkerConfig())
+        for batch in batches[key]:
+            solo.submit(batch)
+        reference, result = solo.collect(), fused[key].collect()
+        if not (
+            result.paths == reference.paths
+            and np.array_equal(result.per_query_ns, reference.per_query_ns)
+            and result.time_ms == reference.time_ms
+        ):
+            return False
+    return True
+
+
+def bench_serving(graph, repeats: int) -> dict[str, object]:
+    """Continuous-batching serving entry: latency/throughput vs session count.
+
+    Drives ``examples/load_generator.py`` (the multi-tenant open-loop load
+    generator) at several session counts, all sessions fused into one shared
+    frontier, and records p50/p99 ticket latency (in scheduler supersteps —
+    a simulation-clock metric, stable across hosts) plus aggregate
+    walker-steps per second (a wall-clock metric, best of N).  ``speedup``
+    is the fused throughput at the top scale over the bottom scale — the
+    continuous-batching scaling factor the regression gate tracks; the
+    ``p99_latency_ticks`` ceiling is gated separately
+    (``--max-p99-rise``).  ``simulated_time_parity`` re-checks that fusing
+    sessions changes no walk, time or count (scheduler-vs-sequential
+    parity).  Always runs the YT scale model, whatever ``--dataset`` says —
+    the serving trajectory must stay comparable across baselines.
+    """
+    generator = _load_generator()
+    entry: dict[str, object] = {
+        "workload": "serving",
+        "queries_per_session": SERVING_QUERIES_PER_SESSION,
+        "walk_length": SERVING_WALK_LENGTH,
+        "max_inflight_walkers": SERVING_MAX_INFLIGHT,
+        "scales": {},
+    }
+    best: dict[int, dict] = {}
+    with no_gc():
+        for _ in range(repeats):
+            for count in SERVING_SESSION_COUNTS:
+                metrics = generator.run_load(
+                    count,
+                    queries_per_session=SERVING_QUERIES_PER_SESSION,
+                    walk_length=SERVING_WALK_LENGTH,
+                    max_inflight_walkers=SERVING_MAX_INFLIGHT,
+                )
+                if (
+                    count not in best
+                    or metrics["aggregate_steps_per_s"]
+                    > best[count]["aggregate_steps_per_s"]
+                ):
+                    best[count] = metrics
+    for count in SERVING_SESSION_COUNTS:
+        metrics = best[count]
+        entry["scales"][str(count)] = {
+            key: metrics[key]
+            for key in (
+                "sessions", "walks", "supersteps", "p50_latency_ticks",
+                "p99_latency_ticks", "p99_queue_delay_ticks",
+                "aggregate_steps_per_s", "wall_s",
+            )
+        }
+        print(f"  {'serving':>9} {count:>4} sessions: "
+              f"p50/p99 latency {metrics['p50_latency_ticks']:.0f}/"
+              f"{metrics['p99_latency_ticks']:.0f} ticks, "
+              f"{metrics['aggregate_steps_per_s']:,.0f} steps/s")
+    low = best[SERVING_SESSION_COUNTS[0]]
+    high = best[SERVING_SESSION_COUNTS[-1]]
+    entry["speedup"] = (
+        high["aggregate_steps_per_s"] / low["aggregate_steps_per_s"]
+    )
+    entry["p50_latency_ticks"] = high["p50_latency_ticks"]
+    entry["p99_latency_ticks"] = high["p99_latency_ticks"]
+    entry["simulated_time_parity"] = _serving_parity(graph, SERVING_WALK_LENGTH)
+    print(f"  {'serving':>9} scaling: {entry['speedup']:.2f}x steps/s at "
+          f"{SERVING_SESSION_COUNTS[-1]} vs {SERVING_SESSION_COUNTS[0]} sessions "
+          f"(scheduler parity: {entry['simulated_time_parity']}, "
+          f"p99 {entry['p99_latency_ticks']:.0f} ticks)")
+    return entry
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
 
@@ -233,6 +361,8 @@ def main() -> int:
                         help="subset of workloads to benchmark")
     parser.add_argument("--skip-sharded", action="store_true",
                         help="skip the replicated-vs-sharded multi-device entry")
+    parser.add_argument("--skip-serving", action="store_true",
+                        help="skip the continuous-batching serving entry")
     parser.add_argument(
         "--output", default=str(REPO_ROOT / "BENCH_engine.json"),
         help="where to write the JSON report",
@@ -254,6 +384,8 @@ def main() -> int:
         report["entries"][name] = bench_workload(graph, name, args.walk_length, args.repeats)
     if not args.skip_sharded:
         report["entries"]["sharded"] = bench_sharded(graph, args.walk_length, args.repeats)
+    if not args.skip_serving:
+        report["entries"]["serving"] = bench_serving(graph, args.repeats)
 
     parity = all(e["simulated_time_parity"] for e in report["entries"].values())
     if QUICKSTART in report["entries"]:

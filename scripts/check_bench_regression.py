@@ -14,6 +14,14 @@ absolute margin above the committed baseline, so a partitioner or
 ghost-cache change that silently makes walkers migrate more gets caught
 even when wall-clock numbers still look fine.
 
+Entries that report a ``p99_latency_ticks`` (the continuous-batching serving
+entry) are additionally gated on tail latency: the p99 ticket latency at the
+top load scale may not rise more than the allowed fraction above the
+committed baseline.  The metric is counted in scheduler supersteps — a
+simulation-clock number, deterministic for a given seed and load shape — so
+a rise means an admission-policy or fusion change actually delayed walks,
+not that the host was busy.
+
 Both the multi-entry schema (``schema_version >= 2``: per-workload entries
 under ``"entries"``) and the legacy single-entry schema (one top-level
 ``speedup``) are understood, so the gate keeps working across baseline
@@ -53,11 +61,15 @@ def entry_speedup(path: Path, name: str, entry: dict) -> float:
 
 
 def entry_extras(entry: dict) -> str:
-    """Informational per-entry extras (the sharded entry reports its
-    walked remote-edge ratio alongside the gated speedup)."""
+    """Informational per-entry extras (the sharded entry reports its walked
+    remote-edge ratio, the serving entry its p99 ticket latency, alongside
+    the gated speedup)."""
     ratio = entry.get("remote_edge_ratio")
     if isinstance(ratio, (int, float)):
         return f", remote-edge ratio {ratio:.3f}"
+    p99 = entry.get("p99_latency_ticks")
+    if isinstance(p99, (int, float)):
+        return f", p99 latency {p99:.0f} ticks"
     return ""
 
 
@@ -72,11 +84,16 @@ def main() -> int:
     parser.add_argument("--max-remote-ratio-rise", type=float, default=0.05,
                         help="allowed absolute walked remote-edge-ratio rise above "
                              "the baseline for sharded entries (default: 0.05)")
+    parser.add_argument("--max-p99-rise", type=float, default=0.25,
+                        help="allowed fractional p99 ticket-latency rise above the "
+                             "baseline for serving entries (default: 0.25)")
     args = parser.parse_args()
     if not 0 <= args.max_drop < 1:
         parser.error("--max-drop must be in [0, 1)")
     if args.max_remote_ratio_rise < 0:
         parser.error("--max-remote-ratio-rise must be non-negative")
+    if args.max_p99_rise < 0:
+        parser.error("--max-p99-rise must be non-negative")
 
     baseline = load_entries(args.baseline)
     current = load_entries(args.current)
@@ -112,6 +129,15 @@ def main() -> int:
                 print(f"FAIL [{name}]: walked remote-edge ratio rose to "
                       f"{cur_ratio:.3f}, above the baseline {base_ratio:.3f} "
                       f"+ {args.max_remote_ratio_rise:.2f} locality margin")
+                failed = True
+        base_p99 = base_entry.get("p99_latency_ticks")
+        cur_p99 = cur_entry.get("p99_latency_ticks")
+        if isinstance(base_p99, (int, float)) and isinstance(cur_p99, (int, float)):
+            p99_ceiling = base_p99 * (1.0 + args.max_p99_rise)
+            if cur_p99 > p99_ceiling:
+                print(f"FAIL [{name}]: p99 ticket latency rose to "
+                      f"{cur_p99:.0f} ticks, more than {args.max_p99_rise:.0%} "
+                      f"above the baseline {base_p99:.0f} ticks")
                 failed = True
     # Entries the baseline does not know yet (a freshly added workload) have
     # no speedup floor, but the parity backstop still applies to them — a

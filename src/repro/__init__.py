@@ -55,12 +55,16 @@ from repro.runtime.profiler import ProfileResult
 from repro.runtime.selector import DegreeThresholdRule
 from repro.sampling.base import StepContext
 from repro.sampling.batch import BatchStepContext
+from repro.errors import QueueFull
 from repro.service import (
     BACKENDS,
     DeviceFleet,
     ExecutionPlan,
     QueryTicket,
     ServiceCapabilities,
+    ServiceScheduler,
+    SubmitOptions,
+    TenantStats,
     WalkChunk,
     WalkService,
     WalkSession,
@@ -86,6 +90,11 @@ __all__ = [
     "ServiceCapabilities",
     "BACKENDS",
     "negotiate_plan",
+    # Continuous batching (multi-tenant scheduler)
+    "ServiceScheduler",
+    "SubmitOptions",
+    "TenantStats",
+    "QueueFull",
     # Legacy facade (deprecated spellings, kept for compatibility)
     "FlexiWalker",
     "summarize_run",

@@ -59,6 +59,18 @@ class ServiceError(ReproError):
     """
 
 
+class QueueFull(ServiceError):
+    """Backpressure signal of the continuous-batching scheduler.
+
+    Raised by :meth:`~repro.service.session.WalkSession.submit` on a
+    scheduler-attached session when the in-flight walker budget
+    (``max_inflight_walkers``) is exhausted, or when the submission would
+    push the tenant's outstanding-walker quota past its limit, and the
+    submission did not opt into blocking admission
+    (``SubmitOptions(block_on_full=True)``).
+    """
+
+
 class BenchmarkError(ReproError):
     """Raised by the benchmark harness on invalid experiment configuration."""
 

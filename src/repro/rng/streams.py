@@ -254,6 +254,67 @@ class BatchStreams:
         return self.uniform_flat(np.ones(len(self), dtype=np.int64))
 
 
+class AdoptedStreamPool:
+    """Per-walker stream state adopted from many sessions' derivations.
+
+    Continuous batching fuses walkers from many sessions into one shared
+    frontier.  Each admitted walker must keep exactly the stream its home
+    session's ``StreamPool(seed)`` would have minted for its query id — the
+    same derived child key, counter starting at zero — so the fused run
+    replays every solo run's randomness bit for bit.
+
+    Two sessions may legitimately submit the same query id, so unlike
+    :class:`StreamPool` this pool never shares slots: every adopted walker
+    owns a fresh ``(key, counter, draws)`` slot, exactly like two separate
+    solo sessions would.  Slot numbers are frontier positions, which keeps
+    the :meth:`BatchStreams.uniform_flat` vectorised fast path (it requires
+    unique slots) on for the whole fused frontier.
+    """
+
+    def __init__(self) -> None:
+        self._keys = np.zeros(0, dtype=np.uint64)
+        self._counters = np.zeros(0, dtype=np.uint64)
+        self._draws = np.zeros(0, dtype=np.int64)
+        self._views: dict[int, PooledStream] = {}
+
+    def __len__(self) -> int:
+        return int(self._keys.size)
+
+    def adopt(self, seed: int, query_ids: Sequence[int]) -> np.ndarray:
+        """Append one stream per query id, derived as ``StreamPool(seed)``
+        would derive it, and return the new slot numbers."""
+        ids = np.asarray([int(q) for q in query_ids], dtype=np.int64)
+        start = len(self)
+        if ids.size:
+            new_keys = derive_child_keys(PhiloxEngine(seed).key, ids)
+            self._keys = np.concatenate([self._keys, new_keys])
+            self._counters = np.concatenate(
+                [self._counters, np.zeros(ids.size, dtype=np.uint64)]
+            )
+            self._draws = np.concatenate([self._draws, np.zeros(ids.size, dtype=np.int64)])
+        return np.arange(start, start + ids.size, dtype=np.int64)
+
+    def stream(self, slot: int) -> CountingStream:
+        """The (cached) scalar stream view over one adopted slot."""
+        slot = int(slot)
+        existing = self._views.get(slot)
+        if existing is None:
+            if not 0 <= slot < len(self):
+                raise IndexError(f"adopted pool has no slot {slot}")
+            existing = PooledStream(self, slot)
+            self._views[slot] = existing
+        return existing
+
+    def batch_all(self) -> BatchStreams:
+        """Bundle every adopted stream, indexed by frontier position."""
+        slots = np.arange(len(self), dtype=np.int64)
+        return BatchStreams._from_pool(self, slots, slots)
+
+    @property
+    def total_draws(self) -> int:
+        return int(self._draws.sum())
+
+
 class StreamPool:
     """A pool of independent streams, one per simulated GPU thread.
 

@@ -123,6 +123,14 @@ class SuperstepReport:
         The priced lane time of each active walker's step — the exact
         values already accumulated into ``per_query_ns``, exposed so
         observers do not re-price the counter batch.
+    sampler_names:
+        Names of the kernels the selector chose this superstep, in the
+        selector's partition order (empty for dead-end-only reports).
+    assignment:
+        ``assignment[j]`` is the index into ``sampler_names`` of the kernel
+        walker ``active[j]`` executed — what lets the continuous-batching
+        scheduler split the fused ``sampler_usage`` back out per session
+        exactly.  ``None`` for dead-end-only reports.
     """
 
     active: np.ndarray
@@ -130,6 +138,8 @@ class SuperstepReport:
     finished: np.ndarray
     nodes: np.ndarray
     step_ns: np.ndarray
+    sampler_names: tuple[str, ...] = ()
+    assignment: np.ndarray | None = None
 
     @property
     def steps(self) -> int:
@@ -168,6 +178,53 @@ def _drive_supersteps(
 _NO_FINISHED = np.zeros(0, dtype=np.int64)
 
 
+class FrontierRun:
+    """Growable execution state for a frontier that admits walkers mid-flight.
+
+    The continuous-batching scheduler cannot hand :func:`iter_supersteps` a
+    fixed ``(frontier, streams, per_query_ns)`` triple: admission at a
+    superstep boundary grows all three.  A ``FrontierRun`` owns the triple
+    and is passed to :func:`iter_supersteps` as ``run=`` — the generator
+    re-reads the triple at the top of every superstep, so an :meth:`admit`
+    between two ``next()`` calls takes effect on the very next superstep.
+
+    Admission charges each new walker's queue fetch (one atomic, priced
+    per-slot) exactly as the one-shot launch paths do; because
+    :meth:`~repro.gpusim.device.DeviceSpec.lane_times_ns` prices each slot
+    independently of batch size, splitting one launch into many admissions
+    cannot change any walker's accounting.
+    """
+
+    __slots__ = ("engine", "frontier", "pool", "streams", "per_query_ns")
+
+    def __init__(self, engine: "WalkEngine") -> None:
+        from repro.rng.streams import AdoptedStreamPool
+
+        self.engine = engine
+        self.frontier = WalkerFrontier([])
+        self.pool = AdoptedStreamPool()
+        self.streams = self.pool.batch_all()
+        self.per_query_ns = np.zeros(0, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.frontier)
+
+    def admit(self, queries: list[WalkQuery], seed: int) -> tuple[np.ndarray, np.ndarray]:
+        """Admit queries whose streams derive from ``StreamPool(seed)``.
+
+        Returns the admitted walkers' frontier positions and their priced
+        fetch times (already accumulated into ``per_query_ns``).
+        """
+        positions = self.frontier.extend(queries)
+        self.pool.adopt(seed, [q.query_id for q in queries])
+        self.streams = self.pool.batch_all()
+        fetch = CounterBatch(len(queries), bytes_per_weight=self.engine.weight_bytes)
+        fetch.atomic_ops += 1
+        fetch_ns = self.engine.device.lane_times_ns(fetch)
+        self.per_query_ns = np.concatenate([self.per_query_ns, fetch_ns])
+        return positions, fetch_ns
+
+
 def iter_supersteps(
     engine: "WalkEngine",
     frontier: WalkerFrontier,
@@ -176,6 +233,7 @@ def iter_supersteps(
     aggregate: CostCounters,
     usage: dict[str, int],
     track_finished: bool = True,
+    run: FrontierRun | None = None,
 ):
     """Step-synchronous frontier loop, one :class:`SuperstepReport` at a time.
 
@@ -196,6 +254,14 @@ def iter_supersteps(
     ``track_finished=False`` skips the per-superstep completion bookkeeping
     (reports carry an empty ``finished``) — used by the one-shot drivers,
     which never read it, to keep the benchmarked hot path free of it.
+
+    ``run`` enables mid-flight frontier injection: when a
+    :class:`FrontierRun` is given, the ``(frontier, streams, per_query_ns)``
+    triple is re-read from it at the top of every superstep, so walkers
+    admitted between ``next()`` calls join the very next superstep without
+    a new generator.  The generator still returns when no walker is active
+    — the scheduler recreates it after the next admission (all state lives
+    on the run and the shared engine caches, so recreation is cheap).
     """
     graph, spec, device = engine.graph, engine.spec, engine.device
 
@@ -207,6 +273,10 @@ def iter_supersteps(
     arena = BufferArena()
 
     while True:
+        if run is not None:
+            frontier = run.frontier
+            streams = run.streams
+            per_query_ns = run.per_query_ns
         active = frontier.active_indices()
         if active.size == 0:
             return
@@ -319,6 +389,8 @@ def iter_supersteps(
             finished=finished,
             nodes=step_nodes,
             step_ns=step_ns,
+            sampler_names=tuple(s.name for s in samplers),
+            assignment=assignment,
         )
 
 

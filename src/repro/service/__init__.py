@@ -12,10 +12,16 @@ every one-shot ``run()``, this package keeps a workload *hot*:
 * :class:`WalkSession` — per-tenant execution: incremental
   :meth:`~WalkSession.submit` (returning :class:`QueryTicket`\\ s), streaming
   :meth:`~WalkSession.stream` (yielding :class:`WalkChunk`\\ s as walks
-  finish) and exact :meth:`~WalkSession.collect`.
+  finish) and exact :meth:`~WalkSession.collect`;
+* :class:`ServiceScheduler` — cross-session continuous batching: many
+  sessions' walkers fused into shared supersteps, with weighted round-robin
+  tenant fairness, an SLO priority lane, and in-flight-budget backpressure
+  (:class:`~repro.errors.QueueFull`), configured per submission through the
+  frozen :class:`SubmitOptions`.
 
 ``FlexiWalker.run`` is now a thin deprecated shim over a single-session
-service; the parity suite keeps the two bit-identical.
+service; the parity suite keeps the two bit-identical — as does each
+scheduler-attached session's ``collect()``.
 """
 
 from repro.service.plan import (
@@ -26,8 +32,14 @@ from repro.service.plan import (
     declare_capabilities,
     negotiate_plan,
 )
+from repro.service.scheduler import ServiceScheduler, TenantStats
 from repro.service.service import WalkService, build_selector
-from repro.service.session import QueryTicket, WalkChunk, WalkSession
+from repro.service.session import (
+    QueryTicket,
+    SubmitOptions,
+    WalkChunk,
+    WalkSession,
+)
 
 __all__ = [
     "BACKENDS",
@@ -39,6 +51,9 @@ __all__ = [
     "WalkService",
     "build_selector",
     "QueryTicket",
+    "SubmitOptions",
     "WalkChunk",
     "WalkSession",
+    "ServiceScheduler",
+    "TenantStats",
 ]

@@ -77,6 +77,26 @@ class ServiceCapabilities:
     #: Largest per-shard ghost-node cache budget the service grants to a
     #: sharded session (0 = ghost caching not offered).
     ghost_cache_bytes: int = 0
+    #: Admission policy of the continuous-batching scheduler: cap on walkers
+    #: simultaneously in flight across every attached session (0 =
+    #: unbounded; submissions past the cap hit backpressure).
+    max_inflight_walkers: int = 0
+    #: How the scheduler arbitrates between tenant admission queues:
+    #: ``"wrr"`` (weighted round-robin, starvation-free for any nonzero
+    #: weight) or ``"fifo"`` (global submission order).
+    fairness: str = "wrr"
+    #: Per-tenant caps on outstanding (queued + in-flight) walkers, as
+    #: ``(tenant, quota)`` pairs — hashable so the capability set stays
+    #: frozen.  Empty means no per-tenant quotas.
+    tenant_quotas: tuple[tuple[str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.fairness not in ("wrr", "fifo"):
+            raise ServiceError(
+                f"unknown fairness policy {self.fairness!r}; valid: ('wrr', 'fifo')"
+            )
+        if self.max_inflight_walkers < 0:
+            raise ServiceError("max_inflight_walkers must be non-negative (0 = unbounded)")
 
     def supports(self, backend: str) -> bool:
         return backend in self.backends
@@ -372,6 +392,23 @@ def negotiate_plan(
         else "transition cache disabled: weights depend on walker state"
     )
 
+    # Admission policy is part of the negotiated record like any placement
+    # decision: a session attached to the service's continuous-batching
+    # scheduler competes under exactly these terms.
+    budget = (
+        f"in-flight walker budget {capabilities.max_inflight_walkers}"
+        if capabilities.max_inflight_walkers
+        else "unbounded in-flight walkers"
+    )
+    quotas = (
+        f", {len(capabilities.tenant_quotas)} tenant quota(s)"
+        if capabilities.tenant_quotas
+        else ""
+    )
+    reasons.append(
+        f"admission policy: {capabilities.fairness} fairness, {budget}{quotas}"
+    )
+
     granularity = "walk" if execution == "scalar" else "superstep"
     return ExecutionPlan(
         backend=backend,
@@ -390,8 +427,20 @@ def negotiate_plan(
 
 #: Default capability declaration for a fleet: every backend this codebase
 #: implements, gated only by the fleet size.
-def declare_capabilities(fleet: DeviceFleet) -> ServiceCapabilities:
-    """The capability set a service with ``fleet`` declares."""
+def declare_capabilities(
+    fleet: DeviceFleet,
+    *,
+    max_inflight_walkers: int = 0,
+    fairness: str = "wrr",
+    tenant_quotas: tuple[tuple[str, int], ...] = (),
+) -> ServiceCapabilities:
+    """The capability set a service with ``fleet`` declares.
+
+    The keyword arguments declare the admission policy of the service's
+    continuous-batching scheduler (:meth:`~repro.service.WalkService.scheduler`
+    builds schedulers with these defaults); they default to an open policy —
+    unbounded in-flight walkers, weighted round-robin, no quotas.
+    """
     backends = ["scalar", "batched"]
     placements = ["replicated"]
     if fleet.count > 1:
@@ -408,4 +457,7 @@ def declare_capabilities(fleet: DeviceFleet) -> ServiceCapabilities:
         # A shard may spend up to 1/8 of its device's memory on ghost
         # copies of hot remote nodes.
         ghost_cache_bytes=fleet.device.memory_bytes // 8 if fleet.count > 1 else 0,
+        max_inflight_walkers=max_inflight_walkers,
+        fairness=fairness,
+        tenant_quotas=tuple(tenant_quotas),
     )

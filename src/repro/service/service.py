@@ -26,6 +26,7 @@ every behaviour-affecting hyperparameter there.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -54,6 +55,9 @@ from repro.service.plan import (
 )
 from repro.service.session import WalkSession
 from repro.walks.spec import WalkSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.scheduler import ServiceScheduler
 
 #: Default cap on the per-workload registries (compiled artifacts, profiles,
 #: engine caches).  Each distinct ``spec.describe()`` key holds hint tables
@@ -111,6 +115,17 @@ class WalkService:
         least-recently-used entries instead of growing forever; an evicted
         workload simply re-compiles (and re-profiles, re-builds its caches)
         on its next use.  ``None`` disables the cap.
+    max_inflight_walkers:
+        Default in-flight walker budget of schedulers built by
+        :meth:`scheduler` (0 = unbounded) — the backpressure knob of the
+        continuous-batching loop, recorded in the declared
+        :class:`~repro.service.plan.ServiceCapabilities`.
+    fairness:
+        Default admission fairness policy of schedulers built by
+        :meth:`scheduler` (``"wrr"`` weighted round-robin or ``"fifo"``).
+    tenant_quotas:
+        Default per-tenant outstanding-walker quotas of schedulers built by
+        :meth:`scheduler`, as ``(tenant, quota)`` pairs.
     """
 
     def __init__(
@@ -118,13 +133,21 @@ class WalkService:
         graph: CSRGraph,
         fleet: DeviceFleet | None = None,
         max_cached_workloads: int | None = DEFAULT_MAX_CACHED_WORKLOADS,
+        max_inflight_walkers: int = 0,
+        fairness: str = "wrr",
+        tenant_quotas: tuple[tuple[str, int], ...] = (),
     ) -> None:
         if max_cached_workloads is not None and max_cached_workloads < 1:
             raise ServiceError("max_cached_workloads must be at least 1 (or None)")
         self.graph = graph
         self.fleet = fleet if fleet is not None else DeviceFleet()
         self.max_cached_workloads = max_cached_workloads
-        self._capabilities = declare_capabilities(self.fleet)
+        self._capabilities = declare_capabilities(
+            self.fleet,
+            max_inflight_walkers=max_inflight_walkers,
+            fairness=fairness,
+            tenant_quotas=tenant_quotas,
+        )
         self._compiled: OrderedDict[tuple, CompiledWorkload] = OrderedDict()
         self._profiles: OrderedDict[tuple, ProfileResult] = OrderedDict()
         self._caches: OrderedDict[tuple, EngineCaches] = OrderedDict()
@@ -161,6 +184,9 @@ class WalkService:
             "profiled_workloads": len(self._profiles),
             "max_cached_workloads": self.max_cached_workloads,
             "sessions_created": self._sessions_created,
+            "max_inflight_walkers": self._capabilities.max_inflight_walkers,
+            "fairness": self._capabilities.fairness,
+            "tenant_quotas": dict(self._capabilities.tenant_quotas),
         }
 
     # ------------------------------------------------------------------ #
@@ -356,6 +382,42 @@ class WalkService:
             self.compile(spec),
             backend=backend,
             graph_footprint_bytes=self.graph.memory_footprint_bytes(config.weight_bytes),
+        )
+
+    def scheduler(
+        self,
+        *,
+        max_inflight_walkers: int | None = None,
+        fairness: str | None = None,
+        tenant_quotas: tuple[tuple[str, int], ...] | None = None,
+        default_tenant: str = "default",
+        record_admissions: bool = False,
+    ) -> "ServiceScheduler":
+        """Build a continuous-batching scheduler over this service.
+
+        Admission-policy knobs default to what the service's declared
+        :class:`~repro.service.plan.ServiceCapabilities` record (the
+        ``max_inflight_walkers``/``fairness``/``tenant_quotas`` the service
+        was constructed with); pass overrides to deviate for one scheduler.
+        Sessions join via :meth:`ServiceScheduler.attach` or
+        :meth:`ServiceScheduler.session`.
+        """
+        from repro.service.scheduler import ServiceScheduler
+
+        capabilities = self._capabilities
+        return ServiceScheduler(
+            self,
+            max_inflight_walkers=(
+                capabilities.max_inflight_walkers
+                if max_inflight_walkers is None
+                else max_inflight_walkers
+            ),
+            fairness=capabilities.fairness if fairness is None else fairness,
+            tenant_quotas=(
+                capabilities.tenant_quotas if tenant_quotas is None else tenant_quotas
+            ),
+            default_tenant=default_tenant,
+            record_admissions=record_admissions,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -32,6 +32,7 @@ order, and therefore on wave composition.  Every other selection policy
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, Sequence
 
@@ -52,7 +53,50 @@ from repro.runtime.scheduler import DynamicQueryQueue, validate_queries
 from repro.walks.state import WalkerFrontier, WalkQuery
 
 if TYPE_CHECKING:  # pragma: no cover - service imports session
+    from repro.service.scheduler import ServiceScheduler
     from repro.service.service import WalkService
+
+
+@dataclass(frozen=True)
+class SubmitOptions:
+    """Scheduling knobs of one :meth:`WalkSession.submit` call, consolidated.
+
+    All fields are meaningful on a scheduler-attached session (see
+    :class:`~repro.service.scheduler.ServiceScheduler`); a standalone
+    session executes its own queue in submission order and ignores them.
+
+    Attributes
+    ----------
+    priority:
+        Non-negative admission priority.  Anything above 0 enters the
+        scheduler's SLO lane, which is admitted before the fair-share
+        lanes (still within the in-flight walker budget).
+    tenant:
+        Tenant the submission is accounted to; ``None`` uses the tenant
+        the session was attached under.
+    deadline_steps:
+        Scheduler supersteps a queued walker may wait before it is
+        promoted to the SLO lane (``None`` = never promoted).
+    block_on_full:
+        When the in-flight walker budget (or the tenant's quota) has no
+        room, run scheduler supersteps until it does instead of raising
+        :class:`~repro.errors.QueueFull`.
+    """
+
+    priority: int = 0
+    tenant: str | None = None
+    deadline_steps: int | None = None
+    block_on_full: bool = False
+
+    def __post_init__(self) -> None:
+        if self.priority < 0:
+            raise ServiceError("submit priority must be non-negative")
+        if self.deadline_steps is not None and self.deadline_steps < 1:
+            raise ServiceError("deadline_steps must be at least 1 (or None)")
+
+
+#: Shared default so plain ``submit(queries)`` allocates nothing extra.
+_DEFAULT_SUBMIT_OPTIONS = SubmitOptions()
 
 
 @dataclass(frozen=True)
@@ -81,6 +125,15 @@ class WalkChunk:
         producing walk, including its queue fetch).
     pending:
         Walks still queued or in flight after this chunk.
+    enqueue_steps / first_scheduled_steps:
+        Per completed walk (aligned with ``query_ids``): the session
+        superstep ordinal at which the walk was submitted, and the ordinal
+        at which it was first claimed for execution.  On a
+        scheduler-attached session both are scheduler superstep ordinals
+        (the same clock as ``superstep``), so ticket latency is
+        ``superstep - enqueue_steps[i]`` and queue delay is
+        ``first_scheduled_steps[i] - enqueue_steps[i]`` — no private wave
+        state needed.
     """
 
     sequence: int
@@ -90,6 +143,8 @@ class WalkChunk:
     steps: int
     counters: CostCounters
     pending: int
+    enqueue_steps: tuple[int, ...] = ()
+    first_scheduled_steps: tuple[int, ...] = ()
 
     def __len__(self) -> int:
         return len(self.query_ids)
@@ -238,16 +293,43 @@ class WalkSession:
         self._exec_seconds = 0.0
         self._wave: _Wave | None = None
 
+        # Queue-delay bookkeeping surfaced through WalkChunk: the superstep
+        # ordinal each query was submitted at and first claimed at.  On a
+        # scheduler-attached session these hold scheduler tick ordinals.
+        self._enqueue_step_by_qid: dict[int, int] = {}
+        self._start_step_by_qid: dict[int, int] = {}
+        # Set by ServiceScheduler.attach(); while attached, submit routes
+        # through the scheduler's admission queues and stream()/collect()
+        # drive the shared continuous-batching loop.
+        self._scheduler: "ServiceScheduler | None" = None
+
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
-    def submit(self, queries: Sequence[WalkQuery]) -> QueryTicket:
+    def submit(
+        self,
+        queries: Sequence[WalkQuery],
+        *legacy_args,
+        options: SubmitOptions | None = None,
+        **legacy_kwargs,
+    ) -> QueryTicket:
         """Enqueue walk queries and return a ticket tracking them.
 
-        Queries execute in submission order.  Query ids must be unique
-        across the whole session lifetime (each id owns one random stream);
-        duplicates raise :class:`~repro.errors.ServiceError`.
+        Scheduling knobs travel in one keyword-only frozen
+        :class:`SubmitOptions` — ``submit(queries, options=SubmitOptions(...))``.
+        Plain ``submit(queries)`` is unchanged.  The legacy spellings —
+        options passed positionally, or loose ``priority=``/``tenant=``/
+        ``deadline_steps=``/``block_on_full=`` keywords — keep working but
+        emit :class:`DeprecationWarning`.
+
+        On a standalone session queries execute in submission order; on a
+        scheduler-attached session they enter the tenant's admission queue
+        and may raise :class:`~repro.errors.QueueFull` (backpressure).
+        Query ids must be unique across the whole session lifetime (each id
+        owns one random stream); duplicates raise
+        :class:`~repro.errors.ServiceError`.
         """
+        options = self._resolve_submit_options(legacy_args, options, legacy_kwargs)
         queries = list(queries)
         if not queries:
             raise ServiceError("no walk queries to submit")
@@ -258,16 +340,73 @@ class WalkSession:
                 f"query ids {clashes[:5]} were already submitted to this session; "
                 "ids must be unique per session (each id owns one random stream)"
             )
+        if self._scheduler is not None:
+            # Backpressure before any session state mutates: a QueueFull
+            # submission must leave the session exactly as it was.
+            self._scheduler._reserve_capacity(self, len(queries), options)
         self._seen_ids.update(q.query_id for q in queries)
         self._submitted.extend(queries)
-        self._queue.extend(queries)
         ticket = QueryTicket(
             ticket_id=len(self._tickets),
             query_ids=tuple(q.query_id for q in queries),
             _session=self,
         )
         self._tickets.append(ticket)
+        if self._scheduler is not None:
+            self._scheduler._enqueue(self, queries, options)
+        else:
+            enqueue_step = self._supersteps
+            for q in queries:
+                self._enqueue_step_by_qid[q.query_id] = enqueue_step
+            self._queue.extend(queries)
         return ticket
+
+    @staticmethod
+    def _resolve_submit_options(legacy_args, options, legacy_kwargs) -> SubmitOptions:
+        """Fold the legacy submit spellings into one :class:`SubmitOptions`."""
+        if legacy_args:
+            if len(legacy_args) > 1:
+                raise TypeError(
+                    f"submit() takes one positional argument (queries); "
+                    f"got {1 + len(legacy_args)}"
+                )
+            if options is not None or legacy_kwargs:
+                raise TypeError(
+                    "submit() got options both positionally and by keyword"
+                )
+            warnings.warn(
+                "passing submit options positionally is deprecated; "
+                "use submit(queries, options=SubmitOptions(...))",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            options = legacy_args[0]
+        if legacy_kwargs:
+            unknown = set(legacy_kwargs) - {
+                "priority", "tenant", "deadline_steps", "block_on_full",
+            }
+            if unknown:
+                raise TypeError(
+                    f"submit() got unexpected keyword arguments {sorted(unknown)}"
+                )
+            if options is not None:
+                raise TypeError(
+                    "submit() got both options= and loose scheduling keywords"
+                )
+            warnings.warn(
+                "loose submit scheduling keywords are deprecated; "
+                "use submit(queries, options=SubmitOptions(...))",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            options = SubmitOptions(**legacy_kwargs)
+        if options is None:
+            return _DEFAULT_SUBMIT_OPTIONS
+        if not isinstance(options, SubmitOptions):
+            raise TypeError(
+                f"options must be a SubmitOptions, not {type(options).__name__}"
+            )
+        return options
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -275,6 +414,8 @@ class WalkSession:
     @property
     def pending(self) -> int:
         """Walks still queued or in flight."""
+        if self._scheduler is not None:
+            return self._scheduler._session_pending(self)
         in_flight = 0
         if self._wave is not None:
             if self._wave.frontier is not None:
@@ -319,7 +460,15 @@ class WalkSession:
         or ``collect()`` resumes it exactly where it stopped), and queries
         submitted between chunks are claimed as soon as the current wave
         drains.  Returns when no queued or in-flight work remains.
+
+        On a scheduler-attached session the chunks come from the shared
+        continuous-batching loop instead of a private wave: each iteration
+        advances *every* attached session's walkers by one fused superstep
+        and yields this session's completions.
         """
+        if self._scheduler is not None:
+            yield from self._scheduler._stream_session(self)
+            return
         while True:
             if self._wave is None and not self._begin_wave():
                 return
@@ -433,6 +582,8 @@ class WalkSession:
         engine = self.engine
         queries = self._queue.fetch_batch(remaining)
         self._claimed_ids.update(q.query_id for q in queries)
+        for q in queries:
+            self._start_step_by_qid[q.query_id] = self._supersteps
         k = len(queries)
         wave = _Wave(queries, offset=self._executed)
 
@@ -545,15 +696,26 @@ class WalkSession:
             (query.query_id,), (tuple(path),), steps=steps, counters=chunk_counters
         )
 
-    def _emit(self, query_ids, paths, steps: int, counters: CostCounters) -> WalkChunk:
+    def _emit(
+        self,
+        query_ids,
+        paths,
+        steps: int,
+        counters: CostCounters,
+        superstep: int | None = None,
+    ) -> WalkChunk:
         chunk = WalkChunk(
             sequence=self._chunks_emitted,
-            superstep=self._supersteps - 1,
+            superstep=self._supersteps - 1 if superstep is None else superstep,
             query_ids=query_ids,
             paths=paths,
             steps=steps,
             counters=counters,
             pending=self.pending,
+            enqueue_steps=tuple(self._enqueue_step_by_qid.get(q, 0) for q in query_ids),
+            first_scheduled_steps=tuple(
+                self._start_step_by_qid.get(q, 0) for q in query_ids
+            ),
         )
         self._chunks_emitted += 1
         return chunk

@@ -127,6 +127,39 @@ class WalkerFrontier:
         return len(self.queries)
 
     # ------------------------------------------------------------------ #
+    def extend(self, queries: list[WalkQuery]) -> np.ndarray:
+        """Append fresh walkers mid-flight and return their frontier positions.
+
+        The continuous-batching scheduler admits newly submitted queries
+        into a frontier whose earlier walkers are still running, so every
+        per-walker array grows in place (the path buffer widens when a new
+        query's ``max_length`` exceeds the current width).  Existing walker
+        state is untouched — positions already handed out stay valid.
+        """
+        queries = list(queries)
+        k = len(queries)
+        if k == 0:
+            return np.zeros(0, dtype=np.int64)
+        old = len(self.queries)
+        positions = np.arange(old, old + k, dtype=np.int64)
+        starts = np.array([q.start_node for q in queries], dtype=np.int64)
+        max_lengths = np.array([q.max_length for q in queries], dtype=np.int64)
+        self.queries.extend(queries)
+        self.max_lengths = np.concatenate([self.max_lengths, max_lengths])
+        self.current = np.concatenate([self.current, starts])
+        self.prev = np.concatenate([self.prev, np.full(k, -1, dtype=np.int64)])
+        self.steps = np.concatenate([self.steps, np.zeros(k, dtype=np.int64)])
+        self.alive = np.concatenate([self.alive, np.ones(k, dtype=bool)])
+        width = max(self.path_buf.shape[1], int(max_lengths.max()) + 1)
+        path_buf = np.full((old + k, width), -1, dtype=np.int64)
+        path_buf[:old, : self.path_buf.shape[1]] = self.path_buf
+        path_buf[old:, 0] = starts
+        self.path_buf = path_buf
+        self.path_len = np.concatenate([self.path_len, np.ones(k, dtype=np.int64)])
+        self._states.extend([None] * k)
+        return positions
+
+    # ------------------------------------------------------------------ #
     def active_indices(self) -> np.ndarray:
         """Walkers that are alive and have steps left to take."""
         return np.nonzero(self.alive & (self.steps < self.max_lengths))[0]

@@ -1,0 +1,116 @@
+"""Property-based coverage for the continuous-batching admission policy.
+
+The fairness contract of :class:`~repro.service.ServiceScheduler`: under
+weighted round-robin admission, a tenant with nonzero weight is never
+starved.  Quantitatively, virtual-time weighted fair queuing over unit
+walkers guarantees that while tenant ``t`` stays backlogged, between two of
+its consecutive admissions every other tenant ``j`` is admitted at most
+``ceil(w_j / w_t) + 1`` times — so the gap is bounded by the sum of those
+terms, whatever the weights, submission sizes or in-flight budget.  All
+work must also drain completely (admitted == submitted == completed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FlexiWalkerConfig
+from repro.gpusim.device import A6000
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.weights import uniform_weights
+from repro.service import DeviceFleet, WalkService
+from repro.walks.deepwalk import DeepWalkSpec
+from repro.walks.state import WalkQuery
+
+DEVICE = dataclasses.replace(A6000, parallel_lanes=8)
+GRAPH = barabasi_albert_graph(40, 3, seed=5, name="fairness-test")
+GRAPH = GRAPH.with_weights(uniform_weights(GRAPH, seed=5))
+
+tenant_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=8),   # weight
+        st.integers(min_value=1, max_value=15),  # submitted walkers
+    ),
+    min_size=2,
+    max_size=4,
+)
+
+
+def wrr_gap_bound(weights: dict[str, float], tenant: str) -> int:
+    """Max admissions of other tenants between two of ``tenant``'s, while
+    ``tenant`` is backlogged (unit-job WFQ bound, one extra per tenant for
+    the in-progress virtual slot at each boundary)."""
+    w_t = weights[tenant]
+    return sum(
+        math.ceil(w_j / w_t) + 1 for name, w_j in weights.items() if name != tenant
+    )
+
+
+class TestWrrNeverStarves:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        tenants=tenant_strategy,
+        budget=st.integers(min_value=1, max_value=8),
+        walk_length=st.integers(min_value=1, max_value=6),
+    )
+    def test_backlogged_tenant_admission_gap_is_bounded(
+        self, tenants, budget, walk_length
+    ):
+        service = WalkService(GRAPH, fleet=DeviceFleet(DEVICE))
+        scheduler = service.scheduler(
+            max_inflight_walkers=budget, record_admissions=True
+        )
+        config = FlexiWalkerConfig(device=DEVICE, seed=3)
+        weights = {}
+        submitted = {}
+        rng = np.random.default_rng(17)
+        for index, (weight, count) in enumerate(tenants):
+            name = f"tenant{index}"
+            weights[name] = float(weight)
+            submitted[name] = count
+            scheduler.register_tenant(name, weight=float(weight))
+            session = scheduler.session(DeepWalkSpec(), config, tenant=name)
+            session.submit(
+                [
+                    WalkQuery(
+                        query_id=i,
+                        start_node=int(rng.integers(0, GRAPH.num_nodes)),
+                        max_length=walk_length,
+                    )
+                    for i in range(count)
+                ]
+            )
+
+        # Everyone is backlogged before the first tick; drain completely.
+        scheduler.run_until_idle(max_ticks=5000)
+
+        stats = scheduler.tenant_stats()
+        for name, count in submitted.items():
+            assert stats[name].admitted == count
+            assert stats[name].completed == count
+            assert stats[name].queued == 0 and stats[name].inflight == 0
+
+        # Admission-order starvation bound, per tenant, while backlogged.
+        order = [tenant for _, tenant in scheduler.admissions]
+        assert len(order) == sum(submitted.values())
+        for name in weights:
+            bound = wrr_gap_bound(weights, name)
+            remaining = submitted[name]
+            gap = 0
+            for admitted_tenant in order:
+                if admitted_tenant == name:
+                    remaining -= 1
+                    gap = 0
+                    if remaining == 0:
+                        break
+                else:
+                    gap += 1
+                    assert gap <= bound, (
+                        f"{name} (weight {weights[name]}) waited {gap} "
+                        f"admissions while backlogged; bound is {bound}"
+                    )

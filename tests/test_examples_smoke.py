@@ -31,6 +31,7 @@ def test_examples_directory_contains_all_documented_scripts():
         "node2vec_embedding_corpus.py",
         "metapath_heterogeneous.py",
         "custom_workload_adaptation.py",
+        "load_generator.py",
     }
     assert expected <= {p.name for p in EXAMPLES_DIR.glob("*.py")}
 
@@ -61,6 +62,24 @@ def test_metapath_example_runs(capsys):
     assert "walks launched" in out
 
 
+def test_load_generator_example_runs(capsys, tmp_path):
+    import json
+
+    artifact = tmp_path / "load_generator.json"
+    load_example("load_generator").main(
+        ["--sessions", "12", "--queries", "4", "--output", str(artifact)]
+    )
+    out = capsys.readouterr().out
+    assert "ticket latency" in out
+    assert "fused into" in out
+    metrics = json.loads(artifact.read_text())
+    assert metrics["sessions"] == 12
+    assert metrics["walks"] == 12 * 4
+    assert metrics["p99_latency_ticks"] >= metrics["p50_latency_ticks"] > 0
+    assert metrics["aggregate_steps_per_s"] > 0
+    assert sum(t["completed"] for t in metrics["tenants"].values()) == 48
+
+
 @pytest.mark.parametrize(
     "name",
     [
@@ -69,6 +88,7 @@ def test_metapath_example_runs(capsys):
         "node2vec_embedding_corpus",
         "metapath_heterogeneous",
         "custom_workload_adaptation",
+        "load_generator",
     ],
 )
 def test_every_example_is_importable(name):
