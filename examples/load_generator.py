@@ -82,45 +82,63 @@ def run_load(
                 break
 
     # Open-loop arrival: each tick a handful of sessions submit a batch,
-    # joining walkers already mid-walk in the shared frontier.
+    # joining walkers already mid-walk in the shared frontier.  A ^C here
+    # stops the arrivals but still drains (and reports) whatever is already
+    # in flight — the generator exits cleanly with partial stats instead of
+    # a stack trace.
+    interrupted = False
     next_query_id = 0
     outstanding = list(range(num_sessions))
     rng.shuffle(outstanding)
     started = time.perf_counter()
-    while outstanding:
-        arrivals = outstanding[: max(1, num_sessions // 16)]
-        outstanding = outstanding[len(arrivals) :]
-        for index in arrivals:
-            session, options = sessions[index]
-            batch = [
-                WalkQuery(
-                    query_id=next_query_id + i,
-                    start_node=int(rng.integers(0, graph.num_nodes)),
-                    max_length=walk_length,
-                )
-                for i in range(queries_per_session)
-            ]
-            next_query_id += queries_per_session
-            session.submit(batch, options=options)
-        scheduler.tick()
+    try:
+        while outstanding:
+            arrivals = outstanding[: max(1, num_sessions // 16)]
+            outstanding = outstanding[len(arrivals) :]
+            for index in arrivals:
+                session, options = sessions[index]
+                batch = [
+                    WalkQuery(
+                        query_id=next_query_id + i,
+                        start_node=int(rng.integers(0, graph.num_nodes)),
+                        max_length=walk_length,
+                    )
+                    for i in range(queries_per_session)
+                ]
+                next_query_id += queries_per_session
+                session.submit(batch, options=options)
+            scheduler.tick()
+    except KeyboardInterrupt:
+        interrupted = True
+        print("\ninterrupted — no more arrivals, draining in-flight walks "
+              "(^C again to stop the drain too)")
 
     # Drain: stream every session, harvesting per-walk latency from the
     # chunk queue-delay fields (all on the scheduler's superstep clock).
+    # A second ^C abandons the drain; already-completed walks still report.
     latencies = []
     queue_delays = []
-    for session, _ in sessions:
-        for chunk in session.stream():
-            for enq, start in zip(chunk.enqueue_steps, chunk.first_scheduled_steps):
-                latencies.append(chunk.superstep - enq)
-                queue_delays.append(start - enq)
+    try:
+        for session, _ in sessions:
+            for chunk in session.stream():
+                for enq, start in zip(chunk.enqueue_steps, chunk.first_scheduled_steps):
+                    latencies.append(chunk.superstep - enq)
+                    queue_delays.append(start - enq)
+    except KeyboardInterrupt:
+        interrupted = True
+        print("\ninterrupted mid-drain — reporting completed walks only")
     wall_s = time.perf_counter() - started
 
     stats = scheduler.tenant_stats()
     total_steps = sum(s.steps for s in stats.values())
     latencies = np.array(latencies, dtype=np.float64)
     queue_delays = np.array(queue_delays, dtype=np.float64)
+    walks = int(latencies.size)
+    if walks == 0:  # interrupted before any walk completed
+        latencies = queue_delays = np.zeros(1, dtype=np.float64)
     return {
         "sessions": num_sessions,
+        "interrupted": interrupted,
         "tenants": {
             name: {
                 "weight": s.weight,
@@ -131,7 +149,7 @@ def run_load(
             }
             for name, s in stats.items()
         },
-        "walks": int(latencies.size),
+        "walks": walks,
         "supersteps": scheduler.supersteps,
         "fusion_groups": scheduler.describe()["fusion_groups"],
         "p50_latency_ticks": float(np.percentile(latencies, 50)),
@@ -160,6 +178,9 @@ def main(argv: list[str] | None = None) -> None:
         walk_length=args.walk_length,
         max_inflight_walkers=args.max_inflight,
     )
+    if metrics["interrupted"]:
+        print("run interrupted — the numbers below cover the walks that "
+              "completed before the interrupt")
     print(
         f"{metrics['sessions']} sessions fused into "
         f"{metrics['fusion_groups']} group(s): {metrics['walks']} walks over "

@@ -58,6 +58,11 @@ SHARD_DEVICES = 4
 SHARD_POLICY = "locality"
 GHOST_BUDGET_FRACTION = 2  # per-shard budget = footprint // this
 
+#: Checkpoint intervals of the fault-tolerance entry's overhead sweep.  The
+#: headline ``recovery_overhead`` (gated by ``--max-recovery-overhead``) is
+#: the one at the runtime's default interval.
+RECOVERY_INTERVALS = (2, 4, 8, 16)
+
 #: The serving entry: session counts of the continuous-batching load sweep
 #: (at least three scales so the trajectory shows how fused throughput and
 #: tail latency react to load), plus the fixed per-session shape and the
@@ -225,6 +230,98 @@ def bench_sharded(graph, walk_length: int, repeats: int) -> dict[str, object]:
     return entry
 
 
+def bench_recovery(graph, walk_length: int) -> dict[str, object]:
+    """Fault-tolerance entry: modeled checkpoint overhead vs interval.
+
+    Runs the DeepWalk workload fault-free, then with superstep
+    checkpointing at each interval of ``RECOVERY_INTERVALS``, and reports
+    the *simulated-time* overhead of each — a deterministic number (the
+    checkpoint copy-outs are priced by the device model, not measured on
+    the host), so the entry needs no repeats and cannot flake.  The
+    headline ``recovery_overhead`` is the overhead at the runtime's
+    default interval; ``speedup`` is its reciprocal form ``1/(1+overhead)``
+    so the generic speedup floor still applies, and
+    ``--max-recovery-overhead`` gates the overhead itself.
+
+    ``simulated_time_parity`` here is the recovery invariant: every
+    checkpointed run — and a run that loses a device mid-flight and
+    replays from its last checkpoint — must reproduce the fault-free
+    paths, per-query base times and counter totals bit-identically (only
+    the modeled time may differ).
+    """
+    from repro.gpusim.counters import CostCounters
+    from repro.runtime.faults import (
+        DEFAULT_CHECKPOINT_INTERVAL,
+        DeviceFailure,
+        FaultPlan,
+        TransientFault,
+    )
+
+    spec_factory = WORKLOADS["deepwalk"][0]
+    service = WalkService(graph)
+
+    def one_run(config):
+        session = service.session(spec_factory(), config)
+        session.submit(make_queries(graph.num_nodes, walk_length=walk_length))
+        return session.collect()
+
+    def matches(result, reference) -> bool:
+        return bool(
+            result.paths == reference.paths
+            and np.array_equal(result.per_query_ns, reference.per_query_ns)
+            and all(
+                getattr(result.counters, name) == getattr(reference.counters, name)
+                for name in CostCounters._COUNT_FIELDS
+            )
+        )
+
+    base = one_run(FlexiWalkerConfig())
+    parity = True
+    overheads: dict[str, float] = {}
+    for interval in RECOVERY_INTERVALS:
+        result = one_run(FlexiWalkerConfig(checkpoint_interval=interval))
+        overheads[str(interval)] = result.time_ms / base.time_ms - 1.0
+        parity = parity and matches(result, base)
+        print(f"  {'recovery':>9} interval {interval:>2}: "
+              f"{overheads[str(interval)]:+.1%} simulated-time overhead "
+              f"({result.checkpoints_taken} checkpoints)")
+
+    # A permanent device failure two thirds of the way in, plus an earlier
+    # transient, recovered from the last default-interval checkpoint: the
+    # replayed run must land bit-identically on the fault-free results.
+    plan = FaultPlan(
+        seed=11,
+        device_failures=(DeviceFailure(superstep=(2 * walk_length) // 3),),
+        transient_faults=(TransientFault(superstep=walk_length // 4),),
+    )
+    faulty = one_run(FlexiWalkerConfig(
+        fault_plan=plan, checkpoint_interval=DEFAULT_CHECKPOINT_INTERVAL
+    ))
+    parity = parity and matches(faulty, base)
+
+    overhead = overheads[str(DEFAULT_CHECKPOINT_INTERVAL)]
+    entry: dict[str, object] = {
+        "workload": "recovery",
+        "walk_length": walk_length,
+        "num_queries": graph.num_nodes,
+        "checkpoint_interval": DEFAULT_CHECKPOINT_INTERVAL,
+        "overhead_by_interval": overheads,
+        "recovery_overhead": overhead,
+        "speedup": 1.0 / (1.0 + max(overhead, 0.0)),
+        "simulated_time_parity": parity,
+        "faulty_run": {
+            "degraded_devices": list(faulty.degraded_devices),
+            "recovery_time_ms": faulty.recovery_time_ns / 1e6,
+            "checkpoints_taken": faulty.checkpoints_taken,
+        },
+    }
+    print(f"  {'recovery':>9} headline: {overhead:+.1%} overhead at the "
+          f"default interval {DEFAULT_CHECKPOINT_INTERVAL} "
+          f"(recovery parity: {parity}, degraded {faulty.degraded_devices}, "
+          f"recovery {faulty.recovery_time_ns / 1e6:.4f} ms)")
+    return entry
+
+
 def _load_generator():
     """The examples/load_generator.py module (the serving entry's driver)."""
     import importlib.util
@@ -363,6 +460,8 @@ def main() -> int:
                         help="skip the replicated-vs-sharded multi-device entry")
     parser.add_argument("--skip-serving", action="store_true",
                         help="skip the continuous-batching serving entry")
+    parser.add_argument("--skip-recovery", action="store_true",
+                        help="skip the fault-tolerance checkpoint-overhead entry")
     parser.add_argument(
         "--output", default=str(REPO_ROOT / "BENCH_engine.json"),
         help="where to write the JSON report",
@@ -386,6 +485,8 @@ def main() -> int:
         report["entries"]["sharded"] = bench_sharded(graph, args.walk_length, args.repeats)
     if not args.skip_serving:
         report["entries"]["serving"] = bench_serving(graph, args.repeats)
+    if not args.skip_recovery:
+        report["entries"]["recovery"] = bench_recovery(graph, args.walk_length)
 
     parity = all(e["simulated_time_parity"] for e in report["entries"].values())
     if QUICKSTART in report["entries"]:

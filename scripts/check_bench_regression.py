@@ -22,6 +22,13 @@ simulation-clock number, deterministic for a given seed and load shape — so
 a rise means an admission-policy or fusion change actually delayed walks,
 not that the host was busy.
 
+Entries that report a ``recovery_overhead`` (the fault-tolerance entry) are
+gated on an *absolute* ceiling: the modeled checkpoint overhead at the
+runtime's default interval may not exceed ``--max-recovery-overhead``
+(default 10%).  The number is pure simulation — deterministic for a given
+workload — so exceeding the ceiling always means the checkpoint cost model
+or the checkpoint cadence actually changed, never host noise.
+
 Both the multi-entry schema (``schema_version >= 2``: per-workload entries
 under ``"entries"``) and the legacy single-entry schema (one top-level
 ``speedup``) are understood, so the gate keeps working across baseline
@@ -70,6 +77,9 @@ def entry_extras(entry: dict) -> str:
     p99 = entry.get("p99_latency_ticks")
     if isinstance(p99, (int, float)):
         return f", p99 latency {p99:.0f} ticks"
+    overhead = entry.get("recovery_overhead")
+    if isinstance(overhead, (int, float)):
+        return f", checkpoint overhead {overhead:+.1%}"
     return ""
 
 
@@ -87,6 +97,10 @@ def main() -> int:
     parser.add_argument("--max-p99-rise", type=float, default=0.25,
                         help="allowed fractional p99 ticket-latency rise above the "
                              "baseline for serving entries (default: 0.25)")
+    parser.add_argument("--max-recovery-overhead", type=float, default=0.10,
+                        help="absolute ceiling on the modeled checkpoint overhead "
+                             "at the default interval for recovery entries "
+                             "(default: 0.10)")
     args = parser.parse_args()
     if not 0 <= args.max_drop < 1:
         parser.error("--max-drop must be in [0, 1)")
@@ -94,11 +108,25 @@ def main() -> int:
         parser.error("--max-remote-ratio-rise must be non-negative")
     if args.max_p99_rise < 0:
         parser.error("--max-p99-rise must be non-negative")
+    if args.max_recovery_overhead < 0:
+        parser.error("--max-recovery-overhead must be non-negative")
 
     baseline = load_entries(args.baseline)
     current = load_entries(args.current)
 
     failed = False
+
+    def recovery_exceeded(name: str, entry: dict) -> bool:
+        """Absolute checkpoint-overhead ceiling (baseline-independent)."""
+        overhead = entry.get("recovery_overhead")
+        if not isinstance(overhead, (int, float)):
+            return False
+        if overhead > args.max_recovery_overhead:
+            print(f"FAIL [{name}]: modeled checkpoint overhead at the default "
+                  f"interval is {overhead:.1%}, above the "
+                  f"{args.max_recovery_overhead:.0%} ceiling")
+            return True
+        return False
     for name, base_entry in sorted(baseline.items()):
         base = entry_speedup(args.baseline, name, base_entry)
         cur_entry = current.get(name)
@@ -139,6 +167,8 @@ def main() -> int:
                       f"{cur_p99:.0f} ticks, more than {args.max_p99_rise:.0%} "
                       f"above the baseline {base_p99:.0f} ticks")
                 failed = True
+        if recovery_exceeded(name, cur_entry):
+            failed = True
     # Entries the baseline does not know yet (a freshly added workload) have
     # no speedup floor, but the parity backstop still applies to them — a
     # simulation-equivalence break must never ride in on a new entry.
@@ -148,6 +178,8 @@ def main() -> int:
         if cur_entry.get("simulated_time_parity") is not True:
             print(f"FAIL [{name}]: new entry lost scalar/batched simulated-time "
                   f"parity (no baseline yet, parity still required)")
+            failed = True
+        elif recovery_exceeded(name, cur_entry):
             failed = True
         else:
             cur = entry_speedup(args.current, name, cur_entry)

@@ -50,12 +50,19 @@ from repro.gpusim.memory import MemoryModel
 from repro.gpusim.multigpu import MultiGPUResult
 from repro.runtime.cost_model import CostModel
 from repro.runtime.engine import WalkEngine, WalkRunResult
+from repro.runtime.faults import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    DeviceFailure,
+    FaultPlan,
+    InterconnectDrop,
+    TransientFault,
+)
 from repro.runtime.frontier import SuperstepReport
 from repro.runtime.profiler import ProfileResult
 from repro.runtime.selector import DegreeThresholdRule
 from repro.sampling.base import StepContext
 from repro.sampling.batch import BatchStepContext
-from repro.errors import QueueFull
+from repro.errors import DeadlineExceeded, FaultError, QueueFull
 from repro.service import (
     BACKENDS,
     DeviceFleet,
@@ -77,7 +84,7 @@ from repro.walks.second_order_pr import SecondOrderPRSpec
 from repro.walks.spec import UniformWalkSpec, WalkSpec
 from repro.walks.state import WalkerState, WalkQuery, make_queries
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # Serving API (the supported entry point)
@@ -95,6 +102,14 @@ __all__ = [
     "SubmitOptions",
     "TenantStats",
     "QueueFull",
+    "DeadlineExceeded",
+    # Fault tolerance (deterministic fault injection + checkpointing)
+    "FaultPlan",
+    "DeviceFailure",
+    "TransientFault",
+    "InterconnectDrop",
+    "FaultError",
+    "DEFAULT_CHECKPOINT_INTERVAL",
     # Legacy facade (deprecated spellings, kept for compatibility)
     "FlexiWalker",
     "summarize_run",

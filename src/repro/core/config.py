@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ReproError
 from repro.gpusim.device import A6000, DeviceSpec
 from repro.gpusim.multigpu import PARTITION_POLICIES
 from repro.graph.sharded import SHARD_POLICIES
 from repro.runtime.engine import EXECUTION_MODES, GRAPH_PLACEMENTS
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime.faults import FaultPlan
 
 #: Valid values of :attr:`FlexiWalkerConfig.graph_placement` — the engine
 #: placements plus ``"auto"`` (negotiated from the graph's memory footprint
@@ -82,6 +86,17 @@ class FlexiWalkerConfig:
         cached hub pay no migration.  0 (default) disables ghost caching.
     seed:
         Seed for every random stream the run derives.
+    checkpoint_interval:
+        Take a walker-state checkpoint every this many supersteps (the
+        fault-tolerance subsystem, :mod:`repro.runtime.faults`).  0
+        (default) disables explicit checkpointing; recovery then replays
+        from the implicit cost-free checkpoint of the initial state.
+        Checkpointing requires the batched execution mode.
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan` of deterministic
+        injected faults.  Recovered runs stay bit-identical to fault-free
+        runs in paths, counters and per-query base times — only simulated
+        time differs.  Requires the batched execution mode.
     """
 
     device: DeviceSpec = A6000
@@ -100,6 +115,8 @@ class FlexiWalkerConfig:
     shard_policy: str = "contiguous"
     ghost_cache_bytes: int = 0
     seed: int = 0
+    checkpoint_interval: int = 0
+    fault_plan: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.selection not in SELECTION_POLICIES:
@@ -134,3 +151,12 @@ class FlexiWalkerConfig:
             raise ReproError("warp_width must be at least 1")
         if self.degree_threshold < 1:
             raise ReproError("degree_threshold must be at least 1")
+        if self.checkpoint_interval < 0:
+            raise ReproError("checkpoint_interval must be non-negative")
+        if self.execution == "scalar" and (
+            self.checkpoint_interval > 0
+            or (self.fault_plan is not None and not self.fault_plan.empty)
+        ):
+            raise ReproError(
+                "fault injection and checkpointing require the batched execution mode"
+            )

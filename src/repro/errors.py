@@ -71,6 +71,27 @@ class QueueFull(ServiceError):
     """
 
 
+class FaultError(ReproError):
+    """Raised when an injected fault is unrecoverable.
+
+    Produced by the fault-injection runtime (:mod:`repro.runtime.faults`)
+    when a transient fault exhausts its configured retry budget
+    (``FaultPlan.max_retries``).  Recoverable faults — transient kernel
+    faults that eventually retry through, permanent device failures covered
+    by a checkpoint — never surface as exceptions; they show up as
+    ``recovery_time_ns`` / ``degraded_devices`` on the run result instead.
+    """
+
+
+class DeadlineExceeded(ServiceError):
+    """A ticket's walkers were cancelled because its deadline expired.
+
+    Raised by :meth:`~repro.service.session.QueryTicket.paths` when the
+    ticket was submitted with ``SubmitOptions(deadline_ticks=...)`` and the
+    scheduler cancelled its remaining walkers at the deadline.
+    """
+
+
 class BenchmarkError(ReproError):
     """Raised by the benchmark harness on invalid experiment configuration."""
 

@@ -59,6 +59,18 @@ class DeviceSpec:
         Device-to-device bandwidth in bytes per nanosecond (1 byte/ns ==
         1 GB/s).  Together with the latency this prices
         :meth:`migration_time_ns`.
+    checkpoint_latency_ns:
+        Fixed cost of initiating one walker-state checkpoint (the barrier
+        plus copy-out initiation).  Charged once per checkpoint by the
+        fault-tolerance runtime (:mod:`repro.runtime.faults`).  Scaled to
+        the simulator's per-operation cost scale, like ``atomic_ns`` — not
+        a wall-clock kernel-launch figure.
+    checkpoint_bytes_per_ns:
+        Per-lane drain bandwidth of the checkpoint copy-out, in bytes per
+        nanosecond.  The copy-out is a lane-parallel kernel like every
+        other cost in the simulator — each lane streams its resident
+        walkers' records out — so :meth:`checkpoint_time_ns` divides the
+        payload across ``parallel_lanes`` before applying this rate.
     """
 
     name: str
@@ -77,6 +89,8 @@ class DeviceSpec:
     peak_watts: float
     interconnect_latency_ns: float = 1300.0
     interconnect_bytes_per_ns: float = 32.0
+    checkpoint_latency_ns: float = 12.0
+    checkpoint_bytes_per_ns: float = 4.0
 
     def __post_init__(self) -> None:
         if self.parallel_lanes < 1:
@@ -92,10 +106,13 @@ class DeviceSpec:
             self.atomic_ns,
             self.table_build_ns,
             self.interconnect_latency_ns,
+            self.checkpoint_latency_ns,
         ) < 0:
             raise SimulationError("per-operation costs must be non-negative")
         if self.interconnect_bytes_per_ns <= 0:
             raise SimulationError("interconnect bandwidth must be positive")
+        if self.checkpoint_bytes_per_ns <= 0:
+            raise SimulationError("checkpoint bandwidth must be positive")
 
     # ------------------------------------------------------------------ #
     def lane_time_ns(self, counters: CostCounters) -> float:
@@ -155,6 +172,21 @@ class DeviceSpec:
         latency-dominated, exactly like real peer-to-peer messages.
         """
         return self.interconnect_latency_ns + num_bytes / self.interconnect_bytes_per_ns
+
+    def checkpoint_time_ns(self, num_bytes: int) -> float:
+        """Cost of draining ``num_bytes`` of walker state to checkpoint
+        storage (and, symmetrically, of reading it back on restore).
+
+        Latency plus a *lane-parallel* drain: the copy-out kernel streams
+        each lane's resident walker records concurrently, exactly as the
+        step kernels price their work per lane, so the payload divides
+        across ``parallel_lanes``.  Checkpoints of a few walkers are
+        latency-dominated, frontiers wider than the lane count pay the
+        per-lane bandwidth on their surplus rows.
+        """
+        return self.checkpoint_latency_ns + num_bytes / (
+            self.checkpoint_bytes_per_ns * self.parallel_lanes
+        )
 
     @property
     def random_to_coalesced_ratio(self) -> float:

@@ -50,6 +50,12 @@ class KernelResult:
         the kernel was executed with ``comm_overlap=True`` (then only the
         excess beyond the makespan shows up).  0 for replicated/
         single-device kernels.
+    recovery_ns:
+        Fault-tolerance time charged to this kernel: checkpoint copy-outs,
+        transient-fault retries (with backoff) and replay-from-checkpoint
+        after a permanent device failure.  Already accounted in ``time_ns``
+        — recovery work never overlaps compute in the model.  0 for
+        fault-free runs.
     """
 
     time_ns: float
@@ -59,6 +65,7 @@ class KernelResult:
     counters: CostCounters = field(default_factory=CostCounters)
     scheduling: str = "dynamic"
     comm_ns: float = 0.0
+    recovery_ns: float = 0.0
 
     @property
     def time_ms(self) -> float:
@@ -98,6 +105,7 @@ class KernelExecutor:
         queue_atomic_ns: float | None = None,
         comm_ns: float = 0.0,
         comm_overlap: bool = False,
+        recovery_ns: float = 0.0,
     ) -> KernelResult:
         """Simulate one kernel launch.
 
@@ -127,6 +135,11 @@ class KernelExecutor:
             kernel time is ``max(makespan, comm_ns)`` — compute hides
             communication up to the makespan and only the excess
             serialises.
+        recovery_ns:
+            Fault-tolerance time (checkpoints, retries, replay) to charge
+            onto this kernel.  Always serialised after compute and
+            communication — a restore cannot overlap the work it is about
+            to redo.
         """
         per_query_ns = np.asarray(per_query_ns, dtype=np.float64)
         if per_query_ns.ndim != 1:
@@ -135,18 +148,21 @@ class KernelExecutor:
             raise SimulationError("per-query times must be non-negative")
         if comm_ns < 0:
             raise SimulationError("communication time must be non-negative")
+        if recovery_ns < 0:
+            raise SimulationError("recovery time must be non-negative")
         num_queries = int(per_query_ns.size)
         lanes = min(self.device.parallel_lanes, max(num_queries, 1))
 
         if num_queries == 0:
             return KernelResult(
-                time_ns=float(comm_ns),
+                time_ns=float(comm_ns) + float(recovery_ns),
                 total_work_ns=0.0,
                 lane_times_ns=np.zeros(0),
                 num_queries=0,
                 counters=counters or CostCounters(),
                 scheduling=scheduling,
                 comm_ns=float(comm_ns),
+                recovery_ns=float(recovery_ns),
             )
 
         if scheduling == "dynamic":
@@ -159,6 +175,7 @@ class KernelExecutor:
 
         makespan = float(lane_times.max())
         time_ns = max(makespan, float(comm_ns)) if comm_overlap else makespan + float(comm_ns)
+        time_ns += float(recovery_ns)
         return KernelResult(
             time_ns=time_ns,
             total_work_ns=float(per_query_ns.sum()),
@@ -167,6 +184,7 @@ class KernelExecutor:
             counters=counters or CostCounters(),
             scheduling=scheduling,
             comm_ns=float(comm_ns),
+            recovery_ns=float(recovery_ns),
         )
 
     # ------------------------------------------------------------------ #

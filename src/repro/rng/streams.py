@@ -310,6 +310,26 @@ class AdoptedStreamPool:
         slots = np.arange(len(self), dtype=np.int64)
         return BatchStreams._from_pool(self, slots, slots)
 
+    def snapshot_counters(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of every slot's ``(counter, draws)`` state.
+
+        Keys are derived, immutable and re-derivable, so counter positions
+        are the *entire* RNG state a checkpoint has to capture: restoring
+        them replays every subsequent draw bit for bit.
+        """
+        return self._counters.copy(), self._draws.copy()
+
+    def restore_counters(self, snap: tuple[np.ndarray, np.ndarray]) -> None:
+        """Rewind every slot to a :meth:`snapshot_counters` state."""
+        counters, draws = snap
+        if counters.size != self._counters.size:
+            raise ValueError(
+                f"counter snapshot covers {counters.size} slots but the pool "
+                f"holds {self._counters.size}"
+            )
+        self._counters[:] = counters
+        self._draws[:] = draws
+
     @property
     def total_draws(self) -> int:
         return int(self._draws.sum())
@@ -372,6 +392,22 @@ class StreamPool:
         threads = np.asarray([int(i) for i in thread_indices], dtype=np.int64)
         slots = self._ensure_slots([int(i) for i in threads])
         return BatchStreams._from_pool(self, threads, slots)
+
+    def snapshot_counters(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of every slot's ``(counter, draws)`` state (see
+        :meth:`AdoptedStreamPool.snapshot_counters`)."""
+        return self._counters.copy(), self._draws.copy()
+
+    def restore_counters(self, snap: tuple[np.ndarray, np.ndarray]) -> None:
+        """Rewind every slot to a :meth:`snapshot_counters` state."""
+        counters, draws = snap
+        if counters.size != self._counters.size:
+            raise ValueError(
+                f"counter snapshot covers {counters.size} slots but the pool "
+                f"holds {self._counters.size}"
+            )
+        self._counters[:] = counters
+        self._draws[:] = draws
 
     @property
     def total_draws(self) -> int:

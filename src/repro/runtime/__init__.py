@@ -30,12 +30,24 @@ from repro.runtime.engine import (
     WalkEngine,
     WalkRunResult,
 )
+from repro.runtime.faults import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    DeviceFailure,
+    FaultPlan,
+    InterconnectDrop,
+    TransientFault,
+)
 from repro.runtime.frontier import SuperstepReport
 
 __all__ = [
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "DeviceFailure",
     "EngineCaches",
+    "FaultPlan",
     "GRAPH_PLACEMENTS",
+    "InterconnectDrop",
     "SuperstepReport",
+    "TransientFault",
     "CostModel",
     "ProfileResult",
     "profile_edge_costs",

@@ -117,6 +117,9 @@ class WalkRunResult:
     remote_steps: int = 0
     ghost_hits: int = 0
     migration_batches: int = 0
+    degraded_devices: tuple[int, ...] = ()
+    recovery_time_ns: float = 0.0
+    checkpoints_taken: int = 0
 
     @property
     def time_ms(self) -> float:
@@ -240,6 +243,9 @@ class WalkRunResult:
             "comm_time_ms": self.comm_time_ms,
             "ghost_hit_ratio": self.ghost_hit_ratio,
             "migration_batches": self.migration_batches,
+            "degraded_devices": list(self.degraded_devices),
+            "recovery_time_ms": self.recovery_time_ns / 1e6,
+            "checkpoints_taken": self.checkpoints_taken,
             "selection_ratio": self.selection_ratio(),
             "memory_accesses": self.counters.total_memory_accesses,
             "rng_draws": self.counters.rng_draws,
@@ -332,6 +338,22 @@ class WalkEngine:
         same (graph, spec) pair may pass the same holder so hint tables and
         the transition cache are built once and seen by all of them; by
         default every engine gets a private holder.
+    checkpoint_interval:
+        Take a walker-state checkpoint every this many supersteps (0, the
+        default, disables explicit checkpointing; recovery then replays
+        from the implicit cost-free checkpoint of the initial state).
+        Checkpoint copy-outs are priced by
+        :meth:`~repro.gpusim.device.DeviceSpec.checkpoint_time_ns` and
+        surface as ``WalkRunResult.recovery_time_ns``.  Batched execution
+        only.
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan` of deterministic
+        injected faults (device failures, transient kernel faults,
+        interconnect drops).  Recovery is silent replay from the last
+        checkpoint: paths, counters and per-query base times stay
+        bit-identical to the fault-free run — only simulated time (and the
+        ``degraded_devices`` roster after a permanent failure) changes.
+        Batched execution only.
     """
 
     def __init__(
@@ -356,6 +378,8 @@ class WalkEngine:
         ghost_cache_bytes: int = 0,
         use_transition_cache: bool = True,
         caches: EngineCaches | None = None,
+        checkpoint_interval: int = 0,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         from repro.graph.sharded import SHARD_POLICIES
 
@@ -383,6 +407,14 @@ class WalkEngine:
             )
         if ghost_cache_bytes < 0:
             raise SimulationError("ghost_cache_bytes must be non-negative")
+        if checkpoint_interval < 0:
+            raise SimulationError("checkpoint_interval must be non-negative")
+        if execution == "scalar" and (
+            checkpoint_interval > 0 or (fault_plan is not None and not fault_plan.empty)
+        ):
+            raise SimulationError(
+                "fault injection and checkpointing require the batched execution mode"
+            )
         self.graph = graph
         self.spec = spec
         self.device = device
@@ -403,6 +435,8 @@ class WalkEngine:
         self.ghost_cache_bytes = int(ghost_cache_bytes)
         self.use_transition_cache = bool(use_transition_cache)
         self.caches = caches if caches is not None else EngineCaches()
+        self.checkpoint_interval = int(checkpoint_interval)
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------ #
     def run(
@@ -480,6 +514,27 @@ class WalkEngine:
         clone.shard_policy = shards
         clone.ghost_cache_bytes = int(ghost)
         return clone
+
+    def _fault_runtime(self, num_devices: int | None = None):
+        """The per-run fault-tolerance runtime, or ``None`` on the fast path.
+
+        Returns ``None`` whenever no fault plan is configured and explicit
+        checkpointing is off, which keeps every existing driver on its
+        original superstep loop — fault tolerance costs nothing unless it is
+        asked for.  A fresh :class:`~repro.runtime.faults.FaultRuntime` is
+        minted per run (it holds mutable per-run ledgers).
+        """
+        plan = self.fault_plan
+        if (plan is None or plan.empty) and self.checkpoint_interval == 0:
+            return None
+        from repro.runtime.faults import FaultRuntime
+
+        return FaultRuntime(
+            self.device,
+            plan=plan,
+            checkpoint_interval=self.checkpoint_interval,
+            num_devices=num_devices if num_devices is not None else self.num_devices,
+        )
 
     def _sharded_graph(self):
         """The cached shard decomposition for this engine's count/policy.

@@ -421,10 +421,28 @@ def run_batched(
     frontier = WalkerFrontier(fetched)
     streams = pool.batch([q.query_id for q in fetched])
 
-    total_steps = _drive_supersteps(engine, frontier, streams, per_query_ns, aggregate, usage)
+    faults = engine._fault_runtime(num_devices=1)
+    if faults is None:
+        total_steps = _drive_supersteps(
+            engine, frontier, streams, per_query_ns, aggregate, usage
+        )
+    else:
+        from repro.runtime.faults import resilient_supersteps
+
+        total_steps = 0
+        for _, report, replayed in resilient_supersteps(
+            engine, faults, frontier, pool, streams, per_query_ns, aggregate, usage
+        ):
+            if not replayed:
+                total_steps += report.steps
 
     executor = KernelExecutor(engine.device)
-    kernel = executor.execute(per_query_ns, counters=aggregate, scheduling=engine.scheduling)
+    kernel = executor.execute(
+        per_query_ns,
+        counters=aggregate,
+        scheduling=engine.scheduling,
+        recovery_ns=faults.recovery_ns if faults is not None else 0.0,
+    )
     return WalkRunResult(
         paths=frontier.paths(),
         per_query_ns=per_query_ns,
@@ -436,6 +454,9 @@ def run_batched(
         preprocess_time_ns=(
             engine.compiled.preprocessing_time_ns if engine.compiled is not None else 0.0
         ),
+        degraded_devices=tuple(faults.degraded) if faults is not None else (),
+        recovery_time_ns=faults.recovery_ns if faults is not None else 0.0,
+        checkpoints_taken=faults.checkpoints_taken if faults is not None else 0,
     )
 
 
@@ -560,9 +581,41 @@ def _run_multi_device_fused(
         """Attribute one superstep's counts to each walker's fixed device."""
         fold_counters_by_owner(owner[active], counters, device_aggs, num_devices)
 
-    total_steps = _drive_supersteps(
-        engine, frontier, streams, per_query_ns, aggregate, usage, fold=fold
-    )
+    faults = engine._fault_runtime()
+    if faults is None:
+        total_steps = _drive_supersteps(
+            engine, frontier, streams, per_query_ns, aggregate, usage, fold=fold
+        )
+    else:
+        from repro.runtime.faults import reassign_owners, resilient_supersteps
+
+        def on_failure(dead: list[int]) -> None:
+            # Degraded mode: the dead device's walkers continue on the
+            # survivors.  Counts folded before the failure stay where the
+            # work actually executed; only future supersteps move.
+            reassign_owners(owner, dead, faults.survivors())
+
+        total_steps = 0
+        for _, report, replayed in resilient_supersteps(
+            engine,
+            faults,
+            frontier,
+            pool,
+            streams,
+            per_query_ns,
+            aggregate,
+            usage,
+            on_failure=on_failure,
+        ):
+            if not replayed:
+                total_steps += report.steps
+                fold(report.active, report.counters)
+        if faults.degraded and faults.survivors():
+            # Rebuild the per-device schedules against the surviving
+            # ownership: migrated walkers queue on their new device.
+            partitions = [
+                np.flatnonzero(owner == d) for d in range(num_devices)
+            ]
 
     executor = KernelExecutor(engine.device)
     device_kernels = [
@@ -571,7 +624,13 @@ def _run_multi_device_fused(
         )
         for d, part in enumerate(partitions)
     ]
-    kernel = _merge_device_kernels(engine, device_kernels, aggregate, n)
+    kernel = _merge_device_kernels(
+        engine,
+        device_kernels,
+        aggregate,
+        n,
+        recovery_ns=faults.recovery_ns if faults is not None else 0.0,
+    )
     return WalkRunResult(
         paths=frontier.paths(),
         per_query_ns=per_query_ns,
@@ -586,6 +645,9 @@ def _run_multi_device_fused(
         num_devices=num_devices,
         partition_policy=engine.partition_policy,
         device_kernels=device_kernels,
+        degraded_devices=tuple(faults.degraded) if faults is not None else (),
+        recovery_time_ns=faults.recovery_ns if faults is not None else 0.0,
+        checkpoints_taken=faults.checkpoints_taken if faults is not None else 0,
     )
 
 
@@ -858,6 +920,51 @@ class ShardedRunAccounting:
         hosts[movers] = dest
         self._comm_cache = None
 
+    def migrations_at(self, step_ordinal: int) -> tuple[np.ndarray, np.ndarray]:
+        """The (src, dst) endpoints of the migrations logged at one ordinal.
+
+        Used by the fault-injection runtime to price resending a dropped
+        step's coalesced batches.  Only the most recent log entry is
+        consulted — :meth:`observe` appends at most one entry per superstep
+        and the drop is checked right after the observe call.
+        """
+        if self._mig_steps and int(self._mig_steps[-1][0]) == step_ordinal:
+            return self._mig_src[-1], self._mig_dst[-1]
+        return _NO_FINISHED, _NO_FINISHED
+
+    def take_over(
+        self, dead: list[int], survivors: list[int], frontier: WalkerFrontier
+    ) -> None:
+        """Degraded-mode shard takeover after permanent device failures.
+
+        The dead devices' node ranges are re-owned round-robin by the
+        survivors (on a private copy — the shared
+        :class:`~repro.graph.sharded.ShardedCSRGraph` decomposition is never
+        mutated), and every walker hosted on a dead device re-hosts onto
+        the new owner of its current node.  With no survivors the
+        replacement-device policy applies: ownership stays with the standby
+        that inherits the dead device's identity.
+
+        Work the dead device executed before failing stays on its ledger —
+        its partial kernel still contributes to the makespan, which is the
+        honest account of a mid-run loss.
+        """
+        if not survivors:
+            return
+        owner = self._owner.copy()
+        pool = np.asarray(survivors, dtype=np.int64)
+        for device in dead:
+            nodes = np.flatnonzero(owner == device)
+            if nodes.size:
+                owner[nodes] = pool[np.arange(nodes.size) % pool.size]
+        self._owner = owner
+        dead_arr = np.asarray(dead, dtype=np.int64)
+        for offset, hosts in self._hosts.items():
+            stale = np.flatnonzero(np.isin(hosts, dead_arr))
+            if stale.size:
+                hosts[stale] = owner[frontier.current[stale + offset]]
+        self._comm_cache = None
+
     # ------------------------------------------------------------------ #
     def _comm_summary(self) -> _CommSummary:
         """Coalesce the migration log into per-batch transfers (cached).
@@ -1042,15 +1149,50 @@ def run_sharded(
     streams = pool.batch([q.query_id for q in queries])
 
     total_steps = 0
-    reports = iter_supersteps(
-        engine, frontier, streams, per_query_ns, aggregate, usage, track_finished=False
-    )
-    for step_ordinal, report in enumerate(reports):
-        total_steps += report.steps
-        acct.observe(report, frontier, step_ordinal)
+    faults = engine._fault_runtime()
+    if faults is None:
+        reports = iter_supersteps(
+            engine, frontier, streams, per_query_ns, aggregate, usage, track_finished=False
+        )
+        for step_ordinal, report in enumerate(reports):
+            total_steps += report.steps
+            acct.observe(report, frontier, step_ordinal)
+    else:
+        from repro.runtime.faults import resilient_supersteps
+
+        def on_failure(dead: list[int]) -> None:
+            acct.take_over(dead, faults.survivors(), frontier)
+
+        for step_ordinal, report, replayed in resilient_supersteps(
+            engine,
+            faults,
+            frontier,
+            pool,
+            streams,
+            per_query_ns,
+            aggregate,
+            usage,
+            on_failure=on_failure,
+        ):
+            if replayed:
+                # Bit-identical re-execution: the first pass already landed
+                # this superstep's counts, hosting and migrations.
+                continue
+            total_steps += report.steps
+            acct.observe(report, frontier, step_ordinal)
+            src, dst = acct.migrations_at(step_ordinal)
+            faults.charge_interconnect_drop(
+                step_ordinal, src, dst, WALKER_MIGRATION_BYTES
+            )
 
     device_kernels = acct.device_kernels(engine.scheduling)
-    kernel = _merge_device_kernels(engine, device_kernels, aggregate, n)
+    kernel = _merge_device_kernels(
+        engine,
+        device_kernels,
+        aggregate,
+        n,
+        recovery_ns=faults.recovery_ns if faults is not None else 0.0,
+    )
     return WalkRunResult(
         paths=frontier.paths(),
         per_query_ns=per_query_ns,
@@ -1072,6 +1214,9 @@ def run_sharded(
         remote_steps=acct.remote_steps,
         ghost_hits=acct.ghost_hits,
         migration_batches=acct.migration_batches,
+        degraded_devices=tuple(faults.degraded) if faults is not None else (),
+        recovery_time_ns=faults.recovery_ns if faults is not None else 0.0,
+        checkpoints_taken=faults.checkpoints_taken if faults is not None else 0,
     )
 
 
@@ -1080,12 +1225,16 @@ def _merge_device_kernels(
     device_kernels: list[KernelResult],
     aggregate: CostCounters,
     num_queries: int,
+    recovery_ns: float = 0.0,
 ) -> KernelResult:
     """The aggregate kernel view: completion at the slowest device, lane
-    times concatenated so utilisation/imbalance diagnostics still work."""
+    times concatenated so utilisation/imbalance diagnostics still work.
+    Recovery time (checkpoints, retries, replay) serialises after the
+    makespan — the whole step-synchronous fleet stalls while one device
+    recovers."""
     makespan = max((k.time_ns for k in device_kernels), default=0.0)
     return KernelResult(
-        time_ns=makespan,
+        time_ns=makespan + float(recovery_ns),
         total_work_ns=float(sum(k.total_work_ns for k in device_kernels)),
         lane_times_ns=(
             np.concatenate([k.lane_times_ns for k in device_kernels])
@@ -1095,6 +1244,7 @@ def _merge_device_kernels(
         counters=aggregate,
         scheduling=engine.scheduling,
         comm_ns=float(sum(k.comm_ns for k in device_kernels)),
+        recovery_ns=float(recovery_ns),
     )
 
 

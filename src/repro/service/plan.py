@@ -89,6 +89,10 @@ class ServiceCapabilities:
     #: ``(tenant, quota)`` pairs — hashable so the capability set stays
     #: frozen.  Empty means no per-tenant quotas.
     tenant_quotas: tuple[tuple[str, int], ...] = ()
+    #: Whether the service offers superstep checkpointing and fault
+    #: recovery (:mod:`repro.runtime.faults`).  Checkpointing needs the
+    #: batched frontier loop, so scalar-only services decline it.
+    checkpointing: bool = True
 
     def __post_init__(self) -> None:
         if self.fairness not in ("wrr", "fifo"):
@@ -138,6 +142,11 @@ class ExecutionPlan:
     streaming_granularity:
         How :meth:`~repro.service.WalkSession.stream` chunks results:
         ``"superstep"`` (frontier backends) or ``"walk"`` (scalar).
+    checkpoint_interval:
+        Granted superstep checkpoint interval (0 = no explicit
+        checkpoints).  The session's request, declined with a recorded
+        reason when the service does not offer checkpointing or the
+        backend cannot support it.
     reasons:
         Human-readable negotiation trail, for logs and ``describe()``.
     """
@@ -152,6 +161,7 @@ class ExecutionPlan:
     scheduling: str = "dynamic"
     use_transition_cache: bool = True
     streaming_granularity: str = "superstep"
+    checkpoint_interval: int = 0
     reasons: tuple[str, ...] = field(default=())
 
     def describe(self) -> dict[str, object]:
@@ -167,6 +177,7 @@ class ExecutionPlan:
             "scheduling": self.scheduling,
             "use_transition_cache": self.use_transition_cache,
             "streaming_granularity": self.streaming_granularity,
+            "checkpoint_interval": self.checkpoint_interval,
             "reasons": list(self.reasons),
         }
 
@@ -392,6 +403,30 @@ def negotiate_plan(
         else "transition cache disabled: weights depend on walker state"
     )
 
+    # Fault tolerance: the checkpoint interval is a negotiation, not a hard
+    # requirement — a service that cannot checkpoint (or a scalar plan,
+    # which has no superstep boundary to checkpoint at) declines the
+    # request with a recorded reason, and recovery falls back to replaying
+    # from the implicit initial checkpoint.
+    checkpoint_interval = config.checkpoint_interval
+    if checkpoint_interval > 0:
+        if execution == "scalar":
+            checkpoint_interval = 0
+            reasons.append(
+                "checkpointing declined: the scalar backend has no "
+                "superstep boundary to checkpoint at"
+            )
+        elif not capabilities.checkpointing:
+            checkpoint_interval = 0
+            reasons.append(
+                "checkpointing declined: not offered by this service "
+                "(recovery replays from the initial state)"
+            )
+        else:
+            reasons.append(
+                f"checkpointing granted: every {checkpoint_interval} supersteps"
+            )
+
     # Admission policy is part of the negotiated record like any placement
     # decision: a session attached to the service's continuous-batching
     # scheduler competes under exactly these terms.
@@ -421,6 +456,7 @@ def negotiate_plan(
         scheduling=config.scheduling,
         use_transition_cache=use_cache,
         streaming_granularity=granularity,
+        checkpoint_interval=checkpoint_interval,
         reasons=tuple(reasons),
     )
 

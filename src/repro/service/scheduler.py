@@ -46,6 +46,7 @@ unbounded service lifetime.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -55,6 +56,7 @@ import numpy as np
 
 from repro.errors import QueueFull, ServiceError
 from repro.gpusim.counters import CostCounters, CounterBatch
+from repro.runtime.faults import restore_checkpoint, take_checkpoint
 from repro.runtime.frontier import FrontierRun, fold_counters_by_owner, iter_supersteps
 from repro.walks.state import WalkQuery
 
@@ -75,6 +77,9 @@ class TenantStats:
     ``steps`` and ``lane_time_ns`` are exact per-walker attributions (the
     walker slots of the fused supersteps, folded by owner); the admission
     counters describe the tenant's traffic through the fairness machinery.
+    ``dead_letters`` counts walkers dropped before completing — explicit
+    cancellation, ``deadline_ticks`` expiry, load shedding, stream
+    abandonment or a quarantined fusion group.
     """
 
     tenant: str
@@ -89,6 +94,7 @@ class TenantStats:
     slo_admitted: int
     steps: int
     lane_time_ns: float
+    dead_letters: int = 0
 
 
 class _TenantState:
@@ -97,7 +103,7 @@ class _TenantState:
     __slots__ = (
         "name", "weight", "quota", "queue", "vtime", "has_deadlines",
         "sessions", "outstanding", "submitted", "admitted", "completed",
-        "slo_admitted", "steps", "lane_ns",
+        "slo_admitted", "steps", "lane_ns", "dead_letters",
     )
 
     def __init__(self, name: str, weight: float, quota: int | None) -> None:
@@ -115,6 +121,7 @@ class _TenantState:
         self.slo_admitted = 0
         self.steps = 0
         self.lane_ns = 0.0
+        self.dead_letters = 0
 
 
 class _Pending:
@@ -138,7 +145,8 @@ class _SessionEntry:
     """Scheduler-side ledger of one attached session."""
 
     __slots__ = ("session", "tenant", "group", "gidx", "fused_pos", "queries",
-                 "sub_ords", "flushed", "queued", "inflight", "chunks")
+                 "sub_ords", "flushed", "queued", "inflight", "chunks",
+                 "quarantined")
 
     def __init__(self, session, tenant: _TenantState, group: "_Group") -> None:
         self.session = session
@@ -152,13 +160,15 @@ class _SessionEntry:
         self.queued = 0
         self.inflight = 0
         self.chunks: deque["WalkChunk"] = deque()
+        self.quarantined: str | None = None  # set when the group is poisoned
 
 
 class _Group:
     """One fusion group: sessions compatible enough to share a frontier."""
 
     __slots__ = ("key", "engine", "seed", "run", "gen", "sessions", "owner",
-                 "tenants", "aggregate", "usage", "track_counts", "counts")
+                 "tenants", "aggregate", "usage", "track_counts", "counts",
+                 "faults", "checkpoint", "ordinal")
 
     def __init__(self, key, engine, track_counts: bool) -> None:
         self.key = key
@@ -166,6 +176,12 @@ class _Group:
         self.seed = engine.seed
         self.run = FrontierRun(engine)
         self.gen = None
+        # Fault-tolerance state: the engine's FaultRuntime (None on the
+        # fault-free fast path), the last restore point, and the group's
+        # logical superstep ordinal (the fault plan's clock).
+        self.faults = engine._fault_runtime()
+        self.checkpoint = None
+        self.ordinal = 0
         self.sessions: list[_SessionEntry] = []
         self.owner = np.zeros(0, dtype=np.int64)     # fused pos -> gidx
         self.tenants: list[_TenantState] = []        # fused pos -> tenant
@@ -212,6 +228,7 @@ class ServiceScheduler:
         tenant_quotas: tuple[tuple[str, int], ...] = (),
         default_tenant: str = "default",
         record_admissions: bool = False,
+        shed_after_ticks: int | None = None,
     ) -> None:
         if fairness not in FAIRNESS_POLICIES:
             raise ServiceError(
@@ -219,10 +236,16 @@ class ServiceScheduler:
             )
         if max_inflight_walkers < 0:
             raise ServiceError("max_inflight_walkers must be non-negative (0 = unbounded)")
+        if shed_after_ticks is not None and shed_after_ticks < 1:
+            raise ServiceError("shed_after_ticks must be at least 1 (or None)")
         self.service = service
         self.max_inflight_walkers = int(max_inflight_walkers)
         self.fairness = fairness
         self.default_tenant = default_tenant
+        #: Load shedding under sustained backpressure: a walker still queued
+        #: after waiting this many ticks is dead-lettered instead of admitted
+        #: (``None`` = never shed).  Its ticket reports DeadlineExceeded.
+        self.shed_after_ticks = shed_after_ticks
         #: When true, every admission is appended to :attr:`admissions` as
         #: ``(tick, tenant)`` — the fairness property suite audits this log.
         self.record_admissions = record_admissions
@@ -233,6 +256,10 @@ class ServiceScheduler:
         self._entries: dict[int, _SessionEntry] = {}  # id(session) -> entry
         self._groups: dict[tuple, _Group] = {}
         self._slo: deque[_Pending] = deque()
+        # Hard per-walker deadlines: (expiry_tick, seq, entry, query_id),
+        # a heap popped at every tick boundary.
+        self._deadlines: list[tuple[int, int, _SessionEntry, int]] = []
+        self._quarantined: list[_SessionEntry] = []
         self._seq = 0
         self._tick = 0
         self._vclock = 0.0
@@ -334,6 +361,7 @@ class ServiceScheduler:
         entry = self._entries.get(id(session))
         if entry is None or session._scheduler is not self:
             raise ServiceError("session is not attached to this scheduler")
+        self._check_quarantined(entry)
         while entry.queued + entry.inflight:
             self._checked_tick(entry)
         self._flush(entry)
@@ -389,6 +417,47 @@ class ServiceScheduler:
         """Wall-clock seconds spent inside :meth:`tick` so far."""
         return self._exec_seconds
 
+    @property
+    def quarantined(self) -> tuple["WalkSession", ...]:
+        """Sessions whose fusion group was quarantined after a crash.
+
+        A quarantined session's results are unreliable (its group died
+        mid-superstep); reusing it — submit, stream, collect or detach —
+        raises :class:`~repro.errors.ServiceError`.  Every other group
+        keeps ticking normally.
+        """
+        return tuple(e.session for e in self._quarantined)
+
+    @property
+    def dead_letters(self) -> int:
+        """Walkers dropped before completing, across every tenant."""
+        return sum(t.dead_letters for t in self._tenants.values())
+
+    @property
+    def recovery_time_ns(self) -> float:
+        """Simulated recovery time accumulated by every fusion group."""
+        return sum(
+            g.faults.recovery_ns for g in self._groups.values() if g.faults is not None
+        )
+
+    @property
+    def checkpoints_taken(self) -> int:
+        """Explicit (charged) checkpoints taken across every fusion group."""
+        return sum(
+            g.faults.checkpoints_taken
+            for g in self._groups.values()
+            if g.faults is not None
+        )
+
+    @property
+    def degraded_devices(self) -> tuple[int, ...]:
+        """Devices lost to permanent failures, across every fusion group."""
+        dead: set[int] = set()
+        for g in self._groups.values():
+            if g.faults is not None:
+                dead.update(g.faults.degraded)
+        return tuple(sorted(dead))
+
     def tenant_stats(self) -> dict[str, TenantStats]:
         """Exact per-tenant accounting, split out of the fused execution."""
         slo_queued: dict[str, int] = {}
@@ -410,6 +479,7 @@ class ServiceScheduler:
                 slo_admitted=t.slo_admitted,
                 steps=t.steps,
                 lane_time_ns=t.lane_ns,
+                dead_letters=t.dead_letters,
             )
         return stats
 
@@ -425,22 +495,33 @@ class ServiceScheduler:
             "supersteps": self._tick,
             "queued": self._queued,
             "inflight": self._inflight,
+            "quarantined_sessions": len(self._quarantined),
+            "dead_letters": self.dead_letters,
         }
 
     # ------------------------------------------------------------------ #
     # The execution loop
     # ------------------------------------------------------------------ #
     def tick(self) -> int:
-        """One superstep boundary: admit, then advance every fusion group.
+        """One superstep boundary: expire, admit, advance every fusion group.
 
-        Returns the number of walker-steps executed across all groups.
+        Crash-safe: a group whose superstep raises is quarantined — its
+        sessions' outstanding walkers are dead-lettered and the group is
+        removed — instead of wedging every tenant behind the poisoned
+        frontier.  Returns the number of walker-steps executed across all
+        (surviving) groups.
         """
         started = time.perf_counter()
+        self._shed_overdue()
+        self._expire_deadlines()
         self._admit()
         steps = 0
         participants: list[tuple[_SessionEntry, int]] = []
-        for group in self._groups.values():
-            steps += self._advance_group(group, participants)
+        for group in list(self._groups.values()):
+            try:
+                steps += self._advance_group(group, participants)
+            except Exception as exc:  # noqa: BLE001 - quarantine, don't wedge
+                self._quarantine_group(group, exc)
         self._tick += 1
         elapsed = time.perf_counter() - started
         self._exec_seconds += elapsed
@@ -484,19 +565,190 @@ class ServiceScheduler:
         Other sessions' completions buffer on their own entries (their
         streams pick them up).  Returns — after flushing the session's
         finalised accounting — when the session has no pending work.
+
+        Dropping the iterator mid-stream (breaking out of the only
+        reference to it) abandons the session's remaining walkers: they
+        are cancelled so the in-flight budget and tenant quota headroom
+        they held is released immediately, instead of leaking until some
+        other session's stream happens to drain them.
         """
         entry = self._entries[id(session)]
-        while True:
-            while entry.chunks:
-                yield entry.chunks.popleft()
-            if entry.queued + entry.inflight == 0:
-                break
-            self._checked_tick(entry)
+        self._check_quarantined(entry)
+        try:
+            while True:
+                while entry.chunks:
+                    yield entry.chunks.popleft()
+                if entry.queued + entry.inflight == 0:
+                    break
+                self._checked_tick(entry)
+        except GeneratorExit:
+            self._abandon(entry)
+            raise
         self._flush(entry)
 
     def _session_pending(self, session: "WalkSession") -> int:
         entry = self._entries[id(session)]
         return entry.queued + entry.inflight
+
+    # ------------------------------------------------------------------ #
+    # Robustness: cancellation, deadlines, shedding, quarantine
+    # ------------------------------------------------------------------ #
+    def _drop_pending(self, p: _Pending, reason: str) -> None:
+        """Dead-letter one still-queued walker (caller removes it from its lane)."""
+        p.entry.session._cancelled_ids[p.query.query_id] = reason
+        p.tenant.outstanding -= 1
+        p.tenant.dead_letters += 1
+        p.entry.queued -= 1
+        self._queued -= 1
+
+    def _cancel_queries(self, session, query_ids, reason: str) -> int:
+        entry = self._entries.get(id(session))
+        if entry is None:
+            raise ServiceError("session is not attached to this scheduler")
+        return sum(1 for qid in query_ids if self._cancel_query(entry, int(qid), reason))
+
+    def _cancel_query(self, entry: _SessionEntry, qid: int, reason: str) -> bool:
+        """Drop one unfinished walker, queued or in flight; False if done.
+
+        In-flight walkers are terminated in the fused frontier; the walk
+        prefix they already executed stays in the accounting (it really
+        ran) but the ticket reports the walk as dropped.  Either way the
+        in-flight budget and tenant quota headroom are released now.
+        """
+        session = entry.session
+        if qid in session._path_by_qid or qid in session._cancelled_ids:
+            return False
+        if qid not in session._claimed_ids:
+            pending = self._pop_pending(entry, qid)
+            if pending is None:  # pragma: no cover - defensive
+                return False
+            self._drop_pending(pending, reason)
+            return True
+        frontier = entry.group.run.frontier
+        for i, query in enumerate(entry.queries):
+            if query.query_id == qid:
+                pos = entry.fused_pos[i]
+                break
+        else:  # pragma: no cover - claimed ids always have an entry slot
+            return False
+        frontier.terminate(np.array([pos], dtype=np.int64))
+        session._path_by_qid[qid] = list(frontier.path(pos))
+        session._cancelled_ids[qid] = reason
+        # A restore from a pre-cancellation checkpoint would resurrect the
+        # terminated walker; rebase the group's restore point on the
+        # post-cancellation state instead.
+        if entry.group.faults is not None:
+            entry.group.checkpoint = None
+        tenant = entry.group.tenants[pos]
+        tenant.outstanding -= 1
+        tenant.dead_letters += 1
+        entry.inflight -= 1
+        self._inflight -= 1
+        return True
+
+    def _pop_pending(self, entry: _SessionEntry, qid: int) -> _Pending | None:
+        """Remove one queued walker from whichever admission lane holds it."""
+        lanes = [self._slo]
+        lanes.extend(t.queue for t in self._tenants.values())
+        for lane in lanes:
+            for p in lane:
+                if p.entry is entry and p.query.query_id == qid:
+                    lane.remove(p)
+                    return p
+        return None
+
+    def _expire_deadlines(self) -> None:
+        """Cancel walkers whose hard ``deadline_ticks`` has passed."""
+        while self._deadlines and self._deadlines[0][0] <= self._tick:
+            _, _, entry, qid = heapq.heappop(self._deadlines)
+            if entry.quarantined is None:
+                self._cancel_query(entry, qid, reason="deadline")
+
+    def _shed_overdue(self) -> None:
+        """Shed queued walkers that outwaited ``shed_after_ticks``.
+
+        The load-shedding valve under sustained backpressure: when
+        admission cannot keep up, the oldest queued walkers are
+        dead-lettered instead of growing the queues without bound.
+        """
+        if self.shed_after_ticks is None or not self._queued:
+            return
+        self._slo = self._shed_lane(self._slo)
+        for tenant in self._tenants.values():
+            if tenant.queue:
+                tenant.queue = self._shed_lane(tenant.queue)
+
+    def _shed_lane(self, lane: deque) -> deque:
+        keep: deque[_Pending] = deque()
+        for p in lane:
+            if self._tick - p.enqueue_tick >= self.shed_after_ticks:
+                self._drop_pending(p, reason="shed")
+            else:
+                keep.append(p)
+        return keep
+
+    def _check_quarantined(self, entry: _SessionEntry) -> None:
+        if entry.quarantined is not None:
+            raise ServiceError(
+                "session was quarantined after its fusion group crashed "
+                f"({entry.quarantined}); its results are not recoverable"
+            )
+
+    def _quarantine_group(self, group: _Group, exc: BaseException) -> None:
+        """Contain a poisoned fusion group instead of wedging every tenant.
+
+        The group is removed from the loop and every walker its sessions
+        still had outstanding — queued or in flight — is dead-lettered,
+        releasing the budget and quota headroom they held.  The sessions
+        are marked quarantined: any further use raises
+        :class:`~repro.errors.ServiceError` naming the original crash.
+        Sessions in *other* groups are untouched.
+        """
+        self._groups.pop(group.key, None)
+        message = f"{type(exc).__name__}: {exc}"
+        for entry in group.sessions:
+            if entry.quarantined is not None:
+                continue
+            session = entry.session
+            self._slo = self._drop_entry_pendings(self._slo, entry)
+            for tenant in self._tenants.values():
+                if tenant.queue:
+                    tenant.queue = self._drop_entry_pendings(tenant.queue, entry)
+            for i, query in enumerate(entry.queries):
+                qid = query.query_id
+                if qid in session._path_by_qid or qid in session._cancelled_ids:
+                    continue
+                session._cancelled_ids[qid] = "quarantined"
+                tenant = group.tenants[entry.fused_pos[i]]
+                tenant.outstanding -= 1
+                tenant.dead_letters += 1
+                entry.inflight -= 1
+                self._inflight -= 1
+            entry.quarantined = message
+            self._quarantined.append(entry)
+
+    def _drop_entry_pendings(self, lane: deque, entry: _SessionEntry) -> deque:
+        keep: deque[_Pending] = deque()
+        for p in lane:
+            if p.entry is entry:
+                self._drop_pending(p, reason="quarantined")
+            else:
+                keep.append(p)
+        return keep
+
+    def _abandon(self, entry: _SessionEntry) -> None:
+        """Release an abandoned session's outstanding walkers (dropped stream)."""
+        if entry.quarantined is not None:
+            return
+        session = entry.session
+        unfinished = [
+            q.query_id
+            for q in session._submitted
+            if q.query_id not in session._path_by_qid
+            and q.query_id not in session._cancelled_ids
+        ]
+        for qid in unfinished:
+            self._cancel_query(entry, qid, reason="abandoned")
 
     # ------------------------------------------------------------------ #
     # Admission: backpressure, fairness, mid-flight injection
@@ -512,9 +764,11 @@ class ServiceScheduler:
         make progress on it; and a tenant's outstanding (queued + in-flight)
         walkers may never exceed its quota, which is what bounds a single
         tenant's queue memory.  ``block_on_full`` turns both refusals into
-        blocking admission: supersteps run until completions free capacity.
+        blocking admission: supersteps run until completions free capacity
+        (bounded by ``block_timeout`` wall-clock seconds when set).
         """
         entry = self._entries[id(session)]
+        self._check_quarantined(entry)
         tenant = self._submit_tenant(entry, options)
         budget = self.max_inflight_walkers
         if tenant.quota is not None and count > tenant.quota:
@@ -530,6 +784,11 @@ class ServiceScheduler:
                 return False
             return True
 
+        give_up = (
+            None
+            if options.block_timeout is None
+            else time.monotonic() + options.block_timeout
+        )
         while not fits():
             if not options.block_on_full:
                 raise QueueFull(
@@ -538,6 +797,13 @@ class ServiceScheduler:
                     f"outstanding {tenant.outstanding}, quota {tenant.quota}); "
                     "submit with SubmitOptions(block_on_full=True) to wait, "
                     "or drain first"
+                )
+            if give_up is not None and time.monotonic() >= give_up:
+                raise QueueFull(
+                    f"blocking admission timed out after {options.block_timeout:g}s "
+                    f"({self._inflight} walkers still in flight, tenant "
+                    f"{tenant.name!r} outstanding {tenant.outstanding}, "
+                    f"quota {tenant.quota})"
                 )
             # Blocking admission: run supersteps until completions free
             # capacity.  Progress is guaranteed — walkers are in flight (or
@@ -571,6 +837,12 @@ class ServiceScheduler:
                 deadline_steps=options.deadline_steps,
             )
             self._seq += 1
+            if options.deadline_ticks is not None:
+                heapq.heappush(
+                    self._deadlines,
+                    (self._tick + options.deadline_ticks, pending.seq, entry,
+                     query.query_id),
+                )
             if options.priority > 0:
                 self._slo.append(pending)
             else:
@@ -694,6 +966,11 @@ class ServiceScheduler:
             group.sessions[gidx].session._aggregate.merge(fetch.totals())
         self._queued -= k
         self._inflight += k
+        # Admission grew the frontier, so the group's restore point no
+        # longer matches its state; a fresh (cost-free) boundary snapshot
+        # is taken before the next superstep runs.
+        if group.faults is not None:
+            group.checkpoint = None
 
     # ------------------------------------------------------------------ #
     # Superstep execution and exact per-session attribution
@@ -705,15 +982,14 @@ class ServiceScheduler:
         if group.gen is None:
             if run.frontier.active_indices().size == 0:
                 return 0
-            group.gen = iter_supersteps(
-                group.engine,
-                run.frontier,
-                run.streams,
-                run.per_query_ns,
-                group.aggregate,
-                group.usage,
-                track_finished=True,
-                run=run,
+            group.gen = self._group_gen(group)
+        faults = group.faults
+        if faults is not None and group.checkpoint is None:
+            # Admission boundary (or group birth): a cost-free snapshot,
+            # the fused analogue of the implicit initial checkpoint.
+            group.checkpoint = take_checkpoint(
+                group.ordinal - 1, run.frontier, run.pool, run.per_query_ns,
+                group.aggregate, group.usage,
             )
         try:
             report = next(group.gen)
@@ -721,7 +997,68 @@ class ServiceScheduler:
             group.gen = None
             return 0
         self._fold(group, report, participants)
+        if faults is not None:
+            self._recover_group(group, report)
+        group.ordinal += 1
         return report.steps
+
+    def _group_gen(self, group: _Group):
+        run = group.run
+        return iter_supersteps(
+            group.engine,
+            run.frontier,
+            run.streams,
+            run.per_query_ns,
+            group.aggregate,
+            group.usage,
+            track_finished=True,
+            run=run,
+        )
+
+    def _recover_group(self, group: _Group, report) -> None:
+        """Apply the fault plan at one fused superstep boundary.
+
+        The scheduler-fused counterpart of
+        :func:`~repro.runtime.faults.resilient_supersteps`: transient
+        faults are a pure (deterministic) time penalty; a permanent
+        device failure restores the group's checkpoint and silently
+        replays the lost supersteps *within this tick* — admissions only
+        land at tick boundaries, so replaying across ticks would let new
+        walkers join mid-replay and change the replayed supersteps.
+        Replayed supersteps regenerate bit-identical state, so the folds
+        already applied stay valid and only the replayed makespans are
+        charged to the recovery ledger.
+        """
+        run = group.run
+        faults = group.faults
+        ordinal = group.ordinal
+        superstep_ns = float(report.step_ns.max()) if report.step_ns.size else 0.0
+        faults.charge_transients(ordinal, superstep_ns)
+        dead = faults.fail_devices(ordinal)
+        if dead:
+            faults.charge_failure(dead, group.checkpoint)
+            restore_checkpoint(
+                group.checkpoint, run.frontier, run.pool, run.per_query_ns,
+                group.aggregate, group.usage,
+            )
+            group.gen = self._group_gen(group)
+            for replay_ordinal in range(group.checkpoint.ordinal + 1, ordinal + 1):
+                replay = next(group.gen)
+                faults.recovery_ns += (
+                    float(replay.step_ns.max()) if replay.step_ns.size else 0.0
+                )
+                if faults.checkpoint_due(replay_ordinal):
+                    group.checkpoint = take_checkpoint(
+                        replay_ordinal, run.frontier, run.pool, run.per_query_ns,
+                        group.aggregate, group.usage,
+                    )
+                    faults.charge_checkpoint(group.checkpoint.payload_bytes)
+        elif faults.checkpoint_due(ordinal):
+            group.checkpoint = take_checkpoint(
+                ordinal, run.frontier, run.pool, run.per_query_ns,
+                group.aggregate, group.usage,
+            )
+            faults.charge_checkpoint(group.checkpoint.payload_bytes)
 
     def _fold(
         self,
@@ -826,6 +1163,7 @@ class ServiceScheduler:
         flight (its admitted-so-far set is then exactly its submitted-so-far
         set, so submission order is recoverable).
         """
+        self._check_quarantined(entry)
         start, end = entry.flushed, len(entry.fused_pos)
         if start == end:
             return

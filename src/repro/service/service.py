@@ -353,6 +353,8 @@ class WalkService:
                 ghost_cache_bytes=plan.ghost_cache_bytes,
                 use_transition_cache=plan.use_transition_cache,
                 caches=self.engine_caches(spec),
+                checkpoint_interval=plan.checkpoint_interval,
+                fault_plan=config.fault_plan,
             )
         self._sessions_created += 1
         return WalkSession(
@@ -392,6 +394,7 @@ class WalkService:
         tenant_quotas: tuple[tuple[str, int], ...] | None = None,
         default_tenant: str = "default",
         record_admissions: bool = False,
+        shed_after_ticks: int | None = None,
     ) -> "ServiceScheduler":
         """Build a continuous-batching scheduler over this service.
 
@@ -418,6 +421,7 @@ class WalkService:
             ),
             default_tenant=default_tenant,
             record_admissions=record_admissions,
+            shed_after_ticks=shed_after_ticks,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -33,12 +33,12 @@ from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
-from repro.errors import ServiceError
+from repro.errors import DeadlineExceeded, ServiceError
 from repro.gpusim.counters import CostCounters, CounterBatch
 from repro.gpusim.executor import KernelExecutor
 from repro.rng.streams import StreamPool
@@ -49,6 +49,7 @@ from repro.runtime.frontier import (
     _partition_for_devices,
     iter_supersteps,
 )
+from repro.runtime.faults import resilient_supersteps
 from repro.runtime.scheduler import DynamicQueryQueue, validate_queries
 from repro.walks.state import WalkerFrontier, WalkQuery
 
@@ -81,18 +82,43 @@ class SubmitOptions:
         When the in-flight walker budget (or the tenant's quota) has no
         room, run scheduler supersteps until it does instead of raising
         :class:`~repro.errors.QueueFull`.
+    block_timeout:
+        Wall-clock seconds a ``block_on_full`` submission may spend
+        waiting for capacity before giving up with
+        :class:`~repro.errors.QueueFull` after all (``None`` = wait
+        forever).  Requires ``block_on_full=True``.
+    deadline_ticks:
+        Hard per-walker deadline: scheduler ticks after submission by
+        which each walk must *complete*.  Expired walks — queued or in
+        flight — are cancelled (releasing their budget) and the ticket's
+        :meth:`QueryTicket.paths` raises
+        :class:`~repro.errors.DeadlineExceeded`.  Contrast with
+        ``deadline_steps``, which is soft (it only promotes a queued
+        walker into the SLO lane).
     """
 
     priority: int = 0
     tenant: str | None = None
     deadline_steps: int | None = None
     block_on_full: bool = False
+    block_timeout: float | None = None
+    deadline_ticks: int | None = None
 
     def __post_init__(self) -> None:
         if self.priority < 0:
             raise ServiceError("submit priority must be non-negative")
         if self.deadline_steps is not None and self.deadline_steps < 1:
             raise ServiceError("deadline_steps must be at least 1 (or None)")
+        if self.block_timeout is not None:
+            if not self.block_on_full:
+                raise ServiceError(
+                    "block_timeout only bounds a blocking admission; "
+                    "set block_on_full=True alongside it"
+                )
+            if self.block_timeout < 0:
+                raise ServiceError("block_timeout must be non-negative (or None)")
+        if self.deadline_ticks is not None and self.deadline_ticks < 1:
+            raise ServiceError("deadline_ticks must be at least 1 (or None)")
 
 
 #: Shared default so plain ``submit(queries)`` allocates nothing extra.
@@ -165,7 +191,15 @@ class QueryTicket:
 
     @property
     def status(self) -> str:
-        """``"queued"`` (not yet claimed), ``"running"`` or ``"done"``."""
+        """``"queued"``, ``"running"``, ``"done"`` or ``"cancelled"``.
+
+        ``"cancelled"`` wins whenever *any* of the ticket's walks was
+        dropped before completing (explicit :meth:`cancel`, an expired
+        ``deadline_ticks``, load shedding, stream abandonment or a
+        quarantined fusion group).
+        """
+        if any(q in self._session._cancelled_ids for q in self.query_ids):
+            return "cancelled"
         done = sum(1 for q in self.query_ids if q in self._session._path_by_qid)
         if done == len(self.query_ids):
             return "done"
@@ -178,12 +212,49 @@ class QueryTicket:
     def done(self) -> bool:
         return self.status == "done"
 
+    def cancel(self) -> int:
+        """Cancel this ticket's unfinished walks, releasing their budget.
+
+        Queued walks leave the admission queues; in-flight walks are
+        terminated at the next superstep boundary.  Either way the
+        scheduler's in-flight budget and the tenant's quota headroom are
+        restored immediately and the tenant's ``dead_letters`` count
+        grows.  Returns the number of walks actually cancelled (walks
+        that already completed keep their results).  Only meaningful on
+        a scheduler-attached session — a standalone session executes its
+        queue synchronously, so there is nothing to cancel.
+        """
+        scheduler = self._session._scheduler
+        if scheduler is None:
+            raise ServiceError(
+                "cancel() requires a scheduler-attached session; a standalone "
+                "session has no admission queue to cancel from"
+            )
+        return scheduler._cancel_queries(
+            self._session, self.query_ids, reason="cancelled"
+        )
+
     def paths(self) -> list[list[int]]:
         """The completed walks of this ticket, in submission order.
 
-        Raises :class:`~repro.errors.ServiceError` while any of the
-        ticket's walks is still pending — stream or collect first.
+        Raises :class:`~repro.errors.DeadlineExceeded` if any of the
+        ticket's walks was dropped by a ``deadline_ticks`` expiry or by
+        load shedding, :class:`~repro.errors.ServiceError` if it was
+        cancelled another way or is still pending — stream or collect
+        first.
         """
+        session = self._session
+        dropped = [q for q in self.query_ids if q in session._cancelled_ids]
+        if dropped:
+            reasons = sorted({session._cancelled_ids[q] for q in dropped})
+            detail = (
+                f"ticket {self.ticket_id}: {len(dropped)} of its "
+                f"{len(self.query_ids)} walks were dropped before completing "
+                f"({', '.join(reasons)})"
+            )
+            if "deadline" in reasons or "shed" in reasons:
+                raise DeadlineExceeded(detail)
+            raise ServiceError(detail)
         if not self.done:
             raise ServiceError(
                 f"ticket {self.ticket_id} is {self.status}; "
@@ -197,7 +268,7 @@ class _Wave:
 
     __slots__ = (
         "queries", "offset", "per_ns", "counts", "frontier", "iterator",
-        "pool", "pos", "steps_done",
+        "faults", "pool", "pos", "steps_done",
     )
 
     def __init__(self, queries: list[WalkQuery], offset: int) -> None:
@@ -208,6 +279,10 @@ class _Wave:
         # Batched backend: a live superstep generator over `frontier`.
         self.frontier: WalkerFrontier | None = None
         self.iterator = None
+        # Fault-tolerant plans: the wave's FaultRuntime (None when the plan
+        # negotiated neither fault injection nor checkpointing).  When set,
+        # `iterator` yields (ordinal, report, replayed) triples.
+        self.faults = None
         # Scalar backend: the wave's stream pool and a query cursor.
         self.pool: StreamPool | None = None
         self.pos = 0
@@ -262,6 +337,10 @@ class WalkSession:
         self._claimed_ids: set[int] = set()
         self._tickets: list[QueryTicket] = []
         self._path_by_qid: dict[int, list[int]] = {}
+        # Walks dropped before completing, qid -> reason ("cancelled",
+        # "deadline", "shed", "abandoned" or "quarantined").  Only the
+        # scheduler cancels; a standalone session never populates this.
+        self._cancelled_ids: dict[int, str] = {}
 
         # Finalised accounting, one entry per executed wave (concatenated at
         # collect time, in submission order).  The per-query counter matrix
@@ -292,6 +371,12 @@ class WalkSession:
         self._chunks_emitted = 0
         self._exec_seconds = 0.0
         self._wave: _Wave | None = None
+        # Fault-tolerance ledger, folded from each finalised wave's
+        # FaultRuntime (a scheduler-attached session's ledger instead lives
+        # on its fusion group; see ServiceScheduler.recovery_time_ns).
+        self._recovery_ns = 0.0
+        self._checkpoints_taken = 0
+        self._degraded: set[int] = set()
 
         # Queue-delay bookkeeping surfaced through WalkChunk: the superstep
         # ordinal each query was submitted at and first claimed at.  On a
@@ -531,11 +616,24 @@ class WalkSession:
             partition_policy = self.plan.partition_policy
         else:
             kernel = executor.execute(
-                per_query_ns, counters=aggregate, scheduling=engine.scheduling
+                per_query_ns,
+                counters=aggregate,
+                scheduling=engine.scheduling,
+                recovery_ns=self._recovery_ns,
             )
             device_kernels = []
             num_devices = 1
             partition_policy = None
+        if self._recovery_ns and num_devices > 1:
+            # Multi-device kernels are merged from per-device schedules that
+            # know nothing of the recovery ledger; recovery serialises after
+            # everything (a restore cannot overlap the work it redoes), so
+            # it lands on the merged kernel directly.
+            kernel = replace(
+                kernel,
+                time_ns=kernel.time_ns + self._recovery_ns,
+                recovery_ns=kernel.recovery_ns + self._recovery_ns,
+            )
 
         result = WalkRunResult(
             paths=[list(p) for p in self._paths],
@@ -566,6 +664,9 @@ class WalkSession:
             migration_batches=(
                 self._shard_acct.migration_batches if self._sharded else 0
             ),
+            degraded_devices=tuple(sorted(self._degraded)),
+            recovery_time_ns=self._recovery_ns,
+            checkpoints_taken=self._checkpoints_taken,
         )
         result.wall_clock_s = self._exec_seconds
         return result
@@ -607,9 +708,23 @@ class WalkSession:
             wave.frontier = WalkerFrontier(queries)
             pool = StreamPool(engine.seed)
             streams = pool.batch([q.query_id for q in queries])
-            wave.iterator = iter_supersteps(
-                engine, wave.frontier, streams, wave.per_ns, self._aggregate, self._usage
-            )
+            wave.faults = engine._fault_runtime(num_devices=self.plan.num_devices)
+            if wave.faults is None:
+                wave.iterator = iter_supersteps(
+                    engine, wave.frontier, streams, wave.per_ns,
+                    self._aggregate, self._usage,
+                )
+            else:
+                # Fault-tolerant wave: same superstep loop wrapped in the
+                # recovery protocol (checkpoints every plan interval,
+                # transient retries, restore-and-replay after a device
+                # failure).  The plan's superstep ordinals restart per wave
+                # — each wave is an independent run of the fault schedule.
+                wave.iterator = resilient_supersteps(
+                    engine, wave.faults, wave.frontier, pool, streams,
+                    wave.per_ns, self._aggregate, self._usage,
+                    track_finished=True,
+                )
         else:
             # Scalar backend: the wave is interpreted one query at a time;
             # per_ns already holds each query's fetch cost, which
@@ -633,11 +748,23 @@ class WalkSession:
         wave = self._wave
         started = time.perf_counter()
         try:
-            report = next(wave.iterator)
+            item = next(wave.iterator)
         except StopIteration:
             self._finalize_wave()
             self._exec_seconds += time.perf_counter() - started
             return None
+        if wave.faults is not None:
+            _, report, replayed = item
+            if replayed:
+                # Bit-identical re-execution after a restore: the first
+                # pass already accounted this superstep (shard ledger,
+                # per-walker counts, emitted chunks), so only the replay
+                # makespan — charged to the recovery ledger inside
+                # resilient_supersteps — is new.
+                self._exec_seconds += time.perf_counter() - started
+                return None
+        else:
+            report = item
 
         if self._sharded:
             self._shard_acct.observe(
@@ -731,4 +858,8 @@ class WalkSession:
             for name in CostCounters._COUNT_FIELDS:
                 self._count_chunks[name].append(wave.counts[name])
         self._executed += len(wave.queries)
+        if wave.faults is not None:
+            self._recovery_ns += wave.faults.recovery_ns
+            self._checkpoints_taken += wave.faults.checkpoints_taken
+            self._degraded.update(wave.faults.degraded)
         self._wave = None

@@ -81,6 +81,30 @@ class WalkerState:
         return len(self.path) - 1
 
 
+@dataclass
+class FrontierSnapshot:
+    """A decoupled copy of a :class:`WalkerFrontier`'s mutable state.
+
+    Produced by :meth:`WalkerFrontier.snapshot` and consumed by
+    :meth:`WalkerFrontier.restore`; every array is a private copy, so one
+    snapshot survives any number of restores.
+    """
+
+    queries: list[WalkQuery]
+    max_lengths: np.ndarray
+    current: np.ndarray
+    prev: np.ndarray
+    steps: np.ndarray
+    alive: np.ndarray
+    path_buf: np.ndarray
+    path_len: np.ndarray
+    states: list["WalkerState | None"]
+
+    @property
+    def num_walkers(self) -> int:
+        return len(self.queries)
+
+
 class WalkerFrontier:
     """Array-form (structure-of-arrays) state of a batch of walkers.
 
@@ -175,6 +199,77 @@ class WalkerFrontier:
         self.steps[indices] += 1
         self.path_buf[indices, self.steps[indices]] = next_nodes
         self.path_len[indices] += 1
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> "FrontierSnapshot":
+        """Deep copy of every mutable per-walker field.
+
+        The checkpoint half of the fault-tolerance story
+        (:mod:`repro.runtime.faults`): the returned snapshot is fully
+        decoupled from the live frontier, so it can be restored any number
+        of times.  Materialised :class:`WalkerState` objects are copied too
+        — :meth:`state_view`'s lazy replay only calls ``advance``, never the
+        workload's ``update``, so spec-mutated ``params`` (e.g. the MetaPath
+        schema position) would otherwise be unrecoverable.
+        """
+        states = [
+            None
+            if s is None
+            else WalkerState(
+                query=s.query,
+                current_node=s.current_node,
+                prev_node=s.prev_node,
+                step=s.step,
+                path=list(s.path),
+                params=dict(s.params),
+            )
+            for s in self._states
+        ]
+        return FrontierSnapshot(
+            queries=list(self.queries),
+            max_lengths=self.max_lengths.copy(),
+            current=self.current.copy(),
+            prev=self.prev.copy(),
+            steps=self.steps.copy(),
+            alive=self.alive.copy(),
+            path_buf=self.path_buf.copy(),
+            path_len=self.path_len.copy(),
+            states=states,
+        )
+
+    def restore(self, snap: "FrontierSnapshot") -> None:
+        """Rewind the frontier to a :meth:`snapshot`.
+
+        The snapshot must cover exactly the walkers the frontier currently
+        holds — recovery policies checkpoint after every admission precisely
+        so a restore never has to truncate live walkers.
+        """
+        if len(snap.queries) != len(self.queries):
+            raise WalkSpecError(
+                f"snapshot covers {len(snap.queries)} walkers but the frontier "
+                f"holds {len(self.queries)}; checkpoint after admissions"
+            )
+        self.queries = list(snap.queries)
+        self.max_lengths = snap.max_lengths.copy()
+        self.current = snap.current.copy()
+        self.prev = snap.prev.copy()
+        self.steps = snap.steps.copy()
+        self.alive = snap.alive.copy()
+        self.path_buf = snap.path_buf.copy()
+        self.path_len = snap.path_len.copy()
+        self._states = [
+            None
+            if s is None
+            else WalkerState(
+                query=s.query,
+                current_node=s.current_node,
+                prev_node=s.prev_node,
+                step=s.step,
+                path=list(s.path),
+                params=dict(s.params),
+            )
+            for s in snap.states
+        ]
 
     # ------------------------------------------------------------------ #
     def state_view(self, index: int) -> WalkerState:

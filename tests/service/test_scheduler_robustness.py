@@ -1,0 +1,238 @@
+"""Scheduler-level robustness: cancellation, deadlines, shedding, quarantine.
+
+The continuous-batching scheduler must stay serviceable when individual
+queries are cancelled, miss deadlines, are abandoned mid-stream, or when a
+tenant's walk spec is actively crashing: budget is released, dead letters
+are accounted per tenant, poisoned fusion groups are quarantined without
+taking healthy tenants down, and fault-tolerant execution under the
+scheduler stays bit-identical to the fault-free run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import FlexiWalkerConfig
+from repro.errors import DeadlineExceeded, QueueFull, ServiceError
+from repro.gpusim.counters import CostCounters
+from repro.gpusim.device import A6000
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.weights import uniform_weights
+from repro.runtime.faults import DeviceFailure, FaultPlan, TransientFault
+from repro.service import DeviceFleet, WalkService
+from repro.service.session import SubmitOptions
+from repro.walks.deepwalk import DeepWalkSpec
+from repro.walks.state import WalkQuery
+
+DEVICE = dataclasses.replace(A6000, parallel_lanes=8)
+GRAPH = barabasi_albert_graph(40, 3, seed=5, name="robustness-test")
+GRAPH = GRAPH.with_weights(uniform_weights(GRAPH, seed=5))
+CONFIG = FlexiWalkerConfig(device=DEVICE, seed=3)
+
+
+def queries(n, start=0, length=8):
+    return [
+        WalkQuery(
+            query_id=start + i,
+            start_node=(start + i) % GRAPH.num_nodes,
+            max_length=length,
+        )
+        for i in range(n)
+    ]
+
+
+def service():
+    return WalkService(GRAPH, fleet=DeviceFleet(DEVICE))
+
+
+class PoisonSpec(DeepWalkSpec):
+    """Dynamic spec whose batch update starts crashing after two calls."""
+
+    name = "poison"
+    is_dynamic = True
+    calls = 0
+
+    def update_batch(self, graph, frontier, indices, next_nodes):
+        PoisonSpec.calls += 1
+        if PoisonSpec.calls > 2:
+            raise ValueError("boom")
+        return super().update_batch(graph, frontier, indices, next_nodes)
+
+
+class TestCancellation:
+    def test_cancel_releases_queued_and_inflight(self):
+        scheduler = service().scheduler(max_inflight_walkers=4)
+        session = scheduler.session(DeepWalkSpec(), CONFIG, tenant="a")
+        kept = session.submit(queries(3))
+        scheduler.tick()
+        doomed = session.submit(queries(6, start=100))  # part queued, part in flight
+        cancelled = doomed.cancel()
+        assert cancelled == 6
+        assert doomed.status == "cancelled"
+        with pytest.raises(ServiceError):
+            doomed.paths()
+
+        # The survivors still finish, and the ledger balances out.
+        scheduler.run_until_idle(max_ticks=500)
+        assert kept.done
+        assert len(kept.paths()) == 3
+        stats = scheduler.tenant_stats()["a"]
+        assert stats.dead_letters == cancelled
+        assert stats.inflight == 0
+        assert stats.queued == 0
+        assert scheduler.pending == 0
+        assert len(session.collect().paths) == 3
+
+    def test_cancel_is_idempotent(self):
+        scheduler = service().scheduler()
+        session = scheduler.session(DeepWalkSpec(), CONFIG)
+        ticket = session.submit(queries(2))
+        assert ticket.cancel() == 2
+        assert ticket.cancel() == 0
+
+
+class TestDeadlines:
+    def test_deadline_ticks_expires_queued_walks(self):
+        scheduler = service().scheduler(max_inflight_walkers=2)
+        session = scheduler.session(DeepWalkSpec(), CONFIG)
+        fast = session.submit(queries(2))
+        slow = session.submit(queries(4, start=50), options=SubmitOptions(deadline_ticks=2))
+        scheduler.run_until_idle(max_ticks=500)
+        assert fast.done
+        assert slow.status == "cancelled"
+        with pytest.raises(DeadlineExceeded):
+            slow.paths()
+
+    def test_shed_after_ticks_cancels_stale_queue(self):
+        scheduler = service().scheduler(max_inflight_walkers=2, shed_after_ticks=3)
+        session = scheduler.session(DeepWalkSpec(), CONFIG)
+        session.submit(queries(2, length=30))  # hogs the full budget for a while
+        stale = session.submit(queries(4, start=20, length=30))
+        for _ in range(6):
+            scheduler.tick()
+        assert stale.status == "cancelled"
+        with pytest.raises(DeadlineExceeded):
+            stale.paths()
+        scheduler.run_until_idle(max_ticks=500)
+
+
+class TestBlockingAdmission:
+    def test_block_timeout_zero_raises_queue_full(self):
+        scheduler = service().scheduler(max_inflight_walkers=2)
+        session = scheduler.session(DeepWalkSpec(), CONFIG)
+        session.submit(queries(2, length=200))
+        scheduler.tick()
+        with pytest.raises(QueueFull, match="timed out"):
+            session.submit(
+                queries(2, start=10, length=200),
+                options=SubmitOptions(block_on_full=True, block_timeout=0.0),
+            )
+
+    def test_generous_timeout_admits_once_budget_frees(self):
+        scheduler = service().scheduler(max_inflight_walkers=2)
+        session = scheduler.session(DeepWalkSpec(), CONFIG)
+        session.submit(queries(2, length=4))
+        scheduler.tick()
+        ticket = session.submit(
+            queries(2, start=10, length=4),
+            options=SubmitOptions(block_on_full=True, block_timeout=30.0),
+        )
+        scheduler.run_until_idle(max_ticks=500)
+        assert ticket.done
+
+
+class TestAbandonment:
+    def test_closed_stream_releases_budget(self):
+        scheduler = service().scheduler(max_inflight_walkers=4)
+        abandoner = scheduler.session(DeepWalkSpec(), CONFIG, tenant="x")
+        # One short walk so the stream yields an early chunk while the long
+        # walkers are still mid-flight, then the consumer walks away.
+        abandoner.submit(queries(1, length=3) + queries(3, start=1, length=30))
+        iterator = abandoner.stream()
+        next(iterator)
+        assert scheduler.inflight > 0
+        iterator.close()
+        assert scheduler.inflight == 0
+        assert scheduler.queued == 0
+
+        # A second tenant gets the freed headroom and completes normally.
+        newcomer = scheduler.session(DeepWalkSpec(), CONFIG, tenant="y")
+        ticket = newcomer.submit(queries(4, start=200, length=5))
+        scheduler.run_until_idle(max_ticks=500)
+        assert ticket.done
+
+
+class TestQuarantine:
+    def test_poisoned_group_is_quarantined_without_collateral(self):
+        PoisonSpec.calls = 0
+        scheduler = service().scheduler()
+        bad = scheduler.session(PoisonSpec(), CONFIG, tenant="bad")
+        good = scheduler.session(DeepWalkSpec(), CONFIG, tenant="good")
+        bad_ticket = bad.submit(queries(3, length=8))
+        good_ticket = good.submit(queries(3, start=60, length=8))
+        scheduler.run_until_idle(max_ticks=500)
+
+        assert len(scheduler.quarantined) == 1
+        assert bad_ticket.status == "cancelled"
+        assert scheduler.tenant_stats()["bad"].dead_letters == 3
+        with pytest.raises(ServiceError):
+            bad.collect()
+
+        # The healthy tenant never noticed.
+        assert good_ticket.done
+        assert len(good.collect().paths) == 3
+
+
+class TestSchedulerFaultParity:
+    def test_faulty_fused_run_is_bit_identical(self):
+        plan = FaultPlan(
+            seed=7,
+            device_failures=(DeviceFailure(superstep=3),),
+            transient_faults=(TransientFault(superstep=1),),
+        )
+
+        def run(config):
+            scheduler = service().scheduler()
+            session = scheduler.session(DeepWalkSpec(), config)
+            session.submit(queries(5, length=10))
+            for _ in range(4):
+                scheduler.tick()
+            session.submit(queries(5, start=40, length=10))  # mid-run admission
+            scheduler.run_until_idle(max_ticks=500)
+            return session.collect(), scheduler
+
+        plain, _ = run(CONFIG)
+        faulty, scheduler = run(
+            dataclasses.replace(CONFIG, fault_plan=plan, checkpoint_interval=2)
+        )
+        assert faulty.paths == plain.paths
+        assert np.array_equal(faulty.per_query_ns, plain.per_query_ns)
+        for name in CostCounters._COUNT_FIELDS:
+            assert getattr(faulty.counters, name) == getattr(plain.counters, name)
+        assert faulty.total_steps == plain.total_steps
+        assert scheduler.recovery_time_ns > 0
+        assert scheduler.checkpoints_taken > 0
+        assert scheduler.degraded_devices == (0,)
+
+    def test_plain_session_surfaces_recovery_fields(self):
+        svc = service()
+        config = dataclasses.replace(
+            CONFIG,
+            fault_plan=FaultPlan(
+                seed=4, device_failures=(DeviceFailure(superstep=4),)
+            ),
+            checkpoint_interval=2,
+        )
+        session = svc.session(DeepWalkSpec(), config)
+        session.submit(queries(6, length=10))
+        result = session.collect()
+        assert result.degraded_devices == (0,)
+        assert result.recovery_time_ns > 0
+        assert result.checkpoints_taken > 0
+
+        reference = svc.session(DeepWalkSpec(), FlexiWalkerConfig(device=DEVICE, seed=3))
+        reference.submit(queries(6, length=10))
+        assert result.paths == reference.collect().paths
