@@ -63,6 +63,13 @@ GHOST_BUDGET_FRACTION = 2  # per-shard budget = footprint // this
 #: the one at the runtime's default interval.
 RECOVERY_INTERVALS = (2, 4, 8, 16)
 
+#: The dynamic-graph entry: deltas applied between successive walk waves at
+#: each update rate of the sweep (0 = the static reference), the number of
+#: walk waves per rate, and the (+additions, -removals) shape of one delta.
+DELTA_RATES = (0, 2, 8)
+DELTA_WAVES = 3
+DELTA_CHANGES = (24, 8)
+
 #: The serving entry: session counts of the continuous-batching load sweep
 #: (at least three scales so the trajectory shows how fused throughput and
 #: tail latency react to load), plus the fixed per-session shape and the
@@ -322,6 +329,133 @@ def bench_recovery(graph, walk_length: int) -> dict[str, object]:
     return entry
 
 
+def bench_delta(graph, walk_length: int, repeats: int) -> dict[str, object]:
+    """Dynamic-graph entry: walk throughput vs streaming-update rate.
+
+    Sweeps the delta-CSR overlay's update rate — ``DELTA_RATES`` deltas of
+    ``DELTA_CHANGES`` edges applied between successive walk waves on one
+    live :class:`~repro.service.WalkService` — and reports steps-per-second
+    at each rate plus edges-applied-per-second at the top rate.  The
+    headline ``delta_slowdown`` (gated by ``--max-delta-slowdown``) is the
+    static-rate throughput over the top-rate throughput: everything the
+    versioned-invalidation machinery costs per update — overlay
+    maintenance, CSR cache repair, per-workload recompilation and scoped
+    cache migration — lands in that ratio.  ``speedup`` is its reciprocal
+    so the generic floor applies.
+
+    ``simulated_time_parity`` here is the compaction-identity contract: a
+    session opened at the final version of the swept (mutated) service must
+    collect bit-identically — paths, per-query base times, simulated time —
+    to a session on a *fresh* service built from the merged edge list.
+    """
+    from repro.graph.builders import from_edge_list
+    from repro.graph.delta import DeltaCSRGraph
+
+    spec_factory = WORKLOADS["deepwalk"][0]
+    config = FlexiWalkerConfig()
+    num_queries = graph.num_nodes
+    adds, rems = DELTA_CHANGES
+
+    def one_sweep(rate: int):
+        """Fresh dynamic service, DELTA_WAVES waves at the given rate."""
+        service = WalkService(DeltaCSRGraph(graph))
+        rng = np.random.default_rng(17)
+
+        def wave(seed: int):
+            session = service.session(spec_factory(), config)
+            session.submit(make_queries(graph.num_nodes, walk_length=walk_length,
+                                        num_queries=num_queries, seed=seed))
+            result = session.collect()
+            session.close()
+            return result
+
+        wave(0)  # warm-up (profile, hint tables, transition cache)
+        steps = 0
+        edges_changed = 0
+        started = time.perf_counter()
+        for index in range(DELTA_WAVES):
+            for _ in range(rate):
+                dynamic = service.dynamic_graph
+                cand = rng.integers(0, graph.num_nodes, size=(10 * adds, 2))
+                fresh = np.unique(
+                    cand[~dynamic.has_edges(cand[:, 0], cand[:, 1])], axis=0
+                )[:adds]
+                live = dynamic.edge_list()[0]
+                removals = np.unique(
+                    live[rng.choice(live.shape[0], rems, replace=False)], axis=0
+                )
+                labels = (rng.integers(0, int(graph.labels.max()) + 1,
+                                       size=len(fresh))
+                          if graph.labels is not None else None)
+                service.apply_delta(fresh, removals,
+                                    weights=rng.random(len(fresh)),
+                                    labels=labels)
+                edges_changed += len(fresh) + len(removals)
+            steps += wave(1 + index).total_steps
+        elapsed = time.perf_counter() - started
+        return {
+            "wall_clock_s": elapsed,
+            "steps_per_s": steps / elapsed,
+            "total_steps": steps,
+            "edges_changed": edges_changed,
+            "edges_per_s": edges_changed / elapsed,
+        }, service
+
+    best: dict[int, dict] = {}
+    final_service = None
+    with no_gc():
+        for _ in range(repeats):
+            for rate in DELTA_RATES:
+                measured, service = one_sweep(rate)
+                if rate not in best or measured["wall_clock_s"] < best[rate]["wall_clock_s"]:
+                    best[rate] = measured
+                    if rate == DELTA_RATES[-1]:
+                        final_service = service
+    entry: dict[str, object] = {
+        "workload": "delta",
+        "walk_length": walk_length,
+        "num_queries": num_queries,
+        "waves": DELTA_WAVES,
+        "delta_changes": list(DELTA_CHANGES),
+        "rates": {},
+    }
+    for rate in DELTA_RATES:
+        entry["rates"][str(rate)] = best[rate]
+        print(f"  {'delta':>9} rate {rate:>2}: {best[rate]['wall_clock_s']:.3f}s wall, "
+              f"{best[rate]['steps_per_s']:,.0f} steps/s, "
+              f"{best[rate]['edges_per_s']:,.0f} edges applied/s")
+    slowdown = (best[DELTA_RATES[0]]["steps_per_s"]
+                / best[DELTA_RATES[-1]]["steps_per_s"])
+    entry["delta_slowdown"] = slowdown
+    entry["speedup"] = 1.0 / max(slowdown, 1e-9)
+    entry["edges_per_s"] = best[DELTA_RATES[-1]]["edges_per_s"]
+
+    # Compaction-identity parity on the mutated service from the top rate.
+    def run_session(service):
+        session = service.session(spec_factory(), config)
+        session.submit(make_queries(service.graph.num_nodes,
+                                    walk_length=walk_length,
+                                    num_queries=num_queries, seed=99))
+        result = session.collect()
+        session.close()
+        return result
+
+    mutated = run_session(final_service)
+    edges, weights, labels = final_service.dynamic_graph.edge_list()
+    rebuilt = from_edge_list(edges, num_nodes=graph.num_nodes, weights=weights,
+                             labels=labels, name=graph.name)
+    reference = run_session(WalkService(rebuilt))
+    entry["simulated_time_parity"] = bool(
+        mutated.paths == reference.paths
+        and np.array_equal(mutated.per_query_ns, reference.per_query_ns)
+        and mutated.time_ms == reference.time_ms
+    )
+    print(f"  {'delta':>9} headline: {slowdown:.2f}x slowdown at "
+          f"{DELTA_RATES[-1]} deltas/wave vs static "
+          f"(fresh-build parity: {entry['simulated_time_parity']})")
+    return entry
+
+
 def _load_generator():
     """The examples/load_generator.py module (the serving entry's driver)."""
     import importlib.util
@@ -462,6 +596,8 @@ def main() -> int:
                         help="skip the continuous-batching serving entry")
     parser.add_argument("--skip-recovery", action="store_true",
                         help="skip the fault-tolerance checkpoint-overhead entry")
+    parser.add_argument("--skip-delta", action="store_true",
+                        help="skip the dynamic-graph update-rate entry")
     parser.add_argument(
         "--output", default=str(REPO_ROOT / "BENCH_engine.json"),
         help="where to write the JSON report",
@@ -487,6 +623,8 @@ def main() -> int:
         report["entries"]["serving"] = bench_serving(graph, args.repeats)
     if not args.skip_recovery:
         report["entries"]["recovery"] = bench_recovery(graph, args.walk_length)
+    if not args.skip_delta:
+        report["entries"]["delta"] = bench_delta(graph, args.walk_length, args.repeats)
 
     parity = all(e["simulated_time_parity"] for e in report["entries"].values())
     if QUICKSTART in report["entries"]:

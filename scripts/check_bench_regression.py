@@ -29,6 +29,14 @@ runtime's default interval may not exceed ``--max-recovery-overhead``
 workload — so exceeding the ceiling always means the checkpoint cost model
 or the checkpoint cadence actually changed, never host noise.
 
+Entries that report a ``delta_slowdown`` (the dynamic-graph entry) are gated
+on an *absolute* ceiling: walk throughput at the top streaming-update rate
+may not fall below ``1/--max-delta-slowdown`` of the static-rate throughput.
+The ratio is measured host wall clock, but both sides of it come from the
+same interleaved sweep, so exceeding the ceiling means the per-update work —
+overlay maintenance, CSR cache repair, recompilation, scoped cache
+migration — actually grew, not that the host got slower overall.
+
 Both the multi-entry schema (``schema_version >= 2``: per-workload entries
 under ``"entries"``) and the legacy single-entry schema (one top-level
 ``speedup``) are understood, so the gate keeps working across baseline
@@ -80,6 +88,9 @@ def entry_extras(entry: dict) -> str:
     overhead = entry.get("recovery_overhead")
     if isinstance(overhead, (int, float)):
         return f", checkpoint overhead {overhead:+.1%}"
+    slowdown = entry.get("delta_slowdown")
+    if isinstance(slowdown, (int, float)):
+        return f", update slowdown {slowdown:.2f}x"
     return ""
 
 
@@ -101,6 +112,10 @@ def main() -> int:
                         help="absolute ceiling on the modeled checkpoint overhead "
                              "at the default interval for recovery entries "
                              "(default: 0.10)")
+    parser.add_argument("--max-delta-slowdown", type=float, default=2.5,
+                        help="absolute ceiling on the top-update-rate walk "
+                             "throughput slowdown for dynamic-graph entries "
+                             "(default: 2.5)")
     args = parser.parse_args()
     if not 0 <= args.max_drop < 1:
         parser.error("--max-drop must be in [0, 1)")
@@ -110,6 +125,8 @@ def main() -> int:
         parser.error("--max-p99-rise must be non-negative")
     if args.max_recovery_overhead < 0:
         parser.error("--max-recovery-overhead must be non-negative")
+    if args.max_delta_slowdown <= 0:
+        parser.error("--max-delta-slowdown must be positive")
 
     baseline = load_entries(args.baseline)
     current = load_entries(args.current)
@@ -125,6 +142,18 @@ def main() -> int:
             print(f"FAIL [{name}]: modeled checkpoint overhead at the default "
                   f"interval is {overhead:.1%}, above the "
                   f"{args.max_recovery_overhead:.0%} ceiling")
+            return True
+        return False
+
+    def delta_exceeded(name: str, entry: dict) -> bool:
+        """Absolute streaming-update slowdown ceiling (baseline-independent)."""
+        slowdown = entry.get("delta_slowdown")
+        if not isinstance(slowdown, (int, float)):
+            return False
+        if slowdown > args.max_delta_slowdown:
+            print(f"FAIL [{name}]: walk throughput at the top update rate is "
+                  f"{slowdown:.2f}x slower than static, above the "
+                  f"{args.max_delta_slowdown:.2f}x ceiling")
             return True
         return False
     for name, base_entry in sorted(baseline.items()):
@@ -169,6 +198,8 @@ def main() -> int:
                 failed = True
         if recovery_exceeded(name, cur_entry):
             failed = True
+        if delta_exceeded(name, cur_entry):
+            failed = True
     # Entries the baseline does not know yet (a freshly added workload) have
     # no speedup floor, but the parity backstop still applies to them — a
     # simulation-equivalence break must never ride in on a new entry.
@@ -179,7 +210,7 @@ def main() -> int:
             print(f"FAIL [{name}]: new entry lost scalar/batched simulated-time "
                   f"parity (no baseline yet, parity still required)")
             failed = True
-        elif recovery_exceeded(name, cur_entry):
+        elif recovery_exceeded(name, cur_entry) or delta_exceeded(name, cur_entry):
             failed = True
         else:
             cur = entry_speedup(args.current, name, cur_entry)

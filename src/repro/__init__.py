@@ -35,6 +35,8 @@ from repro.core.config import FlexiWalkerConfig
 from repro.core.flexiwalker import FlexiWalker
 from repro.core.results import summarize_run
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import DeltaCSRGraph, GraphDelta
+from repro.graph.invalidation import DeltaInvalidation, graph_version
 from repro.graph.sharded import (
     SHARD_POLICIES,
     GhostNodeCache,
@@ -84,7 +86,7 @@ from repro.walks.second_order_pr import SecondOrderPRSpec
 from repro.walks.spec import UniformWalkSpec, WalkSpec
 from repro.walks.state import WalkerState, WalkQuery, make_queries
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # Serving API (the supported entry point)
@@ -141,8 +143,12 @@ __all__ = [
     "BaselineSystem",
     "ExperimentConfig",
     "SystemRun",
-    # Graphs
+    # Graphs (DeltaCSRGraph/GraphDelta: the dynamic-graph overlay subsystem)
     "CSRGraph",
+    "DeltaCSRGraph",
+    "GraphDelta",
+    "DeltaInvalidation",
+    "graph_version",
     "ShardedCSRGraph",
     "GraphShard",
     "GhostNodeCache",

@@ -7,6 +7,13 @@ weights and edge labels).
 """
 
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import DeltaCSRGraph, GraphDelta
+from repro.graph.invalidation import (
+    DeltaInvalidation,
+    graph_version,
+    invalidation_for,
+    repair_csr_caches,
+)
 from repro.graph.sharded import (
     SHARD_POLICIES,
     GhostNodeCache,
@@ -37,6 +44,12 @@ from repro.graph.io import read_edge_list, write_edge_list, save_csr_npz, load_c
 
 __all__ = [
     "CSRGraph",
+    "DeltaCSRGraph",
+    "GraphDelta",
+    "DeltaInvalidation",
+    "graph_version",
+    "invalidation_for",
+    "repair_csr_caches",
     "ShardedCSRGraph",
     "GraphShard",
     "GhostNodeCache",

@@ -287,6 +287,34 @@ class ShardedCSRGraph:
             owner_map=self.owner_map,
         )
 
+    def rebind(self, new_graph: CSRGraph, touched_nodes: np.ndarray) -> "ShardedCSRGraph":
+        """Re-own only the touched nodes of a graph delta (scoped rebuild).
+
+        The versioned invalidation contract for sharded decompositions
+        (:mod:`repro.graph.invalidation`): the node→shard ``owner_map`` is
+        kept — delta edges are attributed to the current owners — so only
+        shards owning at least one touched node are re-sliced against the
+        new snapshot.  Every other shard is reused *by object identity*; its
+        edge arrays still view the old snapshot's (immutable) storage, whose
+        content is bit-identical for untouched nodes.  Returns a new
+        decomposition bound to ``new_graph``; cached edge-ownership
+        aggregates are reset (removals/additions can change them even for
+        reused shards' totals).
+        """
+        touched = np.asarray(touched_nodes, dtype=np.int64)
+        affected = set(np.unique(self.owner_map[touched]).tolist()) if touched.size else set()
+        clone = ShardedCSRGraph.__new__(ShardedCSRGraph)
+        clone.graph = new_graph
+        clone.policy = self.policy
+        clone.owner_map = self.owner_map
+        clone.shards = [
+            clone._slice_shard(s.shard_id, s.nodes) if s.shard_id in affected else s
+            for s in self.shards
+        ]
+        clone._edge_counts = None
+        clone._remote_edges = None
+        return clone
+
     # ------------------------------------------------------------------ #
     @property
     def num_shards(self) -> int:

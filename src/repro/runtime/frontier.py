@@ -77,6 +77,26 @@ class NodeHintTables:
         self.sums = np.full(n, np.nan, dtype=np.float64)
         self._computed = np.zeros(n, dtype=bool)
 
+    def rebind(self, graph, touched_nodes: np.ndarray, compiled=None) -> None:
+        """Scoped invalidation contract: follow a graph delta in place.
+
+        Called by the versioned invalidation layer
+        (:mod:`repro.graph.invalidation`).  The per-node arrays are
+        fixed-size, so the repair is a pure scoped clear: touched rows go
+        back to "not computed" and refill lazily; untouched rows — and the
+        ``bounds`` / ``sums`` arrays themselves — keep their object identity.
+        ``compiled`` must be the new version's compiled workload whenever the
+        workload preprocesses the graph (its per-node aggregates are
+        graph-derived); ``None`` keeps the current one.
+        """
+        touched = np.asarray(touched_nodes, dtype=np.int64)
+        self._graph = graph
+        if compiled is not None:
+            self._compiled = compiled
+        self.bounds[touched] = np.nan
+        self.sums[touched] = np.nan
+        self._computed[touched] = False
+
     def lookup(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Hints for the given nodes, evaluating missing entries on demand."""
         pending = np.unique(nodes[~self._computed[nodes]])

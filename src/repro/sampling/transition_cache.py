@@ -105,6 +105,68 @@ class TransitionCache:
         self._have_weights[pending] = True
         self.weight_fills += int(pending.size)
 
+    # ------------------------------------------------------------------ #
+    # Versioned invalidation (dynamic graphs)
+    # ------------------------------------------------------------------ #
+    def rebind(self, new_graph: CSRGraph, touched_nodes: np.ndarray) -> None:
+        """Scoped invalidation contract: carry untouched nodes to a new CSR.
+
+        Called by the versioned invalidation layer
+        (:mod:`repro.graph.invalidation`) when a graph delta produces a new
+        compacted snapshot.  The edge-parallel arrays are remapped onto the
+        new CSR layout: every node outside ``touched_nodes`` has an
+        identical adjacency slice in both snapshots (same degree, same
+        content — the delta did not touch it), so its materialised weights /
+        CDF / alias entries are scatter-copied to their new positions and
+        its ``have``-flags survive.  Touched nodes are cleared and refill
+        lazily on their next visit.  The cache *object* (and its per-node
+        mask/total arrays) keeps its identity, so every engine and session
+        sharing it through :class:`~repro.runtime.engine.EngineCaches`
+        keeps sharing it.
+        """
+        from repro.graph.delta import _intra_offsets
+
+        old_graph = self.graph
+        touched = np.asarray(touched_nodes, dtype=np.int64)
+        new_weights = np.zeros(new_graph.num_edges, dtype=np.float64)
+        new_cdf = np.zeros(new_graph.num_edges, dtype=np.float64)
+        new_alias_prob = np.zeros(new_graph.num_edges, dtype=np.float64)
+        new_alias_idx = np.zeros(new_graph.num_edges, dtype=np.int64)
+
+        def carried(have: np.ndarray) -> np.ndarray:
+            mask = have.copy()
+            mask[touched] = False
+            return np.nonzero(mask)[0]
+
+        def segment_positions(nodes: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+            deg = (indptr[nodes + 1] - indptr[nodes]).astype(np.int64)
+            return np.repeat(indptr[nodes], deg) + _intra_offsets(deg)
+
+        for nodes, copies in (
+            (carried(self._have_weights), ((self._weights, new_weights),)),
+            (carried(self._have_cdf), ((self._cdf, new_cdf),)),
+            (
+                carried(self._have_alias),
+                ((self._alias_prob, new_alias_prob), (self._alias_idx, new_alias_idx)),
+            ),
+        ):
+            if nodes.size == 0:
+                continue
+            old_pos = segment_positions(nodes, old_graph.indptr)
+            new_pos = segment_positions(nodes, new_graph.indptr)
+            for old_arr, new_arr in copies:
+                new_arr[new_pos] = old_arr[old_pos]
+
+        self._weights = new_weights
+        self._cdf = new_cdf
+        self._alias_prob = new_alias_prob
+        self._alias_idx = new_alias_idx
+        self._have_weights[touched] = False
+        self._have_cdf[touched] = False
+        self._have_alias[touched] = False
+        self._totals[touched] = 0.0
+        self.graph = new_graph
+
     def weights_for(self, batch: "BatchStepContext") -> np.ndarray:
         """Flattened transition weights of a batch context, cache-served.
 

@@ -379,6 +379,7 @@ class ServiceScheduler:
         # groups still advance in lockstep, one superstep per tick.
         key = (
             WalkService._spec_key(session.spec),
+            session.graph_version,
             WalkService._canonical(dataclasses.asdict(session.config)),
             WalkService._canonical(session.plan.describe()),
             type(session.selector).__qualname__,

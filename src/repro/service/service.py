@@ -25,6 +25,7 @@ every behaviour-affecting hyperparameter there.
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
@@ -34,6 +35,12 @@ from repro.compiler.generator import CompiledWorkload, compile_workload
 from repro.core.config import FlexiWalkerConfig
 from repro.errors import ServiceError
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import DeltaCSRGraph
+from repro.graph.invalidation import (
+    invalidation_for,
+    rebind_engine_caches,
+    repair_csr_caches,
+)
 from repro.runtime.cost_model import CostModel
 from repro.runtime.engine import EngineCaches, WalkEngine
 from repro.runtime.profiler import ProfileResult, profile_edge_costs
@@ -105,7 +112,12 @@ class WalkService:
     Parameters
     ----------
     graph:
-        The input graph (CSR); shared by every session.
+        The input graph, shared by every session: a frozen
+        :class:`~repro.graph.csr.CSRGraph`, or a
+        :class:`~repro.graph.delta.DeltaCSRGraph` to serve a **dynamic**
+        graph.  Either way ``service.graph`` is the compacted CSR snapshot
+        of the *current* version (the bare CSR at version 0 — a frozen
+        caller pays nothing), and :meth:`apply_delta` advances it.
     fleet:
         The simulated devices available to sessions (one A6000 by default).
     max_cached_workloads:
@@ -130,7 +142,7 @@ class WalkService:
 
     def __init__(
         self,
-        graph: CSRGraph,
+        graph: CSRGraph | DeltaCSRGraph,
         fleet: DeviceFleet | None = None,
         max_cached_workloads: int | None = DEFAULT_MAX_CACHED_WORKLOADS,
         max_inflight_walkers: int = 0,
@@ -139,7 +151,12 @@ class WalkService:
     ) -> None:
         if max_cached_workloads is not None and max_cached_workloads < 1:
             raise ServiceError("max_cached_workloads must be at least 1 (or None)")
-        self.graph = graph
+        if isinstance(graph, DeltaCSRGraph):
+            self._dynamic: DeltaCSRGraph | None = graph
+            self.graph = graph.snapshot()
+        else:
+            self._dynamic = None
+            self.graph = graph
         self.fleet = fleet if fleet is not None else DeviceFleet()
         self.max_cached_workloads = max_cached_workloads
         self._capabilities = declare_capabilities(
@@ -151,7 +168,30 @@ class WalkService:
         self._compiled: OrderedDict[tuple, CompiledWorkload] = OrderedDict()
         self._profiles: OrderedDict[tuple, ProfileResult] = OrderedDict()
         self._caches: OrderedDict[tuple, EngineCaches] = OrderedDict()
+        # Registry keys pinned by open sessions (refcounted): the LRU must
+        # never evict an entry a live session still executes against —
+        # version-keying multiplies distinct keys, so eviction pressure is
+        # real even for a handful of workloads.  Sessions unpin on garbage
+        # collection (weakref.finalize) or explicit close().
+        self._pins: dict[tuple, int] = {}
         self._sessions_created = 0
+
+    @property
+    def graph_version(self) -> int:
+        """Current graph version served to *new* sessions (0 when static)."""
+        return 0 if self._dynamic is None else self._dynamic.version
+
+    @property
+    def dynamic_graph(self) -> "DeltaCSRGraph | None":
+        """The live delta overlay, or ``None`` while the service is static.
+
+        Becomes non-``None`` after the first :meth:`apply_delta` (or when the
+        service was constructed over a :class:`~repro.graph.DeltaCSRGraph`).
+        Use it for overlay introspection — ``edge_list()``, ``compact()``,
+        ``memory_footprint_bytes`` — never to mutate the graph behind the
+        service's back: updates must go through :meth:`apply_delta`.
+        """
+        return self._dynamic
 
     def _registry_get(self, registry: OrderedDict, key: tuple):
         """LRU lookup: a hit moves the entry to the most-recent end."""
@@ -161,12 +201,38 @@ class WalkService:
         return value
 
     def _registry_put(self, registry: OrderedDict, key: tuple, value) -> None:
-        """LRU insert: evicts the least-recently-used entries over the cap."""
+        """LRU insert: evicts the least-recently-used *unpinned* entries.
+
+        Entries pinned by an open session are skipped — evicting one would
+        strand a session mid-run (its engine shares the cache holder) and
+        rebuild state the session is guaranteed to touch again.  When every
+        entry is pinned the registry temporarily overshoots the cap; it
+        shrinks back as sessions close.
+        """
         registry[key] = value
         registry.move_to_end(key)
         if self.max_cached_workloads is not None:
             while len(registry) > self.max_cached_workloads:
-                registry.popitem(last=False)
+                for candidate in registry:
+                    # The entry being inserted is exempt too: it is about to
+                    # be used (and usually pinned) by the caller.
+                    if candidate != key and self._pins.get(candidate, 0) == 0:
+                        del registry[candidate]
+                        break
+                else:
+                    break
+
+    def _pin(self, keys: tuple[tuple, ...]) -> None:
+        for key in keys:
+            self._pins[key] = self._pins.get(key, 0) + 1
+
+    def _unpin(self, keys: tuple[tuple, ...]) -> None:
+        for key in keys:
+            count = self._pins.get(key, 0) - 1
+            if count > 0:
+                self._pins[key] = count
+            else:
+                self._pins.pop(key, None)
 
     # ------------------------------------------------------------------ #
     def capabilities(self) -> ServiceCapabilities:
@@ -177,6 +243,7 @@ class WalkService:
         """Summary of the service's shared state (for logs and examples)."""
         return {
             "graph": repr(self.graph),
+            "graph_version": self.graph_version,
             "device": self.fleet.device.name,
             "num_devices": self.fleet.count,
             "backends": list(self._capabilities.backends),
@@ -224,9 +291,19 @@ class WalkService:
             WalkService._canonical(spec.describe()),
         )
 
+    def _registry_key(self, spec: WalkSpec) -> tuple:
+        """Workload registry key: structural spec key + current graph version.
+
+        Version-keying is what lets in-flight sessions finish on the version
+        they started on while new submits see the new edges: a session opened
+        before an :meth:`apply_delta` keeps resolving (and pinning) its
+        original key, a session opened after resolves the new one.
+        """
+        return (*self._spec_key(spec), self.graph_version)
+
     def compile(self, spec: WalkSpec) -> CompiledWorkload:
         """Compile a workload against this service's graph and device (cached)."""
-        key = self._spec_key(spec)
+        key = self._registry_key(spec)
         compiled = self._registry_get(self._compiled, key)
         if compiled is None:
             compiled = compile_workload(spec, self.graph, device=self.fleet.device)
@@ -235,7 +312,7 @@ class WalkService:
 
     def profile(self, spec: WalkSpec, seed: int = 0) -> ProfileResult:
         """Run (or reuse) the start-up profiling kernels for a workload."""
-        key = (*self._spec_key(spec), seed)
+        key = (*self._registry_key(spec), seed)
         result = self._registry_get(self._profiles, key)
         if result is None:
             result = profile_edge_costs(self.graph, spec, self.fleet.device, seed=seed)
@@ -244,12 +321,76 @@ class WalkService:
 
     def engine_caches(self, spec: WalkSpec) -> EngineCaches:
         """The shared hint-table/transition-cache holder of a workload."""
-        key = self._spec_key(spec)
+        key = self._registry_key(spec)
         caches = self._registry_get(self._caches, key)
         if caches is None:
             caches = EngineCaches()
             self._registry_put(self._caches, key, caches)
         return caches
+
+    # ------------------------------------------------------------------ #
+    # Dynamic graphs
+    # ------------------------------------------------------------------ #
+    def apply_delta(
+        self,
+        additions,
+        removals=(),
+        *,
+        weights=None,
+        labels=None,
+        repartition: bool = False,
+    ) -> int:
+        """Fold an edge delta into the service's graph; returns the new version.
+
+        A static service wraps its CSR in a
+        :class:`~repro.graph.delta.DeltaCSRGraph` on the first delta, so any
+        service is dynamic on demand.  The call is the versioned
+        invalidation protocol end to end:
+
+        * ``service.graph`` becomes the compacted snapshot of the new
+          version (CSR topology caches repaired incrementally from the old
+          snapshot's, per :mod:`repro.graph.invalidation`);
+        * every **unpinned** engine-cache holder keyed at the previous
+          current version migrates to the new version key via the scoped
+          rebind contracts — untouched-node entries survive by object
+          identity, the workload is recompiled against the new snapshot;
+        * holders pinned by in-flight sessions stay at their version key
+          untouched: those sessions finish on the graph they started on,
+          and only :meth:`session` calls made after this point see the new
+          edges (new sessions of a migrated workload share the migrated
+          caches).
+
+        ``repartition=True`` additionally drops migrated holders' sharded
+        decompositions instead of rebinding them, so the next sharded use
+        re-partitions against the compacted graph.
+        """
+        if self._dynamic is None:
+            self._dynamic = DeltaCSRGraph(self.graph)
+        old_graph = self.graph
+        old_version = self._dynamic.version
+        self._dynamic = self._dynamic.apply_delta(
+            additions, removals, weights=weights, labels=labels
+        )
+        new_graph = self._dynamic.snapshot()
+        record = invalidation_for(self._dynamic)
+        repair_csr_caches(old_graph, new_graph, record)
+        self.graph = new_graph
+
+        for key in [k for k in self._caches if k[-1] == old_version]:
+            if self._pins.get(key, 0):
+                continue
+            caches = self._caches.pop(key)
+            spec = None
+            if caches.transition_cache is not None:
+                spec = caches.transition_cache.spec
+            elif caches.hint_tables is not None:
+                spec = caches.hint_tables._compiled.spec
+            compiled = self.compile(spec) if spec is not None else None
+            rebind_engine_caches(
+                caches, new_graph, record, compiled=compiled, repartition=repartition
+            )
+            self._registry_put(self._caches, (*key[:-1], self._dynamic.version), caches)
+        return self._dynamic.version
 
     # ------------------------------------------------------------------ #
     # Session creation (plan + execute stages)
@@ -357,7 +498,7 @@ class WalkService:
                 fault_plan=config.fault_plan,
             )
         self._sessions_created += 1
-        return WalkSession(
+        session = WalkSession(
             service=self,
             spec=spec,
             config=config,
@@ -367,7 +508,18 @@ class WalkService:
             cost_model=cost_model,
             selector=selector,
             engine=engine,
+            graph_version=self.graph_version,
         )
+        # Pin the session's registry entries for its lifetime: the LRU may
+        # not evict (and apply_delta may not migrate) state a live session
+        # executes against.  finalize fires on collection, so even an
+        # abandoned session releases its pins.
+        pinned = (self._registry_key(spec),)
+        if config.run_profiling:
+            pinned = (*pinned, (*self._registry_key(spec), config.seed))
+        self._pin(pinned)
+        session._unpin_finalizer = weakref.finalize(session, self._unpin, pinned)
+        return session
 
     def plan_for(
         self,

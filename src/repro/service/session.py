@@ -320,6 +320,7 @@ class WalkSession:
         cost_model,
         selector,
         engine,
+        graph_version: int = 0,
     ) -> None:
         self.service = service
         self.spec = spec
@@ -330,6 +331,14 @@ class WalkSession:
         self.cost_model = cost_model
         self.selector = selector
         self.engine = engine
+        # The graph version this session executes on, fixed at open time: a
+        # later WalkService.apply_delta never retargets an open session (its
+        # engine, compiled workload and caches stay bound to this version's
+        # snapshot), and the scheduler refuses to fuse sessions across
+        # versions.  Set by WalkService.session alongside the registry pins
+        # (_unpin_finalizer releases them when the session is collected).
+        self.graph_version = graph_version
+        self._unpin_finalizer = None
 
         self._queue = DynamicQueryQueue()
         self._submitted: list[WalkQuery] = []
@@ -494,6 +503,24 @@ class WalkSession:
         return options
 
     # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the session's registry pins (idempotent).
+
+        This also happens automatically when the session is garbage
+        collected, but sessions participate in reference cycles with their
+        tickets, so *when* that fires is the cyclic collector's business.
+        Call ``close()`` to make the service's eviction (and delta
+        migration) eligibility deterministic.  The session object stays
+        usable — its engine holds every cache it needs directly — but its
+        shared registry entries may be evicted or migrated from under the
+        service afterwards.
+        """
+        if self._unpin_finalizer is not None:
+            self._unpin_finalizer()
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property
@@ -528,6 +555,7 @@ class WalkSession:
             "edge_cost_ratio": self.cost_model.edge_cost_ratio,
             "selector": self.selector.name,
             "device": self.engine.device.name,
+            "graph_version": self.graph_version,
             "plan": self.plan.describe(),
             "submitted": len(self._submitted),
             "completed": self.completed,

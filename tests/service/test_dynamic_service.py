@@ -1,0 +1,239 @@
+"""Dynamic graphs through the service: the compaction-identity scenario family.
+
+``WalkService.apply_delta`` interleaved with session waves (and
+continuous-batching ticks) must be observationally invisible: a session
+opened at version ``v`` produces results bit-identical — paths, counter
+totals, per-query base times — to a session on a *fresh* service built from
+the freshly-constructed ``CSRGraph`` at version ``v``.  That must hold in
+every execution mode the plan can negotiate: batched single-device, fused
+multi-device (replicated), sharded, and scheduler-fused.
+
+The scoped-invalidation half of the contract is asserted by identity:
+migrating a workload's engine caches across a delta keeps the
+``TransitionCache``/``NodeHintTables`` objects (and their untouched-node
+entries) alive instead of rebuilding them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import FlexiWalkerConfig
+from repro.graph.builders import from_edge_list
+from repro.graph.delta import DeltaCSRGraph
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.weights import uniform_weights
+from repro.gpusim.device import A6000
+from repro.service import DeviceFleet, WalkService
+from repro.walks.deepwalk import DeepWalkSpec
+from repro.walks.node2vec import Node2VecSpec
+from repro.walks.state import WalkQuery, make_queries
+
+DEVICE = dataclasses.replace(A6000, parallel_lanes=8)
+
+MODE_CONFIGS = {
+    "batched": dict(),
+    "fused_multi_device": dict(num_devices=3),
+    "sharded": dict(num_devices=3, graph_placement="sharded",
+                    shard_policy="locality"),
+}
+
+
+def build_graph(seed: int = 0):
+    graph = barabasi_albert_graph(40, 3, seed=seed, name="dynamic-svc")
+    return graph.with_weights(uniform_weights(graph, seed=seed))
+
+
+def mutate(service: WalkService, seed: int, adds: int = 12, rems: int = 8) -> int:
+    """Apply one valid random delta to a service; returns the new version."""
+    rng = np.random.default_rng(seed)
+    dynamic = service._dynamic if service._dynamic is not None else DeltaCSRGraph(service.graph)
+    n = dynamic.num_nodes
+    cand = rng.integers(0, n, size=(10 * adds, 2))
+    fresh = np.unique(cand[~dynamic.has_edges(cand[:, 0], cand[:, 1])], axis=0)[:adds]
+    edges = dynamic.edge_list()[0]
+    take = rng.choice(edges.shape[0], rems, replace=False)
+    removals = np.unique(edges[take], axis=0)
+    return service.apply_delta(fresh, removals, weights=rng.random(len(fresh)))
+
+
+def assert_identical(result, expected):
+    assert result.paths == expected.paths
+    assert np.array_equal(result.per_query_ns, expected.per_query_ns)
+    assert result.counters == expected.counters
+    assert result.total_steps == expected.total_steps
+
+
+class TestCompactionIdentityAcrossModes:
+    @pytest.mark.parametrize("mode", sorted(MODE_CONFIGS))
+    @pytest.mark.parametrize("workload", ["deepwalk", "node2vec"])
+    def test_session_after_deltas_matches_fresh_build(self, mode, workload):
+        spec = DeepWalkSpec() if workload == "deepwalk" else Node2VecSpec()
+        config = FlexiWalkerConfig(device=DEVICE, **MODE_CONFIGS[mode])
+        service = WalkService(DeltaCSRGraph(build_graph()), fleet=DeviceFleet(DEVICE, 3))
+
+        # Interleave deltas with session waves: wave at v0, delta, wave at
+        # v1 (same session — stays on v0 by contract), delta, new session
+        # at v2.
+        s0 = service.session(spec, config)
+        s0.submit(make_queries(service.graph.num_nodes, walk_length=5,
+                               num_queries=12, seed=3))
+        r0_first = s0.collect()
+        v0_graph = service.graph
+
+        mutate(service, seed=11)
+        # The open session keeps executing on its version's snapshot.
+        s0.submit([WalkQuery(query_id=100 + i, start_node=i, max_length=5)
+                   for i in range(12)])
+        assert s0.engine.graph is v0_graph
+        s0.collect()
+        s0.close()
+
+        mutate(service, seed=12)
+        assert service.graph_version == 2
+
+        s2 = service.session(spec, config)
+        assert s2.graph_version == 2
+        s2.submit(make_queries(service.graph.num_nodes, walk_length=5,
+                               num_queries=12, seed=3))
+        result = s2.collect()
+
+        # Fresh build at version 2: same edges, brand-new CSR and service.
+        edges, weights, _ = service._dynamic.edge_list()
+        fresh_graph = from_edge_list(edges, num_nodes=service.graph.num_nodes,
+                                     weights=weights, name=service.graph.name)
+        fresh_service = WalkService(fresh_graph, fleet=DeviceFleet(DEVICE, 3))
+        fresh_session = fresh_service.session(spec, config)
+        fresh_session.submit(make_queries(fresh_graph.num_nodes, walk_length=5,
+                                          num_queries=12, seed=3))
+        assert_identical(result, fresh_session.collect())
+
+    def test_scheduler_fused_sessions_match_fresh_build(self):
+        spec = DeepWalkSpec()
+        config = FlexiWalkerConfig(device=DEVICE)
+        service = WalkService(DeltaCSRGraph(build_graph()), fleet=DeviceFleet(DEVICE, 1))
+        scheduler = service.scheduler()
+
+        # Session at v0 starts streaming, a delta lands mid-flight, a v1
+        # session joins the same scheduler; both finish on their versions.
+        a = scheduler.attach(service.session(spec, config), tenant="a")
+        a.submit(make_queries(service.graph.num_nodes, walk_length=6,
+                              num_queries=10, seed=5))
+        for _ in range(2):
+            scheduler.tick()
+        v0_graph = service.graph
+
+        mutate(service, seed=21)
+        b = scheduler.attach(service.session(spec, config), tenant="b")
+        assert (a.graph_version, b.graph_version) == (0, 1)
+        b.submit(make_queries(service.graph.num_nodes, walk_length=6,
+                              num_queries=10, seed=5))
+        scheduler.run_until_idle()
+        result_a, result_b = a.collect(), b.collect()
+        assert a.engine.graph is v0_graph
+        assert b.engine.graph is service.graph
+
+        # a == a fresh v0 service run; b == a fresh v1 service run.
+        for result, graph in ((result_a, v0_graph), (result_b, service.graph)):
+            edges = np.stack(
+                [np.repeat(np.arange(graph.num_nodes, dtype=np.int64), graph.degrees()),
+                 graph.indices], axis=1)
+            fresh_graph = from_edge_list(edges, num_nodes=graph.num_nodes,
+                                         weights=graph.weights, name=graph.name)
+            fresh = WalkService(fresh_graph, fleet=DeviceFleet(DEVICE, 1))
+            session = fresh.session(spec, config)
+            session.submit(make_queries(fresh_graph.num_nodes, walk_length=6,
+                                        num_queries=10, seed=5))
+            assert_identical(result, session.collect())
+
+    def test_cross_version_sessions_never_fuse(self):
+        service = WalkService(DeltaCSRGraph(build_graph()), fleet=DeviceFleet(DEVICE, 1))
+        scheduler = service.scheduler()
+        config = FlexiWalkerConfig(device=DEVICE)
+        a = scheduler.attach(service.session(DeepWalkSpec(), config))
+        mutate(service, seed=31)
+        b = scheduler.attach(service.session(DeepWalkSpec(), config))
+        assert scheduler._entries[id(a)].group is not scheduler._entries[id(b)].group
+
+
+class TestScopedInvalidationThroughTheService:
+    def test_unpinned_caches_migrate_by_object_identity(self):
+        spec = DeepWalkSpec()
+        config = FlexiWalkerConfig(device=DEVICE)
+        service = WalkService(DeltaCSRGraph(build_graph()), fleet=DeviceFleet(DEVICE, 1))
+
+        session = service.session(spec, config)
+        session.submit(make_queries(service.graph.num_nodes, walk_length=5,
+                                    num_queries=10, seed=7))
+        session.collect()
+        caches = service.engine_caches(spec)
+        transition = caches.transition_cache
+        hints = caches.hint_tables
+        assert transition is not None
+        session.close()  # unpinned: eligible for migration
+
+        mutate(service, seed=41)
+        migrated = service.engine_caches(spec)  # resolves at the new version
+        assert migrated is caches
+        assert migrated.transition_cache is transition  # object identity
+        assert migrated.transition_cache.graph is service.graph
+        if hints is not None:
+            assert migrated.hint_tables is hints
+
+        # The migrated cache serves a new session with bit-identical results
+        # to a cold service at the same version.
+        warm = service.session(spec, config)
+        warm.submit(make_queries(service.graph.num_nodes, walk_length=5,
+                                 num_queries=10, seed=7))
+        warm_result = warm.collect()
+
+        edges, weights, _ = service._dynamic.edge_list()
+        fresh_graph = from_edge_list(edges, num_nodes=service.graph.num_nodes,
+                                     weights=weights, name=service.graph.name)
+        cold = WalkService(fresh_graph, fleet=DeviceFleet(DEVICE, 1))
+        cold_session = cold.session(spec, config)
+        cold_session.submit(make_queries(fresh_graph.num_nodes, walk_length=5,
+                                         num_queries=10, seed=7))
+        assert_identical(warm_result, cold_session.collect())
+
+    def test_pinned_caches_stay_on_their_version(self):
+        spec = DeepWalkSpec()
+        config = FlexiWalkerConfig(device=DEVICE)
+        service = WalkService(DeltaCSRGraph(build_graph()), fleet=DeviceFleet(DEVICE, 1))
+        session = service.session(spec, config)
+        old_key = service._registry_key(spec)
+        old_caches = service.engine_caches(spec)
+
+        mutate(service, seed=51)  # session still open: no migration
+        assert service._caches[old_key] is old_caches
+        new_caches = service.engine_caches(spec)  # new version builds fresh
+        assert new_caches is not old_caches
+        session.close()
+
+    def test_repartition_drops_sharded_decompositions(self):
+        spec = DeepWalkSpec()
+        config = FlexiWalkerConfig(device=DEVICE, num_devices=3,
+                                   graph_placement="sharded")
+        service = WalkService(DeltaCSRGraph(build_graph()), fleet=DeviceFleet(DEVICE, 3))
+        session = service.session(spec, config)
+        session.submit(make_queries(service.graph.num_nodes, walk_length=4,
+                                    num_queries=8, seed=9))
+        session.collect()
+        caches = service.engine_caches(spec)
+        assert caches.sharded_graphs
+        session.close()
+
+        mutate(service, seed=61)
+        # default: rebind keeps decompositions (re-owned, not rebuilt)
+        assert service.engine_caches(spec) is caches
+        assert caches.sharded_graphs
+        for sharded in caches.sharded_graphs.values():
+            assert sharded.graph is service.graph
+
+        service.apply_delta([], [tuple(service._dynamic.edge_list()[0][0])],
+                            repartition=True)
+        assert not caches.sharded_graphs  # dropped: next use re-partitions
+        assert not caches.ghost_tables

@@ -47,7 +47,7 @@ class TestRegistryLRU:
         service.compile(spec_variant(2))  # evicts variant 0
 
         assert len(service._compiled) == 2
-        key0 = service._spec_key(spec_variant(0))
+        key0 = service._registry_key(spec_variant(0))
         assert key0 not in service._compiled
         # The evicted workload still works — it is compiled afresh.
         recompiled = service.compile(spec_variant(0))
@@ -64,8 +64,8 @@ class TestRegistryLRU:
         assert service.compile(spec_variant(0)) is kept
         service.compile(spec_variant(2))
         # ...and is the one evicted.
-        assert service._spec_key(spec_variant(0)) in service._compiled
-        assert service._spec_key(spec_variant(1)) not in service._compiled
+        assert service._registry_key(spec_variant(0)) in service._compiled
+        assert service._registry_key(spec_variant(1)) not in service._compiled
 
     def test_every_registry_is_capped(self, service_graph):
         service = WalkService(
@@ -78,6 +78,7 @@ class TestRegistryLRU:
             session.submit(make_queries(service_graph.num_nodes, walk_length=2,
                                         num_queries=4, seed=i))
             session.collect()
+            session.close()
         assert len(service._compiled) == 2
         assert len(service._profiles) == 2
         assert len(service._caches) == 2
@@ -93,3 +94,63 @@ class TestRegistryLRU:
     def test_describe_reports_the_cap(self, service_graph):
         service = WalkService(service_graph, max_cached_workloads=3)
         assert service.describe()["max_cached_workloads"] == 3
+
+
+class TestRegistryPinning:
+    """Eviction must never drop entries a live session still executes against."""
+
+    def test_open_session_entries_survive_eviction_pressure(self, service_graph):
+        service = WalkService(
+            service_graph, fleet=DeviceFleet(DEVICE, 1), max_cached_workloads=1
+        )
+        session = service.session(spec_variant(0), FlexiWalkerConfig(device=DEVICE))
+        pinned_key = service._registry_key(spec_variant(0))
+        pinned_caches = service._caches[pinned_key]
+        # Churn enough other workloads through the registries to evict
+        # everything unpinned several times over.
+        for i in range(1, 5):
+            other = service.session(spec_variant(i), FlexiWalkerConfig(device=DEVICE))
+            other.submit(make_queries(service_graph.num_nodes, walk_length=2,
+                                      num_queries=4, seed=i))
+            other.collect()
+            other.close()
+        assert pinned_key in service._compiled
+        assert service._caches[pinned_key] is pinned_caches
+        # The pinned session still runs correctly after all the churn.
+        session.submit(make_queries(service_graph.num_nodes, walk_length=3,
+                                    num_queries=4, seed=0))
+        result = session.collect()
+        assert len(result.paths) == 4
+
+    def test_entries_become_evictable_once_the_session_is_collected(
+        self, service_graph
+    ):
+        service = WalkService(
+            service_graph, fleet=DeviceFleet(DEVICE, 1), max_cached_workloads=1
+        )
+        session = service.session(spec_variant(0), FlexiWalkerConfig(device=DEVICE))
+        key0 = service._registry_key(spec_variant(0))
+        assert service._pins.get(key0, 0) == 1
+        session.close()
+        assert service._pins.get(key0, 0) == 0
+        session.close()  # idempotent
+        service.compile(spec_variant(1))
+        assert key0 not in service._compiled  # evicted normally again
+
+    def test_all_pinned_overshoots_instead_of_evicting(self, service_graph):
+        service = WalkService(
+            service_graph, fleet=DeviceFleet(DEVICE, 1), max_cached_workloads=1
+        )
+        sessions = [
+            service.session(spec_variant(i), FlexiWalkerConfig(device=DEVICE))
+            for i in range(3)
+        ]
+        # Cap is 1 but all three keys are pinned: the registry overshoots
+        # rather than stranding a live session.
+        assert len(service._caches) == 3
+        for i in range(3):
+            assert service._registry_key(spec_variant(i)) in service._caches
+        for open_session in sessions:
+            open_session.close()
+        service.compile(spec_variant(3))
+        assert len(service._compiled) == 1

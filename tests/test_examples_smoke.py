@@ -32,6 +32,7 @@ def test_examples_directory_contains_all_documented_scripts():
         "metapath_heterogeneous.py",
         "custom_workload_adaptation.py",
         "load_generator.py",
+        "streaming_updates.py",
     }
     assert expected <= {p.name for p in EXAMPLES_DIR.glob("*.py")}
 
@@ -80,6 +81,14 @@ def test_load_generator_example_runs(capsys, tmp_path):
     assert sum(t["completed"] for t in metrics["tenants"].values()) == 48
 
 
+def test_streaming_updates_example_runs(capsys):
+    load_example("streaming_updates").main()
+    out = capsys.readouterr().out
+    assert "graph version 2" in out
+    assert "frozen snapshot: True" in out
+    assert "bit-identical to fresh build: True" in out
+
+
 @pytest.mark.parametrize(
     "name",
     [
@@ -89,6 +98,7 @@ def test_load_generator_example_runs(capsys, tmp_path):
         "metapath_heterogeneous",
         "custom_workload_adaptation",
         "load_generator",
+        "streaming_updates",
     ],
 )
 def test_every_example_is_importable(name):
