@@ -14,7 +14,7 @@ def test_fig03_sampling_comparison(benchmark, quick_config):
     # Paper shape: table-building methods (ITS/ALS) never win; reservoir wins
     # the weighted panel, rejection wins the unweighted panel on the larger
     # (web-scale-model) datasets.
-    for dataset, times in weighted.items():
+    for _dataset, times in weighted.items():
         assert times["RVS (FlowWalker)"] <= times["ALS (Skywalker)"]
         assert times["RVS (FlowWalker)"] <= 1.0  # normalised to ITS
     assert unweighted["EU"]["RJS (NextDoor)"] < unweighted["EU"]["RVS (FlowWalker)"]

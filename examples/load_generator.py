@@ -70,7 +70,7 @@ def run_load(
 
     rng = np.random.default_rng(seed)
     sessions = []
-    for index in range(num_sessions):
+    for _index in range(num_sessions):
         pick = rng.random()
         cumulative = 0.0
         for name, weight, share, template in TENANTS:
@@ -121,7 +121,7 @@ def run_load(
     try:
         for session, _ in sessions:
             for chunk in session.stream():
-                for enq, start in zip(chunk.enqueue_steps, chunk.first_scheduled_steps):
+                for enq, start in zip(chunk.enqueue_steps, chunk.first_scheduled_steps, strict=False):
                     latencies.append(chunk.superstep - enq)
                     queue_delays.append(start - enq)
     except KeyboardInterrupt:

@@ -71,7 +71,7 @@ def main() -> None:
 
     # 3. Edge updates stream in mid-flight.  Each delta bumps the version
     #    and repairs derived caches for only the touched nodes.
-    for wave in range(2):
+    for _wave in range(2):
         additions = fresh_edges(rng, service.dynamic_graph, count=25)
         live = service.dynamic_graph.edge_list()[0]
         removals = np.unique(live[rng.choice(live.shape[0], 10, replace=False)],

@@ -50,6 +50,7 @@ PUBLIC_MODULES = (
     "repro.baselines",
     "repro.bench",
     "repro.service",
+    "repro.analysis",
 )
 
 #: Dunder names allowed in ``__all__`` despite the no-underscore rule.

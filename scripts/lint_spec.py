@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Statically verify WalkSpec subclasses before they reach the service.
+
+Runs the whole-spec verifier (``repro.analysis.verify_spec``) over every
+``WalkSpec`` subclass found in the given modules and prints one line per
+diagnostic (rule id, severity, source span, fix hint).  The exit code is
+CI-friendly: non-zero iff any spec produced an ERROR diagnostic, so the
+lint job fails exactly when ``negotiate_plan`` would decline transition
+caching and scheduler fusion for the spec.
+
+Usage::
+
+    PYTHONPATH=src python scripts/lint_spec.py --all-builtin
+    PYTHONPATH=src python scripts/lint_spec.py my_package.my_specs
+    PYTHONPATH=src python scripts/lint_spec.py path/to/specs.py
+
+Modules may be given as dotted import paths or as ``.py`` file paths.
+Specs whose constructor needs arguments are reported as skipped (they can
+only be verified at instantiation time); abstract bases are ignored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import inspect
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import verify_spec  # noqa: E402
+from repro.walks.spec import WalkSpec  # noqa: E402
+
+#: The walk specs shipped with the repository; ``--all-builtin`` verifies
+#: exactly these, and CI requires them to be ERROR-free.
+BUILTIN_SPECS = (
+    "repro.walks.deepwalk.DeepWalkSpec",
+    "repro.walks.metapath.MetaPathSpec",
+    "repro.walks.node2vec.Node2VecSpec",
+    "repro.walks.node2vec.UnweightedNode2VecSpec",
+    "repro.walks.second_order_pr.SecondOrderPRSpec",
+    "repro.walks.spec.UniformWalkSpec",
+)
+
+
+def _import_module(target: str):
+    """Import ``target`` given as a dotted path or a ``.py`` file path."""
+    path = Path(target)
+    if path.suffix == ".py" and path.exists():
+        name = path.stem
+        spec = importlib.util.spec_from_file_location(name, path)
+        if spec is None or spec.loader is None:
+            raise ImportError(f"cannot load module from {target}")
+        module = importlib.util.module_from_spec(spec)
+        # Register before exec so inspect.getsource works on its classes.
+        sys.modules[name] = module
+        spec.loader.exec_module(module)
+        return module
+    return importlib.import_module(target)
+
+
+def _spec_classes(module) -> list[type[WalkSpec]]:
+    classes = []
+    for _, obj in inspect.getmembers(module, inspect.isclass):
+        if (
+            issubclass(obj, WalkSpec)
+            and obj is not WalkSpec
+            and not inspect.isabstract(obj)
+            and obj.__module__ == module.__name__
+        ):
+            classes.append(obj)
+    return classes
+
+
+def _load_builtin(dotted: str) -> type[WalkSpec]:
+    module_name, _, class_name = dotted.rpartition(".")
+    return getattr(importlib.import_module(module_name), class_name)
+
+
+def lint_classes(classes: list[type[WalkSpec]], *, verbose: bool) -> int:
+    """Verify each class; return the number of ERROR diagnostics."""
+    errors = 0
+    for cls in classes:
+        label = f"{cls.__module__}.{cls.__qualname__}"
+        try:
+            spec = cls()
+        except TypeError as exc:
+            print(f"SKIP {label}: constructor needs arguments ({exc})")
+            continue
+        report = verify_spec(spec)
+        errors += len(report.errors)
+        if report.diagnostics:
+            print(f"{label}:")
+            for diag in report.diagnostics:
+                print(f"  {diag.format()}")
+        elif verbose:
+            hooks = ", ".join(report.hooks_analyzed) or "none"
+            print(f"OK {label}: {len(report.hooks_analyzed)} hooks analyzed ({hooks})")
+        else:
+            print(f"OK {label}")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "modules",
+        nargs="*",
+        help="modules to lint: dotted import paths or .py file paths",
+    )
+    parser.add_argument(
+        "--all-builtin",
+        action="store_true",
+        help="verify every built-in walk spec shipped in repro.walks",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="list analyzed hooks for clean specs"
+    )
+    args = parser.parse_args()
+    if not args.modules and not args.all_builtin:
+        parser.error("nothing to lint: pass module names or --all-builtin")
+
+    classes: list[type[WalkSpec]] = []
+    if args.all_builtin:
+        classes.extend(_load_builtin(dotted) for dotted in BUILTIN_SPECS)
+    for target in args.modules:
+        module = _import_module(target)
+        found = _spec_classes(module)
+        if not found:
+            print(f"SKIP {target}: no WalkSpec subclasses defined in module")
+        classes.extend(found)
+
+    errors = lint_classes(classes, verbose=args.verbose)
+    if errors:
+        print(f"spec lint FAILED: {errors} ERROR diagnostic(s)")
+        return 1
+    print(f"spec lint OK: {len(classes)} spec(s) verified, no ERROR diagnostics")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

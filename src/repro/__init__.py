@@ -25,6 +25,7 @@ works and produces bit-identical results, but emits ``DeprecationWarning`` —
 see ``MIGRATION.md``.
 """
 
+from repro.analysis import Diagnostic, Severity, SourceSpan, SpecReport, verify_spec
 from repro.baselines.base import BaselineSystem
 from repro.bench.config import ExperimentConfig
 from repro.bench.runner import SystemRun
@@ -86,7 +87,7 @@ from repro.walks.second_order_pr import SecondOrderPRSpec
 from repro.walks.spec import UniformWalkSpec, WalkSpec
 from repro.walks.state import WalkerState, WalkQuery, make_queries
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # Serving API (the supported entry point)
@@ -134,6 +135,12 @@ __all__ = [
     "AnalysisResult",
     "EdgeIndexedVariable",
     "PreprocessResult",
+    # Static analysis (whole-spec verifier)
+    "verify_spec",
+    "SpecReport",
+    "Diagnostic",
+    "Severity",
+    "SourceSpan",
     # Devices and simulator models
     "DeviceSpec",
     "A6000",

@@ -1,0 +1,37 @@
+"""Whole-spec static analysis for FlexiWalker workloads.
+
+Generalises the compiler's ``get_weight``-only analyser to every
+user-overridable :class:`~repro.walks.spec.WalkSpec` hook, producing
+structured :class:`Diagnostic` reports across three rule families —
+determinism, cache-safety and registry-key soundness — plus an internal
+invariant linter for the repository itself (:mod:`repro.analysis.codebase`).
+
+Entry points:
+
+* :func:`verify_spec` — verify one spec instance, returns a
+  :class:`SpecReport` (never raises).
+* :func:`verify_callable` — determinism checks for bare callables
+  (walker selectors, hint functions).
+* :func:`lint_paths` / :func:`lint_file` — the internal invariant linter.
+"""
+
+from repro.analysis.codebase import lint_file, lint_paths, lint_source
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    SourceSpan,
+    SpecReport,
+)
+from repro.analysis.verify import verify_callable, verify_spec
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "SourceSpan",
+    "SpecReport",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "verify_callable",
+    "verify_spec",
+]

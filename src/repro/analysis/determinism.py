@@ -1,0 +1,279 @@
+"""Determinism rules.
+
+The stack's strongest guarantees — scheduler-fusion parity (PR 7),
+fault-recovery bit-identity (PR 8), delta compaction identity (PR 9) — all
+assume spec hooks are pure, deterministic functions of their arguments.
+These rules refute that assumption statically:
+
+``determinism/unseeded-rng``
+    Construction of an unseeded RNG (``np.random.default_rng()``,
+    ``random.Random()``) or any call into the module-level ``random`` /
+    ``np.random`` global streams.  Hooks must draw randomness only from the
+    engine-provided counter-based streams (``batch.rng``), which are the
+    thing checkpoint/replay restores.
+``determinism/wall-clock``
+    Reads of wall-clock or monotonic time (``time.*``, ``datetime.now``),
+    ``os.urandom`` and time/host-derived UUIDs — values that differ between
+    a run and its fault-recovery replay.
+``determinism/object-identity``
+    ``id(...)`` (ERROR: CPython address, changes every run) and ``hash(...)``
+    (WARNING: str/bytes hashes are salted per process).
+``determinism/pure-hook-writes-self``
+    Assignment to ``self.*`` inside a weight or cost hook.  Only
+    ``update`` / ``update_batch`` may mutate; a weight hook that memoises on
+    ``self`` diverges between the scalar and batched engines and across
+    recovery replays.
+``determinism/global-state``
+    ``global`` / ``nonlocal`` declarations in any hook.
+``determinism/closure-mutable``
+    A selector/hint callable closing over a mutable object (list, dict,
+    set, bytearray) — the capture can drift between evaluations.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+
+from repro.analysis.diagnostics import Diagnostic, Severity, _DiagnosticCollector
+from repro.analysis.hooks import MUTATING_HOOKS, HookSource, SpecSources
+
+#: RNG factory callables that are deterministic *only* when seeded.
+_RNG_FACTORIES = frozenset(
+    {"default_rng", "Random", "SystemRandom", "RandomState", "SeedSequence", "Philox", "PCG64"}
+)
+
+#: Draw functions of the module-level ``random`` / ``np.random`` streams.
+#: Flagged when the preceding dotted component is ``random`` — that shape
+#: (``random.choice``, ``np.random.rand``) can only be the global stream,
+#: never an engine-provided generator like ``batch.rng.choice``.
+_GLOBAL_STREAM_FNS = frozenset(
+    {
+        "random",
+        "rand",
+        "randn",
+        "randint",
+        "randrange",
+        "random_sample",
+        "choice",
+        "choices",
+        "shuffle",
+        "permutation",
+        "sample",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "gauss",
+        "getrandbits",
+        "bytes",
+        "binomial",
+        "poisson",
+        "exponential",
+        "beta",
+        "seed",
+    }
+)
+
+_TIME_FNS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+_MUTABLE_CLOSURE_TYPES = (list, dict, set, bytearray)
+
+
+def _dotted_path(node: ast.expr) -> tuple[str, ...]:
+    """``a.b.c`` call targets as name components; empty when not dotted."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _check_call(node: ast.Call, source: HookSource, out: _DiagnosticCollector) -> None:
+    path = _dotted_path(node.func)
+    if not path:
+        return
+    fn = path[-1]
+    span = source.span(node)
+    hook = source.context
+
+    if fn in _RNG_FACTORIES and not node.args and not node.keywords:
+        out.add(
+            "determinism/unseeded-rng",
+            Severity.ERROR,
+            f"unseeded RNG construction {'.'.join(path)}() breaks replay bit-identity",
+            span=span,
+            hook=hook,
+            fix_hint="seed explicitly, or draw from the engine stream (batch.rng / state RNG)",
+        )
+        return
+    if len(path) >= 2 and path[-2] == "random" and fn in _GLOBAL_STREAM_FNS:
+        out.add(
+            "determinism/unseeded-rng",
+            Severity.ERROR,
+            f"call into the module-level RNG stream {'.'.join(path)}()",
+            span=span,
+            hook=hook,
+            fix_hint="draw from the engine-provided counter-based stream instead",
+        )
+        return
+    if len(path) >= 2 and path[-2] == "time" and fn in _TIME_FNS:
+        out.add(
+            "determinism/wall-clock",
+            Severity.ERROR,
+            f"wall-clock read {'.'.join(path)}() differs between a run and its recovery replay",
+            span=span,
+            hook=hook,
+            fix_hint="derive per-step values from walker state (state.step), not host time",
+        )
+        return
+    if fn in _DATETIME_FNS and len(path) >= 2 and path[-2] in ("datetime", "date"):
+        out.add(
+            "determinism/wall-clock",
+            Severity.ERROR,
+            f"wall-clock read {'.'.join(path)}()",
+            span=span,
+            hook=hook,
+            fix_hint="derive per-step values from walker state, not host time",
+        )
+        return
+    if path[-2:] == ("os", "urandom") or fn in ("uuid1", "uuid4"):
+        out.add(
+            "determinism/wall-clock",
+            Severity.ERROR,
+            f"entropy source {'.'.join(path)}() is nondeterministic across runs",
+            span=span,
+            hook=hook,
+            fix_hint="use the engine-provided seeded stream",
+        )
+
+
+def _check_builtin_identity(node: ast.Call, source: HookSource, out: _DiagnosticCollector) -> None:
+    if not isinstance(node.func, ast.Name):
+        return
+    if node.func.id == "id":
+        out.add(
+            "determinism/object-identity",
+            Severity.ERROR,
+            "id() returns a per-process object address; never stable across runs",
+            span=source.span(node),
+            hook=source.context,
+            fix_hint="key on node ids or describe() parameters instead",
+        )
+    elif node.func.id == "hash":
+        out.add(
+            "determinism/object-identity",
+            Severity.WARNING,
+            "hash() of str/bytes is salted per process (PYTHONHASHSEED)",
+            span=source.span(node),
+            hook=source.context,
+            fix_hint="use a keyed stable hash or integer keys",
+        )
+
+
+def _self_write_targets(stmt: ast.stmt, self_name: str) -> list[ast.expr]:
+    """Assignment targets that write through ``self``."""
+    if isinstance(stmt, ast.Assign):
+        targets = stmt.targets
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    else:
+        return []
+    hits: list[ast.expr] = []
+    for target in targets:
+        base = target
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == self_name
+            ):
+                hits.append(target)
+                break
+            base = base.value
+    return hits
+
+
+def check_determinism(sources: SpecSources) -> list[Diagnostic]:
+    """Run every determinism rule over every loaded hook source."""
+    out = _DiagnosticCollector()
+    for source in sources.hooks:
+        self_name = source.arg_names[0] if source.arg_names else "self"
+        pure_context = source.context not in MUTATING_HOOKS
+        for node in ast.walk(source.func):
+            if isinstance(node, ast.Call):
+                _check_call(node, source, out)
+                _check_builtin_identity(node, source, out)
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                out.add(
+                    "determinism/global-state",
+                    Severity.WARNING,
+                    f"{'global' if isinstance(node, ast.Global) else 'nonlocal'} "
+                    f"declaration of {', '.join(node.names)} in a spec hook",
+                    span=source.span(node),
+                    hook=source.context,
+                    fix_hint="carry per-walk state on the walker, not module globals",
+                )
+            elif pure_context and isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                for target in _self_write_targets(node, self_name):
+                    out.add(
+                        "determinism/pure-hook-writes-self",
+                        Severity.ERROR,
+                        f"{source.context} writes {ast.unparse(target)}; weight/cost hooks "
+                        "must be pure (only update/update_batch may mutate)",
+                        span=source.span(node),
+                        hook=source.context,
+                        fix_hint="move the mutation into update()/update_batch()",
+                    )
+    return out.diagnostics
+
+
+def check_callable_determinism(fn, name: str) -> list[Diagnostic]:
+    """Determinism rules for a bare callable (selector / hint function).
+
+    Adds the closure inspection the AST cannot see: a cell holding a
+    mutable object is flagged ``determinism/closure-mutable``.
+    """
+    out = _DiagnosticCollector()
+    closure = getattr(fn, "__closure__", None)
+    if closure:
+        freevars = getattr(getattr(fn, "__code__", None), "co_freevars", ())
+        for var, cell in zip(freevars, closure, strict=False):
+            try:
+                value = cell.cell_contents
+            except ValueError:  # pragma: no cover - unfilled cell
+                continue
+            if isinstance(value, _MUTABLE_CLOSURE_TYPES):
+                out.add(
+                    "determinism/closure-mutable",
+                    Severity.WARNING,
+                    f"{name} closes over mutable {type(value).__name__} {var!r}; "
+                    "its contents can drift between evaluations",
+                    hook=name,
+                    fix_hint="capture an immutable snapshot (tuple/frozenset) instead",
+                )
+    from repro.analysis.hooks import _load_function
+
+    source = _load_function(fn, name)
+    if source is not None:
+        for node in ast.walk(source.func):
+            if isinstance(node, ast.Call):
+                _check_call(node, source, out)
+                _check_builtin_identity(node, source, out)
+    return out.diagnostics

@@ -1,0 +1,236 @@
+"""Diagnostic vocabulary of the workload verifier.
+
+Every rule in :mod:`repro.analysis` — the whole-spec verifier
+(:func:`repro.analysis.verify_spec`) and the internal invariant linter
+(:mod:`repro.analysis.codebase`) — reports findings as structured
+:class:`Diagnostic` records: a stable rule id, a severity, a source span
+and a fix hint.  Structured diagnostics are what let the rest of the stack
+consume verdicts mechanically: ``negotiate_plan`` records rule ids as plan
+reasons, ``scripts/lint_spec.py`` turns severities into exit codes, and the
+test suite asserts on rule ids and spans instead of message prose.
+
+Suppression
+-----------
+A diagnostic is suppressed by a trailing comment on its source line::
+
+    self._clock = time.perf_counter()  # repro: ignore[determinism/wall-clock]
+
+``# repro: ignore`` with no bracket suppresses every rule on the line.
+Suppression is applied by :func:`filter_suppressed`, which both the spec
+verifier and the internal linter run over their raw findings.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons read naturally."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """Location of a finding in user (or repository) source code.
+
+    ``line``/``end_line`` are 1-based absolute line numbers in ``file``;
+    ``col``/``end_col`` are 0-based column offsets, matching the CPython
+    AST convention so editors and CI annotations can consume them directly.
+    """
+
+    file: str
+    line: int
+    end_line: int = 0
+    col: int = 0
+    end_col: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end_line < self.line:
+            object.__setattr__(self, "end_line", self.line)
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}"
+
+
+#: Span used when no source location exists (e.g. a callable whose source
+#: cannot be read); keeps every Diagnostic uniformly shaped.
+UNKNOWN_SPAN = SourceSpan(file="<unknown>", line=0)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule.
+
+    Attributes
+    ----------
+    rule:
+        Stable ``family/short-name`` identifier (e.g.
+        ``"determinism/unseeded-rng"``).  The rule catalog lives in the
+        README's *Static analysis* section.
+    severity:
+        :class:`Severity`; ERROR findings gate transition caching,
+        scheduler fusion and the lint CLIs' exit codes.
+    message:
+        One-sentence statement of the defect.
+    span:
+        Where the finding anchors in source.
+    hook:
+        The spec hook (or internal file context) the finding was raised
+        in, e.g. ``"transition_weights_batch"``; empty for file-level
+        findings.
+    fix_hint:
+        Actionable remediation, shown by the CLIs.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    span: SourceSpan = UNKNOWN_SPAN
+    hook: str = ""
+    fix_hint: str = ""
+
+    def format(self) -> str:
+        """CI-friendly one-line rendering (severity, rule id, span, hint)."""
+        where = f" [{self.hook}]" if self.hook else ""
+        hint = f" (fix: {self.fix_hint})" if self.fix_hint else ""
+        return f"{self.severity.name:7s} {self.rule:34s} {self.span}{where}: {self.message}{hint}"
+
+
+#: ``# repro: ignore`` / ``# repro: ignore[rule-id]`` trailing comments.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore(?:\[(?P<rules>[^\]]+)\])?")
+
+
+def line_suppressions(source_line: str) -> set[str] | None:
+    """Rules suppressed by one source line.
+
+    Returns ``None`` when the line carries no suppression, the empty set for
+    a blanket ``# repro: ignore``, and the set of rule ids otherwise.
+    """
+    match = _SUPPRESS_RE.search(source_line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return set()
+    return {rule.strip() for rule in rules.split(",") if rule.strip()}
+
+
+def filter_suppressed(
+    diagnostics: list[Diagnostic],
+    get_line,
+) -> list[Diagnostic]:
+    """Drop diagnostics whose source line carries a matching suppression.
+
+    ``get_line(file, lineno)`` must return the raw source line (or ``""``
+    when unavailable — unavailable lines never suppress anything).
+    """
+    kept: list[Diagnostic] = []
+    for diag in diagnostics:
+        rules = line_suppressions(get_line(diag.span.file, diag.span.line))
+        if rules is not None and (not rules or diag.rule in rules):
+            continue
+        kept.append(diag)
+    return kept
+
+
+@dataclass(frozen=True)
+class SpecReport:
+    """The verifier's verdict on one :class:`~repro.walks.spec.WalkSpec`.
+
+    Attached to every :class:`~repro.compiler.generator.CompiledWorkload`
+    by :func:`~repro.compiler.generator.compile_workload` and consumed by
+    :func:`~repro.service.plan.negotiate_plan`: ERROR findings decline
+    transition caching and scheduler fusion (and raise under
+    ``ServiceCapabilities.strict_verification``).
+
+    Attributes
+    ----------
+    spec_class / spec_name:
+        The verified workload's class qualname and ``name`` tag.
+    diagnostics:
+        Every surviving (unsuppressed) finding, all rule families.
+    hooks_analyzed:
+        The user-overridden hooks whose source was analysed.
+    weights_state_free:
+        The whole-spec cache-safety proof: True only when **every**
+        weight path — scalar ``get_weight`` *and* any
+        ``transition_weights`` / ``transition_weights_batch`` /
+        ``static_transition_weights`` override — is independent of walker
+        state and no ``update`` / ``update_batch`` hook is overridden.
+        This is the soundness condition for the cross-superstep
+        :class:`~repro.sampling.transition_cache.TransitionCache`;
+        :attr:`~repro.compiler.generator.CompiledWorkload.weights_node_only`
+        requires it.
+    """
+
+    spec_class: str
+    spec_name: str
+    diagnostics: tuple[Diagnostic, ...] = ()
+    hooks_analyzed: tuple[str, ...] = ()
+    weights_state_free: bool = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity >= Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity >= Severity.ERROR for d in self.diagnostics)
+
+    def rule_ids(self, minimum: Severity = Severity.INFO) -> tuple[str, ...]:
+        """Sorted distinct rule ids at or above ``minimum`` severity."""
+        return tuple(sorted({d.rule for d in self.diagnostics if d.severity >= minimum}))
+
+    def by_rule(self, rule: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.rule == rule)
+
+    def format(self) -> str:
+        """Multi-line human/CI rendering of the whole report."""
+        header = (
+            f"{self.spec_class} ({self.spec_name!r}): "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        lines = [header]
+        lines.extend(d.format() for d in sorted(self.diagnostics, key=lambda d: -d.severity))
+        return "\n".join(lines)
+
+
+@dataclass
+class _DiagnosticCollector:
+    """Mutable accumulation helper shared by the rule implementations."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        rule: str,
+        severity: Severity,
+        message: str,
+        span: SourceSpan = UNKNOWN_SPAN,
+        hook: str = "",
+        fix_hint: str = "",
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                rule=rule,
+                severity=severity,
+                message=message,
+                span=span,
+                hook=hook,
+                fix_hint=fix_hint,
+            )
+        )

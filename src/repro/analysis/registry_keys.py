@@ -1,0 +1,78 @@
+"""Registry-key soundness: every behavioural parameter must be keyed.
+
+The service keys its compiled-workload, transition-cache and hint
+registries by ``(spec module, qualname, canonical(describe()),
+graph_version)``.  A hyperparameter that changes hook behaviour but is
+*not* reflected in ``describe()`` silently aliases two distinct workloads
+onto one registry entry — the second spec is served the first spec's
+compiled helpers, cached weight rows and hints.
+
+``registry-keys/unkeyed-attribute`` (ERROR)
+    An instance attribute (``self.X`` set at construction, not
+    ``_``-prefixed) is read by a behaviour hook but never read by any
+    ``describe()`` implementation in the class hierarchy.
+
+Class-level attributes are exempt: the class identity (module + qualname)
+is already part of the registry key, so a value shared by every instance
+of the class cannot alias.  ``_``-prefixed attributes are treated as
+internal plumbing by convention and skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.diagnostics import Diagnostic, Severity, _DiagnosticCollector
+from repro.analysis.hooks import HookSource, SpecSources, hook_overridden, load_describe
+from repro.walks.spec import WalkSpec
+
+
+def _self_attr_reads(source: HookSource) -> dict[str, ast.Attribute]:
+    """First read site of every ``self.<attr>`` in one hook source."""
+    self_name = source.arg_names[0] if source.arg_names else "self"
+    reads: dict[str, ast.Attribute] = {}
+    for node in ast.walk(source.func):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self_name
+            and isinstance(node.ctx, ast.Load)
+        ):
+            reads.setdefault(node.attr, node)
+    return reads
+
+
+def check_registry_keys(spec: WalkSpec, sources: SpecSources) -> list[Diagnostic]:
+    """Cross-check hook-read instance attributes against ``describe()``."""
+    out = _DiagnosticCollector()
+    instance_attrs = set(vars(spec))
+
+    describe_sources = load_describe(spec)
+    if hook_overridden(spec, "describe") and not describe_sources:
+        # describe() exists but its source is unreadable: we cannot prove
+        # anything is missing from it, so stay silent rather than guess.
+        return out.diagnostics
+
+    keyed: set[str] = set()
+    for source in describe_sources:
+        keyed |= set(_self_attr_reads(source))
+
+    reported: set[str] = set()
+    for source in sources.hooks:
+        for attr, node in _self_attr_reads(source).items():
+            if attr.startswith("_") or attr in reported:
+                continue
+            if attr not in instance_attrs or attr in keyed:
+                continue
+            reported.add(attr)
+            out.add(
+                "registry-keys/unkeyed-attribute",
+                Severity.ERROR,
+                f"self.{attr} influences {source.context} but is not reflected in "
+                "describe(); two specs differing only in this parameter would "
+                "alias one compiled/cache registry key",
+                span=source.span(node),
+                hook=source.context,
+                fix_hint=f"include {attr!r} in the dict returned by describe()",
+            )
+    return out.diagnostics

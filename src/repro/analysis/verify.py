@@ -1,0 +1,56 @@
+"""Public entry points of the whole-spec verifier.
+
+:func:`verify_spec` runs all three rule families — determinism,
+cache-safety, registry-key soundness — over every overridable hook of a
+:class:`~repro.walks.spec.WalkSpec` and returns a structured
+:class:`~repro.analysis.diagnostics.SpecReport`.  It never raises: specs
+whose source cannot be read degrade to WARNING diagnostics and
+conservative verdicts.
+
+Suppression comments (``# repro: ignore[rule-id]``) silence the
+*diagnostic* only; they never re-enable an optimisation the proof
+declined — ``weights_state_free`` stays conservative regardless, so a
+suppressed cache-safety finding cannot reintroduce stale cache rows.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cache_safety import check_cache_safety
+from repro.analysis.determinism import check_callable_determinism, check_determinism
+from repro.analysis.diagnostics import Diagnostic, SpecReport, filter_suppressed
+from repro.analysis.hooks import get_source_line, load_spec_sources
+from repro.analysis.registry_keys import check_registry_keys
+from repro.walks.spec import WalkSpec
+
+
+def verify_spec(spec: WalkSpec) -> SpecReport:
+    """Statically verify every user-overridable hook of ``spec``."""
+    sources = load_spec_sources(spec)
+    diagnostics: list[Diagnostic] = list(sources.diagnostics)
+    diagnostics.extend(check_determinism(sources))
+    cache_verdict = check_cache_safety(spec, sources)
+    diagnostics.extend(cache_verdict.diagnostics)
+    diagnostics.extend(check_registry_keys(spec, sources))
+    diagnostics = filter_suppressed(diagnostics, get_source_line)
+
+    analyzed = tuple(
+        dict.fromkeys(source.name for source in sources.hooks if source.context == source.name)
+    )
+    return SpecReport(
+        spec_class=type(spec).__qualname__,
+        spec_name=str(getattr(spec, "name", type(spec).__name__)),
+        diagnostics=tuple(diagnostics),
+        hooks_analyzed=analyzed,
+        weights_state_free=cache_verdict.weights_state_free,
+    )
+
+
+def verify_callable(fn, name: str = "") -> tuple[Diagnostic, ...]:
+    """Determinism checks for a bare callable (walker selector, hint fn).
+
+    Covers the closure dimension the spec rules cannot: a callable closing
+    over a mutable object is flagged ``determinism/closure-mutable``.
+    """
+    label = name or getattr(fn, "__qualname__", repr(fn))
+    diagnostics = check_callable_determinism(fn, label)
+    return tuple(filter_suppressed(diagnostics, get_source_line))

@@ -20,7 +20,7 @@ exactly the differences the paper attributes to them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from repro.compiler.analyzer import analyze_get_weight
 from repro.compiler.flags import BoundGranularity

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.baselines.base import BaselineSystem
 from repro.baselines.csaw import make_csaw

@@ -57,12 +57,12 @@ class ExperimentConfig:
             raise BenchmarkError(f"unknown datasets in config: {unknown}")
 
     @classmethod
-    def quick(cls, **overrides) -> "ExperimentConfig":
+    def quick(cls, **overrides) -> ExperimentConfig:
         """The default configuration used by the pytest benchmarks."""
         return cls(**overrides)
 
     @classmethod
-    def full(cls, **overrides) -> "ExperimentConfig":
+    def full(cls, **overrides) -> ExperimentConfig:
         """A larger configuration covering every dataset (slower)."""
         defaults = dict(
             num_queries=256,

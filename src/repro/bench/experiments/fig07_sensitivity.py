@@ -65,7 +65,7 @@ def format_result(result: dict) -> str:
         title="Fig. 7a — skewness sensitivity (weighted Node2Vec, EU)",
     )
     hist = result["cv_histogram"]
-    rows_b = [[str(b), c] for b, c in zip(hist["bin_upper_bounds"], hist["counts"])]
+    rows_b = [[str(b), c] for b, c in zip(hist["bin_upper_bounds"], hist["counts"], strict=False)]
     table_b = format_table(
         ["CV bin (upper bound)", "#nodes"],
         rows_b,

@@ -24,7 +24,6 @@ import inspect
 import textwrap
 from dataclasses import dataclass, field
 
-from repro.errors import CompilerError
 from repro.compiler.flags import BoundGranularity
 from repro.walks.spec import WalkSpec
 
@@ -105,20 +104,31 @@ class AnalysisResult:
 # ---------------------------------------------------------------------- #
 # Helpers
 # ---------------------------------------------------------------------- #
-def _get_weight_ast(spec: WalkSpec) -> ast.FunctionDef:
-    """Parse the source of ``spec.get_weight`` into a function AST."""
+def _get_weight_ast(spec: WalkSpec) -> ast.FunctionDef | None:
+    """Parse the source of ``spec.get_weight`` into a function AST.
+
+    Returns ``None`` when the source is unavailable (REPL/exec-defined
+    specs) or does not parse; the caller degrades to eRVS-only with a
+    warning instead of failing the whole compile.
+    """
     try:
         source = inspect.getsource(spec.get_weight)
-    except (OSError, TypeError) as exc:
-        raise CompilerError(
-            f"cannot obtain the source of {type(spec).__name__}.get_weight; "
-            "Flexi-Compiler needs source access to analyse the workload"
-        ) from exc
-    tree = ast.parse(textwrap.dedent(source))
+    except (OSError, TypeError):
+        return None
+    try:
+        tree = ast.parse(textwrap.dedent(source))
+    except SyntaxError:
+        return None
+    fallback: ast.FunctionDef | None = None
     for node in ast.walk(tree):
-        if isinstance(node, ast.FunctionDef) and node.name == "get_weight":
-            return node
-    raise CompilerError("could not locate the get_weight function definition")
+        if isinstance(node, ast.FunctionDef):
+            if node.name == "get_weight":
+                return node
+            if fallback is None:
+                fallback = node
+    # A decorator without functools.wraps leaves only the wrapper's def in
+    # the snippet; analysing it is still better than refusing outright.
+    return fallback
 
 
 def _names_in(expr: ast.AST) -> set[str]:
@@ -185,6 +195,16 @@ def _transitive_dependencies(
 def analyze_get_weight(spec: WalkSpec) -> AnalysisResult:
     """Analyse ``spec.get_weight`` and return the dependency/flag table."""
     func = _get_weight_ast(spec)
+    if func is None:
+        # No source, no analysis: stay conservative (reads_state=True keeps
+        # the transition cache off) and run eRVS-only.
+        result = AnalysisResult()
+        result.supported = False
+        result.warnings = [
+            f"cannot obtain the source of {type(spec).__name__}.get_weight "
+            "(REPL/exec-defined spec?); running eRVS-only"
+        ]
+        return result
     args = tuple(arg.arg for arg in func.args.args)
     # Conventional parameter order: self, graph, state, edge.  Positions are
     # resolved from the declaration so renamed parameters still work.
@@ -205,19 +225,41 @@ def analyze_get_weight(spec: WalkSpec) -> AnalysisResult:
 
     assignment_map: dict[str, ast.expr] = {}
     # Visit statements in source order so the generated helpers can replay the
-    # assignment chain exactly as the user wrote it.
+    # assignment chain exactly as the user wrote it.  Walrus expressions and
+    # augmented assignments join the dependency table like plain assignments:
+    # ``x := v`` binds ``v`` and ``x op= v`` rebinds ``x`` to ``x op v``.
     ordered_nodes = sorted(
-        (n for n in ast.walk(func) if isinstance(n, (ast.Assign, ast.Return))),
+        (
+            n
+            for n in ast.walk(func)
+            if isinstance(n, (ast.Assign, ast.AugAssign, ast.NamedExpr, ast.Return))
+        ),
         key=lambda n: (n.lineno, n.col_offset),
     )
+
+    def record(name: str, value: ast.expr) -> None:
+        result.assignments.append((name, value))
+        assignment_map[name] = value
+        source = _edge_indexed_source(value, edge_arg, graph_arg)
+        if source is not None:
+            result.edge_indexed.append(EdgeIndexedVariable(name=name, source_array=source))
+
     for node in ordered_nodes:
         if isinstance(node, ast.Assign) and len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
-            name = node.targets[0].id
-            result.assignments.append((name, node.value))
-            assignment_map[name] = node.value
-            source = _edge_indexed_source(node.value, edge_arg, graph_arg)
-            if source is not None:
-                result.edge_indexed.append(EdgeIndexedVariable(name=name, source_array=source))
+            record(node.targets[0].id, node.value)
+        elif isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+            record(node.target.id, node.value)
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            name = node.target.id
+            expanded = ast.copy_location(
+                ast.BinOp(
+                    left=ast.copy_location(ast.Name(id=name, ctx=ast.Load()), node),
+                    op=node.op,
+                    right=node.value,
+                ),
+                node,
+            )
+            record(name, expanded)
         elif isinstance(node, ast.Return) and node.value is not None:
             result.return_expressions.append(node.value)
 

@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from types import CodeType
 
 from repro.errors import CompilerWarning
+from repro.analysis.diagnostics import SpecReport
+from repro.analysis.verify import verify_spec
 from repro.compiler.analyzer import AnalysisResult, analyze_get_weight
 from repro.compiler.flags import BoundGranularity
 from repro.compiler.preprocess import PreprocessResult, preprocess_graph
@@ -280,6 +282,9 @@ class CompiledWorkload:
     analysis: AnalysisResult
     helpers: GeneratedHelpers | None
     preprocessed: PreprocessResult | None
+    #: Whole-spec verifier verdict (all hooks, all rule families); None only
+    #: for hand-built bundles that bypassed :func:`compile_workload`.
+    report: SpecReport | None = None
     _static_bound: float | None = None
     _static_bound_known: bool = False
 
@@ -322,15 +327,25 @@ class CompiledWorkload:
         Stricter than :attr:`hints_node_only`: the walker state must not be
         referenced *anywhere* in ``get_weight`` (a state-dependent branch
         changes the value even when the return expressions are state-free),
-        and ``update`` must not be overridden (an update hook could feed
-        state back through ``self``).  When True, the weight of an edge never
-        changes across steps, walkers, supersteps or devices — the soundness
-        condition for the runtime's cross-superstep
+        and neither ``update`` nor ``update_batch`` may be overridden (an
+        update hook could feed state back through ``self``).  On top of the
+        scalar proof, the whole-spec :attr:`report` must agree that every
+        *override* weight path (``transition_weights``,
+        ``transition_weights_batch``) is state-free too — the batched engine
+        samples from those, so a state-reading override would be served
+        stale rows from a cache the scalar proof alone would have allowed.
+        When True, the weight of an edge never changes across steps,
+        walkers, supersteps or devices — the soundness condition for the
+        runtime's cross-superstep
         :class:`~repro.sampling.transition_cache.TransitionCache`.
         """
         if not self.supported or self.analysis.reads_state:
             return False
-        return type(self.spec).update is WalkSpec.update
+        if type(self.spec).update is not WalkSpec.update:
+            return False
+        if type(self.spec).update_batch is not WalkSpec.update_batch:
+            return False
+        return self.report is None or self.report.weights_state_free
 
     # ------------------------------------------------------------------ #
     def bound_hint(self, graph: CSRGraph, state: WalkerState) -> float | None:
@@ -399,6 +414,7 @@ def compile_workload(
     ``supported = False`` so the runtime uses eRVS exclusively.
     """
     analysis = analyze_get_weight(spec)
+    report = verify_spec(spec)
     if not analysis.supported:
         warnings.warn(
             "Flexi-Compiler could not specialise "
@@ -407,7 +423,9 @@ def compile_workload(
             CompilerWarning,
             stacklevel=2,
         )
-        return CompiledWorkload(spec=spec, analysis=analysis, helpers=None, preprocessed=None)
+        return CompiledWorkload(
+            spec=spec, analysis=analysis, helpers=None, preprocessed=None, report=report
+        )
 
     needed_arrays = tuple(
         dict.fromkeys(
@@ -429,4 +447,5 @@ def compile_workload(
         analysis=analysis,
         helpers=helpers,
         preprocessed=preprocessed,
+        report=report,
     )

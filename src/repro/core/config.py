@@ -116,7 +116,7 @@ class FlexiWalkerConfig:
     ghost_cache_bytes: int = 0
     seed: int = 0
     checkpoint_interval: int = 0
-    fault_plan: "FaultPlan | None" = None
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.selection not in SELECTION_POLICIES:

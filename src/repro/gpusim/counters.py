@@ -78,13 +78,13 @@ class CostCounters:
         "table_builds",
     )
 
-    def merge(self, other: "CostCounters") -> "CostCounters":
+    def merge(self, other: CostCounters) -> CostCounters:
         """Add ``other``'s counts into this object (in place) and return self."""
         for name in self._COUNT_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         return self
 
-    def copy(self) -> "CostCounters":
+    def copy(self) -> CostCounters:
         return CostCounters(**{f.name: getattr(self, f.name) for f in fields(self)})
 
     def reset(self) -> None:
@@ -99,7 +99,7 @@ class CostCounters:
     def as_dict(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self._COUNT_FIELDS}
 
-    def __add__(self, other: "CostCounters") -> "CostCounters":
+    def __add__(self, other: CostCounters) -> CostCounters:
         return self.copy().merge(other)
 
 

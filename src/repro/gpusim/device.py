@@ -195,7 +195,7 @@ class DeviceSpec:
             return float("inf")
         return self.random_access_ns / self.coalesced_access_ns
 
-    def scaled(self, factor: float, name: str | None = None) -> "DeviceSpec":
+    def scaled(self, factor: float, name: str | None = None) -> DeviceSpec:
         """Return a device with ``factor``x the parallel lanes (multi-GPU)."""
         return replace(
             self,

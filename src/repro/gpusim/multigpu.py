@@ -122,7 +122,7 @@ class MultiGPUResult:
     policy: str
     #: The full engine result when the launch ran the real walk engine
     #: (:meth:`MultiGPUExecutor.run`); ``None`` for cost-array replays.
-    run: "WalkRunResult | None" = field(default=None, repr=False)
+    run: WalkRunResult | None = field(default=None, repr=False)
 
     @property
     def time_ms(self) -> float:
@@ -153,8 +153,8 @@ class MultiGPUExecutor:
 
     def run(
         self,
-        engine: "WalkEngine",
-        queries: "list[WalkQuery]",
+        engine: WalkEngine,
+        queries: list[WalkQuery],
         policy: str = "hash",
     ) -> MultiGPUResult:
         """Drive the real walk engine across ``num_gpus`` replicated devices.

@@ -194,7 +194,7 @@ class CSRGraph:
     # ------------------------------------------------------------------ #
     # Derived graphs
     # ------------------------------------------------------------------ #
-    def with_weights(self, weights: np.ndarray, name: str | None = None) -> "CSRGraph":
+    def with_weights(self, weights: np.ndarray, name: str | None = None) -> CSRGraph:
         """Return a copy of this graph with replaced property weights.
 
         ``indptr``/``indices`` are shared unchanged, so the in-degree and
@@ -212,7 +212,7 @@ class CSRGraph:
             _edge_key_cache=self._edge_key_cache,
         )
 
-    def with_labels(self, labels: np.ndarray) -> "CSRGraph":
+    def with_labels(self, labels: np.ndarray) -> CSRGraph:
         """Return a copy of this graph with edge labels attached.
 
         Topology caches propagate exactly as in :meth:`with_weights`.

@@ -209,7 +209,7 @@ class DeltaCSRGraph:
         *,
         weights=None,
         labels=None,
-    ) -> "DeltaCSRGraph":
+    ) -> DeltaCSRGraph:
         """Fold one batch of edge mutations into a **new version**.
 
         Returns a fresh :class:`DeltaCSRGraph` at ``version + 1``; this

@@ -225,7 +225,7 @@ class ShardedCSRGraph:
     @classmethod
     def build(
         cls, graph: CSRGraph, num_shards: int, policy: str = "contiguous"
-    ) -> "ShardedCSRGraph":
+    ) -> ShardedCSRGraph:
         """Split ``graph`` into ``num_shards`` shards under ``policy``.
 
         ``"contiguous"`` slices the node id space into equal ranges — the
@@ -287,7 +287,7 @@ class ShardedCSRGraph:
             owner_map=self.owner_map,
         )
 
-    def rebind(self, new_graph: CSRGraph, touched_nodes: np.ndarray) -> "ShardedCSRGraph":
+    def rebind(self, new_graph: CSRGraph, touched_nodes: np.ndarray) -> ShardedCSRGraph:
         """Re-own only the touched nodes of a graph delta (scoped rebuild).
 
         The versioned invalidation contract for sharded decompositions

@@ -112,7 +112,7 @@ class PhiloxEngine:
             self._counter += np.uint64(n)
         return start
 
-    def split(self, index: int) -> "PhiloxEngine":
+    def split(self, index: int) -> PhiloxEngine:
         """Derive an independent child engine (cheap stream splitting)."""
         child = PhiloxEngine.__new__(PhiloxEngine)
         with np.errstate(over="ignore"):

@@ -41,7 +41,7 @@ class CountingStream:
         self.draws = 0
 
     @classmethod
-    def from_seed(cls, seed: int, stream: int = 0) -> "CountingStream":
+    def from_seed(cls, seed: int, stream: int = 0) -> CountingStream:
         return cls(PhiloxEngine(seed, stream))
 
     def reset_count(self) -> None:
@@ -59,7 +59,7 @@ class CountingStream:
         self.draws += 1 if size is None else int(size)
         return self._engine.exponential(size)
 
-    def split(self, index: int) -> "CountingStream":
+    def split(self, index: int) -> CountingStream:
         """Derive an independent child stream with its own counter."""
         return CountingStream(self._engine.split(index))
 
@@ -93,7 +93,7 @@ class PooledStream(CountingStream):
 
     __slots__ = ("_pool", "_slot")
 
-    def __init__(self, pool: "StreamPool", slot: int) -> None:
+    def __init__(self, pool: StreamPool, slot: int) -> None:
         self._pool = pool
         self._slot = int(slot)
 
@@ -146,7 +146,7 @@ class PooledStream(CountingStream):
             return -float(np.log1p(-u))
         return -np.log1p(-np.asarray(u))
 
-    def split(self, index: int) -> "CountingStream":
+    def split(self, index: int) -> CountingStream:
         child = PhiloxEngine.__new__(PhiloxEngine)
         child._key = np.uint64(derive_child_keys(self.philox_key, np.array([index]))[0])
         child._counter = np.uint64(0)
@@ -182,7 +182,7 @@ class BatchStreams:
         self._threads = None
 
     @classmethod
-    def _from_pool(cls, pool: "StreamPool", threads: np.ndarray, slots: np.ndarray) -> "BatchStreams":
+    def _from_pool(cls, pool: StreamPool, threads: np.ndarray, slots: np.ndarray) -> BatchStreams:
         self = cls.__new__(cls)
         self.streams = None
         self._pool = pool
@@ -194,7 +194,7 @@ class BatchStreams:
     def __len__(self) -> int:
         return len(self._slots) if self._pool is not None else len(self.streams)
 
-    def subset(self, indices: np.ndarray) -> "BatchStreams":
+    def subset(self, indices: np.ndarray) -> BatchStreams:
         """A view over a subset of the streams (shared stream state)."""
         idx = np.asarray(indices, dtype=np.int64)
         if self._pool is not None:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import copy
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -120,6 +120,11 @@ class WalkRunResult:
     degraded_devices: tuple[int, ...] = ()
     recovery_time_ns: float = 0.0
     checkpoints_taken: int = 0
+    #: Compiler fallback reasons (``AnalysisResult.warnings``): non-empty
+    #: when the workload ran eRVS-only because get_weight could not be
+    #: specialised.  Surfaced here so the degradation is visible at the
+    #: result layer, not just as a one-shot CompilerWarning.
+    compiler_warnings: tuple[str, ...] = ()
 
     @property
     def time_ms(self) -> float:
@@ -252,6 +257,7 @@ class WalkRunResult:
             "rejection_trials": self.counters.rejection_trials,
             "wall_clock_s": self.wall_clock_s,
             "throughput_steps_per_s": self.throughput_steps_per_s,
+            "compiler_warnings": list(self.compiler_warnings),
         }
 
 
@@ -379,7 +385,7 @@ class WalkEngine:
         use_transition_cache: bool = True,
         caches: EngineCaches | None = None,
         checkpoint_interval: int = 0,
-        fault_plan: "FaultPlan | None" = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         from repro.graph.sharded import SHARD_POLICIES
 
@@ -445,7 +451,7 @@ class WalkEngine:
         profile: ProfileResult | None = None,
     ) -> WalkRunResult:
         """Execute every query and return walks plus the simulated profile."""
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: ignore[internal/wall-clock]
         if self.num_devices > 1 and self.graph_placement == "sharded":
             from repro.runtime.frontier import run_sharded
 
@@ -460,7 +466,9 @@ class WalkEngine:
             result = run_batched(self, queries, profile)
         else:
             result = self._run_scalar(queries, profile)
-        result.wall_clock_s = time.perf_counter() - started
+        result.wall_clock_s = time.perf_counter() - started  # repro: ignore[internal/wall-clock]
+        if self.compiled is not None and not self.compiled.analysis.supported:
+            result.compiler_warnings = tuple(self.compiled.analysis.warnings)
         return result
 
     def with_devices(
@@ -470,7 +478,7 @@ class WalkEngine:
         graph_placement: str | None = None,
         shard_policy: str | None = None,
         ghost_cache_bytes: int | None = None,
-    ) -> "WalkEngine":
+    ) -> WalkEngine:
         """A copy of this engine re-targeted at a different device count.
 
         Shares the graph, spec, selector, compiled workload and the

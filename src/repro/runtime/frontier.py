@@ -34,7 +34,8 @@ executable specification the fused loop is property-tested against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -168,7 +169,7 @@ class SuperstepReport:
 
 
 def _drive_supersteps(
-    engine: "WalkEngine",
+    engine: WalkEngine,
     frontier: WalkerFrontier,
     streams,
     per_query_ns: np.ndarray,
@@ -217,7 +218,7 @@ class FrontierRun:
 
     __slots__ = ("engine", "frontier", "pool", "streams", "per_query_ns")
 
-    def __init__(self, engine: "WalkEngine") -> None:
+    def __init__(self, engine: WalkEngine) -> None:
         from repro.rng.streams import AdoptedStreamPool
 
         self.engine = engine
@@ -246,7 +247,7 @@ class FrontierRun:
 
 
 def iter_supersteps(
-    engine: "WalkEngine",
+    engine: WalkEngine,
     frontier: WalkerFrontier,
     streams,
     per_query_ns: np.ndarray,
@@ -415,10 +416,10 @@ def iter_supersteps(
 
 
 def run_batched(
-    engine: "WalkEngine",
+    engine: WalkEngine,
     queries: list[WalkQuery],
-    profile: "ProfileResult | None" = None,
-) -> "WalkRunResult":
+    profile: ProfileResult | None = None,
+) -> WalkRunResult:
     """Execute a query batch step-synchronously on the simulated device."""
     from repro.runtime.engine import WalkRunResult
 
@@ -505,7 +506,7 @@ def fold_counters_by_owner(
                 setattr(agg, name, getattr(agg, name) + int(sums[d]))
 
 
-def _partition_for_devices(engine: "WalkEngine", queries: list[WalkQuery]):
+def _partition_for_devices(engine: WalkEngine, queries: list[WalkQuery]):
     """Partition queries by the engine's policy (with degree costs attached)."""
     from repro.gpusim.multigpu import partition_queries
 
@@ -521,10 +522,10 @@ def _partition_for_devices(engine: "WalkEngine", queries: list[WalkQuery]):
 
 
 def run_multi_device(
-    engine: "WalkEngine",
+    engine: WalkEngine,
     queries: list[WalkQuery],
-    profile: "ProfileResult | None" = None,
-) -> "WalkRunResult":
+    profile: ProfileResult | None = None,
+) -> WalkRunResult:
     """Execute a query batch across ``engine.num_devices`` replicated devices.
 
     The Fig. 15 execution model made real: queries are partitioned by the
@@ -553,10 +554,10 @@ def run_multi_device(
 
 
 def _run_multi_device_fused(
-    engine: "WalkEngine",
+    engine: WalkEngine,
     queries: list[WalkQuery],
-    profile: "ProfileResult | None" = None,
-) -> "WalkRunResult":
+    profile: ProfileResult | None = None,
+) -> WalkRunResult:
     """One shared superstep loop advancing every device's walkers together."""
     from repro.runtime.engine import WalkRunResult
     from repro.runtime.scheduler import split_for_devices
@@ -672,10 +673,10 @@ def _run_multi_device_fused(
 
 
 def run_multi_device_serial(
-    engine: "WalkEngine",
+    engine: WalkEngine,
     queries: list[WalkQuery],
-    profile: "ProfileResult | None" = None,
-) -> "WalkRunResult":
+    profile: ProfileResult | None = None,
+) -> WalkRunResult:
     """Serial per-device composition (the fused loop's executable spec).
 
     Every device runs its *own* engine instance — a fresh
@@ -702,14 +703,14 @@ def run_multi_device_serial(
     total_steps = 0
     device_kernels = []
 
-    for part, sub_queries in zip(partitions, device_queries):
+    for part, sub_queries in zip(partitions, device_queries, strict=False):
         if engine.execution == "batched":
             sub = run_batched(engine, sub_queries, None)
         else:
             sub = engine._run_scalar(sub_queries, None)
         device_kernels.append(sub.kernel)
         per_query_ns[part] = sub.per_query_ns
-        for index, path in zip(part, sub.paths):
+        for index, path in zip(part, sub.paths, strict=False):
             paths[int(index)] = path
         aggregate.merge(sub.counters)
         for name, count in sub.sampler_usage.items():
@@ -784,7 +785,7 @@ class ShardedRunAccounting:
     schedules/makespans of the one-shot run.
     """
 
-    def __init__(self, engine: "WalkEngine", sharded, ghost=None) -> None:
+    def __init__(self, engine: WalkEngine, sharded, ghost=None) -> None:
         self.engine = engine
         self.sharded = sharded
         self.ghost = ghost
@@ -1119,10 +1120,10 @@ class ShardedRunAccounting:
 
 
 def run_sharded(
-    engine: "WalkEngine",
+    engine: WalkEngine,
     queries: list[WalkQuery],
-    profile: "ProfileResult | None" = None,
-) -> "WalkRunResult":
+    profile: ProfileResult | None = None,
+) -> WalkRunResult:
     """Execute a query batch across ``engine.num_devices`` graph shards.
 
     The graph-partitioned counterpart of :func:`run_multi_device`: instead
@@ -1241,7 +1242,7 @@ def run_sharded(
 
 
 def _merge_device_kernels(
-    engine: "WalkEngine",
+    engine: WalkEngine,
     device_kernels: list[KernelResult],
     aggregate: CostCounters,
     num_queries: int,
@@ -1268,7 +1269,7 @@ def _merge_device_kernels(
     )
 
 
-def _apply_step_overhead(engine: "WalkEngine", ctx: BatchStepContext,
+def _apply_step_overhead(engine: WalkEngine, ctx: BatchStepContext,
                          part: np.ndarray, sampler) -> None:
     """Run a baseline's per-step framework-overhead hook for a partition.
 

@@ -263,7 +263,7 @@ class BatchStepContext:
     bound_hints: np.ndarray | None = None
     sum_hints: np.ndarray | None = None
     warp_width: int = WARP_SIZE
-    transition_cache: "TransitionCache | None" = None
+    transition_cache: TransitionCache | None = None
     arena: BufferArena | None = None
     _flat: dict = field(default_factory=dict, repr=False)
 
@@ -392,7 +392,7 @@ class BatchStepContext:
         return weights
 
     # -- scalar-fallback bridge ---------------------------------------- #
-    def state(self, i: int) -> "WalkerState":
+    def state(self, i: int) -> WalkerState:
         """Object-form state of the ``i``-th walker in this context."""
         return self.frontier.state_view(self.walkers[int(i)])
 
@@ -434,7 +434,7 @@ class BatchStepContext:
         self.counters.absorb(int(self.slots[int(i)]), counters)
 
     # ------------------------------------------------------------------ #
-    def subset(self, idx: np.ndarray) -> "BatchStepContext":
+    def subset(self, idx: np.ndarray) -> BatchStepContext:
         """A context over a subset of the walkers (shared counter batch).
 
         The transition cache is shared (it is keyed by node, not by walker);

@@ -6,7 +6,7 @@ instantiate kernels by their paper tags (ALS, ITS, RJS, RVS, eRJS, eRVS).
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.errors import SamplingError
 from repro.sampling.alias import AliasSampler

@@ -167,7 +167,7 @@ class TransitionCache:
         self._totals[touched] = 0.0
         self.graph = new_graph
 
-    def weights_for(self, batch: "BatchStepContext") -> np.ndarray:
+    def weights_for(self, batch: BatchStepContext) -> np.ndarray:
         """Flattened transition weights of a batch context, cache-served.
 
         Identical values to ``spec.transition_weights_batch`` (node-only

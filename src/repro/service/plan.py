@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.diagnostics import Severity
 from repro.compiler.generator import CompiledWorkload
 from repro.core.config import FlexiWalkerConfig
 from repro.errors import ServiceError
@@ -93,6 +94,12 @@ class ServiceCapabilities:
     #: recovery (:mod:`repro.runtime.faults`).  Checkpointing needs the
     #: batched frontier loop, so scalar-only services decline it.
     checkpointing: bool = True
+    #: When True, a spec whose static verification carries ERROR
+    #: diagnostics (:func:`repro.analysis.verify_spec`) is rejected at
+    #: negotiation time with a :class:`~repro.errors.ServiceError` instead
+    #: of the default degrade path (run, but decline transition caching and
+    #: scheduler fusion).
+    strict_verification: bool = False
 
     def __post_init__(self) -> None:
         if self.fairness not in ("wrr", "fifo"):
@@ -138,7 +145,13 @@ class ExecutionPlan:
         Query-to-lane scheduling inside each device.
     use_transition_cache:
         Whether the cross-superstep transition cache applies — true only
-        when the compiler proved the workload's weights node-only.
+        when the compiler proved the workload's weights node-only (the
+        whole-spec proof: scalar *and* batch/vector override paths).
+    scheduler_fusion:
+        Whether the continuous-batching scheduler may fuse this plan's
+        walkers with other sessions.  Declined (False) when static
+        verification found ERROR diagnostics — an unverified spec must not
+        contaminate a shared fused frontier.
     streaming_granularity:
         How :meth:`~repro.service.WalkSession.stream` chunks results:
         ``"superstep"`` (frontier backends) or ``"walk"`` (scalar).
@@ -160,6 +173,7 @@ class ExecutionPlan:
     ghost_cache_bytes: int = 0
     scheduling: str = "dynamic"
     use_transition_cache: bool = True
+    scheduler_fusion: bool = True
     streaming_granularity: str = "superstep"
     checkpoint_interval: int = 0
     reasons: tuple[str, ...] = field(default=())
@@ -176,6 +190,7 @@ class ExecutionPlan:
             "ghost_cache_bytes": self.ghost_cache_bytes,
             "scheduling": self.scheduling,
             "use_transition_cache": self.use_transition_cache,
+            "scheduler_fusion": self.scheduler_fusion,
             "streaming_granularity": self.streaming_granularity,
             "checkpoint_interval": self.checkpoint_interval,
             "reasons": list(self.reasons),
@@ -396,12 +411,39 @@ def negotiate_plan(
             f"({config.execution!r} -> {execution!r})"
         )
 
+    # Static verification gates the bit-identity optimisations.  ERROR
+    # diagnostics mean a hook was *refuted* (nondeterministic, cache-unsafe
+    # or registry-unsound): the spec still runs, but never from a shared
+    # transition cache and never fused with other sessions' walkers — or
+    # not at all, when the service declared strict verification.
     use_cache = compiled is not None and compiled.weights_node_only
-    reasons.append(
-        "transition cache enabled: compiler proved weights node-only"
-        if use_cache
-        else "transition cache disabled: weights depend on walker state"
-    )
+    scheduler_fusion = True
+    report = compiled.report if compiled is not None else None
+    if report is not None and report.has_errors:
+        rules = ", ".join(report.rule_ids(Severity.ERROR))
+        if capabilities.strict_verification:
+            detail = "; ".join(d.format() for d in report.errors)
+            raise ServiceError(
+                f"{report.spec_class} failed static verification "
+                f"({rules}) and this service requires verified specs: {detail}"
+            )
+        use_cache = False
+        scheduler_fusion = False
+        reasons.append(
+            f"static verification found ERROR diagnostics ({rules}): "
+            "transition caching and scheduler fusion declined"
+        )
+    elif use_cache:
+        reasons.append("transition cache enabled: compiler proved weights node-only")
+    else:
+        reasons.append("transition cache disabled: weights depend on walker state")
+    if report is not None and report.warnings:
+        rules = ", ".join(sorted({d.rule for d in report.warnings}))
+        reasons.append(f"static verification warnings: {rules}")
+    if compiled is not None and not compiled.analysis.supported and compiled.analysis.warnings:
+        reasons.append(
+            "compiler fallback to eRVS-only: " + "; ".join(compiled.analysis.warnings)
+        )
 
     # Fault tolerance: the checkpoint interval is a negotiation, not a hard
     # requirement — a service that cannot checkpoint (or a scalar plan,
@@ -455,6 +497,7 @@ def negotiate_plan(
         ghost_cache_bytes=ghost_cache_bytes,
         scheduling=config.scheduling,
         use_transition_cache=use_cache,
+        scheduler_fusion=scheduler_fusion,
         streaming_granularity=granularity,
         checkpoint_interval=checkpoint_interval,
         reasons=tuple(reasons),
@@ -469,6 +512,7 @@ def declare_capabilities(
     max_inflight_walkers: int = 0,
     fairness: str = "wrr",
     tenant_quotas: tuple[tuple[str, int], ...] = (),
+    strict_verification: bool = False,
 ) -> ServiceCapabilities:
     """The capability set a service with ``fleet`` declares.
 
@@ -496,4 +540,5 @@ def declare_capabilities(
         max_inflight_walkers=max_inflight_walkers,
         fairness=fairness,
         tenant_quotas=tuple(tenant_quotas),
+        strict_verification=strict_verification,
     )

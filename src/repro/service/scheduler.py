@@ -50,7 +50,8 @@ import heapq
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -148,7 +149,7 @@ class _SessionEntry:
                  "sub_ords", "flushed", "queued", "inflight", "chunks",
                  "quarantined")
 
-    def __init__(self, session, tenant: _TenantState, group: "_Group") -> None:
+    def __init__(self, session, tenant: _TenantState, group: _Group) -> None:
         self.session = session
         self.tenant = tenant
         self.group = group
@@ -221,7 +222,7 @@ class ServiceScheduler:
 
     def __init__(
         self,
-        service: "WalkService",
+        service: WalkService,
         *,
         max_inflight_walkers: int = 0,
         fairness: str = "wrr",
@@ -299,7 +300,7 @@ class ServiceScheduler:
             state = self._tenants[name]
         return state
 
-    def attach(self, session: "WalkSession", tenant: str | None = None) -> "WalkSession":
+    def attach(self, session: WalkSession, tenant: str | None = None) -> WalkSession:
         """Join a session to the shared loop (before it submits anything).
 
         The session must belong to this scheduler's service, must not have
@@ -332,6 +333,12 @@ class ServiceScheduler:
                 "accounting is keyed by wave-local step ordinals, which a "
                 "fused cross-session frontier does not preserve"
             )
+        if not session.plan.scheduler_fusion:
+            raise ServiceError(
+                "scheduler fusion was declined for this plan (static "
+                "verification found ERROR diagnostics; see plan.reasons); "
+                "run the session standalone instead of attaching it"
+            )
         tstate = self._tenant_state(tenant if tenant is not None else self.default_tenant)
         group = self._group_for(session)
         entry = _SessionEntry(session, tstate, group)
@@ -343,16 +350,16 @@ class ServiceScheduler:
 
     def session(
         self,
-        spec: "WalkSpec",
-        config: "FlexiWalkerConfig | None" = None,
+        spec: WalkSpec,
+        config: FlexiWalkerConfig | None = None,
         *,
         tenant: str | None = None,
         backend: str | None = None,
-    ) -> "WalkSession":
+    ) -> WalkSession:
         """Open a service session and attach it in one step."""
         return self.attach(self.service.session(spec, config, backend=backend), tenant)
 
-    def detach(self, session: "WalkSession") -> None:
+    def detach(self, session: WalkSession) -> None:
         """Drain the session's outstanding walkers, flush, and release it.
 
         The session returns to standalone execution; its accumulated
@@ -369,7 +376,7 @@ class ServiceScheduler:
         entry.tenant.sessions -= 1
         del self._entries[id(session)]
 
-    def _group_for(self, session: "WalkSession") -> _Group:
+    def _group_for(self, session: WalkSession) -> _Group:
         from repro.service.service import WalkService
 
         # Sessions fuse only when nothing observable distinguishes their
@@ -512,7 +519,7 @@ class ServiceScheduler:
         frontier.  Returns the number of walker-steps executed across all
         (surviving) groups.
         """
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: ignore[internal/wall-clock]
         self._shed_overdue()
         self._expire_deadlines()
         self._admit()
@@ -524,7 +531,7 @@ class ServiceScheduler:
             except Exception as exc:  # noqa: BLE001 - quarantine, don't wedge
                 self._quarantine_group(group, exc)
         self._tick += 1
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # repro: ignore[internal/wall-clock]
         self._exec_seconds += elapsed
         if steps:
             # Wall time is shared; attribute it to sessions by their share
@@ -560,7 +567,7 @@ class ServiceScheduler:
             )  # pragma: no cover - defensive
         return steps
 
-    def _stream_session(self, session: "WalkSession") -> Iterator["WalkChunk"]:
+    def _stream_session(self, session: WalkSession) -> Iterator["WalkChunk"]:
         """Drive the shared loop, yielding this session's chunks.
 
         Other sessions' completions buffer on their own entries (their
@@ -587,7 +594,7 @@ class ServiceScheduler:
             raise
         self._flush(entry)
 
-    def _session_pending(self, session: "WalkSession") -> int:
+    def _session_pending(self, session: WalkSession) -> int:
         entry = self._entries[id(session)]
         return entry.queued + entry.inflight
 
@@ -755,7 +762,7 @@ class ServiceScheduler:
     # Admission: backpressure, fairness, mid-flight injection
     # ------------------------------------------------------------------ #
     def _reserve_capacity(
-        self, session: "WalkSession", count: int, options: "SubmitOptions"
+        self, session: WalkSession, count: int, options: SubmitOptions
     ) -> None:
         """Backpressure gate, run before the submission mutates anything.
 
@@ -788,7 +795,7 @@ class ServiceScheduler:
         give_up = (
             None
             if options.block_timeout is None
-            else time.monotonic() + options.block_timeout
+            else time.monotonic() + options.block_timeout  # repro: ignore[internal/wall-clock]
         )
         while not fits():
             if not options.block_on_full:
@@ -799,7 +806,7 @@ class ServiceScheduler:
                     "submit with SubmitOptions(block_on_full=True) to wait, "
                     "or drain first"
                 )
-            if give_up is not None and time.monotonic() >= give_up:
+            if give_up is not None and time.monotonic() >= give_up:  # repro: ignore[internal/wall-clock]
                 raise QueueFull(
                     f"blocking admission timed out after {options.block_timeout:g}s "
                     f"({self._inflight} walkers still in flight, tenant "
@@ -811,16 +818,16 @@ class ServiceScheduler:
             # queued behind a nonempty frontier) whenever this loop runs.
             self.tick()
 
-    def _submit_tenant(self, entry: _SessionEntry, options: "SubmitOptions") -> _TenantState:
+    def _submit_tenant(self, entry: _SessionEntry, options: SubmitOptions) -> _TenantState:
         if options.tenant is None:
             return entry.tenant
         return self._tenant_state(options.tenant)
 
     def _enqueue(
         self,
-        session: "WalkSession",
+        session: WalkSession,
         queries: list[WalkQuery],
-        options: "SubmitOptions",
+        options: SubmitOptions,
     ) -> None:
         """Stage validated queries into the admission queues."""
         entry = self._entries[id(session)]
@@ -950,7 +957,7 @@ class ServiceScheduler:
         # walker, exactly as a solo wave launch charges it (lane pricing is
         # per-slot, so splitting a launch across admissions changes nothing).
         per_entry: dict[int, int] = {}
-        for pos, p in zip(positions, batch):
+        for pos, p in zip(positions, batch, strict=False):
             entry = p.entry
             entry.fused_pos.append(int(pos))
             entry.queries.append(p.query)
@@ -1130,7 +1137,7 @@ class ServiceScheduler:
             session = entry.session
             paths = tuple(tuple(frontier.path(i)) for i in fused)
             query_ids = tuple(frontier.queries[i].query_id for i in fused)
-            for qid, path in zip(query_ids, paths):
+            for qid, path in zip(query_ids, paths, strict=False):
                 session._path_by_qid[qid] = list(path)
             count = len(fused)
             entry.inflight -= count

@@ -138,6 +138,11 @@ class WalkService:
     tenant_quotas:
         Default per-tenant outstanding-walker quotas of schedulers built by
         :meth:`scheduler`, as ``(tenant, quota)`` pairs.
+    strict_verification:
+        When True, :meth:`session` (and every other negotiation) rejects
+        specs whose static verification (:func:`repro.analysis.verify_spec`)
+        carries ERROR diagnostics, instead of the default degraded mode
+        (run without transition caching or scheduler fusion).
     """
 
     def __init__(
@@ -148,6 +153,7 @@ class WalkService:
         max_inflight_walkers: int = 0,
         fairness: str = "wrr",
         tenant_quotas: tuple[tuple[str, int], ...] = (),
+        strict_verification: bool = False,
     ) -> None:
         if max_cached_workloads is not None and max_cached_workloads < 1:
             raise ServiceError("max_cached_workloads must be at least 1 (or None)")
@@ -164,6 +170,7 @@ class WalkService:
             max_inflight_walkers=max_inflight_walkers,
             fairness=fairness,
             tenant_quotas=tenant_quotas,
+            strict_verification=strict_verification,
         )
         self._compiled: OrderedDict[tuple, CompiledWorkload] = OrderedDict()
         self._profiles: OrderedDict[tuple, ProfileResult] = OrderedDict()
@@ -182,7 +189,7 @@ class WalkService:
         return 0 if self._dynamic is None else self._dynamic.version
 
     @property
-    def dynamic_graph(self) -> "DeltaCSRGraph | None":
+    def dynamic_graph(self) -> DeltaCSRGraph | None:
         """The live delta overlay, or ``None`` while the service is static.
 
         Becomes non-``None`` after the first :meth:`apply_delta` (or when the
@@ -547,7 +554,7 @@ class WalkService:
         default_tenant: str = "default",
         record_admissions: bool = False,
         shed_after_ticks: int | None = None,
-    ) -> "ServiceScheduler":
+    ) -> ServiceScheduler:
         """Build a continuous-batching scheduler over this service.
 
         Admission-policy knobs default to what the service's declared

@@ -34,7 +34,8 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Iterator, Sequence
+from collections.abc import Iterator, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -187,7 +188,7 @@ class QueryTicket:
 
     ticket_id: int
     query_ids: tuple[int, ...]
-    _session: "WalkSession" = field(repr=False, compare=False)
+    _session: WalkSession = field(repr=False, compare=False)
 
     @property
     def status(self) -> str:
@@ -311,7 +312,7 @@ class WalkSession:
 
     def __init__(
         self,
-        service: "WalkService",
+        service: WalkService,
         spec,
         config,
         plan,
@@ -395,7 +396,7 @@ class WalkSession:
         # Set by ServiceScheduler.attach(); while attached, submit routes
         # through the scheduler's admission queues and stream()/collect()
         # drive the shared continuous-batching loop.
-        self._scheduler: "ServiceScheduler | None" = None
+        self._scheduler: ServiceScheduler | None = None
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -695,6 +696,11 @@ class WalkSession:
             degraded_devices=tuple(sorted(self._degraded)),
             recovery_time_ns=self._recovery_ns,
             checkpoints_taken=self._checkpoints_taken,
+            compiler_warnings=(
+                tuple(self.compiled.analysis.warnings)
+                if self.compiled is not None and not self.compiled.analysis.supported
+                else ()
+            ),
         )
         result.wall_clock_s = self._exec_seconds
         return result
@@ -707,7 +713,7 @@ class WalkSession:
         remaining = self._queue.remaining
         if remaining == 0:
             return False
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: ignore[internal/wall-clock]
         engine = self.engine
         queries = self._queue.fetch_batch(remaining)
         self._claimed_ids.update(q.query_id for q in queries)
@@ -759,7 +765,7 @@ class WalkSession:
             # _scalar_walk accumulates step costs onto.
             wave.pool = StreamPool(engine.seed)
         self._wave = wave
-        self._exec_seconds += time.perf_counter() - started
+        self._exec_seconds += time.perf_counter() - started  # repro: ignore[internal/wall-clock]
         return True
 
     def _advance_once(self) -> WalkChunk | None:
@@ -774,12 +780,12 @@ class WalkSession:
 
     def _advance_batched(self) -> WalkChunk | None:
         wave = self._wave
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: ignore[internal/wall-clock]
         try:
             item = next(wave.iterator)
         except StopIteration:
             self._finalize_wave()
-            self._exec_seconds += time.perf_counter() - started
+            self._exec_seconds += time.perf_counter() - started  # repro: ignore[internal/wall-clock]
             return None
         if wave.faults is not None:
             _, report, replayed = item
@@ -789,7 +795,7 @@ class WalkSession:
                 # per-walker counts, emitted chunks), so only the replay
                 # makespan — charged to the recovery ledger inside
                 # resilient_supersteps — is new.
-                self._exec_seconds += time.perf_counter() - started
+                self._exec_seconds += time.perf_counter() - started  # repro: ignore[internal/wall-clock]
                 return None
         else:
             report = item
@@ -809,14 +815,14 @@ class WalkSession:
                     wave.counts[name][report.active] += column
         self._total_steps += report.steps
         self._supersteps += 1
-        self._exec_seconds += time.perf_counter() - started
+        self._exec_seconds += time.perf_counter() - started  # repro: ignore[internal/wall-clock]
 
         if report.finished.size == 0:
             return None
         frontier = wave.frontier
         paths = tuple(tuple(frontier.path(i)) for i in report.finished)
         query_ids = tuple(wave.queries[int(i)].query_id for i in report.finished)
-        for qid, path in zip(query_ids, paths):
+        for qid, path in zip(query_ids, paths, strict=False):
             self._path_by_qid[qid] = list(path)
         return self._emit(
             query_ids, paths, steps=report.steps, counters=report.counters.totals()
@@ -827,7 +833,7 @@ class WalkSession:
         if wave.pos >= len(wave.queries):
             self._finalize_wave()
             return None
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: ignore[internal/wall-clock]
         engine = self.engine
         query = wave.queries[wave.pos]
         stream = wave.pool.stream(query.query_id)
@@ -843,7 +849,7 @@ class WalkSession:
         self._supersteps += 1
         self._path_by_qid[query.query_id] = list(path)
         wave.pos += 1
-        self._exec_seconds += time.perf_counter() - started
+        self._exec_seconds += time.perf_counter() - started  # repro: ignore[internal/wall-clock]
         # The chunk's counters cover the whole walk, fetch included.
         chunk_counters = query_counters.copy()
         chunk_counters.atomic_ops += 1

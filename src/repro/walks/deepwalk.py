@@ -36,7 +36,7 @@ class DeepWalkSpec(WalkSpec):
     def transition_weights(self, graph: CSRGraph, state: WalkerState) -> np.ndarray:
         return graph.edge_weights(state.current_node).astype(np.float64)
 
-    def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+    def transition_weights_batch(self, graph: CSRGraph, batch: BatchStepContext) -> np.ndarray:
         return graph.weights[batch.flat_edges].astype(np.float64)
 
     def static_transition_weights(self, graph: CSRGraph) -> np.ndarray:

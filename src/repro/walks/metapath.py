@@ -63,7 +63,7 @@ class MetaPathSpec(WalkSpec):
         want = self._expected_label(state)
         return np.where(labels == want, h, 0.0)
 
-    def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+    def transition_weights_batch(self, graph: CSRGraph, batch: BatchStepContext) -> np.ndarray:
         if graph.labels is None:
             raise WalkSpecError("MetaPath requires an edge-labelled graph")
         h = graph.weights[batch.flat_edges].astype(np.float64)
@@ -82,10 +82,10 @@ class MetaPathSpec(WalkSpec):
     def scan_cost_words(self, graph: CSRGraph, state: WalkerState) -> int:
         return graph.degree(state.current_node)
 
-    def probe_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+    def probe_cost_words_batch(self, graph: CSRGraph, batch: BatchStepContext) -> np.ndarray:
         return np.ones(batch.size, dtype=np.int64)
 
-    def scan_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+    def scan_cost_words_batch(self, graph: CSRGraph, batch: BatchStepContext) -> np.ndarray:
         return batch.degrees.copy()
 
     def describe(self) -> dict[str, object]:

@@ -37,7 +37,7 @@ def _prev_degrees(graph: CSRGraph, prev: np.ndarray) -> np.ndarray:
     return np.where(prev >= 0, degrees, 0)
 
 
-def _second_order_bias(graph: CSRGraph, batch: "BatchStepContext") -> tuple[np.ndarray, np.ndarray]:
+def _second_order_bias(graph: CSRGraph, batch: BatchStepContext) -> tuple[np.ndarray, np.ndarray]:
     """Per-candidate-edge second-order classification for the whole frontier.
 
     Returns ``(has_prev, linked)``, both parallel to ``batch.neighbors_flat``:
@@ -105,7 +105,7 @@ class Node2VecSpec(WalkSpec):
         w[neighbors == state.prev_node] = 1.0 / self.a
         return w * h
 
-    def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+    def transition_weights_batch(self, graph: CSRGraph, batch: BatchStepContext) -> np.ndarray:
         """Frontier-wide Eq. 2: one segmented membership search for all walkers."""
         h = graph.weights[batch.flat_edges].astype(np.float64)
         has_prev, linked = _second_order_bias(graph, batch)
@@ -129,13 +129,13 @@ class Node2VecSpec(WalkSpec):
             return 0
         return graph.degree(state.prev_node)
 
-    def probe_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+    def probe_cost_words_batch(self, graph: CSRGraph, batch: BatchStepContext) -> np.ndarray:
         prev = batch.prev
         d_prev = _prev_degrees(graph, prev)
         words = np.ceil(np.log2(d_prev + 2)).astype(np.int64)
         return np.where(prev < 0, 0, words)
 
-    def scan_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+    def scan_cost_words_batch(self, graph: CSRGraph, batch: BatchStepContext) -> np.ndarray:
         return _prev_degrees(graph, batch.prev)
 
     def describe(self) -> dict[str, object]:
@@ -183,7 +183,7 @@ class UnweightedNode2VecSpec(Node2VecSpec):
         w[neighbors == state.prev_node] = 1.0 / self.a
         return w
 
-    def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+    def transition_weights_batch(self, graph: CSRGraph, batch: BatchStepContext) -> np.ndarray:
         has_prev, linked = _second_order_bias(graph, batch)
         w = np.full(batch.neighbors_flat.size, 1.0 / self.b, dtype=np.float64)
         w[linked] = 1.0

@@ -10,7 +10,7 @@ plus the weight scheme that should be applied to the input graph.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.errors import WalkSpecError
 from repro.walks.deepwalk import DeepWalkSpec

@@ -78,7 +78,7 @@ class SecondOrderPRSpec(WalkSpec):
             w[linked] = base + bonus
         return w * maxd * h
 
-    def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+    def transition_weights_batch(self, graph: CSRGraph, batch: BatchStepContext) -> np.ndarray:
         """Frontier-wide Eq. 3: per-walker degree terms expanded per edge."""
         h = graph.weights[batch.flat_edges].astype(np.float64)
         has_prev, linked = _second_order_bias(graph, batch)
@@ -111,13 +111,13 @@ class SecondOrderPRSpec(WalkSpec):
             return 0
         return 2 + graph.degree(state.prev_node)
 
-    def probe_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+    def probe_cost_words_batch(self, graph: CSRGraph, batch: BatchStepContext) -> np.ndarray:
         prev = batch.prev
         d_prev = _prev_degrees(graph, prev)
         words = 2 + np.ceil(np.log2(d_prev + 2)).astype(np.int64)
         return np.where(prev < 0, 0, words)
 
-    def scan_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+    def scan_cost_words_batch(self, graph: CSRGraph, batch: BatchStepContext) -> np.ndarray:
         prev = batch.prev
         d_prev = _prev_degrees(graph, prev)
         return np.where(prev < 0, 0, 2 + d_prev)

@@ -60,14 +60,14 @@ class WalkSpec(ABC):
     # ------------------------------------------------------------------ #
     # The user-facing gather-move-update API
     # ------------------------------------------------------------------ #
-    def init(self) -> None:
+    def init(self) -> None:  # noqa: B027 (optional override, deliberately empty)
         """Initialise workload-specific hyperparameters (optional override)."""
 
     @abstractmethod
     def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
         """Transition weight of the edge at global edge index ``edge``."""
 
-    def update(self, graph: CSRGraph, state: WalkerState, next_node: int) -> None:
+    def update(self, graph: CSRGraph, state: WalkerState, next_node: int) -> None:  # noqa: B027
         """Update query-specific parameters after a step (optional override)."""
 
     # ------------------------------------------------------------------ #
@@ -89,7 +89,7 @@ class WalkSpec(ABC):
     # ------------------------------------------------------------------ #
     # Batched (frontier) hooks — vectorised across walkers
     # ------------------------------------------------------------------ #
-    def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+    def transition_weights_batch(self, graph: CSRGraph, batch: BatchStepContext) -> np.ndarray:
         """Weights of every candidate edge of every walker in the frontier.
 
         Returns one flat ``float64`` array parallel to
@@ -119,7 +119,7 @@ class WalkSpec(ABC):
         """
         return None
 
-    def probe_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+    def probe_cost_words_batch(self, graph: CSRGraph, batch: BatchStepContext) -> np.ndarray:
         """Vectorised :meth:`probe_cost_words` (one entry per walker)."""
         if type(self).probe_cost_words is WalkSpec.probe_cost_words:
             return np.zeros(batch.size, dtype=np.int64)
@@ -128,7 +128,7 @@ class WalkSpec(ABC):
             dtype=np.int64,
         )
 
-    def scan_cost_words_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+    def scan_cost_words_batch(self, graph: CSRGraph, batch: BatchStepContext) -> np.ndarray:
         """Vectorised :meth:`scan_cost_words` (one entry per walker)."""
         if type(self).scan_cost_words is WalkSpec.scan_cost_words:
             return np.zeros(batch.size, dtype=np.int64)
@@ -153,7 +153,7 @@ class WalkSpec(ABC):
         """
         if type(self).update is WalkSpec.update:
             return
-        for walker, nxt in zip(walkers, next_nodes):
+        for walker, nxt in zip(walkers, next_nodes, strict=False):
             self.update(graph, frontier.state_view(int(walker)), int(nxt))
 
     # ------------------------------------------------------------------ #
@@ -212,7 +212,7 @@ class UniformWalkSpec(WalkSpec):
     def transition_weights(self, graph: CSRGraph, state: WalkerState) -> np.ndarray:
         return graph.edge_weights(state.current_node).astype(np.float64)
 
-    def transition_weights_batch(self, graph: CSRGraph, batch: "BatchStepContext") -> np.ndarray:
+    def transition_weights_batch(self, graph: CSRGraph, batch: BatchStepContext) -> np.ndarray:
         return graph.weights[batch.flat_edges].astype(np.float64)
 
     def static_transition_weights(self, graph: CSRGraph) -> np.ndarray:

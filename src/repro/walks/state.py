@@ -60,7 +60,7 @@ class WalkerState:
     params: dict[str, float | int] = field(default_factory=dict)
 
     @classmethod
-    def start(cls, query: WalkQuery) -> "WalkerState":
+    def start(cls, query: WalkQuery) -> WalkerState:
         """Fresh walker positioned on the query's start node."""
         return cls(query=query, current_node=query.start_node, path=[query.start_node])
 
@@ -201,7 +201,7 @@ class WalkerFrontier:
         self.path_len[indices] += 1
 
     # ------------------------------------------------------------------ #
-    def snapshot(self) -> "FrontierSnapshot":
+    def snapshot(self) -> FrontierSnapshot:
         """Deep copy of every mutable per-walker field.
 
         The checkpoint half of the fault-tolerance story
@@ -237,7 +237,7 @@ class WalkerFrontier:
             states=states,
         )
 
-    def restore(self, snap: "FrontierSnapshot") -> None:
+    def restore(self, snap: FrontierSnapshot) -> None:
         """Rewind the frontier to a :meth:`snapshot`.
 
         The snapshot must cover exactly the walkers the frontier currently

@@ -1,0 +1,58 @@
+"""CI-facing lint CLIs: exit codes and rule-id output.
+
+``scripts/lint_spec.py --all-builtin`` and ``scripts/lint_internal.py`` are
+the two commands the CI lint job runs; these tests pin their contract —
+exit 0 on a clean tree, exit 1 with rule ids printed on violations.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "spec_fixtures.py"
+
+
+def run_script(script: str, *args: str, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / script), *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_lint_spec_all_builtin_passes():
+    proc = run_script("lint_spec.py", "--all-builtin")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "no ERROR diagnostics" in proc.stdout
+
+
+def test_lint_spec_fails_on_fixture_module_with_rule_ids():
+    proc = run_script("lint_spec.py", str(FIXTURES))
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    # Every rule family is represented in the output, by id.
+    for rule in (
+        "determinism/unseeded-rng",
+        "cache-safety/batch-state-divergence",
+        "registry-keys/unkeyed-attribute",
+    ):
+        assert rule in proc.stdout
+
+
+def test_lint_internal_passes_on_src_repro():
+    proc = run_script("lint_internal.py")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "no invariant violations" in proc.stdout
+
+
+def test_lint_internal_fails_on_synthetic_violation(tmp_path):
+    bad = tmp_path / "src" / "repro" / "runtime" / "rogue.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\nt0 = time.time()\n")
+    proc = run_script("lint_internal.py", str(bad))
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "internal/wall-clock" in proc.stdout

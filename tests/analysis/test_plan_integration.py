@@ -1,0 +1,164 @@
+"""Verifier wiring through the stack: compile -> negotiate -> schedule.
+
+Covers the latent cache-safety gap regression (a state-reading batch
+override must disqualify the TransitionCache even when the scalar
+``get_weight`` is state-free), the plan-level decline of caching and
+scheduler fusion for ERROR specs, the ``strict_verification`` hard-fail,
+and the surfacing of analyzer warnings through ``negotiate_plan`` reasons
+and ``WalkRunResult.summary()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+import spec_fixtures as fx
+
+from repro.analysis import SpecReport
+from repro.compiler.generator import compile_workload
+from repro.core.config import FlexiWalkerConfig
+from repro.errors import ServiceError
+from repro.gpusim.device import A6000
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.weights import uniform_weights
+from repro.service import DeviceFleet, WalkService, declare_capabilities, negotiate_plan
+from repro.walks.deepwalk import DeepWalkSpec
+from repro.walks.spec import WalkSpec
+from repro.walks.state import WalkerState, WalkQuery
+
+DEVICE = dataclasses.replace(A6000, parallel_lanes=8)
+GRAPH = barabasi_albert_graph(40, 3, seed=11, name="analysis-test")
+GRAPH = GRAPH.with_weights(uniform_weights(GRAPH, seed=11))
+CONFIG = FlexiWalkerConfig(device=DEVICE, seed=3)
+
+
+def caps(**kwargs):
+    return declare_capabilities(DeviceFleet(DEVICE), **kwargs)
+
+
+def queries(n, length=8):
+    return [
+        WalkQuery(query_id=i, start_node=i % GRAPH.num_nodes, max_length=length)
+        for i in range(n)
+    ]
+
+
+class _LoopFallbackSpec(WalkSpec):
+    """Compiler-unsupported (data-dependent loop) but verifier-clean."""
+
+    name = "analysis_loop_fallback"
+
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        h_e = graph.weights[edge]
+        total = 0.0
+        while total < h_e:
+            total += 1.0
+        return total
+
+
+class TestCompileAttachesReport:
+    def test_every_compile_carries_a_spec_report(self):
+        compiled = compile_workload(DeepWalkSpec(), GRAPH, DEVICE)
+        assert isinstance(compiled.report, SpecReport)
+        assert not compiled.report.has_errors
+
+    def test_cache_gap_regression_batch_override_disqualifies_cache(self):
+        # The gap this PR closes: a state-free scalar get_weight used to be
+        # the whole proof, so this spec's state-reading batch override was
+        # served stale TransitionCache rows on the batched path.
+        compiled = compile_workload(fx.StatefulBatchSpec(), GRAPH, DEVICE)
+        assert compiled.analysis.supported
+        assert not compiled.analysis.reads_state  # scalar proof alone says cacheable
+        assert not compiled.weights_node_only  # whole-spec proof says no
+        assert "cache-safety/batch-state-divergence" in compiled.report.rule_ids()
+
+    def test_clean_spec_keeps_cache_eligibility(self):
+        compiled = compile_workload(DeepWalkSpec(), GRAPH, DEVICE)
+        assert compiled.weights_node_only
+
+
+class TestPlanDeclinesErrorSpecs:
+    def test_error_spec_loses_cache_and_fusion_with_reason(self):
+        compiled = compile_workload(fx.StatefulBatchSpec(), GRAPH, DEVICE)
+        plan = negotiate_plan(caps(), CONFIG, compiled)
+        assert not plan.use_transition_cache
+        assert not plan.scheduler_fusion
+        joined = " ".join(plan.reasons)
+        assert "cache-safety/batch-state-divergence" in joined
+        assert "declined" in joined
+        assert plan.describe()["scheduler_fusion"] is False
+
+    def test_clean_spec_keeps_fusion_and_cache(self):
+        compiled = compile_workload(DeepWalkSpec(), GRAPH, DEVICE)
+        plan = negotiate_plan(caps(), CONFIG, compiled)
+        assert plan.use_transition_cache
+        assert plan.scheduler_fusion
+
+    def test_strict_verification_raises(self):
+        compiled = compile_workload(fx.StatefulBatchSpec(), GRAPH, DEVICE)
+        with pytest.raises(ServiceError, match="batch-state-divergence"):
+            negotiate_plan(caps(strict_verification=True), CONFIG, compiled)
+
+    def test_warning_rules_surface_as_reasons_without_decline(self):
+        compiled = compile_workload(fx.HashSpec(), GRAPH, DEVICE)
+        plan = negotiate_plan(caps(), CONFIG, compiled)
+        assert plan.scheduler_fusion  # warnings never decline
+        assert any("determinism/object-identity" in r for r in plan.reasons)
+
+    @pytest.mark.filterwarnings("ignore::repro.errors.CompilerWarning")
+    def test_compiler_fallback_recorded_as_reason(self):
+        compiled = compile_workload(_LoopFallbackSpec(), GRAPH, DEVICE)
+        plan = negotiate_plan(caps(), CONFIG, compiled)
+        assert any("eRVS-only" in r for r in plan.reasons)
+
+
+class TestServiceAndScheduler:
+    def test_strict_service_rejects_error_spec_at_session_time(self):
+        service = WalkService(
+            GRAPH, fleet=DeviceFleet(DEVICE), strict_verification=True
+        )
+        with pytest.raises(ServiceError, match="static verification"):
+            service.session(fx.StatefulBatchSpec(), CONFIG)
+
+    def test_lenient_service_runs_error_spec_standalone(self):
+        service = WalkService(GRAPH, fleet=DeviceFleet(DEVICE))
+        session = service.session(fx.StatefulBatchSpec(), CONFIG)
+        session.submit(queries(3))
+        result = session.collect()
+        assert len(result.paths) == 3
+
+    def test_scheduler_refuses_unfusable_session(self):
+        service = WalkService(GRAPH, fleet=DeviceFleet(DEVICE))
+        scheduler = service.scheduler()
+        with pytest.raises(ServiceError, match="scheduler fusion was declined"):
+            scheduler.session(fx.StatefulBatchSpec(), CONFIG)
+
+    def test_scheduler_still_accepts_clean_specs(self):
+        service = WalkService(GRAPH, fleet=DeviceFleet(DEVICE))
+        scheduler = service.scheduler()
+        session = scheduler.session(DeepWalkSpec(), CONFIG)
+        session.submit(queries(3))
+        scheduler.run_until_idle(max_ticks=500)
+        assert len(session.collect().paths) == 3
+
+
+class TestWarningsSurfaceInResults:
+    @pytest.mark.filterwarnings("ignore::repro.errors.CompilerWarning")
+    def test_compiler_fallback_warnings_reach_summary(self):
+        service = WalkService(GRAPH, fleet=DeviceFleet(DEVICE))
+        session = service.session(_LoopFallbackSpec(), CONFIG)
+        session.submit(queries(2))
+        result = session.collect()
+        assert result.compiler_warnings
+        assert any("loop" in w for w in result.compiler_warnings)
+        assert result.summary()["compiler_warnings"] == list(result.compiler_warnings)
+
+    def test_supported_spec_has_no_compiler_warnings(self):
+        service = WalkService(GRAPH, fleet=DeviceFleet(DEVICE))
+        session = service.session(DeepWalkSpec(), CONFIG)
+        session.submit(queries(2))
+        result = session.collect()
+        assert result.compiler_warnings == ()
+        assert result.summary()["compiler_warnings"] == []

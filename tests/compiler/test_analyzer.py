@@ -137,3 +137,121 @@ class TestUnsupportedConstructs:
 
     def test_supported_workloads_have_no_warnings(self):
         assert analyze_get_weight(UniformWalkSpec()).warnings == []
+
+
+class _WalrusSpec(WalkSpec):
+    """Assignment expressions must register as ordinary assignments."""
+
+    name = "walrus"
+
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        if (h_e := graph.weights[edge]) > 1.0:
+            return h_e * 2.0
+        return h_e
+
+
+class _AugAssignSpec(WalkSpec):
+    """Augmented assignment keeps the edge-indexed dependency chain alive."""
+
+    name = "augassign"
+
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        h_e = graph.weights[edge]
+        h_e *= 2.0
+        return h_e
+
+
+class _TernaryReturnSpec(WalkSpec):
+    """A conditional expression in the return position."""
+
+    name = "ternary"
+
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        h_e = graph.weights[edge]
+        return h_e * 2.0 if state.prev_node == graph.indices[edge] else h_e
+
+
+class _NestedReturnSpec(WalkSpec):
+    """Returns nested two branches deep must all be collected."""
+
+    name = "nested"
+
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        h_e = graph.weights[edge]
+        if state.prev_node < 0:
+            if h_e > 1.0:
+                return h_e * 3.0
+            return h_e
+        else:
+            return h_e * 0.5
+
+
+def _traced(fn):
+    import functools
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        return fn(*args, **kwargs)
+
+    return wrapper
+
+
+class _DecoratedSpec(WalkSpec):
+    """The analyser must unwrap a ``functools.wraps`` decorator."""
+
+    name = "decorated"
+
+    @_traced
+    def get_weight(self, graph: CSRGraph, state: WalkerState, edge: int) -> float:
+        return graph.weights[edge]
+
+
+class TestEdgeCaseConstructs:
+    def test_walrus_assignment_is_tracked(self):
+        analysis = analyze_get_weight(_WalrusSpec())
+        assert analysis.supported
+        assert not analysis.reads_state
+        assert len(analysis.return_expressions) == 2
+        assert "h_e" in analysis.edge_indexed_names
+
+    def test_augmented_assignment_keeps_dependencies(self):
+        analysis = analyze_get_weight(_AugAssignSpec())
+        assert analysis.supported
+        assert not analysis.reads_state
+        assert "h_e" in analysis.edge_indexed_names
+        assert analysis.source_array_for("h_e") == "weights"
+
+    def test_ternary_return_reads_state(self):
+        analysis = analyze_get_weight(_TernaryReturnSpec())
+        assert analysis.supported
+        assert analysis.reads_state
+        assert len(analysis.return_expressions) == 1
+
+    def test_nested_returns_all_collected(self):
+        analysis = analyze_get_weight(_NestedReturnSpec())
+        assert analysis.supported
+        assert len(analysis.return_expressions) == 3
+        assert len(analysis.return_dependencies) == 3
+
+    def test_decorated_get_weight_is_unwrapped(self):
+        analysis = analyze_get_weight(_DecoratedSpec())
+        assert analysis.supported
+        assert not analysis.reads_state
+
+    def test_sourceless_spec_degrades_to_fallback(self):
+        # exec-defined specs have no retrievable source: the analyser must
+        # degrade to the conservative eRVS-only fallback with a warning, not
+        # raise.
+        namespace: dict = {}
+        exec(  # noqa: S102 - deliberately building a source-less spec
+            "from repro.walks.spec import WalkSpec\n"
+            "class ReplSpec(WalkSpec):\n"
+            "    name = 'repl'\n"
+            "    def get_weight(self, graph, state, edge):\n"
+            "        return graph.weights[edge]\n",
+            namespace,
+        )
+        analysis = analyze_get_weight(namespace["ReplSpec"]())
+        assert not analysis.supported
+        assert analysis.reads_state  # conservative default
+        assert any("cannot obtain the source" in w for w in analysis.warnings)

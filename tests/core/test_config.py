@@ -65,5 +65,5 @@ class TestFlexiWalkerConfig:
 
     def test_config_is_immutable(self):
         config = FlexiWalkerConfig()
-        with pytest.raises(Exception):
+        with pytest.raises(AttributeError):
             config.selection = "random"  # type: ignore[misc]

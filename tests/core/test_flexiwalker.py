@@ -99,7 +99,7 @@ class TestRunning:
         walker = FlexiWalker(small_graph, Node2VecSpec(), CONFIG)
         result = walker.run(walk_length=4, num_queries=10)
         for path in result.paths:
-            for src, dst in zip(path, path[1:]):
+            for src, dst in zip(path, path[1:], strict=False):
                 assert small_graph.has_edge(src, dst)
 
     def test_overheads_reported(self, small_graph):

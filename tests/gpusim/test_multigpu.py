@@ -38,7 +38,7 @@ class TestPartitioning:
     def test_hash_deterministic(self):
         a = partition_queries(np.arange(50), 3, policy="hash")
         b = partition_queries(np.arange(50), 3, policy="hash")
-        for x, y in zip(a, b):
+        for x, y in zip(a, b, strict=False):
             assert np.array_equal(x, y)
 
     def test_single_gpu_gets_everything(self):
@@ -66,7 +66,7 @@ class TestPartitioning:
         costs = rng.uniform(1, 50, size=64)
         a = partition_queries(np.arange(64), 4, policy="balanced", costs=costs)
         b = partition_queries(np.arange(64), 4, policy="balanced", costs=costs)
-        for x, y in zip(a, b):
+        for x, y in zip(a, b, strict=False):
             assert np.array_equal(x, y)
 
     def test_balanced_policy_requires_costs(self):

@@ -303,14 +303,14 @@ class TestScopedRebinds:
         assert rebound.owner_map is sharded.owner_map
         assert rebound.graph is new
         affected = set(np.unique(sharded.owner_map[record.touched_nodes]).tolist())
-        for old_shard, new_shard in zip(sharded.shards, rebound.shards):
+        for old_shard, new_shard in zip(sharded.shards, rebound.shards, strict=False):
             if old_shard.shard_id in affected:
                 assert new_shard is not old_shard
             else:
                 assert new_shard is old_shard  # object identity
         # content equals a from-scratch decomposition over the same owner map
         scratch = ShardedCSRGraph(new, sharded.owner_map, 4, policy)
-        for a, b in zip(rebound.shards, scratch.shards):
+        for a, b in zip(rebound.shards, scratch.shards, strict=False):
             assert np.array_equal(a.indptr, b.indptr)
             assert np.array_equal(a.indices, b.indices)
             assert np.array_equal(a.weights, b.weights)

@@ -174,7 +174,7 @@ class TestGhostCache:
         graph = skewed_graph(num_nodes=80)
         sharded = ShardedCSRGraph.build(graph, 4, "contiguous")
         ghost = sharded.ghost_cache(budget_bytes=2_000)
-        for s, shard in enumerate(sharded.shards):
+        for s, _shard in enumerate(sharded.shards):
             ghosted = np.nonzero(ghost.mask[s])[0]
             # Never ghost an owned node.
             assert not np.any(sharded.owner_map[ghosted] == s)

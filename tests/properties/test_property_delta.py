@@ -209,7 +209,7 @@ class TestScopedInvalidation:
         assert all(
             np.array_equal(got, want, equal_nan=True)
             for got, want in zip(hints.lookup(everything),
-                                 fresh_hints.lookup(everything))
+                                 fresh_hints.lookup(everything), strict=False)
         )
 
 

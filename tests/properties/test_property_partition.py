@@ -48,7 +48,7 @@ class TestHashPolicy:
     def test_hash_deterministic(self, starts, num_gpus):
         a = partition_queries(starts, num_gpus, policy="hash")
         b = partition_queries(starts, num_gpus, policy="hash")
-        for x, y in zip(a, b):
+        for x, y in zip(a, b, strict=False):
             assert np.array_equal(x, y)
 
     @pytest.mark.parametrize("num_gpus", [2, 4, 8])

@@ -178,7 +178,7 @@ class TestShardedMatchesReplicated:
             nodes = np.asarray(path, dtype=np.int64)
             owners = decomposition.owner(nodes)
             host = int(owners[0])
-            for node, owner in zip(nodes[1:], owners[1:]):
+            for node, owner in zip(nodes[1:], owners[1:], strict=False):
                 if int(owner) == host:
                     continue
                 if ghost.mask[host, int(node)]:

@@ -32,14 +32,14 @@ class TestWalkExecution:
         queries = make_queries(small_graph.num_nodes, walk_length=4, num_queries=10, seed=0)
         result = run_engine(small_graph, UniformWalkSpec(), queries)
         assert len(result.paths) == 10
-        for query, path in zip(queries, result.paths):
+        for query, path in zip(queries, result.paths, strict=False):
             assert path[0] == query.start_node
 
     def test_every_step_follows_an_edge(self, small_graph):
         queries = make_queries(small_graph.num_nodes, walk_length=5, num_queries=8, seed=1)
         result = run_engine(small_graph, Node2VecSpec(), queries)
         for path in result.paths:
-            for src, dst in zip(path, path[1:]):
+            for src, dst in zip(path, path[1:], strict=False):
                 assert small_graph.has_edge(src, dst)
 
     def test_walk_length_respected(self, small_graph):

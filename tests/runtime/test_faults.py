@@ -133,7 +133,7 @@ class TestCheckpointRoundtrip:
         assert not np.array_equal(per_ns, after_ns)
         replay = self._drive(engine, frontier, pool, streams, per_ns, aggregate, usage, 2)
         assert np.array_equal(per_ns, after_ns)
-        for a, b in zip(first, replay):
+        for a, b in zip(first, replay, strict=False):
             assert np.array_equal(a.active, b.active)
             assert a.steps == b.steps
 

@@ -102,7 +102,7 @@ class TestBatchStreams:
         batched = pool_a.batch(ids).uniform_flat(counts)
         expected = np.concatenate([
             np.atleast_1d(pool_b.stream(i).uniform(int(c))) if c else np.zeros(0)
-            for i, c in zip(ids, counts)
+            for i, c in zip(ids, counts, strict=False)
         ])
         assert np.array_equal(batched, expected)
         # The draw accounting advanced identically too.

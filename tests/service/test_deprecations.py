@@ -9,6 +9,7 @@ import pytest
 
 from repro.core.config import FlexiWalkerConfig
 from repro.core.flexiwalker import FlexiWalker
+from repro.errors import ServiceError
 from repro.core.results import summarize_run
 from repro.gpusim.device import A6000
 from repro.walks.deepwalk import DeepWalkSpec
@@ -156,7 +157,7 @@ class TestSubmitOptionsShim:
     def test_options_validate(self, service_graph):
         from repro.service import SubmitOptions
 
-        with pytest.raises(Exception):
+        with pytest.raises(ServiceError):
             SubmitOptions(priority=-1)
-        with pytest.raises(Exception):
+        with pytest.raises(ServiceError):
             SubmitOptions(deadline_steps=0)

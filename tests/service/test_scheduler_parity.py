@@ -65,7 +65,7 @@ def assert_bit_identical(result, reference) -> None:
     assert np.array_equal(result.per_query_ns, reference.per_query_ns)
     assert result.kernel.time_ms == reference.kernel.time_ms
     assert len(result.device_kernels) == len(reference.device_kernels)
-    for fused_kernel, solo_kernel in zip(result.device_kernels, reference.device_kernels):
+    for fused_kernel, solo_kernel in zip(result.device_kernels, reference.device_kernels, strict=False):
         assert fused_kernel.time_ms == solo_kernel.time_ms
 
 
@@ -114,7 +114,7 @@ def test_interleaved_sessions_bit_identical(service_graph, mode):
 
     # The fused loop still reports per-chunk latency on the shared clock.
     for chunk in chunks:
-        for enq, start in zip(chunk.enqueue_steps, chunk.first_scheduled_steps):
+        for enq, start in zip(chunk.enqueue_steps, chunk.first_scheduled_steps, strict=False):
             assert 0 <= enq <= start <= chunk.superstep
 
     assert scheduler.pending == 0

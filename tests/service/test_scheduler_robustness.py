@@ -55,11 +55,18 @@ class PoisonSpec(DeepWalkSpec):
     is_dynamic = True
     calls = 0
 
+    def update(self, graph, state, next_node):
+        # Scalar counterpart of the poisoned batch hook, so the spec passes
+        # whole-spec verification (update/update_batch overridden together)
+        # and the scheduler accepts it — the crash is the point of the test.
+        PoisonSpec.calls += 1
+        if PoisonSpec.calls > 2:
+            raise ValueError("boom")
+
     def update_batch(self, graph, frontier, indices, next_nodes):
         PoisonSpec.calls += 1
         if PoisonSpec.calls > 2:
             raise ValueError("boom")
-        return super().update_batch(graph, frontier, indices, next_nodes)
 
 
 class TestCancellation:

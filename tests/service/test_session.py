@@ -79,10 +79,10 @@ class TestStreaming:
         session.submit(queries)
         streamed: dict[int, list[int]] = {}
         for chunk in session.stream():
-            for qid, path in zip(chunk.query_ids, chunk.paths):
+            for qid, path in zip(chunk.query_ids, chunk.paths, strict=False):
                 streamed[qid] = list(path)
         result = session.collect()
-        for query, path in zip(queries, result.paths):
+        for query, path in zip(queries, result.paths, strict=False):
             assert streamed[query.query_id] == path
 
     def test_metapath_streams_early_deadend_completions(self, service_graph):
